@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 4: optimistic, average, and pessimistic scaling trends for
+ * the aggregate transmit and receive delays, 45 nm down to 16 nm.
+ */
+
+#include "bench_util.hpp"
+#include "optical/scaling.hpp"
+
+using namespace phastlane;
+using namespace phastlane::optical;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    DeviceScalingModel model;
+
+    TextTable t({"node [nm]", "tx opt [ps]", "tx avg [ps]",
+                 "tx pess [ps]", "rx opt [ps]", "rx avg [ps]",
+                 "rx pess [ps]"});
+    for (double node : {45.0, 40.0, 32.0, 28.0, 22.0, 20.0, 18.0,
+                        16.0}) {
+        t.addRow({TextTable::num(node, 0),
+                  TextTable::num(model.txDelayPs(Scaling::Optimistic,
+                                                 node), 2),
+                  TextTable::num(model.txDelayPs(Scaling::Average,
+                                                 node), 2),
+                  TextTable::num(model.txDelayPs(Scaling::Pessimistic,
+                                                 node), 2),
+                  TextTable::num(model.rxDelayPs(Scaling::Optimistic,
+                                                 node), 2),
+                  TextTable::num(model.rxDelayPs(Scaling::Average,
+                                                 node), 2),
+                  TextTable::num(model.rxDelayPs(Scaling::Pessimistic,
+                                                 node), 2)});
+    }
+    bench::emit(opts,
+                "Fig 4: transmit/receive delay scaling "
+                "(log/linear/exp fits; paper 16nm: tx 8.0-19.4ps, "
+                "rx 1.8-3.7ps)",
+                t);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 5: component delays of the critical paths (PP, PB, PA, PIA)
+ * through the Phastlane router under the three scaling assumptions
+ * and 32/64/128 wavelengths.
+ */
+
+#include "bench_util.hpp"
+#include "optical/timing.hpp"
+
+using namespace phastlane;
+using namespace phastlane::optical;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+
+    TextTable t({"scaling", "lambda", "path", "rx ctl [ps]",
+                 "drive 1 [ps]", "drive 2 [ps]",
+                 "traverse/rx [ps]", "total [ps]"});
+    for (Scaling s : {Scaling::Optimistic, Scaling::Average,
+                      Scaling::Pessimistic}) {
+        for (int wl : {32, 64, 128}) {
+            RouterTimingModel m(s, wl);
+            for (const CriticalPath &p :
+                 {m.packetPass(), m.packetBlock(), m.packetAccept(),
+                  m.packetInterimAccept()}) {
+                std::vector<std::string> row = {
+                    scalingName(s), TextTable::num(int64_t{wl}),
+                    p.name};
+                // PA/PIA have three components; pad the second drive
+                // column for them.
+                if (p.components.size() == 3) {
+                    row.push_back(
+                        TextTable::num(p.components[0].ps, 2));
+                    row.push_back(
+                        TextTable::num(p.components[1].ps, 2));
+                    row.push_back("-");
+                    row.push_back(
+                        TextTable::num(p.components[2].ps, 2));
+                } else {
+                    for (const auto &c : p.components)
+                        row.push_back(TextTable::num(c.ps, 2));
+                }
+                row.push_back(TextTable::num(p.totalPs(), 2));
+                t.addRow(row);
+            }
+        }
+    }
+    bench::emit(opts,
+                "Fig 5: router critical-path component delays "
+                "(PP > PB > PA/PIA; resonator drive dominates)",
+                t);
+    return 0;
+}

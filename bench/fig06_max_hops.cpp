@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 6: maximum hops a packet can travel in a single 4 GHz cycle
+ * for different wavelength counts and scaling assumptions.
+ * Paper: 8 / 5 / 4 hops, independent of the wavelength count.
+ */
+
+#include "bench_util.hpp"
+#include "optical/timing.hpp"
+
+using namespace phastlane;
+using namespace phastlane::optical;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    const double freq = opts.raw.getDouble("freq", 4.0);
+
+    TextTable t({"lambda", "optimistic", "average", "pessimistic"});
+    for (int wl : {16, 32, 64, 128, 256}) {
+        t.addRow({TextTable::num(int64_t{wl}),
+                  TextTable::num(int64_t{
+                      RouterTimingModel(Scaling::Optimistic, wl)
+                          .maxHopsPerCycle(freq)}),
+                  TextTable::num(int64_t{
+                      RouterTimingModel(Scaling::Average, wl)
+                          .maxHopsPerCycle(freq)}),
+                  TextTable::num(int64_t{
+                      RouterTimingModel(Scaling::Pessimistic, wl)
+                          .maxHopsPerCycle(freq)})});
+    }
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "Fig 6: max hops per %.1f GHz cycle "
+                  "(paper: 8/5/4, wavelength-independent)", freq);
+    bench::emit(opts, title, t);
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 7: contour of the peak optical input power as a function of
+ * crossing efficiency, wavelength count, and the per-cycle hop limit.
+ * Paper anchors: (64l, 4hop, 98%) = 32 W, (128l, 5hop, 98%) = 32 W,
+ * (128l, 4hop, 98%) = 15 W; 32 wavelengths need >= 99% efficiency or
+ * a 2-3 hop limit.
+ */
+
+#include "bench_util.hpp"
+#include "optical/power_model.hpp"
+
+using namespace phastlane;
+using namespace phastlane::optical;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    PeakPowerModel model;
+
+    TextTable grid({"lambda", "hops", "eff 97% [W]", "eff 98% [W]",
+                    "eff 99% [W]", "eff 99.5% [W]"});
+    for (int wl : {32, 64, 128}) {
+        for (int hops : {1, 2, 3, 4, 5, 6, 8}) {
+            grid.addRow({TextTable::num(int64_t{wl}),
+                         TextTable::num(int64_t{hops}),
+                         TextTable::num(
+                             model.peakPowerW(0.97, wl, hops), 1),
+                         TextTable::num(
+                             model.peakPowerW(0.98, wl, hops), 1),
+                         TextTable::num(
+                             model.peakPowerW(0.99, wl, hops), 1),
+                         TextTable::num(
+                             model.peakPowerW(0.995, wl, hops), 1)});
+        }
+    }
+    bench::emit(opts, "Fig 7: peak optical power contour", grid,
+                "grid");
+
+    TextTable budget({"lambda", "eff", "max hops within 32 W"});
+    for (int wl : {32, 64, 128}) {
+        for (double eff : {0.97, 0.98, 0.99, 0.995}) {
+            budget.addRow(
+                {TextTable::num(int64_t{wl}), TextTable::num(eff, 3),
+                 TextTable::num(int64_t{model.maxHopsWithinBudget(
+                     eff, wl, 32.0)})});
+        }
+    }
+    bench::emit(opts, "Fig 7 (derived): hop limit within a 32 W budget",
+                budget, "budget");
+    return 0;
+}

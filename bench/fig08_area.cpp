@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 8: impact of the wavelength count on the router area
+ * components. The sweet spot sits at 64 wavelengths, which is also
+ * the only configuration fitting the 3.5 mm^2 single-core node.
+ */
+
+#include "bench_util.hpp"
+#include "optical/area_model.hpp"
+
+using namespace phastlane;
+using namespace phastlane::optical;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    AreaModel model;
+    ChipGeometry geom;
+
+    TextTable t({"lambda", "waveguides", "port len [mm]",
+                 "internal len [mm]", "edge [mm]", "area [mm^2]",
+                 "fits 1-core (3.5)", "fits 2-core (4.5)",
+                 "fits 4-core (6.5)"});
+    for (int wl : {16, 32, 64, 128, 256}) {
+        const RouterArea a = model.evaluate(wl);
+        auto fits = [&](double budget) {
+            return a.areaMm2 <= budget ? "yes" : "no";
+        };
+        t.addRow({TextTable::num(int64_t{wl}),
+                  TextTable::num(int64_t{a.waveguides}),
+                  TextTable::num(a.portLengthMm, 3),
+                  TextTable::num(a.internalLengthMm, 3),
+                  TextTable::num(a.edgeMm, 3),
+                  TextTable::num(a.areaMm2, 2),
+                  fits(geom.nodeAreaMm2), fits(geom.dualNodeAreaMm2),
+                  fits(geom.quadNodeAreaMm2)});
+    }
+    bench::emit(opts,
+                "Fig 8: router area vs wavelength count "
+                "(sweet spot at 64)",
+                t);
+
+    const int candidates[] = {16, 32, 64, 128, 256};
+    std::printf("sweet spot: %d wavelengths\n",
+                model.sweetSpot(candidates, 5));
+    return 0;
+}

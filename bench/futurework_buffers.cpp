@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Future-work study (paper Section 5/7): "Future work will investigate
+ * more sophisticated buffer management schemes to reduce buffering
+ * requirements" and "alternatives to ... simple rotating priority
+ * arbitration of the electrical buffers."
+ *
+ * Compares, on the drop-bound Ocean/FMM workloads:
+ *   - partitioned per-port buffers (paper) vs one shared per-router
+ *     pool of the same total size;
+ *   - rotating-priority vs globally oldest-first launch arbitration.
+ */
+
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/network.hpp"
+#include "traffic/coherence.hpp"
+#include "traffic/splash.hpp"
+
+using namespace phastlane;
+using namespace phastlane::core;
+using namespace phastlane::traffic;
+
+namespace {
+
+struct Variant {
+    const char *name;
+    int buffers;
+    bool shared;
+    BufferArbitration arb;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+
+    const Variant variants[] = {
+        {"Optical4 (paper)", 10, false,
+         BufferArbitration::RotatingPriority},
+        {"Optical4 shared pool", 10, true,
+         BufferArbitration::RotatingPriority},
+        {"Optical4 oldest-first", 10, false,
+         BufferArbitration::OldestFirst},
+        {"Optical4 shared+oldest", 10, true,
+         BufferArbitration::OldestFirst},
+        {"Optical4B32 (paper)", 32, false,
+         BufferArbitration::RotatingPriority},
+    };
+
+    TextTable t({"benchmark", "variant", "completion [cyc]",
+                 "vs paper", "drops", "msg latency [cyc]"});
+    for (const char *bench : {"Ocean", "FMM", "Barnes"}) {
+        auto prof = splashProfile(bench);
+        prof.txnsPerNode = opts.quick ? 50 : 150;
+        const auto streams = generateStreams(prof, 64, opts.seed);
+        double base = 0.0;
+        for (const Variant &v : variants) {
+            PhastlaneParams p;
+            p.routerBufferEntries = v.buffers;
+            p.sharedBufferPool = v.shared;
+            p.bufferArbitration = v.arb;
+            p.seed = opts.seed;
+            PhastlaneNetwork net(p);
+            CoherenceDriver d(net, streams, prof.mshrLimit);
+            const CoherenceResult r = d.run();
+            if (base == 0.0)
+                base = static_cast<double>(r.completionCycles);
+            t.addRow({bench, v.name,
+                      TextTable::num(static_cast<int64_t>(
+                          r.completionCycles)),
+                      TextTable::num(
+                          base / static_cast<double>(
+                                     r.completionCycles), 2) + "x",
+                      TextTable::num(static_cast<int64_t>(
+                          net.phastlaneCounters().drops)),
+                      TextTable::num(r.avgMessageLatency, 1)});
+        }
+        std::printf("[%s done]\n", bench);
+        std::fflush(stdout);
+    }
+    bench::emit(opts,
+                "Future work: buffer management and buffer "
+                "arbitration alternatives",
+                t);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tables 1-4: the configuration tables of the paper, printed from the
+ * actual parameter structs the simulators run with (so any divergence
+ * between documentation and code is impossible).
+ */
+
+#include "bench_util.hpp"
+#include "core/params.hpp"
+#include "electrical/params.hpp"
+#include "optical/devices.hpp"
+#include "traffic/splash.hpp"
+
+using namespace phastlane;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+
+    // Table 1: optical network configuration.
+    {
+        core::PhastlaneParams p;
+        optical::PacketFormat f;
+        TextTable t({"parameter", "value"});
+        t.addRow({"Flits per packet", "1 (80 bytes)"});
+        t.addRow({"Packet payload WDM",
+                  TextTable::num(int64_t{p.wavelengths})});
+        t.addRow({"Packet payload waveguides",
+                  TextTable::num(int64_t{
+                      f.payloadWaveguides(p.wavelengths)})});
+        t.addRow({"Routing function", "Dimension-order"});
+        t.addRow({"Packet control bits",
+                  TextTable::num(int64_t{f.controlBits})});
+        t.addRow({"Packet control WDM",
+                  TextTable::num(int64_t{f.controlWdm})});
+        t.addRow({"Packet control waveguides",
+                  TextTable::num(int64_t{f.controlWaveguides()})});
+        t.addRow({"Buffer entries in NIC",
+                  TextTable::num(int64_t{p.nicQueueEntries})});
+        t.addRow({"Max hops per cycle", "4, 5, or 8"});
+        t.addRow({"Router buffer entries (default)",
+                  TextTable::num(int64_t{p.routerBufferEntries})});
+        t.addRow({"Node transmit arbitration", "Rotating priority"});
+        t.addRow({"Network path arbitration", "Fixed priority"});
+        bench::emit(opts, "Table 1: optical network configuration", t,
+                    "table1");
+    }
+
+    // Table 2: baseline electrical router parameters.
+    {
+        electrical::ElectricalParams p;
+        TextTable t({"parameter", "value"});
+        t.addRow({"Flits per packet", "1 (80 bytes)"});
+        t.addRow({"Routing function", "Dimension-order"});
+        t.addRow({"Number of VCs per port",
+                  TextTable::num(int64_t{p.vcsPerPort})});
+        t.addRow({"Number of entries per VC",
+                  TextTable::num(int64_t{p.vcDepth})});
+        t.addRow({"Wait for tail credit", "YES"});
+        t.addRow({"VC allocator", "iSLIP"});
+        t.addRow({"SW allocator", "iSLIP"});
+        t.addRow({"Total router delay", "2 or 3 cycles"});
+        t.addRow({"Input speedup",
+                  TextTable::num(int64_t{p.inputSpeedup})});
+        t.addRow({"Output speedup",
+                  TextTable::num(int64_t{p.outputSpeedup})});
+        t.addRow({"Buffer entries in NIC",
+                  TextTable::num(int64_t{p.nicQueueEntries})});
+        t.addRow({"Multicast", "Virtual Circuit Tree Multicasting"});
+        bench::emit(opts, "Table 2: baseline electrical router", t,
+                    "table2");
+    }
+
+    // Table 3: SPLASH2 benchmarks and input sets.
+    {
+        TextTable t({"benchmark", "experimental data set",
+                     "txns/node", "MSHRs", "bcast req frac"});
+        for (const auto &b : traffic::splashSuite()) {
+            t.addRow({b.name, b.inputSet,
+                      TextTable::num(int64_t{b.txnsPerNode}),
+                      TextTable::num(int64_t{b.mshrLimit}),
+                      TextTable::num(b.requestBroadcastFraction, 2)});
+        }
+        bench::emit(opts, "Table 3: SPLASH2 benchmarks", t, "table3");
+    }
+
+    // Table 4: cache and memory-controller parameters.
+    {
+        traffic::SplashProfile p = traffic::splashSuite().front();
+        TextTable t({"parameter", "value"});
+        t.addRow({"Simulated cache sizes",
+                  "32KB L1I, 32KB L1D, 256KB L2"});
+        t.addRow({"Actual cache sizes", "64KB L1I, 64KB L1D, 2MB L2"});
+        t.addRow({"Cache associativity", "4-way L1, 16-way L2"});
+        t.addRow({"Block size", "32B L1, 64B L2"});
+        t.addRow({"Memory latency (modeled)",
+                  TextTable::num(int64_t{
+                      static_cast<int64_t>(p.memoryLatency)}) +
+                      " cycles"});
+        bench::emit(opts, "Table 4: cache and memory parameters", t,
+                    "table4");
+    }
+    return 0;
+}

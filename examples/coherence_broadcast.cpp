@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Snoopy-coherence scenario: run the same cache-coherence workload
+ * (broadcast miss requests, unicast data responses, invalidates and
+ * writebacks) through the Phastlane network and the electrical
+ * baseline and compare completion time, message latency, and power --
+ * a miniature of the paper's Fig 10/11 methodology.
+ *
+ *   ./examples/coherence_broadcast [--benchmark Barnes]
+ *       [--txns 100] [--seed 7]
+ */
+
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/network.hpp"
+#include "sim/configs.hpp"
+#include "sim/report.hpp"
+#include "traffic/coherence.hpp"
+#include "traffic/splash.hpp"
+
+using namespace phastlane;
+using namespace phastlane::traffic;
+
+int
+main(int argc, char **argv)
+{
+    const Config args = Config::fromArgs(argc, argv);
+    SplashProfile prof =
+        splashProfile(args.getString("benchmark", "Barnes"));
+    prof.txnsPerNode = static_cast<int>(args.getInt("txns", 100));
+    const uint64_t seed =
+        static_cast<uint64_t>(args.getInt("seed", 7));
+
+    std::printf("benchmark %s (%s): %d transactions/node, "
+                "%d MSHRs, %.0f%% of requests broadcast\n\n",
+                prof.name.c_str(), prof.inputSet.c_str(),
+                prof.txnsPerNode, prof.mshrLimit,
+                100.0 * prof.requestBroadcastFraction);
+
+    // Both networks replay the identical pre-generated streams.
+    const auto streams = generateStreams(prof, 64, seed);
+
+    TextTable t({"network", "completion [cyc]", "msg latency [cyc]",
+                 "round trip [cyc]", "drops", "power [W]"});
+    double base_cycles = 0.0;
+    for (const char *name : {"Electrical3", "Electrical2",
+                             "Optical4", "Optical4B64"}) {
+        const auto cfg = sim::makeConfig(name);
+        auto net = cfg.make(seed);
+        CoherenceDriver driver(*net, streams, prof.mshrLimit);
+        const CoherenceResult r = driver.run();
+        uint64_t drops = 0;
+        if (auto *pl =
+                dynamic_cast<core::PhastlaneNetwork *>(net.get()))
+            drops = pl->phastlaneCounters().drops;
+        const auto p = cfg.power(*net, r.completionCycles);
+        if (base_cycles == 0.0)
+            base_cycles = static_cast<double>(r.completionCycles);
+        t.addRow({name,
+                  TextTable::num(static_cast<int64_t>(
+                      r.completionCycles)),
+                  TextTable::num(r.avgMessageLatency, 1),
+                  TextTable::num(r.avgRoundTrip, 1),
+                  TextTable::num(static_cast<int64_t>(drops)),
+                  TextTable::num(p.totalW, 1)});
+        std::printf("%s: speedup vs Electrical3 = %.2fX\n", name,
+                    base_cycles /
+                        static_cast<double>(r.completionCycles));
+    }
+    std::printf("\n");
+    t.print();
+
+    if (args.getBool("heatmap", false)) {
+        std::printf("\nlink-utilization heatmaps (mean outgoing "
+                    "utilization per router, north-up):\n");
+        for (const char *name : {"Electrical3", "Optical4"}) {
+            const auto cfg = sim::makeConfig(name);
+            auto net = cfg.make(seed);
+            CoherenceDriver driver(*net, streams, prof.mshrLimit);
+            const CoherenceResult r = driver.run();
+            const auto report = sim::UtilizationReport::fromNetwork(
+                *net, r.completionCycles);
+            std::printf("\n%s (mean %.3f, peak %.3f):\n%s", name,
+                        report.meanUtilization(),
+                        report.peakUtilization(),
+                        report.heatmap().c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Design-space explorer: for a chosen wavelength count, clock
+ * frequency and optical power budget, report what the analytic models
+ * of Section 3 say -- per-cycle hop reach for each scaling scenario,
+ * peak optical power, the power-limited hop count, and the router
+ * area against the node budgets. This is the paper's Section 3
+ * methodology packaged as a tool.
+ *
+ *   ./examples/design_explorer [--wavelengths 64] [--freq 4.0]
+ *       [--efficiency 0.98] [--budget 32]
+ */
+
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "optical/area_model.hpp"
+#include "optical/power_model.hpp"
+#include "optical/timing.hpp"
+
+using namespace phastlane;
+using namespace phastlane::optical;
+
+int
+main(int argc, char **argv)
+{
+    const Config args = Config::fromArgs(argc, argv);
+    const int wl = static_cast<int>(args.getInt("wavelengths", 64));
+    const double freq = args.getDouble("freq", 4.0);
+    const double eff = args.getDouble("efficiency", 0.98);
+    const double budget = args.getDouble("budget", 32.0);
+
+    std::printf("design point: %d wavelengths, %.1f GHz, %.1f%% "
+                "crossing efficiency, %.0f W optical budget\n\n",
+                wl, freq, 100.0 * eff, budget);
+
+    // Timing: how far can a packet go per cycle?
+    TextTable timing({"scaling", "max hops/cycle", "PP [ps]",
+                      "PA [ps]", "1-hop path [ps]",
+                      "max path [ps]"});
+    PeakPowerModel power;
+    int min_hops = 99;
+    for (Scaling s : {Scaling::Optimistic, Scaling::Average,
+                      Scaling::Pessimistic}) {
+        RouterTimingModel m(s, wl);
+        const int hops = m.maxHopsPerCycle(freq);
+        min_hops = std::min(min_hops, hops);
+        timing.addRow({scalingName(s),
+                       TextTable::num(int64_t{hops}),
+                       TextTable::num(m.packetPass().totalPs(), 1),
+                       TextTable::num(m.packetAccept().totalPs(), 1),
+                       TextTable::num(m.pathDelayPs(1), 1),
+                       TextTable::num(
+                           hops > 0 ? m.pathDelayPs(hops) : 0.0, 1)});
+    }
+    timing.print();
+
+    // Power: what does the timing-derived reach cost, and what does
+    // the budget allow?
+    const int power_hops = power.maxHopsWithinBudget(eff, wl, budget);
+    std::printf("\npeak optical power at the timing-limited reach:\n");
+    TextTable pw({"hops", "peak power [W]", "within budget"});
+    for (int h = 1; h <= 8; ++h) {
+        pw.addRow({TextTable::num(int64_t{h}),
+                   TextTable::num(power.peakPowerW(eff, wl, h), 1),
+                   power.peakPowerW(eff, wl, h) <= budget ? "yes"
+                                                          : "no"});
+    }
+    pw.print();
+    std::printf("power-limited hop count: %d\n", power_hops);
+
+    // Area.
+    AreaModel area;
+    ChipGeometry geom;
+    const RouterArea a = area.evaluate(wl);
+    std::printf("\nrouter area: %.2f mm^2 (port %.2f mm + internal "
+                "%.2f mm per edge)\n",
+                a.areaMm2, a.portLengthMm, a.internalLengthMm);
+    std::printf("fits single-core node (%.1f mm^2): %s; dual (%.1f): "
+                "%s; quad (%.1f): %s\n",
+                geom.nodeAreaMm2,
+                area.fitsNode(wl, geom.nodeAreaMm2) ? "yes" : "no",
+                geom.dualNodeAreaMm2,
+                area.fitsNode(wl, geom.dualNodeAreaMm2) ? "yes" : "no",
+                geom.quadNodeAreaMm2,
+                area.fitsNode(wl, geom.quadNodeAreaMm2) ? "yes"
+                                                        : "no");
+
+    // Verdict in the paper's terms.
+    const int usable = std::min(min_hops, power_hops);
+    std::printf("\nusable per-cycle reach (min of timing and power): "
+                "%d hops\n", usable);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Load sweep: measure the latency-versus-load curve of any named
+ * configuration on any synthetic pattern and report the saturation
+ * throughput.
+ *
+ *   ./examples/saturation_sweep --config Optical4 --pattern transpose
+ *       [--max-rate 0.5] [--steps 12] [--measure 4000]
+ */
+
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "sim/sweep.hpp"
+
+using namespace phastlane;
+using namespace phastlane::sim;
+
+int
+main(int argc, char **argv)
+{
+    const Config args = Config::fromArgs(argc, argv);
+    const std::string config_name =
+        args.getString("config", "Optical4");
+    const traffic::Pattern pattern = traffic::parsePattern(
+        args.getString("pattern", "uniform"));
+    const double max_rate = args.getDouble("max-rate", 0.5);
+    const int steps = static_cast<int>(args.getInt("steps", 12));
+
+    SweepConfig sc;
+    sc.pattern = pattern;
+    sc.warmupCycles =
+        static_cast<Cycle>(args.getInt("warmup", 1000));
+    sc.measureCycles =
+        static_cast<Cycle>(args.getInt("measure", 4000));
+    sc.seed = static_cast<uint64_t>(args.getInt("seed", 42));
+    for (int i = 1; i <= steps; ++i)
+        sc.rates.push_back(max_rate * i / steps);
+
+    std::printf("sweeping %s on %s up to %.3f pkt/node/cycle\n",
+                config_name.c_str(), traffic::patternName(pattern),
+                max_rate);
+
+    const auto points = runSweep(makeConfig(config_name), sc);
+
+    TextTable t({"rate", "avg latency [cyc]", "p99 [cyc]",
+                 "accepted", "saturated"});
+    for (const auto &pt : points) {
+        t.addRow({TextTable::num(pt.injectionRate, 3),
+                  TextTable::num(pt.result.avgLatency, 1),
+                  TextTable::num(pt.result.p99Latency, 1),
+                  TextTable::num(pt.result.acceptedRate, 4),
+                  pt.result.saturated ? "yes" : "no"});
+    }
+    t.print();
+    std::printf("saturation throughput: %.3f pkt/node/cycle\n",
+                saturationThroughput(points));
+
+    const std::string csv = args.getString("csv");
+    if (!csv.empty()) {
+        t.writeCsv(csv);
+        std::printf("csv written to %s\n", csv.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,111 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace phastlane {
+
+namespace {
+
+/** Strip up to two leading dashes. */
+std::string
+stripDashes(const std::string &s)
+{
+    size_t i = 0;
+    while (i < s.size() && i < 2 && s[i] == '-')
+        ++i;
+    return s.substr(i);
+}
+
+} // namespace
+
+Config
+Config::fromArgs(int argc, char **argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        const bool dashed = arg.rfind("--", 0) == 0;
+        arg = stripDashes(arg);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            cfg.set(arg.substr(0, eq), arg.substr(eq + 1));
+        } else if (dashed && i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            cfg.set(arg, argv[++i]);
+        } else {
+            cfg.set(arg, "true");
+        }
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+int64_t
+Config::getInt(const std::string &key, int64_t def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '%s' is not an integer: '%s'",
+              key.c_str(), it->second.c_str());
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '%s' is not a number: '%s'",
+              key.c_str(), it->second.c_str());
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &kv : values_)
+        out.push_back(kv.first);
+    return out;
+}
+
+} // namespace phastlane

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Simple typed key/value configuration store with command-line parsing,
+ * used by the bench harnesses and examples.
+ *
+ * Accepted forms: "--key value", "--key=value", "key=value", and bare
+ * "--flag" (stored as "true").
+ */
+
+#ifndef PHASTLANE_COMMON_CONFIG_HPP
+#define PHASTLANE_COMMON_CONFIG_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace phastlane {
+
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse argv-style arguments; unknown keys are accepted. */
+    static Config fromArgs(int argc, char **argv);
+
+    /** Set/overwrite a value. */
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    /** String value or @p def when absent. */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+
+    /** Integer value or @p def; fatal() on malformed input. */
+    int64_t getInt(const std::string &key, int64_t def) const;
+
+    /** Floating value or @p def; fatal() on malformed input. */
+    double getDouble(const std::string &key, double def) const;
+
+    /** Boolean value ("1/true/yes/on") or @p def. */
+    bool getBool(const std::string &key, bool def) const;
+
+    /** All keys, sorted. */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace phastlane
+
+#endif // PHASTLANE_COMMON_CONFIG_HPP

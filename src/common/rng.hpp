@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Simulations must be reproducible across platforms and standard
+ * library versions, so we implement xoshiro256** (Blackman & Vigna)
+ * seeded through SplitMix64 rather than relying on std::mt19937
+ * distributions (whose std::uniform_*_distribution results are not
+ * portable).
+ */
+
+#ifndef PHASTLANE_COMMON_RNG_HPP
+#define PHASTLANE_COMMON_RNG_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace phastlane {
+
+/**
+ * xoshiro256** PRNG with SplitMix64 seeding and portable distribution
+ * helpers.
+ */
+class Rng
+{
+  public:
+    /** Seed deterministically from a 64-bit value. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [lo, hi] (inclusive); requires lo <= hi. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Bernoulli trial with probability @p p (clamped to [0,1]). */
+    bool bernoulli(double p);
+
+    /** Exponentially distributed value with given mean (> 0). */
+    double exponential(double mean);
+
+    /**
+     * Geometric number of failures before the first success with
+     * success probability @p p in (0, 1]; returns 0 when p >= 1.
+     */
+    uint64_t geometric(double p);
+
+    /** Fork a statistically independent child stream. */
+    Rng fork();
+
+  private:
+    std::array<uint64_t, 4> state_;
+};
+
+} // namespace phastlane
+
+#endif // PHASTLANE_COMMON_RNG_HPP

@@ -1,0 +1,110 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace phastlane {
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat{};
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double bin_width, size_t bin_count)
+    : binWidth_(bin_width), bins_(bin_count, 0)
+{
+    if (bin_width <= 0.0 || bin_count == 0)
+        fatal("histogram needs positive bin width and count");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < 0.0)
+        x = 0.0;
+    const auto idx = static_cast<size_t>(x / binWidth_);
+    if (idx >= bins_.size())
+        ++overflow_;
+    else
+        ++bins_[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (size_t i = 0; i < bins_.size(); ++i) {
+        const double next = cum + static_cast<double>(bins_[i]);
+        if (next >= target && bins_[i] > 0) {
+            const double frac =
+                (target - cum) / static_cast<double>(bins_[i]);
+            return (static_cast<double>(i) + frac) * binWidth_;
+        }
+        cum = next;
+    }
+    // Target falls in the overflow bin; report its lower edge.
+    return binWidth_ * static_cast<double>(bins_.size());
+}
+
+} // namespace phastlane

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Lightweight statistics containers used by the simulators and the
+ * benchmark harnesses: streaming moments, histograms, and windowed
+ * rates.
+ */
+
+#ifndef PHASTLANE_COMMON_STATS_HPP
+#define PHASTLANE_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace phastlane {
+
+/**
+ * Streaming mean/variance/min/max using Welford's algorithm.
+ */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    /** Merge another stat into this one. */
+    void merge(const RunningStat &other);
+
+    void reset();
+
+    uint64_t count() const { return count_; }
+    double sum() const { return mean_ * static_cast<double>(count_); }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width linear histogram with an overflow bin; used for latency
+ * distributions.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bin_width Width of each bin (> 0).
+     * @param bin_count Number of regular bins; values >= bin_width *
+     *        bin_count land in the overflow bin.
+     */
+    Histogram(double bin_width, size_t bin_count);
+
+    void add(double x);
+    void reset();
+
+    uint64_t count() const { return total_; }
+    uint64_t binValue(size_t i) const { return bins_.at(i); }
+    uint64_t overflow() const { return overflow_; }
+    size_t binCount() const { return bins_.size(); }
+    double binWidth() const { return binWidth_; }
+
+    /**
+     * Value below which fraction @p q of samples fall (linear
+     * interpolation within a bin); q in [0, 1]. Returns 0 when empty.
+     */
+    double quantile(double q) const;
+
+  private:
+    double binWidth_;
+    std::vector<uint64_t> bins_;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+/**
+ * A named monotonically increasing event counter.
+ */
+class Counter
+{
+  public:
+    void inc(uint64_t by = 1) { value_ += by; }
+    void reset() { value_ = 0; }
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+} // namespace phastlane
+
+#endif // PHASTLANE_COMMON_STATS_HPP

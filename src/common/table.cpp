@@ -1,0 +1,124 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "common/log.hpp"
+
+namespace phastlane {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::num(int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    size_t cols = headers_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+
+    std::vector<size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    widen(headers_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto emitRow = [&](const std::vector<std::string> &row,
+                       std::string &out) {
+        for (size_t c = 0; c < cols; ++c) {
+            const std::string cell = c < row.size() ? row[c] : "";
+            out += cell;
+            if (c + 1 < cols)
+                out += std::string(width[c] - cell.size() + 2, ' ');
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    emitRow(headers_, out);
+    size_t total = 0;
+    for (size_t c = 0; c < cols; ++c)
+        total += width[c] + (c + 1 < cols ? 2 : 0);
+    out += std::string(total, '-');
+    out += '\n';
+    for (const auto &r : rows_)
+        emitRow(r, out);
+    return out;
+}
+
+void
+TextTable::print(std::FILE *out) const
+{
+    const std::string s = render();
+    std::fwrite(s.data(), 1, s.size(), out);
+}
+
+namespace {
+
+/** Quote a CSV cell when it contains separators or quotes. */
+std::string
+csvCell(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char ch : s) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+TextTable::writeCsv(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open CSV output file '%s'", path.c_str());
+    auto writeRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            const std::string cell = csvCell(row[c]);
+            std::fwrite(cell.data(), 1, cell.size(), f);
+            if (c + 1 < row.size())
+                std::fputc(',', f);
+        }
+        std::fputc('\n', f);
+    };
+    writeRow(headers_);
+    for (const auto &r : rows_)
+        writeRow(r);
+    std::fclose(f);
+}
+
+} // namespace phastlane

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Aligned text tables and CSV output for the benchmark harnesses.
+ *
+ * Every bench binary prints the paper's table/figure data as an aligned
+ * text table (for humans) and can optionally mirror it into a CSV file
+ * (for plotting).
+ */
+
+#ifndef PHASTLANE_COMMON_TABLE_HPP
+#define PHASTLANE_COMMON_TABLE_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace phastlane {
+
+/**
+ * A simple column-aligned text table, built row by row.
+ */
+class TextTable
+{
+  public:
+    /** Start a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; missing cells print empty, extra cells widen the
+     *  table. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double v, int precision = 3);
+
+    /** Convenience: format an integer. */
+    static std::string num(int64_t v);
+
+    /** Render to a string with 2-space column gaps and a rule under
+     *  the header. */
+    std::string render() const;
+
+    /** Render to @p out (default stdout). */
+    void print(std::FILE *out = stdout) const;
+
+    /** Write the same data as CSV to @p path; fatal() on I/O error. */
+    void writeCsv(const std::string &path) const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace phastlane
+
+#endif // PHASTLANE_COMMON_TABLE_HPP

@@ -1,0 +1,42 @@
+#include "common/types.hpp"
+
+#include "common/log.hpp"
+
+namespace phastlane {
+
+const char *
+portName(Port p)
+{
+    switch (p) {
+      case Port::North: return "N";
+      case Port::East: return "E";
+      case Port::South: return "S";
+      case Port::West: return "W";
+      case Port::Local: return "L";
+    }
+    return "?";
+}
+
+const char *
+turnName(Turn t)
+{
+    switch (t) {
+      case Turn::Straight: return "straight";
+      case Turn::Left: return "left";
+      case Turn::Right: return "right";
+    }
+    return "?";
+}
+
+Turn
+turnBetween(Port in, Port out)
+{
+    for (Turn t : {Turn::Straight, Turn::Left, Turn::Right}) {
+        if (applyTurn(in, t) == out)
+            return t;
+    }
+    panic("no turn connects input port %s to output port %s",
+          portName(in), portName(out));
+}
+
+} // namespace phastlane

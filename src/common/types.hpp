@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fundamental scalar types and the router port direction enum shared by
+ * every Phastlane subsystem.
+ */
+
+#ifndef PHASTLANE_COMMON_TYPES_HPP
+#define PHASTLANE_COMMON_TYPES_HPP
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace phastlane {
+
+/** Identifier of a network node (0 .. nodeCount-1). */
+using NodeId = int32_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId kInvalidNode = -1;
+
+/** Simulation time in network clock cycles. */
+using Cycle = uint64_t;
+
+/** Sentinel for "never" / "not yet". */
+constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/** Unique packet identifier, assigned at creation and stable across
+ *  retransmissions of the same payload. */
+using PacketId = uint64_t;
+
+/**
+ * A router port. The four mesh directions plus the local (node) port.
+ *
+ * The numeric order (N, E, S, W) doubles as the fixed arbitration
+ * priority used by the Phastlane optical switch for same-class
+ * conflicts.
+ */
+enum class Port : uint8_t {
+    North = 0,
+    East = 1,
+    South = 2,
+    West = 3,
+    Local = 4,
+};
+
+/** Number of mesh-facing ports on a router. */
+constexpr int kMeshPorts = 4;
+
+/** Number of ports including the local ejection/injection port. */
+constexpr int kAllPorts = 5;
+
+/** All four mesh directions in fixed-priority order. */
+constexpr std::array<Port, kMeshPorts> kMeshDirections = {
+    Port::North, Port::East, Port::South, Port::West};
+
+/** All five ports. */
+constexpr std::array<Port, kAllPorts> kAllPortList = {
+    Port::North, Port::East, Port::South, Port::West, Port::Local};
+
+/** The direction a packet leaves by when it entered via @p p and goes
+ *  straight through the router. */
+constexpr Port
+opposite(Port p)
+{
+    switch (p) {
+      case Port::North: return Port::South;
+      case Port::East: return Port::West;
+      case Port::South: return Port::North;
+      case Port::West: return Port::East;
+      default: return Port::Local;
+    }
+}
+
+/** Port as an array index. */
+constexpr int
+portIndex(Port p)
+{
+    return static_cast<int>(p);
+}
+
+/** Inverse of portIndex(). @p i must be in [0, kAllPorts). */
+constexpr Port
+portFromIndex(int i)
+{
+    return static_cast<Port>(i);
+}
+
+/** Short human-readable port name ("N", "E", "S", "W", "L"). */
+const char *portName(Port p);
+
+/**
+ * Relative turn taken inside a router, as encoded in the Phastlane
+ * per-router control group.
+ */
+enum class Turn : uint8_t {
+    Straight = 0,
+    Left = 1,
+    Right = 2,
+};
+
+/** Name of a turn ("straight"/"left"/"right"). */
+const char *turnName(Turn t);
+
+/**
+ * The output port reached when entering via @p in and taking turn @p t.
+ *
+ * "Left"/"right" are from the perspective of the traveling packet. A
+ * packet entering the South input port travels northward; turning right
+ * sends it out the East port.
+ */
+constexpr Port
+applyTurn(Port in, Turn t)
+{
+    // Travel direction is opposite(in); left/right rotate it.
+    const Port straight_out = opposite(in);
+    if (t == Turn::Straight)
+        return straight_out;
+    // Clockwise order N->E->S->W. Right turn = clockwise step of the
+    // travel direction; left = counter-clockwise.
+    const int dir = portIndex(straight_out);
+    if (t == Turn::Right)
+        return portFromIndex((dir + 1) % kMeshPorts);
+    return portFromIndex((dir + 3) % kMeshPorts);
+}
+
+/**
+ * The turn needed to exit via @p out when entering via @p in, assuming
+ * that is possible (U-turns are not representable and must not occur
+ * under dimension-order routing).
+ */
+Turn turnBetween(Port in, Port out);
+
+} // namespace phastlane
+
+#endif // PHASTLANE_COMMON_TYPES_HPP

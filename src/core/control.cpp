@@ -1,0 +1,214 @@
+#include "core/control.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace phastlane::core {
+
+bool
+ControlGroup::hasDirection() const
+{
+    return (straight ? 1 : 0) + (left ? 1 : 0) + (right ? 1 : 0) == 1;
+}
+
+Turn
+ControlGroup::turn() const
+{
+    PL_ASSERT(hasDirection(), "control group has no unique direction");
+    if (straight)
+        return Turn::Straight;
+    if (left)
+        return Turn::Left;
+    return Turn::Right;
+}
+
+void
+ControlGroup::setTurn(Turn t)
+{
+    straight = t == Turn::Straight;
+    left = t == Turn::Left;
+    right = t == Turn::Right;
+}
+
+uint8_t
+ControlGroup::pack() const
+{
+    return static_cast<uint8_t>((straight ? 1 : 0) | (left ? 2 : 0) |
+                                (right ? 4 : 0) | (local ? 8 : 0) |
+                                (multicast ? 16 : 0));
+}
+
+ControlGroup
+ControlGroup::unpack(uint8_t bits)
+{
+    ControlGroup g;
+    g.straight = bits & 1;
+    g.left = bits & 2;
+    g.right = bits & 4;
+    g.local = bits & 8;
+    g.multicast = bits & 16;
+    return g;
+}
+
+void
+ControlProgram::append(const ControlGroup &g)
+{
+    if (groups_.size() - cursor_ >= kMaxGroups)
+        fatal("control program exceeds %d groups", kMaxGroups);
+    groups_.push_back(g);
+}
+
+const ControlGroup &
+ControlProgram::front() const
+{
+    PL_ASSERT(!empty(), "reading Group 1 of an empty control program");
+    return groups_[cursor_];
+}
+
+const ControlGroup &
+ControlProgram::group(size_t i) const
+{
+    PL_ASSERT(cursor_ + i < groups_.size(),
+              "control group index out of range");
+    return groups_[cursor_ + i];
+}
+
+void
+ControlProgram::translate()
+{
+    PL_ASSERT(!empty(), "translating an empty control program");
+    ++cursor_;
+}
+
+std::string
+ControlProgram::toString() const
+{
+    std::string out;
+    for (size_t i = cursor_; i < groups_.size(); ++i) {
+        const ControlGroup &g = groups_[i];
+        out += '[';
+        if (g.straight)
+            out += 'S';
+        if (g.left)
+            out += '<';
+        if (g.right)
+            out += '>';
+        if (g.local)
+            out += 'L';
+        if (g.multicast)
+            out += '*';
+        out += ']';
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Shared group construction over an explicit dimension-order path.
+ *
+ * @param route Output directions taken at the source and each
+ *        intermediate router.
+ * @param nodes Routers entered (route applied), last = destination.
+ * @param taps Nodes that must get their Multicast bit (path order).
+ */
+ControlProgram
+buildProgram(const std::vector<Port> &route,
+             const std::vector<NodeId> &nodes,
+             const std::vector<NodeId> &taps, int max_hops)
+{
+    PL_ASSERT(route.size() == nodes.size(), "route/path length mismatch");
+    PL_ASSERT(!nodes.empty(), "empty route");
+    PL_ASSERT(max_hops >= 1, "hop limit must be at least 1");
+
+    ControlProgram prog;
+    size_t tap_idx = 0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        ControlGroup g;
+        const Port in_port = opposite(route[i]);
+        if (i + 1 < nodes.size()) {
+            // Pass-through (possibly also an interim stop): the
+            // direction bits select the output port and arm the
+            // return path.
+            g.setTurn(turnBetween(in_port, route[i + 1]));
+            // Interim node every max_hops routers.
+            if (static_cast<int>((i + 1) % static_cast<size_t>(
+                                     max_hops)) == 0) {
+                g.local = true;
+            }
+        } else {
+            g.local = true;
+        }
+        if (tap_idx < taps.size() && taps[tap_idx] == nodes[i]) {
+            g.multicast = true;
+            ++tap_idx;
+        }
+        prog.append(g);
+    }
+    PL_ASSERT(tap_idx == taps.size(),
+              "multicast tap not on the dimension-order route");
+    return prog;
+}
+
+} // namespace
+
+ControlProgram
+buildUnicastProgram(const MeshTopology &mesh, NodeId from, NodeId dst,
+                    int max_hops)
+{
+    PL_ASSERT(from != dst, "unicast to self");
+    return buildProgram(mesh.xyRoute(from, dst), mesh.xyPath(from, dst),
+                        {}, max_hops);
+}
+
+ControlProgram
+buildMulticastProgram(const MeshTopology &mesh, NodeId from,
+                      const MulticastBranch &branch, int max_hops)
+{
+    PL_ASSERT(!branch.taps.empty(), "multicast branch without taps");
+    const NodeId final_dst = branch.finalDst();
+    PL_ASSERT(from != final_dst || branch.taps.size() > 1,
+              "multicast branch degenerates to self");
+    return buildProgram(mesh.xyRoute(from, final_dst),
+                        mesh.xyPath(from, final_dst), branch.taps,
+                        max_hops);
+}
+
+std::vector<MulticastBranch>
+splitBroadcast(const MeshTopology &mesh, NodeId src)
+{
+    const Coord s = mesh.coordOf(src);
+    const int top = mesh.height() - 1;
+    std::vector<MulticastBranch> branches;
+    branches.reserve(static_cast<size_t>(2 * mesh.width()));
+
+    for (int c = 0; c < mesh.width(); ++c) {
+        // The turn router (c, s.y) belongs to the north branch unless
+        // the source sits on the top row (then the south branch covers
+        // the full column), so a top/bottom-row source issues exactly
+        // `width` branches.
+        MulticastBranch north;
+        if (s.y < top) {
+            for (int y = s.y; y <= top; ++y) {
+                const NodeId n = mesh.nodeAt({c, y});
+                if (n != src)
+                    north.taps.push_back(n);
+            }
+        }
+        MulticastBranch south;
+        const int south_top = (s.y == top) ? top : s.y - 1;
+        for (int y = south_top; y >= 0; --y) {
+            const NodeId n = mesh.nodeAt({c, y});
+            if (n != src)
+                south.taps.push_back(n);
+        }
+        if (!north.taps.empty())
+            branches.push_back(std::move(north));
+        if (!south.taps.empty())
+            branches.push_back(std::move(south));
+    }
+    return branches;
+}
+
+} // namespace phastlane::core

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Predecoded source-routing control bits (paper Section 2.1, Fig 3).
+ *
+ * Every Phastlane packet carries, on the C0/C1 control waveguides, one
+ * five-bit group -- Straight, Left, Right, Local, Multicast -- for
+ * each of up to 14 routers it may traverse. Group 1 drives the current
+ * router's resonators directly; on exit the remaining groups are
+ * frequency translated one position forward and the C1 waveguide
+ * shifts into the C0 position, so Group 1 always describes the router
+ * being entered.
+ *
+ * Semantics per group at the router it addresses:
+ *  - exactly one of Straight/Left/Right selects the output port for a
+ *    pass-through (also registered to build the drop-signal return
+ *    path);
+ *  - Local stops optical transit: the packet is received into the
+ *    input-port buffer (interim node) unless it is the last group, in
+ *    which case it is the final destination;
+ *  - Multicast taps a fraction of the optical power to deliver a copy
+ *    to this router's node while the packet continues (or, combined
+ *    with Local, delivers and stops).
+ */
+
+#ifndef PHASTLANE_CORE_CONTROL_HPP
+#define PHASTLANE_CORE_CONTROL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace phastlane::core {
+
+/** One five-bit per-router control group. */
+struct ControlGroup {
+    bool straight = false;
+    bool left = false;
+    bool right = false;
+    bool local = false;
+    bool multicast = false;
+
+    /** True when exactly one direction bit is set. */
+    bool hasDirection() const;
+
+    /** The encoded turn; requires hasDirection(). */
+    Turn turn() const;
+
+    /** Set the direction bit for @p t (clearing the others). */
+    void setTurn(Turn t);
+
+    /** Pack into the low five bits (S,L,R,Local,Mcast = bits 0..4). */
+    uint8_t pack() const;
+
+    /** Inverse of pack(). */
+    static ControlGroup unpack(uint8_t bits);
+
+    bool operator==(const ControlGroup &) const = default;
+};
+
+/**
+ * The full route program of a packet: Group 1 first.
+ */
+class ControlProgram
+{
+  public:
+    /** C0+C1 hold 14 groups of 5 bits (70 control bits, Table 1). */
+    static constexpr int kMaxGroups = 14;
+
+    ControlProgram() = default;
+
+    /** Append a group; fatal() beyond kMaxGroups. */
+    void append(const ControlGroup &g);
+
+    bool empty() const { return cursor_ >= groups_.size(); }
+
+    /** Groups not yet consumed. */
+    size_t remaining() const { return groups_.size() - cursor_; }
+
+    /** Group 1: the group for the router being entered next. */
+    const ControlGroup &front() const;
+
+    /** Group @p i (0 = Group 1) among the remaining groups. */
+    const ControlGroup &group(size_t i) const;
+
+    /**
+     * Frequency translation + waveguide shift on router exit/receive:
+     * consume Group 1, promoting Groups 2..n.
+     */
+    void translate();
+
+    /** Debug rendering, e.g. "[E][S][S][L*]". */
+    std::string toString() const;
+
+  private:
+    std::vector<ControlGroup> groups_;
+    size_t cursor_ = 0;
+};
+
+/**
+ * One branch of a broadcast: the nodes that must receive a copy, in
+ * path order. The last tap is the branch's final destination.
+ */
+struct MulticastBranch {
+    /** Delivery targets in path order (never contains the source). */
+    std::vector<NodeId> taps;
+
+    NodeId finalDst() const { return taps.back(); }
+};
+
+/**
+ * Build the control program for a unicast transmission from @p from to
+ * @p dst over the dimension-order route, inserting interim-node Local
+ * bits every @p max_hops routers (paper Section 2.1.3).
+ *
+ * @p from may be an intermediate router re-launching a buffered
+ * packet; the rebuilt program naturally bypasses stale interim nodes.
+ */
+ControlProgram buildUnicastProgram(const MeshTopology &mesh, NodeId from,
+                                   NodeId dst, int max_hops);
+
+/**
+ * Build the control program for a multicast branch from @p from. Every
+ * tap router gets its Multicast bit; interim Local bits are inserted
+ * every @p max_hops routers. All taps must lie on the dimension-order
+ * route from @p from to the final tap.
+ */
+ControlProgram buildMulticastProgram(const MeshTopology &mesh,
+                                     NodeId from,
+                                     const MulticastBranch &branch,
+                                     int max_hops);
+
+/**
+ * Split a broadcast from @p src into its multicast branches: one
+ * branch per column and Y-direction with a nonempty target set -- up
+ * to 2 * width branches, width when the source is on the top or
+ * bottom row (paper Section 2.1.4).
+ */
+std::vector<MulticastBranch> splitBroadcast(const MeshTopology &mesh,
+                                            NodeId src);
+
+} // namespace phastlane::core
+
+#endif // PHASTLANE_CORE_CONTROL_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Event counters of the Phastlane network consumed by the optical
+ * power model and the statistics reports.
+ */
+
+#ifndef PHASTLANE_CORE_EVENTS_HPP
+#define PHASTLANE_CORE_EVENTS_HPP
+
+#include <cstdint>
+
+namespace phastlane::core {
+
+/**
+ * Cumulative activity counters; all are per whole-network totals.
+ */
+struct OpticalEvents {
+    /** Optical launches (modulator bank activations), including
+     *  retransmissions. */
+    uint64_t launches = 0;
+
+    /** Router pass-throughs (turn or straight transit). */
+    uint64_t passTraversals = 0;
+
+    /** Full packet receptions (blocked, interim, or final). */
+    uint64_t receives = 0;
+
+    /** Multicast power-tap deliveries. */
+    uint64_t tapReceives = 0;
+
+    /** Electrical buffer writes / reads. */
+    uint64_t bufferWrites = 0;
+    uint64_t bufferReads = 0;
+
+    /** Packets dropped (buffer full). */
+    uint64_t drops = 0;
+
+    /** Return-path hops signaled for drops. */
+    uint64_t dropSignalHops = 0;
+
+    /** Launches that were retransmissions of a dropped packet. */
+    uint64_t retransmissions = 0;
+
+    /** Router-cycles elapsed (for static/leakage power). */
+    uint64_t routerCycles = 0;
+};
+
+} // namespace phastlane::core
+
+#endif // PHASTLANE_CORE_EVENTS_HPP

@@ -1,0 +1,529 @@
+#include "core/network.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "common/log.hpp"
+
+namespace phastlane::core {
+
+PhastlaneNetwork::PhastlaneNetwork(const PhastlaneParams &params)
+    : params_(params),
+      mesh_(params.meshWidth, params.meshHeight),
+      rng_(params.seed),
+      returnPaths_(mesh_.nodeCount())
+{
+    if (params_.maxHopsPerCycle < 1)
+        fatal("maxHopsPerCycle must be at least 1");
+    nics_.reserve(static_cast<size_t>(mesh_.nodeCount()));
+    routers_.reserve(static_cast<size_t>(mesh_.nodeCount()));
+    for (NodeId n = 0; n < mesh_.nodeCount(); ++n) {
+        nics_.emplace_back(n, params_, mesh_);
+        routers_.emplace_back(n, params_);
+    }
+    claims_.assign(static_cast<size_t>(mesh_.nodeCount()) * kMeshPorts,
+                   0);
+    portClaimCounts_.assign(
+        static_cast<size_t>(mesh_.nodeCount()) * kMeshPorts, 0);
+}
+
+bool
+PhastlaneNetwork::nicHasSpace(NodeId n) const
+{
+    PL_ASSERT(mesh_.valid(n), "invalid node %d", n);
+    // Conservative: report space for a full broadcast so callers can
+    // use the boolean for either message type.
+    Packet probe;
+    probe.src = n;
+    probe.broadcast = true;
+    return nics_[static_cast<size_t>(n)].hasSpaceFor(probe);
+}
+
+bool
+PhastlaneNetwork::inject(const Packet &pkt)
+{
+    PL_ASSERT(mesh_.valid(pkt.src), "invalid source %d", pkt.src);
+    auto &nic = nics_[static_cast<size_t>(pkt.src)];
+    if (!nic.hasSpaceFor(pkt))
+        return false;
+    nic.accept(pkt, cycle_, nextBranchId_);
+    ++counters_.messagesAccepted;
+    outstanding_ +=
+        static_cast<uint64_t>(pkt.deliveryCount(mesh_.nodeCount()));
+    return true;
+}
+
+uint64_t
+PhastlaneNetwork::bufferedPackets() const
+{
+    uint64_t total = 0;
+    for (const auto &r : routers_)
+        total += r.totalOccupancy();
+    return total;
+}
+
+Port
+PhastlaneNetwork::desiredPort(NodeId at, const OpticalPacket &pkt) const
+{
+    PL_ASSERT(at != pkt.finalDst,
+              "buffered packet already at its destination");
+    return mesh_.xyFirstHop(at, pkt.finalDst);
+}
+
+ControlProgram
+PhastlaneNetwork::buildProgram(NodeId from, const OpticalPacket &pkt)
+    const
+{
+    if (pkt.multicast) {
+        MulticastBranch branch;
+        branch.taps = pkt.taps;
+        return buildMulticastProgram(mesh_, from, branch,
+                                     params_.maxHopsPerCycle);
+    }
+    return buildUnicastProgram(mesh_, from, pkt.finalDst,
+                               params_.maxHopsPerCycle);
+}
+
+Cycle
+PhastlaneNetwork::dropRetryCycle(int attempts)
+{
+    // The drop signal arrives in the cycle being processed; the
+    // earliest relaunch is the next one, plus any configured backoff.
+    Cycle extra = static_cast<Cycle>(params_.backoffBase);
+    if (params_.exponentialBackoff) {
+        const int exp = std::min(attempts, 6);
+        const int64_t window =
+            std::min<int64_t>((int64_t{1} << exp) - 1,
+                              params_.backoffCap);
+        if (window > 0)
+            extra += static_cast<Cycle>(rng_.uniformInt(0, window));
+    }
+    return cycle_ + 1 + extra;
+}
+
+bool
+PhastlaneNetwork::claimed(NodeId router, Port out) const
+{
+    return claims_[static_cast<size_t>(router) * kMeshPorts +
+                   portIndex(out)] != 0;
+}
+
+void
+PhastlaneNetwork::setClaim(NodeId router, Port out)
+{
+    const size_t idx =
+        static_cast<size_t>(router) * kMeshPorts + portIndex(out);
+    claims_[idx] = 1;
+    ++portClaimCounts_[idx];
+}
+
+void
+PhastlaneNetwork::deliver(const OpticalPacket &pkt, NodeId node)
+{
+    Delivery d;
+    d.packet = pkt.base;
+    d.node = node;
+    d.at = cycle_;
+    d.acceptedAt = pkt.acceptedAt;
+    d.injectedAt = pkt.firstInjectedAt;
+    deliveries_.push_back(std::move(d));
+    ++counters_.deliveries;
+    PL_ASSERT(outstanding_ > 0, "delivery without outstanding message");
+    --outstanding_;
+}
+
+void
+PhastlaneNetwork::resolveOutcomes()
+{
+    for (auto &o : pendingOutcomes_) {
+        auto &rb = routers_[static_cast<size_t>(o.ref.router)];
+        if (o.dropped) {
+            BufferEntry *e = rb.findLaunched(o.ref.packet);
+            PL_ASSERT(e, "dropped launch lost its buffer entry");
+            rb.restoreDropped(o.ref.packet, std::move(o.updated),
+                              dropRetryCycle(e->attempts + 1));
+        } else {
+            rb.releaseLaunched(o.ref.packet);
+        }
+    }
+    pendingOutcomes_.clear();
+}
+
+void
+PhastlaneNetwork::nicToLocalQueues()
+{
+    for (NodeId n = 0; n < mesh_.nodeCount(); ++n) {
+        auto &nic = nics_[static_cast<size_t>(n)];
+        auto &rb = routers_[static_cast<size_t>(n)];
+        // The electrical NIC-to-router transfer costs one cycle; the
+        // packet becomes launchable in the next arbitration.
+        for (int i = 0; i < params_.nicTransfersPerCycle &&
+                        !nic.empty() && rb.hasSpace(Port::Local);
+             ++i) {
+            rb.push(Port::Local, nic.popHead(), cycle_ + 1);
+        }
+    }
+}
+
+std::vector<PhastlaneNetwork::Flight>
+PhastlaneNetwork::launchPhase()
+{
+    std::vector<Flight> flights;
+    for (NodeId r = 0; r < mesh_.nodeCount(); ++r) {
+        auto &rb = routers_[static_cast<size_t>(r)];
+        auto launches = rb.arbitrate(
+            cycle_,
+            [&](const OpticalPacket &pkt) {
+                return desiredPort(r, pkt);
+            });
+        for (auto &[entry, out] : launches) {
+            ++events_.launches;
+            ++events_.bufferReads;
+            ++pl_.launches;
+            if (entry->attempts > 0) {
+                ++events_.retransmissions;
+                ++pl_.retransmissions;
+            }
+            if (entry->pkt.firstInjectedAt == kNeverCycle) {
+                entry->pkt.firstInjectedAt = cycle_;
+                ++counters_.packetsInjected;
+            }
+
+            Flight f;
+            f.pkt = entry->pkt;
+            f.prog = buildProgram(r, entry->pkt);
+            f.launchRouter = r;
+            f.at = mesh_.neighbor(r, out);
+            PL_ASSERT(f.at != kInvalidNode, "launch off the mesh edge");
+            f.inPort = opposite(out);
+            f.hops = 1;
+            f.holder = EntryRef{r, Port::Local, entry->pkt.branchId};
+            setClaim(r, out);
+            flights.push_back(std::move(f));
+        }
+    }
+    return flights;
+}
+
+bool
+PhastlaneNetwork::handleArrival(Flight &f)
+{
+    const ControlGroup g = f.prog.front();
+    PL_ASSERT(f.hops <= params_.maxHopsPerCycle,
+              "flight exceeded the per-cycle hop limit");
+
+    if (g.multicast) {
+        // Broadcast tap: a fraction of the optical power is received
+        // and a copy delivered to this node.
+        PL_ASSERT(!f.pkt.taps.empty() && f.pkt.taps.front() == f.at,
+                  "tap bookkeeping out of sync at node %d", f.at);
+        deliver(f.pkt, f.at);
+        f.pkt.taps.erase(f.pkt.taps.begin());
+        ++events_.tapReceives;
+    }
+
+    if (g.local) {
+        f.prog.translate();
+        if (f.prog.empty()) {
+            // Final router of this packet/branch.
+            if (!g.multicast) {
+                // Unicast destination: deliver through the local
+                // receive resonators (multicast finals were already
+                // delivered by the tap above).
+                PL_ASSERT(f.at == f.pkt.finalDst,
+                          "unicast final at wrong node");
+                deliver(f.pkt, f.at);
+            }
+            ++events_.receives;
+            pendingOutcomes_.push_back(
+                LaunchOutcome{f.holder, false, {}});
+            f.active = false;
+        } else {
+            // Interim node: buffer and assume responsibility.
+            receiveOrDrop(f, true);
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+PhastlaneNetwork::receiveOrDrop(Flight &f, bool interim)
+{
+    auto &rb = routers_[static_cast<size_t>(f.at)];
+    if (rb.hasSpace(f.inPort)) {
+        ++events_.receives;
+        ++events_.bufferWrites;
+        if (interim)
+            ++pl_.interimAccepts;
+        else
+            ++pl_.blockedBuffered;
+        // Re-launchable from the next cycle's arbitration.
+        rb.push(f.inPort, f.pkt, cycle_ + 1);
+        pendingOutcomes_.push_back(LaunchOutcome{f.holder, false, {}});
+    } else {
+        // Dropped: the return path carries the Packet Dropped signal
+        // and this router's Node ID back to the holder next cycle,
+        // over the reverse connections latched behind the packet.
+        ++events_.drops;
+        ++pl_.drops;
+        events_.dropSignalHops +=
+            static_cast<uint64_t>(returnPaths_.signalDrop(f.path));
+        pendingOutcomes_.push_back(
+            LaunchOutcome{f.holder, true, f.pkt});
+    }
+    f.active = false;
+}
+
+void
+PhastlaneNetwork::propagateSubstepFcfs(std::vector<Flight> &flights)
+{
+    std::vector<size_t> active;
+    active.reserve(flights.size());
+    for (size_t i = 0; i < flights.size(); ++i)
+        active.push_back(i);
+
+    std::vector<PassRequest> requests;
+    while (!active.empty()) {
+        requests.clear();
+        std::vector<size_t> next;
+
+        // Arrival-side actions; collect pass requests.
+        for (size_t i : active) {
+            Flight &f = flights[i];
+            if (handleArrival(f))
+                continue;
+            const ControlGroup g = f.prog.front();
+            PassRequest r;
+            r.flight = i;
+            r.router = f.at;
+            const Turn t = g.turn();
+            r.out = applyTurn(f.inPort, t);
+            r.straight = (t == Turn::Straight);
+            requests.push_back(r);
+        }
+
+        // Resolve claims per (router, output port).
+        std::map<std::pair<NodeId, Port>, std::vector<size_t>> byPort;
+        for (size_t ri = 0; ri < requests.size(); ++ri)
+            byPort[{requests[ri].router, requests[ri].out}]
+                .push_back(ri);
+
+        for (auto &[key, idxs] : byPort) {
+            const auto [router, out] = key;
+            size_t winner = SIZE_MAX;
+            if (!claimed(router, out)) {
+                winner = idxs.front();
+                if (params_.opticalArbitration ==
+                    OpticalArbitration::FixedPriority) {
+                    for (size_t ri : idxs) {
+                        const auto &a = requests[ri];
+                        const auto &b = requests[winner];
+                        const auto rank =
+                            [&](const PassRequest &r, size_t fi) {
+                                return std::make_pair(
+                                    r.straight ? 0 : 1,
+                                    portIndex(flights[fi].inPort));
+                            };
+                        if (rank(a, a.flight) <
+                            rank(b, b.flight)) {
+                            winner = ri;
+                        }
+                    }
+                } else {
+                    // Rotating priority over input ports (ablation).
+                    const int start =
+                        static_cast<int>(cycle_ % kMeshPorts);
+                    auto rrRank = [&](size_t ri) {
+                        const int p = portIndex(
+                            flights[requests[ri].flight].inPort);
+                        return (p - start + kMeshPorts) % kMeshPorts;
+                    };
+                    for (size_t ri : idxs) {
+                        if (rrRank(ri) < rrRank(winner))
+                            winner = ri;
+                    }
+                }
+            }
+            for (size_t ri : idxs) {
+                Flight &f = flights[requests[ri].flight];
+                if (ri == winner) {
+                    setClaim(router, out);
+                    ++events_.passTraversals;
+                    returnPaths_.registerHop(router, f.inPort, out);
+                    f.path.push_back(
+                        ReturnHop{router, f.inPort, out});
+                    f.prog.translate();
+                    f.at = mesh_.neighbor(router, out);
+                    PL_ASSERT(f.at != kInvalidNode,
+                              "route left the mesh");
+                    f.inPort = opposite(out);
+                    ++f.hops;
+                    next.push_back(requests[ri].flight);
+                } else {
+                    receiveOrDrop(f, false);
+                }
+            }
+        }
+        active = std::move(next);
+    }
+}
+
+void
+PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
+{
+    // Idealized intra-cycle priority (ablation): straight packets
+    // evict turning packets' claims regardless of arrival order.
+    // Resolved as a monotone fixed point: once blocked, a flight stays
+    // blocked, which is conservative when its blocker is itself
+    // blocked upstream.
+    struct Claim {
+        NodeId router;
+        Port out;
+        bool straight;
+        Port inPort;
+    };
+    struct Itinerary {
+        std::vector<Claim> claims; ///< pass claims after arrival i
+        std::vector<NodeId> entered;
+        std::vector<Port> inPorts;
+        size_t stop; ///< index in entered of the local/final router
+    };
+
+    const size_t n = flights.size();
+    std::vector<Itinerary> its(n);
+    for (size_t i = 0; i < n; ++i) {
+        Flight f = flights[i]; // walk a copy of the program
+        Itinerary &it = its[i];
+        while (true) {
+            it.entered.push_back(f.at);
+            it.inPorts.push_back(f.inPort);
+            const ControlGroup g = f.prog.front();
+            if (g.local) {
+                it.stop = it.entered.size() - 1;
+                break;
+            }
+            const Port out = applyTurn(f.inPort, g.turn());
+            it.claims.push_back(Claim{f.at, out,
+                                      g.turn() == Turn::Straight,
+                                      f.inPort});
+            f.prog.translate();
+            f.at = mesh_.neighbor(f.at, out);
+            PL_ASSERT(f.at != kInvalidNode, "route left the mesh");
+            f.inPort = opposite(out);
+        }
+    }
+
+    // blocked[i] = index of the first losing claim (SIZE_MAX: none).
+    std::vector<size_t> blocked(n, SIZE_MAX);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Winner per (router, port) among still-active claims;
+        // launches (claim index 0 at the launch router) outrank
+        // everything, then straight, then turn, then input port.
+        std::map<std::pair<NodeId, int>,
+                 std::pair<std::tuple<int, int, size_t>, size_t>>
+            best;
+        for (size_t i = 0; i < n; ++i) {
+            const auto &cl = its[i].claims;
+            const size_t limit = std::min(blocked[i], cl.size());
+            for (size_t k = 0; k < limit; ++k) {
+                // Ports claimed in the launch phase (buffered-packet
+                // launches) outrank every optical arrival and are
+                // handled separately below.
+                if (claimed(cl[k].router, cl[k].out))
+                    continue;
+                const auto key = std::make_pair(
+                    cl[k].router, portIndex(cl[k].out));
+                const auto rank = std::make_tuple(
+                    cl[k].straight ? 0 : 1,
+                    portIndex(cl[k].inPort), i);
+                auto found = best.find(key);
+                if (found == best.end() ||
+                    rank < found->second.first) {
+                    best[key] = {rank, i};
+                }
+            }
+        }
+        for (size_t i = 0; i < n; ++i) {
+            const auto &cl = its[i].claims;
+            const size_t limit = std::min(blocked[i], cl.size());
+            for (size_t k = 0; k < limit; ++k) {
+                const auto key = std::make_pair(
+                    cl[k].router, portIndex(cl[k].out));
+                const bool loses =
+                    claimed(cl[k].router, cl[k].out) ||
+                    best[key].second != i;
+                if (loses) {
+                    blocked[i] = k;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Apply the realized paths in flight order.
+    for (size_t i = 0; i < n; ++i) {
+        Flight &f = flights[i];
+        const Itinerary &it = its[i];
+        const size_t stop_idx =
+            blocked[i] == SIZE_MAX ? it.stop : blocked[i];
+        // Walk the flight to its stopping router, handling taps and
+        // the terminal action through the same per-arrival logic.
+        for (size_t k = 0;; ++k) {
+            PL_ASSERT(f.at == it.entered[k], "itinerary mismatch");
+            if (k == stop_idx && blocked[i] != SIZE_MAX) {
+                // Tap (if any) still happens on arrival, then the
+                // blocked packet is received or dropped.
+                const ControlGroup g = f.prog.front();
+                if (g.multicast) {
+                    PL_ASSERT(!f.pkt.taps.empty() &&
+                                  f.pkt.taps.front() == f.at,
+                              "tap bookkeeping out of sync");
+                    deliver(f.pkt, f.at);
+                    f.pkt.taps.erase(f.pkt.taps.begin());
+                    ++events_.tapReceives;
+                }
+                receiveOrDrop(f, false);
+                break;
+            }
+            if (handleArrival(f))
+                break;
+            const ControlGroup g = f.prog.front();
+            const Port out = applyTurn(f.inPort, g.turn());
+            setClaim(f.at, out);
+            ++events_.passTraversals;
+            returnPaths_.registerHop(f.at, f.inPort, out);
+            f.path.push_back(ReturnHop{f.at, f.inPort, out});
+            f.prog.translate();
+            f.at = mesh_.neighbor(f.at, out);
+            f.inPort = opposite(out);
+            ++f.hops;
+        }
+    }
+}
+
+void
+PhastlaneNetwork::step()
+{
+    deliveries_.clear();
+    std::fill(claims_.begin(), claims_.end(), 0);
+    returnPaths_.beginCycle();
+
+    resolveOutcomes();
+    nicToLocalQueues();
+    std::vector<Flight> flights = launchPhase();
+    if (params_.wavefront == WavefrontModel::SubstepFcfs)
+        propagateSubstepFcfs(flights);
+    else
+        propagateGlobalPriority(flights);
+
+    events_.routerCycles += static_cast<uint64_t>(mesh_.nodeCount());
+    ++cycle_;
+}
+
+} // namespace phastlane::core

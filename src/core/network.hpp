@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The Phastlane optical network: a 2D mesh of optical crossbar routers
+ * with electrical buffering, drop signaling, interim-node pipelining
+ * and multicast (paper Section 2).
+ *
+ * Cycle structure of step() (DESIGN.md 3.1):
+ *   1. resolve the previous cycle's launch outcomes (drop signals
+ *      arrive one cycle after transmission);
+ *   2. move NIC packets into the routers' local queues;
+ *   3. every router's rotating arbiter launches buffered packets,
+ *      claiming output ports;
+ *   4. the optical wavefront propagates: packets cross up to
+ *      maxHopsPerCycle routers, winning or losing port claims, being
+ *      tapped, interim-accepted, buffered, delivered, or dropped.
+ */
+
+#ifndef PHASTLANE_CORE_NETWORK_HPP
+#define PHASTLANE_CORE_NETWORK_HPP
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "core/control.hpp"
+#include "core/events.hpp"
+#include "core/nic.hpp"
+#include "core/params.hpp"
+#include "core/return_path.hpp"
+#include "core/router.hpp"
+#include "net/network.hpp"
+
+namespace phastlane::core {
+
+/** Phastlane-specific statistics beyond the common counters. */
+struct PhastlaneCounters {
+    uint64_t drops = 0;
+    uint64_t retransmissions = 0;
+    uint64_t blockedBuffered = 0;  ///< packets received due to blocking
+    uint64_t interimAccepts = 0;   ///< interim-node receptions
+    uint64_t launches = 0;         ///< all optical launches
+};
+
+/**
+ * The Phastlane network (Network implementation).
+ */
+class PhastlaneNetwork : public Network
+{
+  public:
+    explicit PhastlaneNetwork(const PhastlaneParams &params);
+
+    // Network interface.
+    int nodeCount() const override { return mesh_.nodeCount(); }
+    Cycle now() const override { return cycle_; }
+    bool nicHasSpace(NodeId n) const override;
+    bool inject(const Packet &pkt) override;
+    void step() override;
+    const std::vector<Delivery> &deliveries() const override
+    {
+        return deliveries_;
+    }
+    uint64_t inFlight() const override { return outstanding_; }
+    const NetworkCounters &counters() const override
+    {
+        return counters_;
+    }
+
+    const PhastlaneParams &params() const { return params_; }
+    const MeshTopology &mesh() const override { return mesh_; }
+    const PhastlaneCounters &phastlaneCounters() const { return pl_; }
+    const OpticalEvents &events() const { return events_; }
+
+    /** Total packets currently held in router buffers. */
+    uint64_t bufferedPackets() const;
+
+    /**
+     * Cumulative optical traversals per (router, mesh output port),
+     * indexed router * 4 + portIndex; feeds utilization reports.
+     */
+    const std::vector<uint64_t> &portClaimCounts() const
+    {
+        return portClaimCounts_;
+    }
+
+  private:
+    /** A packet in optical transit within the current cycle. */
+    struct Flight {
+        OpticalPacket pkt;
+        ControlProgram prog;
+        NodeId at = kInvalidNode; ///< router just arrived at
+        Port inPort = Port::Local;
+        int hops = 0;            ///< hops taken this cycle
+        NodeId launchRouter = kInvalidNode;
+        EntryRef holder;         ///< buffer entry responsible for it
+        /** Reverse connections latched behind the packet, for the
+         *  drop-signal return path (Section 2.1.2). */
+        std::vector<ReturnHop> path;
+        bool active = true;
+    };
+
+    /** Deferred resolution of a launch (applied next cycle). */
+    struct LaunchOutcome {
+        EntryRef ref;
+        bool dropped = false;
+        OpticalPacket updated; ///< tap-reduced state when dropped
+    };
+
+    /** A pass-through port request during one wavefront sub-step. */
+    struct PassRequest {
+        size_t flight = 0;
+        NodeId router = kInvalidNode;
+        Port out = Port::Local;
+        bool straight = false;
+    };
+
+    Port desiredPort(NodeId at, const OpticalPacket &pkt) const;
+    ControlProgram buildProgram(NodeId from,
+                                const OpticalPacket &pkt) const;
+
+    void resolveOutcomes();
+    void nicToLocalQueues();
+    std::vector<Flight> launchPhase();
+    void propagateSubstepFcfs(std::vector<Flight> &flights);
+    void propagateGlobalPriority(std::vector<Flight> &flights);
+
+    /** Handle arrival-side actions; returns true when the flight
+     *  terminated at this router (delivered/buffered/dropped). */
+    bool handleArrival(Flight &f);
+
+    /** Receive a blocked/interim packet into the input buffer or drop
+     *  it; terminates the flight either way. */
+    void receiveOrDrop(Flight &f, bool interim);
+
+    void deliver(const OpticalPacket &pkt, NodeId node);
+    Cycle dropRetryCycle(int attempts);
+
+    bool claimed(NodeId router, Port out) const;
+    void setClaim(NodeId router, Port out);
+
+    PhastlaneParams params_;
+    MeshTopology mesh_;
+    Rng rng_;
+    Cycle cycle_ = 0;
+
+    std::vector<OpticalNic> nics_;
+    std::vector<RouterBuffers> routers_;
+    ReturnPathRegistry returnPaths_;
+    std::vector<uint8_t> claims_; ///< per (router, mesh port), per cycle
+    std::vector<uint64_t> portClaimCounts_; ///< cumulative
+
+    std::vector<LaunchOutcome> pendingOutcomes_;
+    std::vector<Delivery> deliveries_;
+
+    NetworkCounters counters_;
+    PhastlaneCounters pl_;
+    OpticalEvents events_;
+    uint64_t outstanding_ = 0;
+    uint64_t nextBranchId_ = 1;
+};
+
+} // namespace phastlane::core
+
+#endif // PHASTLANE_CORE_NETWORK_HPP

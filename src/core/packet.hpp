@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Phastlane-internal packet state: the immutable message plus the
+ * mutable delivery bookkeeping a branch carries through buffering and
+ * retransmission.
+ */
+
+#ifndef PHASTLANE_CORE_PACKET_HPP
+#define PHASTLANE_CORE_PACKET_HPP
+
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace phastlane::core {
+
+/**
+ * One optical packet: a unicast message or one multicast branch of a
+ * broadcast.
+ */
+struct OpticalPacket {
+    Packet base;
+
+    /** Network-unique id of this packet/branch instance (branches of
+     *  one broadcast share base.id but not branchId). */
+    uint64_t branchId = 0;
+
+    /** Final destination of this packet/branch. */
+    NodeId finalDst = kInvalidNode;
+
+    /** True for a multicast branch. */
+    bool multicast = false;
+
+    /**
+     * Remaining multicast delivery targets in path order (the last one
+     * is finalDst). Served taps are removed in flight, so after a drop
+     * the retransmission covers exactly the unserved nodes (the paper
+     * clears the Multicast bits of nodes identified via the dropped
+     * packet's return-path Node ID).
+     */
+    std::vector<NodeId> taps;
+
+    /** Cycle the message entered the source NIC queue. */
+    Cycle acceptedAt = 0;
+
+    /** Cycle of the first optical launch (kNeverCycle until then). */
+    Cycle firstInjectedAt = kNeverCycle;
+};
+
+} // namespace phastlane::core
+
+#endif // PHASTLANE_CORE_PACKET_HPP

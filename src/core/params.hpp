@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Configuration of the Phastlane optical network (paper Table 1 plus
+ * the knobs exercised in the evaluation and ablations).
+ */
+
+#ifndef PHASTLANE_CORE_PARAMS_HPP
+#define PHASTLANE_CORE_PARAMS_HPP
+
+#include <cstdint>
+
+namespace phastlane::core {
+
+/**
+ * Intra-cycle contention-resolution model for the optical wavefront
+ * (DESIGN.md 3.1).
+ */
+enum class WavefrontModel : uint8_t {
+    /** Port claims are final once granted; priority applies among
+     *  packets reaching a router in the same sub-step. Default. */
+    SubstepFcfs,
+    /** Idealized straight priority: a straight packet evicts a
+     *  turning packet's claim regardless of arrival order, resolved
+     *  by monotone fixed point (ablation). */
+    GlobalPriority,
+};
+
+/**
+ * Launch arbitration over a router's buffered packets (the paper's
+ * future work mentions alternatives to the simple rotating scheme).
+ */
+enum class BufferArbitration : uint8_t {
+    /** Rotating pointer over the five queues. Default (paper). */
+    RotatingPriority,
+    /** Globally oldest eligible packet first (extension). */
+    OldestFirst,
+};
+
+/** Arbitration among same-sub-step optical arrivals (footnote 3). */
+enum class OpticalArbitration : uint8_t {
+    /** Straight beats turns, ties by fixed port order. Default. */
+    FixedPriority,
+    /** Rotating priority over input ports (ablation; the paper found
+     *  no performance advantage). */
+    RoundRobin,
+};
+
+/**
+ * Phastlane network parameters. Defaults follow Table 1 and the
+ * baseline "Optical4" configuration of Section 5.
+ */
+struct PhastlaneParams {
+    int meshWidth = 8;
+    int meshHeight = 8;
+
+    /** Hops traversable per cycle: 4 (pessimistic), 5 (average) or 8
+     *  (optimistic scaling). */
+    int maxHopsPerCycle = 4;
+
+    /**
+     * Entries in each router buffer queue (four input ports plus the
+     * local node queue). 10 for Optical4, 32/64 for Optical4B32/B64;
+     * <= 0 means infinite (Optical4IB).
+     */
+    int routerBufferEntries = 10;
+
+    /** Entries in the network-interface controller queue (Table 1). */
+    int nicQueueEntries = 50;
+
+    /** Packets movable from the NIC into the router's local queue per
+     *  cycle (sized to keep a broadcast's branch fan-out fed). */
+    int nicTransfersPerCycle = 4;
+
+    /** Payload WDM degree (Table 1: 64). */
+    int wavelengths = 64;
+
+    /**
+     * Buffered-packet launches per queue per cycle. The rotating
+     * arbiter picks up to four packets total (one per output port);
+     * allowing several from one queue matters mainly for the local
+     * queue when a broadcast's branches fan out to all four ports.
+     */
+    int launchesPerQueue = 4;
+
+    /**
+     * Extra cycles a dropped packet waits before becoming eligible
+     * again, on top of the mandatory drop-signal round trip.
+     */
+    int backoffBase = 0;
+
+    /** Exponential backoff on repeated drops of the same packet. */
+    bool exponentialBackoff = false;
+
+    /** Cap on the exponential backoff window (cycles). */
+    int backoffCap = 64;
+
+    WavefrontModel wavefront = WavefrontModel::SubstepFcfs;
+    OpticalArbitration opticalArbitration =
+        OpticalArbitration::FixedPriority;
+    BufferArbitration bufferArbitration =
+        BufferArbitration::RotatingPriority;
+
+    /**
+     * Extension (paper future work, Section 5): DAMQ-style buffer
+     * sharing. Each queue keeps a guaranteed half of its partition;
+     * the other half of every partition forms a shared per-router
+     * pool any queue may borrow from, absorbing single-port hotspots.
+     * (Fully shared pools were tried first and congestion-collapse
+     * under drop-retry storms; see bench/futurework_buffers.)
+     */
+    bool sharedBufferPool = false;
+
+    /** Seed for backoff jitter. */
+    uint64_t seed = 1;
+
+    bool infiniteBuffers() const { return routerBufferEntries <= 0; }
+    int nodeCount() const { return meshWidth * meshHeight; }
+};
+
+} // namespace phastlane::core
+
+#endif // PHASTLANE_CORE_PARAMS_HPP

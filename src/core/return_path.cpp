@@ -1,0 +1,72 @@
+#include "core/return_path.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace phastlane::core {
+
+ReturnPathRegistry::ReturnPathRegistry(int node_count)
+    : nodeCount_(node_count),
+      latch_(static_cast<size_t>(node_count) * kMeshPorts, 0),
+      used_(static_cast<size_t>(node_count) * kMeshPorts, 0)
+{
+}
+
+size_t
+ReturnPathRegistry::index(NodeId router, Port out) const
+{
+    PL_ASSERT(router >= 0 && router < nodeCount_, "bad router id");
+    return static_cast<size_t>(router) * kMeshPorts + portIndex(out);
+}
+
+void
+ReturnPathRegistry::beginCycle()
+{
+    std::fill(latch_.begin(), latch_.end(), 0);
+    std::fill(used_.begin(), used_.end(), 0);
+    claimed_ = 0;
+    latched_ = 0;
+}
+
+void
+ReturnPathRegistry::registerHop(NodeId router, Port in, Port out)
+{
+    PL_ASSERT(out != Port::Local, "return path needs a mesh exit port");
+    uint8_t &slot = latch_[index(router, out)];
+    // An output port carries one packet per cycle, so at most one
+    // reverse connection can be latched per (router, out).
+    PL_ASSERT(slot == 0,
+              "two packets latched the same return connection at "
+              "router %d port %s", router, portName(out));
+    slot = static_cast<uint8_t>(portIndex(in) + 1);
+    ++latched_;
+}
+
+int
+ReturnPathRegistry::signalDrop(const std::vector<ReturnHop> &path)
+{
+    // The signal flows from the dropping router back toward the
+    // source, traversing each latched connection in reverse order.
+    int hops = 0;
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        const size_t idx = index(it->router, it->packetOut);
+        PL_ASSERT(latch_[idx] ==
+                      static_cast<uint8_t>(portIndex(it->packetIn) + 1),
+                  "drop signal found an unlatched return connection "
+                  "at router %d", it->router);
+        // Footnote 4: return paths of distinct packets cannot overlap
+        // within a cycle.
+        if (used_[idx] != 0) {
+            panic("overlapping drop-signal return paths at router %d "
+                  "port %s", it->router, portName(it->packetOut));
+        }
+        used_[idx] = 1;
+        ++claimed_;
+        ++hops;
+    }
+    // Plus the final link back into the source's receiver.
+    return hops + 1;
+}
+
+} // namespace phastlane::core

@@ -1,0 +1,121 @@
+#include "core/router.hpp"
+
+#include <algorithm>
+#include <climits>
+
+#include "common/log.hpp"
+
+namespace phastlane::core {
+
+RouterBuffers::RouterBuffers(NodeId self, const PhastlaneParams &params)
+    : self_(self),
+      capacity_(params.routerBufferEntries),
+      launchesPerQueue_(params.launchesPerQueue),
+      sharedPool_(params.sharedBufferPool),
+      policy_(params.bufferArbitration)
+{
+}
+
+bool
+RouterBuffers::hasSpace(Port q) const
+{
+    return freeSlots(q) > 0;
+}
+
+int
+RouterBuffers::freeSlots(Port q) const
+{
+    if (capacity_ <= 0)
+        return INT_MAX;
+    const int occ = static_cast<int>(queues_[portIndex(q)].size());
+    if (!sharedPool_)
+        return capacity_ - occ;
+    // DAMQ with reserved slots: each queue is guaranteed half of its
+    // partition; the remaining halves form a shared pool any queue
+    // may borrow from.
+    const int guaranteed = std::max(1, capacity_ / 2);
+    const int shared_size =
+        kAllPorts * (capacity_ - guaranteed);
+    int shared_used = 0;
+    for (const auto &queue : queues_) {
+        shared_used += std::max(
+            0, static_cast<int>(queue.size()) - guaranteed);
+    }
+    const int own_reserved = std::max(0, guaranteed - occ);
+    return own_reserved + std::max(0, shared_size - shared_used);
+}
+
+size_t
+RouterBuffers::occupancy(Port q) const
+{
+    return queues_[portIndex(q)].size();
+}
+
+size_t
+RouterBuffers::totalOccupancy() const
+{
+    size_t total = 0;
+    for (const auto &q : queues_)
+        total += q.size();
+    return total;
+}
+
+void
+RouterBuffers::push(Port q, OpticalPacket pkt, Cycle eligible_at)
+{
+    PL_ASSERT(hasSpace(q), "pushing into a full router buffer");
+    BufferEntry e;
+    e.pkt = std::move(pkt);
+    e.state = EntryState::Waiting;
+    e.eligibleAt = eligible_at;
+    e.seq = nextSeq_++;
+    queues_[portIndex(q)].push_back(std::move(e));
+}
+
+BufferEntry *
+RouterBuffers::findLaunched(PacketId id, Port *queue_out)
+{
+    for (Port q : kAllPortList) {
+        for (auto &entry : queues_[portIndex(q)]) {
+            if (entry.state == EntryState::Launched &&
+                entry.pkt.branchId == id) {
+                if (queue_out)
+                    *queue_out = q;
+                return &entry;
+            }
+        }
+    }
+    return nullptr;
+}
+
+void
+RouterBuffers::releaseLaunched(PacketId id)
+{
+    for (auto &queue : queues_) {
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+            if (it->state == EntryState::Launched &&
+                it->pkt.branchId == id) {
+                queue.erase(it);
+                return;
+            }
+        }
+    }
+    panic("releaseLaunched: packet %llu not found at router %d",
+          static_cast<unsigned long long>(id), self_);
+}
+
+void
+RouterBuffers::restoreDropped(PacketId id, OpticalPacket updated,
+                              Cycle eligible_at)
+{
+    BufferEntry *entry = findLaunched(id);
+    if (!entry)
+        panic("restoreDropped: packet %llu not found at router %d",
+              static_cast<unsigned long long>(id), self_);
+    entry->pkt = std::move(updated);
+    entry->state = EntryState::Waiting;
+    entry->eligibleAt = eligible_at;
+    ++entry->attempts;
+}
+
+} // namespace phastlane::core

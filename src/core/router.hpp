@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The electrical side of a Phastlane router: five buffer queues (N, E,
+ * S, W input ports plus the local node queue) and the rotating
+ * priority arbiter that re-launches buffered packets (paper Section
+ * 2.1.1).
+ */
+
+#ifndef PHASTLANE_CORE_ROUTER_HPP
+#define PHASTLANE_CORE_ROUTER_HPP
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/packet.hpp"
+#include "core/params.hpp"
+
+namespace phastlane::core {
+
+/** State of one buffered packet. */
+enum class EntryState : uint8_t {
+    /** Waiting for the arbiter (once eligibleAt is reached). */
+    Waiting,
+    /** Launched optically; the slot is held until the drop-signal
+     *  window of the next cycle resolves. */
+    Launched,
+};
+
+/** One router-buffer entry. */
+struct BufferEntry {
+    OpticalPacket pkt;
+    EntryState state = EntryState::Waiting;
+
+    /** Earliest cycle the arbiter may launch this entry. */
+    Cycle eligibleAt = 0;
+
+    /** Completed launch attempts (drives exponential backoff). */
+    int attempts = 0;
+
+    /** Insertion order (age) for oldest-first arbitration. */
+    uint64_t seq = 0;
+};
+
+/** Identifies a buffer entry for launch-outcome resolution. */
+struct EntryRef {
+    NodeId router = kInvalidNode;
+    Port queue = Port::Local;
+    PacketId packet = 0;
+};
+
+/**
+ * Buffer queues and rotating arbiter of one router.
+ */
+class RouterBuffers
+{
+  public:
+    RouterBuffers(NodeId self, const PhastlaneParams &params);
+
+    NodeId self() const { return self_; }
+
+    /** True when queue @p q can accept another packet. */
+    bool hasSpace(Port q) const;
+
+    /** Free slots in queue @p q (INT_MAX when infinite). */
+    int freeSlots(Port q) const;
+
+    /** Current occupancy of queue @p q. */
+    size_t occupancy(Port q) const;
+
+    /** Total occupancy across all five queues. */
+    size_t totalOccupancy() const;
+
+    /**
+     * Insert a received packet into queue @p q; the caller must have
+     * checked hasSpace(). @p eligible_at is the first cycle the
+     * arbiter may re-launch it.
+     */
+    void push(Port q, OpticalPacket pkt, Cycle eligible_at);
+
+    /**
+     * Launch arbitration: pick up to four launch candidates for
+     * distinct output ports among the Waiting entries whose
+     * eligibleAt has passed, using the configured policy (rotating
+     * priority over the queues, or globally oldest-first).
+     * @p desired_port yields the output port an entry needs from this
+     * router.
+     *
+     * Selected entries are flipped to Launched. Returns references to
+     * the selected entries paired with their output port.
+     */
+    template <typename DesiredPortFn>
+    std::vector<std::pair<BufferEntry *, Port>>
+    arbitrate(Cycle now, DesiredPortFn &&desired_port);
+
+    /** Resolve a prior launch: release the entry on success. */
+    void releaseLaunched(PacketId id);
+
+    /**
+     * Resolve a prior launch that was dropped downstream: restore the
+     * entry to Waiting with the (possibly tap-reduced) packet state
+     * and the retry eligibility cycle.
+     */
+    void restoreDropped(PacketId id, OpticalPacket updated,
+                        Cycle eligible_at);
+
+    /** Find the queue holding the Launched entry for @p id. */
+    BufferEntry *findLaunched(PacketId id, Port *queue_out = nullptr);
+
+  private:
+    NodeId self_;
+    int capacity_; // <= 0: infinite
+    int launchesPerQueue_;
+    bool sharedPool_;
+    BufferArbitration policy_;
+    std::array<std::deque<BufferEntry>, kAllPorts> queues_;
+    int rotate_ = 0;
+    uint64_t nextSeq_ = 0;
+};
+
+template <typename DesiredPortFn>
+std::vector<std::pair<BufferEntry *, Port>>
+RouterBuffers::arbitrate(Cycle now, DesiredPortFn &&desired_port)
+{
+    std::vector<std::pair<BufferEntry *, Port>> launches;
+    bool port_taken[kMeshPorts] = {false, false, false, false};
+
+    auto try_launch = [&](BufferEntry &entry, int &queue_budget) {
+        if (queue_budget <= 0)
+            return;
+        if (entry.state != EntryState::Waiting ||
+            entry.eligibleAt > now) {
+            return;
+        }
+        const Port out = desired_port(entry.pkt);
+        if (out == Port::Local || port_taken[portIndex(out)])
+            return;
+        port_taken[portIndex(out)] = true;
+        entry.state = EntryState::Launched;
+        launches.emplace_back(&entry, out);
+        --queue_budget;
+    };
+
+    if (policy_ == BufferArbitration::OldestFirst) {
+        // Globally oldest eligible entry first (extension).
+        std::vector<std::pair<uint64_t, BufferEntry *>> candidates;
+        for (auto &queue : queues_) {
+            for (auto &entry : queue) {
+                if (entry.state == EntryState::Waiting &&
+                    entry.eligibleAt <= now) {
+                    candidates.emplace_back(entry.seq, &entry);
+                }
+            }
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        int budget = 4; // one launch per output port at most
+        for (auto &[seq, entry] : candidates)
+            try_launch(*entry, budget);
+    } else {
+        // Rotating pointer over the five queues; within a queue,
+        // oldest-first; at most launchesPerQueue_ per queue.
+        for (int qi = 0; qi < kAllPorts; ++qi) {
+            const Port q = portFromIndex((rotate_ + qi) % kAllPorts);
+            int queue_budget = launchesPerQueue_;
+            for (auto &entry : queues_[portIndex(q)])
+                try_launch(entry, queue_budget);
+        }
+        rotate_ = (rotate_ + 1) % kAllPorts;
+    }
+    return launches;
+}
+
+} // namespace phastlane::core
+
+#endif // PHASTLANE_CORE_ROUTER_HPP

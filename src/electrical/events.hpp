@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Event counters of the electrical baseline consumed by the power
+ * model.
+ */
+
+#ifndef PHASTLANE_ELECTRICAL_EVENTS_HPP
+#define PHASTLANE_ELECTRICAL_EVENTS_HPP
+
+#include <cstdint>
+
+namespace phastlane::electrical {
+
+/** Cumulative activity counters (whole-network totals). */
+struct ElectricalEvents {
+    uint64_t bufferWrites = 0;    ///< flit written into a VC buffer
+    uint64_t bufferReads = 0;     ///< flit read out on departure
+    uint64_t xbarTraversals = 0;  ///< crossbar passes
+    uint64_t linkTraversals = 0;  ///< inter-router link flits
+    uint64_t vaGrants = 0;        ///< VC allocations granted
+    uint64_t saGrants = 0;        ///< switch allocations granted
+    uint64_t ejections = 0;       ///< local deliveries
+    uint64_t treeLookups = 0;     ///< VCTM table lookups
+    uint64_t routerCycles = 0;    ///< router-cycles (leakage)
+};
+
+} // namespace phastlane::electrical
+
+#endif // PHASTLANE_ELECTRICAL_EVENTS_HPP

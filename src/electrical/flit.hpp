@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The flit type of the electrical baseline. Packets are single-flit
+ * (head == tail), so a flit carries the whole message plus the
+ * VCTM multicast routing state.
+ */
+
+#ifndef PHASTLANE_ELECTRICAL_FLIT_HPP
+#define PHASTLANE_ELECTRICAL_FLIT_HPP
+
+#include <memory>
+
+#include "net/packet.hpp"
+
+namespace phastlane::electrical {
+
+/** Identifier of a VCTM multicast tree (one tree per source node). */
+using TreeId = int32_t;
+
+constexpr TreeId kNoTree = -1;
+
+/**
+ * One flit. Multicast replication copies the flit per branch; the
+ * message payload is shared.
+ */
+struct EFlit {
+    std::shared_ptr<const Packet> msg;
+
+    /** Unique flit-instance id (replicas get fresh ids). */
+    uint64_t flitId = 0;
+
+    /** Unicast destination; kInvalidNode for tree multicast flits. */
+    NodeId dst = kInvalidNode;
+
+    /** Tree this flit belongs to (kNoTree for plain unicast). */
+    TreeId tree = kNoTree;
+
+    /**
+     * True for a tree-setup unicast: it delivers its payload to dst
+     * like a normal unicast but installs its output port into the
+     * tree table at every router it leaves.
+     */
+    bool installsTree = false;
+
+    /** True for a replicating tree-multicast flit. */
+    bool treeMulticast = false;
+
+    Cycle acceptedAt = 0;
+    Cycle injectedAt = 0;
+};
+
+} // namespace phastlane::electrical
+
+#endif // PHASTLANE_ELECTRICAL_FLIT_HPP

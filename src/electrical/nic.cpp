@@ -1,0 +1,37 @@
+#include "electrical/nic.hpp"
+
+#include "common/log.hpp"
+
+namespace phastlane::electrical {
+
+ElectricalNic::ElectricalNic(NodeId self, const ElectricalParams &params)
+    : self_(self),
+      capacity_(static_cast<size_t>(params.nicQueueEntries))
+{
+}
+
+void
+ElectricalNic::accept(const Packet &pkt, Cycle now)
+{
+    PL_ASSERT(hasSpace(), "NIC overflow at node %d", self_);
+    PL_ASSERT(pkt.src == self_, "packet source mismatch at NIC %d",
+              self_);
+    queue_.push_back(
+        NicEntry{std::make_shared<const Packet>(pkt), now});
+}
+
+const NicEntry &
+ElectricalNic::head() const
+{
+    PL_ASSERT(!queue_.empty(), "reading head of empty NIC queue");
+    return queue_.front();
+}
+
+void
+ElectricalNic::popHead()
+{
+    PL_ASSERT(!queue_.empty(), "popping empty NIC queue");
+    queue_.pop_front();
+}
+
+} // namespace phastlane::electrical

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Configuration of the electrical baseline network (paper Table 2).
+ *
+ * The baseline is an aggressive input-queued virtual-channel router
+ * optimized for both latency and bandwidth: single-flit (80-byte)
+ * packets, 10 one-entry VCs per port with wait-for-tail credit, iSLIP
+ * VC and switch allocation, input speedup 4 / output speedup 1, and a
+ * total per-hop latency of 2 or 3 cycles (modeling route lookahead and
+ * pipeline speculation), with ejection bypassing the crossbar.
+ */
+
+#ifndef PHASTLANE_ELECTRICAL_PARAMS_HPP
+#define PHASTLANE_ELECTRICAL_PARAMS_HPP
+
+#include <cstdint>
+
+namespace phastlane::electrical {
+
+/**
+ * Electrical baseline parameters (defaults per Table 2, 3-cycle
+ * configuration).
+ */
+struct ElectricalParams {
+    int meshWidth = 8;
+    int meshHeight = 8;
+
+    /** Virtual channels per input port (Table 2: 10). */
+    int vcsPerPort = 10;
+
+    /** Flit entries per VC (Table 2: 1; wait-for-tail credit). */
+    int vcDepth = 1;
+
+    /**
+     * Total per-hop latency in cycles, link included (Table 2: total
+     * router delay 2 or 3 with speculation and lookahead).
+     */
+    int routerDelay = 3;
+
+    /** Crossbar input speedup (Table 2: 4). */
+    int inputSpeedup = 4;
+
+    /** Crossbar output speedup (Table 2: 1). */
+    int outputSpeedup = 1;
+
+    /** NIC queue entries (Table 2: 50). */
+    int nicQueueEntries = 50;
+
+    /** iSLIP grant/accept iterations for switch allocation. */
+    int allocIterations = 2;
+
+    /** Virtual Circuit Tree Multicasting table entries per router. */
+    int vctmTableEntries = 128;
+
+    /** Cycles without progress before the watchdog trips. */
+    uint64_t watchdogCycles = 100000;
+
+    uint64_t seed = 1;
+
+    int nodeCount() const { return meshWidth * meshHeight; }
+};
+
+} // namespace phastlane::electrical
+
+#endif // PHASTLANE_ELECTRICAL_PARAMS_HPP

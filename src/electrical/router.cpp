@@ -1,0 +1,210 @@
+#include "electrical/router.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace phastlane::electrical {
+
+ElectricalRouter::ElectricalRouter(NodeId self,
+                                   const ElectricalParams &params)
+    : self_(self),
+      params_(params),
+      inputs_(static_cast<size_t>(kAllPorts * params.vcsPerPort)),
+      outputs_(static_cast<size_t>(kMeshPorts * params.vcsPerPort)),
+      vaPtr_(kMeshPorts, 0),
+      saPtr_(kMeshPorts, 0),
+      acceptPtr_(kAllPorts, 0),
+      table_(params.vctmTableEntries)
+{
+}
+
+InputVc &
+ElectricalRouter::inputVc(Port p, int v)
+{
+    return inputs_[static_cast<size_t>(
+        portIndex(p) * params_.vcsPerPort + v)];
+}
+
+const InputVc &
+ElectricalRouter::inputVc(Port p, int v) const
+{
+    return inputs_[static_cast<size_t>(
+        portIndex(p) * params_.vcsPerPort + v)];
+}
+
+OutputVc &
+ElectricalRouter::outputVc(Port p, int v)
+{
+    PL_ASSERT(p != Port::Local, "no output VCs on the local port");
+    return outputs_[static_cast<size_t>(
+        portIndex(p) * params_.vcsPerPort + v)];
+}
+
+int
+ElectricalRouter::freeInputVc(Port p) const
+{
+    for (int v = 0; v < params_.vcsPerPort; ++v) {
+        if (!inputVc(p, v).busy())
+            return v;
+    }
+    return -1;
+}
+
+Cycle
+ElectricalRouter::vaStage(Cycle arrival) const
+{
+    const int off = std::max(0, params_.routerDelay - 2);
+    return arrival + static_cast<Cycle>(off);
+}
+
+Cycle
+ElectricalRouter::saStage(Cycle arrival) const
+{
+    return arrival + static_cast<Cycle>(params_.routerDelay - 1);
+}
+
+int
+ElectricalRouter::allocateVcs(Cycle now)
+{
+    const int V = params_.vcsPerPort;
+    int grants = 0;
+    for (int po = 0; po < kMeshPorts; ++po) {
+        const Port out = portFromIndex(po);
+        // Requesters: global input VC indices with an unallocated
+        // branch toward this port.
+        std::vector<int> reqs;
+        for (int gi = 0; gi < kAllPorts * V; ++gi) {
+            const InputVc &vc = inputs_[static_cast<size_t>(gi)];
+            if (!vc.busy() || vc.ejecting)
+                continue;
+            if (now < vaStage(vc.arrivedAt))
+                continue;
+            if ((vc.pendingMesh & (1u << po)) == 0)
+                continue;
+            if (vc.branchVc[po] >= 0)
+                continue;
+            reqs.push_back(gi);
+        }
+        if (reqs.empty())
+            continue;
+        // Free output VCs (credit returned, not assigned).
+        std::vector<int> free_vcs;
+        for (int v = 0; v < V; ++v) {
+            const OutputVc &ovc = outputVc(out, v);
+            if (ovc.state == OutputVc::State::Free &&
+                ovc.freeAt <= now) {
+                free_vcs.push_back(v);
+            }
+        }
+        if (free_vcs.empty())
+            continue;
+        // Round-robin over requesters starting at the port's pointer.
+        std::sort(reqs.begin(), reqs.end(), [&](int a, int b) {
+            const int total = kAllPorts * V;
+            const int ra = (a - vaPtr_[po] + total) % total;
+            const int rb = (b - vaPtr_[po] + total) % total;
+            return ra < rb;
+        });
+        const size_t n =
+            std::min(reqs.size(), free_vcs.size());
+        for (size_t i = 0; i < n; ++i) {
+            InputVc &vc = inputs_[static_cast<size_t>(reqs[i])];
+            vc.branchVc[po] = free_vcs[i];
+            outputVc(out, free_vcs[i]).state =
+                OutputVc::State::Assigned;
+            ++grants;
+        }
+        vaPtr_[po] = (reqs[n - 1] + 1) % (kAllPorts * V);
+    }
+    return grants;
+}
+
+std::vector<SaWinner>
+ElectricalRouter::allocateSwitch(Cycle now)
+{
+    const int V = params_.vcsPerPort;
+    const int total = kAllPorts * V;
+    std::vector<SaWinner> winners;
+    int input_grants[kAllPorts] = {0, 0, 0, 0, 0};
+
+    // Eligible requests: request[po] holds the input VCs wanting
+    // output port po this cycle.
+    std::array<std::vector<int>, kMeshPorts> requests;
+    for (int gi = 0; gi < total; ++gi) {
+        const InputVc &vc = inputs_[static_cast<size_t>(gi)];
+        if (!vc.busy() || now < saStage(vc.arrivedAt))
+            continue;
+        for (int po = 0; po < kMeshPorts; ++po) {
+            if (vc.branchVc[po] >= 0)
+                requests[static_cast<size_t>(po)].push_back(gi);
+        }
+    }
+
+    bool output_matched[kMeshPorts] = {false, false, false, false};
+    // (gi, po) pairs already matched this cycle.
+    std::vector<uint8_t> pair_matched(
+        static_cast<size_t>(total) * kMeshPorts, 0);
+
+    const int iterations = std::max(1, params_.allocIterations);
+    for (int iter = 0; iter < iterations; ++iter) {
+        // Grant: every unmatched output offers to one requester.
+        int grant_to[kMeshPorts] = {-1, -1, -1, -1};
+        for (int po = 0; po < kMeshPorts; ++po) {
+            if (output_matched[po])
+                continue;
+            int best = -1;
+            int best_rank = total;
+            for (int gi : requests[static_cast<size_t>(po)]) {
+                if (pair_matched[static_cast<size_t>(gi) *
+                                     kMeshPorts + po])
+                    continue;
+                if (input_grants[gi / V] >= params_.inputSpeedup)
+                    continue;
+                const int rank = (gi - saPtr_[po] + total) % total;
+                if (rank < best_rank) {
+                    best = gi;
+                    best_rank = rank;
+                }
+            }
+            grant_to[po] = best;
+        }
+        // Accept: each input port accepts grants in round-robin
+        // order of output ports, within its speedup budget.
+        bool any = false;
+        for (int pi = 0; pi < kAllPorts; ++pi) {
+            for (int k = 0; k < kMeshPorts; ++k) {
+                const int po =
+                    (acceptPtr_[static_cast<size_t>(pi)] + k) %
+                    kMeshPorts;
+                const int gi = grant_to[po];
+                if (gi < 0 || gi / V != pi)
+                    continue;
+                if (input_grants[pi] >= params_.inputSpeedup)
+                    continue;
+                InputVc &vc = inputs_[static_cast<size_t>(gi)];
+                winners.push_back(
+                    SaWinner{portFromIndex(pi), gi % V,
+                             portFromIndex(po), vc.branchVc[po]});
+                output_matched[po] = true;
+                pair_matched[static_cast<size_t>(gi) * kMeshPorts +
+                             po] = 1;
+                ++input_grants[pi];
+                grant_to[po] = -1;
+                any = true;
+                // iSLIP pointer update: only on first-iteration
+                // matches, to preserve desynchronization.
+                if (iter == 0) {
+                    saPtr_[po] = (gi + 1) % total;
+                    acceptPtr_[static_cast<size_t>(pi)] =
+                        (po + 1) % kMeshPorts;
+                }
+            }
+        }
+        if (!any)
+            break;
+    }
+    return winners;
+}
+
+} // namespace phastlane::electrical

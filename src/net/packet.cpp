@@ -1,0 +1,24 @@
+#include "net/packet.hpp"
+
+namespace phastlane {
+
+const char *
+messageKindName(MessageKind k)
+{
+    switch (k) {
+      case MessageKind::Request: return "request";
+      case MessageKind::Response: return "response";
+      case MessageKind::Invalidate: return "invalidate";
+      case MessageKind::Writeback: return "writeback";
+      case MessageKind::Synthetic: return "synthetic";
+    }
+    return "?";
+}
+
+int
+Packet::deliveryCount(int node_count) const
+{
+    return broadcast ? node_count - 1 : 1;
+}
+
+} // namespace phastlane

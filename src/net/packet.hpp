@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The network-visible message unit shared by the Phastlane network and
+ * the electrical baseline.
+ *
+ * Both networks transfer single-flit, cache-line-sized (80-byte)
+ * packets; a broadcast is a single logical message that each network
+ * expands with its own mechanism (<=16 multicast branches for
+ * Phastlane, Virtual Circuit Tree Multicasting for the electrical
+ * baseline).
+ */
+
+#ifndef PHASTLANE_NET_PACKET_HPP
+#define PHASTLANE_NET_PACKET_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace phastlane {
+
+/** Coherence-level message class, used by workloads and statistics. */
+enum class MessageKind : uint8_t {
+    Request,    ///< L2 miss request (broadcast in the snoopy system)
+    Response,   ///< data response (unicast, cache line)
+    Invalidate, ///< coherence invalidate (broadcast)
+    Writeback,  ///< dirty eviction to a memory controller (unicast)
+    Synthetic,  ///< synthetic-pattern traffic
+};
+
+/** Name of a message kind. */
+const char *messageKindName(MessageKind k);
+
+/**
+ * One logical message handed to a network for delivery.
+ *
+ * A Packet is immutable once injected; network simulators keep their
+ * own per-copy routing state. The 80-byte size (Table 1) is fixed:
+ * 64B cache line + address/type/source + ECC + router control.
+ */
+struct Packet {
+    PacketId id = 0;
+
+    NodeId src = kInvalidNode;
+
+    /** Unicast destination; ignored when broadcast is true. */
+    NodeId dst = kInvalidNode;
+
+    /** Broadcast to every node except src. */
+    bool broadcast = false;
+
+    MessageKind kind = MessageKind::Synthetic;
+
+    /** Workload-defined correlation tag (e.g., transaction id). */
+    uint64_t tag = 0;
+
+    /** Cycle the workload created the message (pre-NIC queueing). */
+    Cycle createdAt = 0;
+
+    /** Total packet size; one flit in both networks. */
+    static constexpr int kSizeBytes = 80;
+
+    /** Number of deliveries this message produces on an
+     *  @p node_count -node network. */
+    int deliveryCount(int node_count) const;
+};
+
+/** A completed delivery of @p packet at @p node. */
+struct Delivery {
+    Packet packet;
+    NodeId node = kInvalidNode;
+
+    /** Cycle the delivery completed. */
+    Cycle at = 0;
+
+    /** Cycle the message first entered a NIC queue. */
+    Cycle acceptedAt = 0;
+
+    /** Cycle the message first left the NIC into the network. */
+    Cycle injectedAt = 0;
+};
+
+} // namespace phastlane
+
+#endif // PHASTLANE_NET_PACKET_HPP

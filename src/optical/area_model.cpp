@@ -1,0 +1,50 @@
+#include "optical/area_model.hpp"
+
+#include "common/log.hpp"
+
+namespace phastlane::optical {
+
+AreaModel::AreaModel(const PacketFormat &format,
+                     const WaveguideConstants &wg,
+                     const ChipGeometry &geometry)
+    : format_(format), wg_(wg), geometry_(geometry)
+{
+}
+
+RouterArea
+AreaModel::evaluate(int wavelengths) const
+{
+    PL_ASSERT(wavelengths > 0, "wavelength count must be positive");
+    RouterArea a;
+    a.wavelengths = wavelengths;
+    a.waveguides = format_.totalWaveguides(wavelengths);
+    a.portLengthMm = wg_.resonatorPitchMm * wavelengths;
+    a.internalLengthMm = wg_.waveguideLanePitchMm * a.waveguides;
+    a.edgeMm = a.portLengthMm + a.internalLengthMm;
+    a.areaMm2 = a.edgeMm * a.edgeMm;
+    return a;
+}
+
+bool
+AreaModel::fitsNode(int wavelengths, double node_area_mm2) const
+{
+    return evaluate(wavelengths).areaMm2 <= node_area_mm2;
+}
+
+int
+AreaModel::sweetSpot(const int *candidates, int count) const
+{
+    PL_ASSERT(count > 0, "need at least one candidate");
+    int best = candidates[0];
+    double best_area = evaluate(best).areaMm2;
+    for (int i = 1; i < count; ++i) {
+        const double area = evaluate(candidates[i]).areaMm2;
+        if (area < best_area) {
+            best = candidates[i];
+            best_area = area;
+        }
+    }
+    return best;
+}
+
+} // namespace phastlane::optical

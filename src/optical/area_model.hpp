@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Router area model (paper Fig 8).
+ *
+ * The WDM degree trades two linear effects against each other:
+ *
+ *  - more wavelengths -> fewer waveguides and turn resonators, so the
+ *    internal crossing region shrinks linearly;
+ *  - more wavelengths -> more resonator/receiver pairs attached to
+ *    each port waveguide, so the input ports lengthen linearly.
+ *
+ * The router edge is the sum of port length and internal region; its
+ * square is the optical die area per router, which must not exceed the
+ * processor-die node area (3.5 mm^2 for a single-core node). Under the
+ * calibrated pitches the sweet spot is 64 wavelengths, with 32 and 128
+ * wavelengths exceeding the single-core budget but fitting dual/quad
+ * nodes, as in the paper.
+ */
+
+#ifndef PHASTLANE_OPTICAL_AREA_MODEL_HPP
+#define PHASTLANE_OPTICAL_AREA_MODEL_HPP
+
+#include "optical/devices.hpp"
+
+namespace phastlane::optical {
+
+/** Area breakdown for one wavelength configuration. */
+struct RouterArea {
+    int wavelengths = 0;
+    int waveguides = 0;
+    double portLengthMm = 0.0;     ///< per-port resonator chain
+    double internalLengthMm = 0.0; ///< crossing region edge
+    double edgeMm = 0.0;           ///< router edge (port + internal)
+    double areaMm2 = 0.0;          ///< edge squared
+};
+
+/**
+ * Analytic router area model.
+ */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const PacketFormat &format = {},
+                       const WaveguideConstants &wg = {},
+                       const ChipGeometry &geometry = {});
+
+    /** Area breakdown at the given WDM degree. */
+    RouterArea evaluate(int wavelengths) const;
+
+    /** True when the router fits a node of @p node_area_mm2. */
+    bool fitsNode(int wavelengths, double node_area_mm2) const;
+
+    /**
+     * The WDM degree among @p candidates with the smallest area (the
+     * "sweet spot"; 64 for the paper's packet format).
+     */
+    int sweetSpot(const int *candidates, int count) const;
+
+  private:
+    PacketFormat format_;
+    WaveguideConstants wg_;
+    ChipGeometry geometry_;
+};
+
+} // namespace phastlane::optical
+
+#endif // PHASTLANE_OPTICAL_AREA_MODEL_HPP

@@ -1,0 +1,39 @@
+#include "optical/devices.hpp"
+
+#include <cmath>
+
+namespace phastlane::optical {
+
+int
+PacketFormat::payloadWaveguides(int wavelengths) const
+{
+    return (payloadBits + wavelengths - 1) / wavelengths;
+}
+
+int
+PacketFormat::controlWaveguides() const
+{
+    return (controlBits + controlWdm - 1) / controlWdm;
+}
+
+int
+PacketFormat::totalWaveguides(int wavelengths) const
+{
+    return payloadWaveguides(wavelengths) + controlWaveguides();
+}
+
+double
+ChipGeometry::dieEdgeMm() const
+{
+    const double die_area =
+        nodeAreaMm2 * static_cast<double>(meshWidth * meshHeight);
+    return std::sqrt(die_area);
+}
+
+double
+ChipGeometry::nodePitchMm() const
+{
+    return dieEdgeMm() / static_cast<double>(meshWidth);
+}
+
+} // namespace phastlane::optical

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Physical constants and packet-format geometry shared by the optical
+ * analytic models (timing, peak power, area).
+ *
+ * All constants are documented with their calibration source: either a
+ * value quoted directly in the Phastlane paper, or a reconstructed
+ * value chosen so that the model reproduces a number the paper quotes
+ * (see DESIGN.md section 6).
+ */
+
+#ifndef PHASTLANE_OPTICAL_DEVICES_HPP
+#define PHASTLANE_OPTICAL_DEVICES_HPP
+
+namespace phastlane::optical {
+
+/**
+ * Packet format and waveguide geometry of the Phastlane network
+ * (paper Table 1 for the 64-wavelength configuration; other
+ * wavelength counts follow the same 80-byte packet).
+ */
+struct PacketFormat {
+    /** Payload + header bits carried on the data waveguides
+     *  (80 bytes = 640 bits: 64B data, address, op type, source id,
+     *  ECC and misc). */
+    int payloadBits = 640;
+
+    /** Router-control bits: 14 groups x 5 bits (Table 1: 70 bits). */
+    int controlBits = 70;
+
+    /** Control WDM degree (Table 1: 35-way on two waveguides). */
+    int controlWdm = 35;
+
+    /** Data waveguides needed for @p wavelengths -way payload WDM. */
+    int payloadWaveguides(int wavelengths) const;
+
+    /** Control waveguides (2 for every configuration we study). */
+    int controlWaveguides() const;
+
+    /** Total waveguides entering each router port. */
+    int totalWaveguides(int wavelengths) const;
+};
+
+/**
+ * Chip-level geometry for the 8x8 mesh at 16 nm.
+ *
+ * Node area follows the Kumar et al. methodology quoted in the paper:
+ * one core + 64KB L1s + 2MB L2 + memory controller = 3.5 mm^2.
+ */
+struct ChipGeometry {
+    int meshWidth = 8;
+    int meshHeight = 8;
+
+    /** Single-core node area, mm^2 (paper section 3.3). */
+    double nodeAreaMm2 = 3.5;
+
+    /** Dual-core (4.5) and quad-core (6.5) node areas, mm^2. */
+    double dualNodeAreaMm2 = 4.5;
+    double quadNodeAreaMm2 = 6.5;
+
+    /** Die edge length, mm. */
+    double dieEdgeMm() const;
+
+    /** Center-to-center router pitch, mm (die edge / mesh width). */
+    double nodePitchMm() const;
+};
+
+/**
+ * Waveguide and resonator constants.
+ */
+struct WaveguideConstants {
+    /** Propagation delay, ps per mm (paper: constant 10.45 ps/mm). */
+    double propagationPsPerMm = 10.45;
+
+    /**
+     * Length added to an input port per WDM channel: one
+     * resonator/receiver pair must sit on the waveguide per
+     * wavelength. Reconstructed so the Fig 8 area sweet spot lands at
+     * 64 wavelengths against the 3.5 mm^2 node budget. [mm per
+     * wavelength]
+     */
+    double resonatorPitchMm = 0.012;
+
+    /**
+     * Width of one waveguide lane through the router internal
+     * crossing region, including its two turn-resonator sites and
+     * spacing. Reconstructed together with resonatorPitchMm (the
+     * continuous-optimum wavelength count is
+     * sqrt(payloadBits * lanePitch / resonatorPitch) ~ 63.2). [mm per
+     * waveguide]
+     */
+    double waveguideLanePitchMm = 0.075;
+
+    /**
+     * Crossings inside one router experienced by the worst-case
+     * wavelength: a fixed part (turn network, return path, local
+     * ejection crossings) plus a per-waveguide part (crossing the
+     * perpendicular bundle). Reconstructed so the Fig 7 anchor points
+     * (64lambda/4hop/98% -> 32 W, 128lambda/5hop/98% -> 32 W,
+     * 128lambda/4hop/98% -> 15 W) hold exactly.
+     */
+    double crossingsFixedPerRouter = 24.4;
+    double crossingsPerWaveguide = 1.876;
+
+    /**
+     * Loss-independent optical input power floor: the power required
+     * by all simultaneously active wavelengths at 100% crossing
+     * efficiency, before the fixed 6 dB coupling/modulation loss.
+     * Reconstructed from the Fig 7 anchors. [W]
+     */
+    double basePowerW = 0.1812;
+
+    /** Fixed per-path loss: coupler, modulator insertion, bends,
+     *  multicast taps. [dB] */
+    double fixedPathLossDb = 6.0;
+};
+
+} // namespace phastlane::optical
+
+#endif // PHASTLANE_OPTICAL_DEVICES_HPP

@@ -1,0 +1,71 @@
+#include "optical/loss.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "optical/power_model.hpp"
+
+namespace phastlane::optical {
+
+double
+LossBudget::totalDb() const
+{
+    double sum = 0.0;
+    for (const auto &item : items)
+        sum += item.db;
+    return sum;
+}
+
+double
+LossBudget::powerFactor() const
+{
+    return std::pow(10.0, totalDb() / 10.0);
+}
+
+double
+LossConstants::fixedTotalDb(int taps) const
+{
+    return couplerDb + modulatorInsertionDb + dropFilterDb +
+           worstCaseBends * bendDb + taps * tapDb;
+}
+
+LossModel::LossModel(const PacketFormat &format,
+                     const WaveguideConstants &wg,
+                     const LossConstants &constants)
+    : format_(format), wg_(wg), constants_(constants)
+{
+}
+
+double
+LossModel::crossingsDb(double efficiency, int wavelengths,
+                       int max_hops) const
+{
+    PL_ASSERT(max_hops >= 1 && wavelengths > 0, "bad parameters");
+    const int n_wg = format_.totalWaveguides(wavelengths);
+    const double crossings =
+        (wg_.crossingsFixedPerRouter +
+         wg_.crossingsPerWaveguide * n_wg) *
+        static_cast<double>(max_hops);
+    return crossings * PeakPowerModel::crossingLossDb(efficiency);
+}
+
+LossBudget
+LossModel::worstCasePath(double efficiency, int wavelengths,
+                         int max_hops, int taps) const
+{
+    LossBudget b;
+    b.items.push_back({"coupler", constants_.couplerDb});
+    b.items.push_back(
+        {"modulator insertion", constants_.modulatorInsertionDb});
+    b.items.push_back(
+        {"waveguide crossings",
+         crossingsDb(efficiency, wavelengths, max_hops)});
+    b.items.push_back(
+        {"bends", constants_.worstCaseBends * constants_.bendDb});
+    b.items.push_back(
+        {"multicast taps", taps * constants_.tapDb});
+    b.items.push_back({"drop filter", constants_.dropFilterDb});
+    return b;
+}
+
+} // namespace phastlane::optical

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Component-wise optical loss budget.
+ *
+ * The paper's Section 3.2 argues that waveguide crossings dominate the
+ * insertion loss of a Phastlane path and trades crossing efficiency
+ * against wavelength count and hop reach. This module itemizes a
+ * path's loss in dB -- crossings, multicast power taps, bends,
+ * coupler/modulator insertion -- so the peak-power model (Fig 7) and
+ * the design explorer can report where the budget goes.
+ */
+
+#ifndef PHASTLANE_OPTICAL_LOSS_HPP
+#define PHASTLANE_OPTICAL_LOSS_HPP
+
+#include <string>
+#include <vector>
+
+#include "optical/devices.hpp"
+
+namespace phastlane::optical {
+
+/** One itemized loss contribution. */
+struct LossItem {
+    std::string name;
+    double db = 0.0;
+};
+
+/** An itemized path loss budget. */
+struct LossBudget {
+    std::vector<LossItem> items;
+
+    double totalDb() const;
+
+    /** Linear power factor 10^(total/10) the laser must overcome. */
+    double powerFactor() const;
+};
+
+/**
+ * Per-component loss constants. Crossing loss derives from the
+ * crossing efficiency; the remaining constants split the paper's
+ * fixed path loss into its physical parts (they sum to
+ * WaveguideConstants::fixedPathLossDb for the default configuration).
+ */
+struct LossConstants {
+    /** Fiber/laser-to-chip coupler. [dB] */
+    double couplerDb = 1.0;
+
+    /** Modulator insertion. [dB] */
+    double modulatorInsertionDb = 1.5;
+
+    /** Receive-side drop filter. [dB] */
+    double dropFilterDb = 1.5;
+
+    /** Per 90-degree bend. [dB] */
+    double bendDb = 0.5;
+
+    /** Bends on a worst-case path (launch + one turn + receive). */
+    int worstCaseBends = 2;
+
+    /** Per multicast power tap (fraction extracted along the way). */
+    double tapDb = 0.25;
+
+    /** Fixed parts summed (must match fixedPathLossDb with the
+     *  default four taps). */
+    double fixedTotalDb(int taps) const;
+};
+
+/**
+ * Builds itemized loss budgets for worst-case Phastlane paths.
+ */
+class LossModel
+{
+  public:
+    explicit LossModel(const PacketFormat &format = {},
+                       const WaveguideConstants &wg = {},
+                       const LossConstants &constants = {});
+
+    /**
+     * Worst-case budget for a @p max_hops path at @p wavelengths -way
+     * WDM and the given crossing @p efficiency, with @p taps multicast
+     * taps en route.
+     */
+    LossBudget worstCasePath(double efficiency, int wavelengths,
+                             int max_hops, int taps = 4) const;
+
+    /** Crossings contribution only. [dB] */
+    double crossingsDb(double efficiency, int wavelengths,
+                       int max_hops) const;
+
+    const LossConstants &constants() const { return constants_; }
+
+  private:
+    PacketFormat format_;
+    WaveguideConstants wg_;
+    LossConstants constants_;
+};
+
+} // namespace phastlane::optical
+
+#endif // PHASTLANE_OPTICAL_LOSS_HPP

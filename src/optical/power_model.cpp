@@ -1,0 +1,67 @@
+#include "optical/power_model.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "optical/loss.hpp"
+
+namespace phastlane::optical {
+
+PeakPowerModel::PeakPowerModel(const PacketFormat &format,
+                               const WaveguideConstants &wg)
+    : format_(format), wg_(wg)
+{
+}
+
+double
+PeakPowerModel::crossingLossDb(double efficiency)
+{
+    PL_ASSERT(efficiency > 0.0 && efficiency <= 1.0,
+              "crossing efficiency must be in (0, 1]");
+    return -10.0 * std::log10(efficiency);
+}
+
+double
+PeakPowerModel::worstCaseCrossings(int wavelengths, int max_hops) const
+{
+    PL_ASSERT(wavelengths > 0 && max_hops >= 1, "bad parameters");
+    const int n_wg = format_.totalWaveguides(wavelengths);
+    const double per_router = wg_.crossingsFixedPerRouter +
+                              wg_.crossingsPerWaveguide * n_wg;
+    return per_router * static_cast<double>(max_hops);
+}
+
+double
+PeakPowerModel::pathLossDb(double efficiency, int wavelengths,
+                           int max_hops) const
+{
+    // Delegate to the itemized loss budget so both views of the loss
+    // math stay consistent (test_optical_loss verifies the identity).
+    LossModel loss(format_, wg_);
+    return loss.worstCasePath(efficiency, wavelengths, max_hops)
+        .totalDb();
+}
+
+double
+PeakPowerModel::peakPowerW(double efficiency, int wavelengths,
+                           int max_hops) const
+{
+    const double loss_db = pathLossDb(efficiency, wavelengths, max_hops);
+    return wg_.basePowerW * std::pow(10.0, loss_db / 10.0);
+}
+
+int
+PeakPowerModel::maxHopsWithinBudget(double efficiency, int wavelengths,
+                                    double budget_w, int hop_limit) const
+{
+    int best = 0;
+    for (int h = 1; h <= hop_limit; ++h) {
+        if (peakPowerW(efficiency, wavelengths, h) <= budget_w)
+            best = h;
+        else
+            break;
+    }
+    return best;
+}
+
+} // namespace phastlane::optical

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Peak optical input power model (paper Fig 7).
+ *
+ * The peak occurs when every input port of every router simultaneously
+ * receives a multicast packet from its nearest neighbor, all packets
+ * turn in the same direction to an open output port, every return path
+ * is signaling a drop, and all buffers arbitrate -- the maximum number
+ * of crossings and active components.
+ *
+ * We model the required input power as a loss budget: the laser must
+ * deliver receiver-sensitivity-limited power after the worst-case
+ * path's crossing losses. Crossings per router have a fixed part and a
+ * part proportional to the waveguide bundle width (which shrinks as
+ * the WDM degree grows); total crossings grow with the per-cycle hop
+ * limit. Constants are calibrated to the paper's quoted points:
+ * (64 lambda, 4 hops, 98%) -> 32 W, (128, 5, 98%) -> 32 W,
+ * (128, 4, 98%) -> 15 W; see DESIGN.md section 6.
+ */
+
+#ifndef PHASTLANE_OPTICAL_POWER_MODEL_HPP
+#define PHASTLANE_OPTICAL_POWER_MODEL_HPP
+
+#include "optical/devices.hpp"
+
+namespace phastlane::optical {
+
+/**
+ * Analytic peak-optical-power model.
+ */
+class PeakPowerModel
+{
+  public:
+    explicit PeakPowerModel(const PacketFormat &format = {},
+                            const WaveguideConstants &wg = {});
+
+    /** Per-crossing loss for a crossing efficiency in (0, 1]. [dB] */
+    static double crossingLossDb(double efficiency);
+
+    /** Worst-case number of waveguide crossings on a @p max_hops path
+     *  with @p wavelengths -way WDM. */
+    double worstCaseCrossings(int wavelengths, int max_hops) const;
+
+    /** Worst-case path loss. [dB] */
+    double pathLossDb(double efficiency, int wavelengths,
+                      int max_hops) const;
+
+    /**
+     * Peak chip-wide optical input power. [W]
+     *
+     * @param efficiency Crossing efficiency in (0, 1].
+     * @param wavelengths Payload WDM degree.
+     * @param max_hops Per-cycle hop limit of the network.
+     */
+    double peakPowerW(double efficiency, int wavelengths,
+                      int max_hops) const;
+
+    /**
+     * Largest hop limit whose peak power stays within @p budget_w, or
+     * 0 when even one hop exceeds it.
+     */
+    int maxHopsWithinBudget(double efficiency, int wavelengths,
+                            double budget_w, int hop_limit = 14) const;
+
+  private:
+    PacketFormat format_;
+    WaveguideConstants wg_;
+};
+
+} // namespace phastlane::optical
+
+#endif // PHASTLANE_OPTICAL_POWER_MODEL_HPP

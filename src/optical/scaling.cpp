@@ -1,0 +1,68 @@
+#include "optical/scaling.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace phastlane::optical {
+
+const char *
+scalingName(Scaling s)
+{
+    switch (s) {
+      case Scaling::Optimistic: return "optimistic";
+      case Scaling::Average: return "average";
+      case Scaling::Pessimistic: return "pessimistic";
+    }
+    return "?";
+}
+
+DeviceScalingModel::DeviceScalingModel()
+    // Anchors calibrated so the 16 nm extrapolations are:
+    //   transmit: log 8.0 ps, linear ~14.9 ps, exp 19.4 ps
+    //   receive:  log 1.8 ps, linear ~3.0 ps,  exp 3.7 ps
+    // matching the paper's published 16 nm ranges.
+    : tx22_(24.7), tx45_(62.2), rx22_(4.64), rx45_(11.02)
+{
+}
+
+double
+DeviceScalingModel::fit(Scaling s, double d22, double d45, double node_nm)
+{
+    PL_ASSERT(node_nm > 0.0, "technology node must be positive");
+    switch (s) {
+      case Scaling::Optimistic: {
+        // d(x) = a + b ln x through both anchors.
+        const double b = (d45 - d22) / std::log(45.0 / 22.0);
+        const double a = d22 - b * std::log(22.0);
+        return a + b * std::log(node_nm);
+      }
+      case Scaling::Average: {
+        // d(x) = a + b x.
+        const double b = (d45 - d22) / (45.0 - 22.0);
+        const double a = d22 - b * 22.0;
+        return a + b * node_nm;
+      }
+      case Scaling::Pessimistic: {
+        // d(x) = A e^{kx}.
+        const double k = std::log(d45 / d22) / (45.0 - 22.0);
+        const double lnA = std::log(d22) - k * 22.0;
+        return std::exp(lnA + k * node_nm);
+      }
+    }
+    panic("unknown scaling scenario");
+}
+
+double
+DeviceScalingModel::txDelayPs(Scaling s, double node_nm) const
+{
+    return fit(s, tx22_, tx45_, node_nm);
+}
+
+double
+DeviceScalingModel::rxDelayPs(Scaling s, double node_nm) const
+{
+    return fit(s, rx22_, rx45_, node_nm);
+}
+
+} // namespace phastlane::optical

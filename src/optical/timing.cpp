@@ -1,0 +1,121 @@
+#include "optical/timing.hpp"
+
+#include "common/log.hpp"
+
+namespace phastlane::optical {
+
+double
+CriticalPath::totalPs() const
+{
+    double sum = 0.0;
+    for (const auto &c : components)
+        sum += c.ps;
+    return sum;
+}
+
+RouterTimingModel::RouterTimingModel(Scaling scaling, int wavelengths,
+                                     const PacketFormat &format,
+                                     const ChipGeometry &geometry,
+                                     const WaveguideConstants &wg)
+{
+    if (wavelengths <= 0)
+        fatal("wavelength count must be positive (got %d)", wavelengths);
+
+    const DeviceScalingModel devices;
+    rx_ = devices.rxDelayPs(scaling, kNodeNm);
+    tx_ = devices.txDelayPs(scaling, kNodeNm);
+
+    const int n_wg = format.totalWaveguides(wavelengths);
+    // Fan-out penalty: the driver sees one ring per waveguide; the
+    // factor is normalized to the 64-wavelength (12 waveguide)
+    // configuration.
+    drive_ = baseDrivePs(scaling) * (0.97 + 0.0025 * n_wg);
+
+    traverse_ = static_cast<double>(n_wg) * wg.waveguideLanePitchMm *
+                wg.propagationPsPerMm;
+    hop_wire_ = geometry.nodePitchMm() * wg.propagationPsPerMm;
+}
+
+double
+RouterTimingModel::baseDrivePs(Scaling s)
+{
+    switch (s) {
+      case Scaling::Optimistic: return 3.5;
+      case Scaling::Average: return 10.0;
+      case Scaling::Pessimistic: return 15.0;
+    }
+    panic("unknown scaling scenario");
+}
+
+CriticalPath
+RouterTimingModel::packetPass() const
+{
+    return CriticalPath{
+        "PP",
+        {{"receive control bits", rx_},
+         {"drive blocked-packet C0 resonators", drive_},
+         {"drive blocked-packet receive resonators", drive_},
+         {"traverse switch", traverse_}}};
+}
+
+CriticalPath
+RouterTimingModel::packetBlock() const
+{
+    return CriticalPath{
+        "PB",
+        {{"receive control bits", rx_},
+         {"drive blocked-packet C0 resonators", drive_},
+         {"drive blocked-packet receive resonators", drive_},
+         {"receive blocked packet", rx_}}};
+}
+
+CriticalPath
+RouterTimingModel::packetAccept() const
+{
+    return CriticalPath{
+        "PA",
+        {{"receive control bits", rx_},
+         {"drive receive resonators", drive_},
+         {"receive packet", rx_}}};
+}
+
+CriticalPath
+RouterTimingModel::packetInterimAccept() const
+{
+    CriticalPath p = packetAccept();
+    p.name = "PIA";
+    return p;
+}
+
+double
+RouterTimingModel::pathDelayPs(int hops) const
+{
+    PL_ASSERT(hops >= 1, "path needs at least one hop");
+    // Non-wire parts of PP/PA: the internal traverse distance is part
+    // of the per-hop node pitch and must not be double counted.
+    const double pp_logic = rx_ + 2.0 * drive_;
+    const double pa_logic = 2.0 * rx_ + drive_;
+    const int pass_routers = hops - 1;
+    return tx_ + pass_routers * pp_logic +
+           static_cast<double>(hops) * hop_wire_ + pa_logic +
+           kOverheadPs;
+}
+
+int
+RouterTimingModel::maxHopsPerCycle(double freq_ghz) const
+{
+    PL_ASSERT(freq_ghz > 0.0, "frequency must be positive");
+    const double period_ps = 1000.0 / freq_ghz;
+    // The control fields hold groups for at most 14 routers.
+    constexpr int kControlGroupLimit = 14;
+    int best = 0;
+    for (int h = 1; h <= kControlGroupLimit; ++h) {
+        if (pathDelayPs(h) <= period_ps)
+            best = h;
+        else
+            break;
+    }
+    return best;
+}
+
+} // namespace phastlane::optical

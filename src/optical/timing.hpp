@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Router critical-path timing (paper Fig 5) and the per-cycle hop
+ * budget (paper Fig 6).
+ *
+ * The model follows the paper's decomposition of the internal router
+ * operations:
+ *
+ *  - Packet Pass (PP): receive the Router Control bits, drive the C0
+ *    Group 1 resonators of blocked packets, that signal drives the
+ *    receive resonators of the blocked packets (clearing the output
+ *    port), then traverse the remainder of the switch.
+ *  - Packet Block (PB): as PP, but the switch traversal is replaced by
+ *    receiving the blocked packet.
+ *  - Packet Accept / Packet Interim Accept (PA/PIA): receive the C0
+ *    control bits, drive the receive resonators, receive the packet.
+ *
+ * The longest network delay is an injection followed by the maximum
+ * number of Packet Pass hops and a final accept:
+ *
+ *   tx + X*PP' + H*wire + PA' + overhead <= clock period
+ *
+ * with X = H-1 pass routers, PP'/PA' the non-wire parts, and wire the
+ * per-hop propagation over one node pitch (10.45 ps/mm). Under the
+ * calibrated constants this yields 8 / 5 / 4 hops per 4 GHz cycle for
+ * optimistic / average / pessimistic scaling, independent of the
+ * wavelength count (32/64/128), as in the paper.
+ */
+
+#ifndef PHASTLANE_OPTICAL_TIMING_HPP
+#define PHASTLANE_OPTICAL_TIMING_HPP
+
+#include <string>
+#include <vector>
+
+#include "optical/devices.hpp"
+#include "optical/scaling.hpp"
+
+namespace phastlane::optical {
+
+/** One named component of a critical path. */
+struct DelayComponent {
+    std::string name;
+    double ps = 0.0;
+};
+
+/** A named critical path and its component breakdown. */
+struct CriticalPath {
+    std::string name;
+    std::vector<DelayComponent> components;
+
+    double totalPs() const;
+};
+
+/**
+ * Analytic timing model of one Phastlane router at 16 nm.
+ */
+class RouterTimingModel
+{
+  public:
+    /**
+     * @param scaling Device scaling scenario.
+     * @param wavelengths Payload WDM degree (32/64/128).
+     */
+    RouterTimingModel(Scaling scaling, int wavelengths,
+                      const PacketFormat &format = {},
+                      const ChipGeometry &geometry = {},
+                      const WaveguideConstants &wg = {});
+
+    /** Receive-side (detector+amp) delay. [ps] */
+    double rxDelayPs() const { return rx_; }
+
+    /** Transmit-side (modulator+driver) delay at the source. [ps] */
+    double txDelayPs() const { return tx_; }
+
+    /**
+     * Resonator drive delay: the electrical driver charging a bank of
+     * rings. Includes a small fan-out penalty growing with the number
+     * of waveguides (hence shrinking with the WDM degree), which keeps
+     * the wavelength count's impact on delay small, as in Fig 5. [ps]
+     */
+    double resonatorDrivePs() const { return drive_; }
+
+    /** Propagation across the router's internal crossing region. [ps] */
+    double internalTraversePs() const { return traverse_; }
+
+    /** Per-hop waveguide propagation over one node pitch. [ps] */
+    double hopWirePs() const { return hop_wire_; }
+
+    /** Register setup + clock skew overhead per cycle. [ps] */
+    double overheadPs() const { return kOverheadPs; }
+
+    /** Packet Pass critical path (Fig 5). */
+    CriticalPath packetPass() const;
+
+    /** Packet Block critical path (Fig 5). */
+    CriticalPath packetBlock() const;
+
+    /** Packet Accept critical path (Fig 5). */
+    CriticalPath packetAccept() const;
+
+    /** Packet Interim Accept critical path (Fig 5). */
+    CriticalPath packetInterimAccept() const;
+
+    /**
+     * Maximum hops traversable in one clock at @p freq_ghz, counting
+     * worst-case contention at every router (Fig 6). Capped at the
+     * control-field limit of 14 routers.
+     */
+    int maxHopsPerCycle(double freq_ghz) const;
+
+    /** End-to-end delay of an H-hop contested transmission. [ps] */
+    double pathDelayPs(int hops) const;
+
+  private:
+    static constexpr double kOverheadPs = 10.0;
+    static constexpr double kNodeNm = 16.0;
+
+    // Per-scenario resonator drive delay before the fan-out factor,
+    // calibrated to the Fig 6 hop budgets (DESIGN.md 6). [ps]
+    static double baseDrivePs(Scaling s);
+
+    double rx_;
+    double tx_;
+    double drive_;
+    double traverse_;
+    double hop_wire_;
+};
+
+} // namespace phastlane::optical
+
+#endif // PHASTLANE_OPTICAL_TIMING_HPP

@@ -1,0 +1,38 @@
+#include "power/cacti_lite.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace phastlane::power {
+
+BufferEnergyModel::BufferEnergyModel(int entries, int bits_per_entry)
+    : entries_(entries), bits_(bits_per_entry)
+{
+    if (entries <= 0 || bits_per_entry <= 0)
+        fatal("buffer model needs positive entries and width");
+}
+
+double
+BufferEnergyModel::readPj() const
+{
+    const double per_bit_fj =
+        kAccessBaseFjPerBit +
+        kAccessSlopeFjPerBit * std::sqrt(static_cast<double>(entries_));
+    return per_bit_fj * static_cast<double>(bits_) * 1e-3;
+}
+
+double
+BufferEnergyModel::writePj() const
+{
+    return readPj() * kWriteFactor;
+}
+
+double
+BufferEnergyModel::leakageW() const
+{
+    return kLeakagePwPerBit * 1e-12 * static_cast<double>(entries_) *
+           static_cast<double>(bits_);
+}
+
+} // namespace phastlane::power

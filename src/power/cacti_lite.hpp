@@ -1,0 +1,59 @@
+/**
+ * @file
+ * CACTI-lite: a small analytic SRAM buffer energy/leakage model of the
+ * same functional form CACTI produces for small register-file-style
+ * buffers -- access energy grows with the bitline length (~sqrt of the
+ * entry count) and leakage grows linearly with the cell count.
+ *
+ * Calibrated so a 10-entry x 640-bit buffer costs ~0.04 pJ/bit per
+ * access at 16 nm / 1.0 V, in line with published NoC buffer numbers
+ * scaled to 16 nm.
+ * Used for both the electrical baseline's VC buffers and Phastlane's
+ * blocked-packet buffers, so buffer-size sensitivity (Optical4B32/B64,
+ * Fig 10/11) is captured consistently.
+ */
+
+#ifndef PHASTLANE_POWER_CACTI_LITE_HPP
+#define PHASTLANE_POWER_CACTI_LITE_HPP
+
+namespace phastlane::power {
+
+/**
+ * Energy/leakage of one SRAM buffer.
+ */
+class BufferEnergyModel
+{
+  public:
+    /**
+     * @param entries Buffer depth in flits (use a representative
+     *        finite depth for "infinite" buffers).
+     * @param bits_per_entry Width in bits.
+     */
+    BufferEnergyModel(int entries, int bits_per_entry);
+
+    /** Energy of one read access. [pJ] */
+    double readPj() const;
+
+    /** Energy of one write access. [pJ] */
+    double writePj() const;
+
+    /** Static leakage of the array. [W] */
+    double leakageW() const;
+
+    int entries() const { return entries_; }
+    int bits() const { return bits_; }
+
+  private:
+    int entries_;
+    int bits_;
+
+    // 16 nm / 1.0 V calibration constants.
+    static constexpr double kAccessBaseFjPerBit = 30.0;
+    static constexpr double kAccessSlopeFjPerBit = 3.0; ///< x sqrt(E)
+    static constexpr double kWriteFactor = 1.05;
+    static constexpr double kLeakagePwPerBit = 100000.0;
+};
+
+} // namespace phastlane::power
+
+#endif // PHASTLANE_POWER_CACTI_LITE_HPP

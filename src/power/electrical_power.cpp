@@ -1,0 +1,58 @@
+#include "power/electrical_power.hpp"
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace phastlane::power {
+
+ElectricalPowerModel::ElectricalPowerModel(
+    const electrical::ElectricalParams &net_params,
+    const ElectricalEnergyParams &energy, double freq_ghz)
+    : netParams_(net_params),
+      energy_(energy),
+      freqHz_(freq_ghz * 1e9),
+      buffer_(net_params.vcDepth, static_cast<int>(kFlitBits))
+{
+}
+
+PowerBreakdown
+ElectricalPowerModel::report(const electrical::ElectricalEvents &ev,
+                             uint64_t cycles) const
+{
+    PL_ASSERT(cycles > 0, "power report over zero cycles");
+    const double seconds = static_cast<double>(cycles) / freqHz_;
+    const auto pj_to_w = [&](double pj) {
+        return pj * 1e-12 / seconds;
+    };
+
+    PowerBreakdown p;
+    p.bufferDynamicW = pj_to_w(
+        static_cast<double>(ev.bufferWrites) * buffer_.writePj() +
+        static_cast<double>(ev.bufferReads) * buffer_.readPj());
+    p.crossbarW = pj_to_w(static_cast<double>(ev.xbarTraversals) *
+                          energy_.xbarPjPerBit * kFlitBits);
+    p.linkW = pj_to_w(static_cast<double>(ev.linkTraversals) *
+                      energy_.linkPjPerBitMm * energy_.linkLengthMm *
+                      kFlitBits);
+    p.allocW = pj_to_w(
+        static_cast<double>(ev.vaGrants + ev.saGrants) *
+        energy_.allocPj);
+    p.ejectW = pj_to_w(static_cast<double>(ev.ejections) *
+                       energy_.ejectPjPerBit * kFlitBits);
+
+    // Leakage: VC buffers on every port plus router control/clock,
+    // always on regardless of traffic.
+    const int routers = netParams_.nodeCount();
+    const double buffers_per_router =
+        static_cast<double>(kAllPorts * netParams_.vcsPerPort);
+    p.bufferLeakageW = buffer_.leakageW() * buffers_per_router *
+                       static_cast<double>(routers);
+    p.staticW = (energy_.controlLeakageW + energy_.clockW) *
+                static_cast<double>(routers);
+
+    p.totalW = p.bufferDynamicW + p.bufferLeakageW + p.crossbarW +
+               p.linkW + p.allocW + p.ejectW + p.staticW;
+    return p;
+}
+
+} // namespace phastlane::power

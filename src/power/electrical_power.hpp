@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Power model of the electrical baseline network: per-event dynamic
+ * energies (CACTI-lite buffers, Balfour-Dally-style crossbar/link/
+ * allocator) plus static leakage, evaluated over the event counters
+ * the simulator collects.
+ */
+
+#ifndef PHASTLANE_POWER_ELECTRICAL_POWER_HPP
+#define PHASTLANE_POWER_ELECTRICAL_POWER_HPP
+
+#include "electrical/events.hpp"
+#include "electrical/params.hpp"
+#include "power/cacti_lite.hpp"
+#include "power/energy_params.hpp"
+
+namespace phastlane::power {
+
+/**
+ * Converts ElectricalEvents into a PowerBreakdown.
+ */
+class ElectricalPowerModel
+{
+  public:
+    ElectricalPowerModel(const electrical::ElectricalParams &net_params,
+                         const ElectricalEnergyParams &energy = {},
+                         double freq_ghz = 4.0);
+
+    /**
+     * Average power over @p cycles cycles of activity. @p cycles must
+     * cover the interval the events were collected in.
+     */
+    PowerBreakdown report(const electrical::ElectricalEvents &ev,
+                          uint64_t cycles) const;
+
+    const BufferEnergyModel &bufferModel() const { return buffer_; }
+
+  private:
+    electrical::ElectricalParams netParams_;
+    ElectricalEnergyParams energy_;
+    double freqHz_;
+    BufferEnergyModel buffer_;
+};
+
+} // namespace phastlane::power
+
+#endif // PHASTLANE_POWER_ELECTRICAL_POWER_HPP

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Technology energy constants at 16 nm / 1.0 V / 4 GHz.
+ *
+ * The paper models electrical dynamic + leakage power with CACTI for
+ * buffers and the Balfour & Dally tiled-CMP component models, and
+ * optical power in the manner of Kirman et al. We do not have those
+ * tools' outputs, so we use analytic per-event energies of the same
+ * functional form, calibrated so the relative results hold: the
+ * electrical network lands in the tens of watts on SPLASH2-level
+ * traffic and Phastlane's four/five-hop configurations consume ~80%
+ * less (paper Section 5 / Fig 11). See DESIGN.md 3.3.
+ */
+
+#ifndef PHASTLANE_POWER_ENERGY_PARAMS_HPP
+#define PHASTLANE_POWER_ENERGY_PARAMS_HPP
+
+namespace phastlane::power {
+
+/** Flit payload in bits (80-byte packet). */
+constexpr double kFlitBits = 640.0;
+
+/**
+ * Electrical router/link per-event energies (pJ) and leakage.
+ */
+struct ElectricalEnergyParams {
+    /** Crossbar traversal, pJ/bit (Balfour-Dally-style matrix
+     *  crossbar with input speedup 4). */
+    double xbarPjPerBit = 0.35;
+
+    /** Inter-router link, pJ/bit/mm of optimally repeated wire. */
+    double linkPjPerBitMm = 0.15;
+
+    /** Link length = node pitch, mm (8x8 mesh of 3.5 mm^2 nodes). */
+    double linkLengthMm = 1.87;
+
+    /** VC / switch allocator energy per grant, pJ. */
+    double allocPj = 8.0;
+
+    /** Ejection path (no crossbar), pJ/bit. */
+    double ejectPjPerBit = 0.08;
+
+    /** Router control leakage (allocators, pipeline regs), W/router. */
+    double controlLeakageW = 0.030;
+
+    /** Clock distribution and misc per router, W. */
+    double clockW = 0.020;
+};
+
+/**
+ * Optical component energies.
+ *
+ * The laser term models the average optical input power per launch; it
+ * grows with the network's provisioned hop limit because longer
+ * maximum paths mean more worst-case crossings to overcome
+ * (Fig 7 / Fig 11: the eight-hop network's transmit power rises
+ * sharply). The average-power loss slope (dB per provisioned hop) is
+ * gentler than the peak-provisioning slope because the laser power is
+ * gated to the active wavelengths and most packets travel shorter
+ * segments.
+ */
+struct OpticalEnergyParams {
+    /** Modulator + driver energy, fJ/bit. */
+    double modulatorFjPerBit = 20.0;
+
+    /** Receiver + TIA energy, fJ/bit. */
+    double receiverFjPerBit = 7.0;
+
+    /** Laser wall-plug energy at zero loss, fJ/bit. */
+    double laserBaseFjPerBit = 7.5;
+
+    /** Effective average-power loss slope, dB per provisioned hop. */
+    double avgLossDbPerHop = 1.2;
+
+    /** Turn/receive resonator switching energy per pass, pJ. */
+    double resonatorSwitchPj = 5.0;
+
+    /** Drop-signal return path energy per hop, pJ (7-bit signal). */
+    double dropSignalPjPerHop = 0.5;
+
+    /** Ring trimming/heating static power per router, W. */
+    double trimmingWPerRouter = 0.012;
+
+    /** Electrical control (arbiters, SERDES bias) leakage, W/router. */
+    double controlLeakageW = 0.005;
+};
+
+/**
+ * A component-wise power report, in watts.
+ */
+struct PowerBreakdown {
+    double bufferDynamicW = 0.0;
+    double bufferLeakageW = 0.0;
+    double crossbarW = 0.0;   ///< electrical crossbar (baseline only)
+    double linkW = 0.0;       ///< electrical links (baseline only)
+    double allocW = 0.0;      ///< allocators (baseline only)
+    double ejectW = 0.0;
+    double laserW = 0.0;      ///< optical only
+    double modulatorW = 0.0;  ///< optical only
+    double receiverW = 0.0;   ///< optical only
+    double resonatorW = 0.0;  ///< optical only
+    double staticW = 0.0;     ///< trimming/clock/control leakage
+    double totalW = 0.0;
+};
+
+} // namespace phastlane::power
+
+#endif // PHASTLANE_POWER_ENERGY_PARAMS_HPP

@@ -1,0 +1,88 @@
+#include "power/optical_power.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace phastlane::power {
+
+namespace {
+
+/** Representative depth used to size the "infinite" buffer arrays. */
+constexpr int kInfiniteBufferDepth = 256;
+
+int
+effectiveDepth(const core::PhastlaneParams &p)
+{
+    return p.infiniteBuffers() ? kInfiniteBufferDepth
+                               : p.routerBufferEntries;
+}
+
+} // namespace
+
+OpticalPowerModel::OpticalPowerModel(
+    const core::PhastlaneParams &net_params,
+    const OpticalEnergyParams &energy, double freq_ghz)
+    : netParams_(net_params),
+      energy_(energy),
+      freqHz_(freq_ghz * 1e9),
+      buffer_(effectiveDepth(net_params), static_cast<int>(kFlitBits))
+{
+}
+
+double
+OpticalPowerModel::laserFjPerBit() const
+{
+    const double loss_db =
+        energy_.avgLossDbPerHop *
+        static_cast<double>(netParams_.maxHopsPerCycle);
+    return energy_.laserBaseFjPerBit * std::pow(10.0, loss_db / 10.0);
+}
+
+PowerBreakdown
+OpticalPowerModel::report(const core::OpticalEvents &ev,
+                          uint64_t cycles) const
+{
+    PL_ASSERT(cycles > 0, "power report over zero cycles");
+    const double seconds = static_cast<double>(cycles) / freqHz_;
+    const auto pj_to_w = [&](double pj) {
+        return pj * 1e-12 / seconds;
+    };
+    const auto fj_to_w = [&](double fj) {
+        return fj * 1e-15 / seconds;
+    };
+
+    PowerBreakdown p;
+    const double launches = static_cast<double>(ev.launches);
+    p.laserW = fj_to_w(launches * laserFjPerBit() * kFlitBits);
+    p.modulatorW =
+        fj_to_w(launches * energy_.modulatorFjPerBit * kFlitBits);
+    // Every full packet reception and every multicast tap drives a
+    // bank of receivers; drop signals drive the 7-bit return path.
+    p.receiverW = fj_to_w(
+        static_cast<double>(ev.receives + ev.tapReceives) *
+        energy_.receiverFjPerBit * kFlitBits);
+    p.resonatorW = pj_to_w(
+        static_cast<double>(ev.passTraversals) *
+            energy_.resonatorSwitchPj +
+        static_cast<double>(ev.dropSignalHops) *
+            energy_.dropSignalPjPerHop);
+    p.bufferDynamicW = pj_to_w(
+        static_cast<double>(ev.bufferWrites) * buffer_.writePj() +
+        static_cast<double>(ev.bufferReads) * buffer_.readPj());
+
+    const int routers = netParams_.nodeCount();
+    p.bufferLeakageW = buffer_.leakageW() *
+                       static_cast<double>(kAllPorts) *
+                       static_cast<double>(routers);
+    p.staticW = (energy_.trimmingWPerRouter +
+                 energy_.controlLeakageW) *
+                static_cast<double>(routers);
+
+    p.totalW = p.laserW + p.modulatorW + p.receiverW + p.resonatorW +
+               p.bufferDynamicW + p.bufferLeakageW + p.staticW;
+    return p;
+}
+
+} // namespace phastlane::power

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Runtime power model of the Phastlane network: laser/modulator/
+ * receiver dynamic energies per optical event, electrical energies for
+ * the blocked-packet buffers, and static trimming/control power.
+ */
+
+#ifndef PHASTLANE_POWER_OPTICAL_POWER_HPP
+#define PHASTLANE_POWER_OPTICAL_POWER_HPP
+
+#include "core/events.hpp"
+#include "core/params.hpp"
+#include "power/cacti_lite.hpp"
+#include "power/energy_params.hpp"
+
+namespace phastlane::power {
+
+/**
+ * Converts OpticalEvents into a PowerBreakdown.
+ */
+class OpticalPowerModel
+{
+  public:
+    OpticalPowerModel(const core::PhastlaneParams &net_params,
+                      const OpticalEnergyParams &energy = {},
+                      double freq_ghz = 4.0);
+
+    /** Average power over @p cycles cycles of activity. */
+    PowerBreakdown report(const core::OpticalEvents &ev,
+                          uint64_t cycles) const;
+
+    /** Laser energy per transmitted bit for this configuration's
+     *  provisioned hop limit. [fJ/bit] */
+    double laserFjPerBit() const;
+
+    const BufferEnergyModel &bufferModel() const { return buffer_; }
+
+  private:
+    core::PhastlaneParams netParams_;
+    OpticalEnergyParams energy_;
+    double freqHz_;
+    BufferEnergyModel buffer_;
+};
+
+} // namespace phastlane::power
+
+#endif // PHASTLANE_POWER_OPTICAL_POWER_HPP

@@ -1,0 +1,103 @@
+#include "sim/configs.hpp"
+
+#include "common/log.hpp"
+#include "core/network.hpp"
+#include "electrical/network.hpp"
+#include "power/electrical_power.hpp"
+#include "power/optical_power.hpp"
+
+namespace phastlane::sim {
+
+namespace {
+
+NetConfig
+opticalConfig(const std::string &name, int max_hops, int buffers)
+{
+    NetConfig c;
+    c.name = name;
+    c.optical = true;
+    c.make = [max_hops, buffers](uint64_t seed) {
+        core::PhastlaneParams p;
+        p.maxHopsPerCycle = max_hops;
+        p.routerBufferEntries = buffers;
+        p.seed = seed;
+        return std::make_unique<core::PhastlaneNetwork>(p);
+    };
+    c.power = [](const Network &net, uint64_t cycles) {
+        const auto &pl =
+            dynamic_cast<const core::PhastlaneNetwork &>(net);
+        power::OpticalPowerModel model(pl.params());
+        return model.report(pl.events(), cycles);
+    };
+    return c;
+}
+
+NetConfig
+electricalConfig(const std::string &name, int router_delay)
+{
+    NetConfig c;
+    c.name = name;
+    c.optical = false;
+    c.make = [router_delay](uint64_t seed) {
+        electrical::ElectricalParams p;
+        p.routerDelay = router_delay;
+        p.seed = seed;
+        return std::make_unique<electrical::ElectricalNetwork>(p);
+    };
+    c.power = [](const Network &net, uint64_t cycles) {
+        const auto &el =
+            dynamic_cast<const electrical::ElectricalNetwork &>(net);
+        power::ElectricalPowerModel model(el.params());
+        return model.report(el.events(), cycles);
+    };
+    return c;
+}
+
+} // namespace
+
+NetConfig
+makeConfig(const std::string &name)
+{
+    if (name == "Optical4")
+        return opticalConfig(name, 4, 10);
+    if (name == "Optical5")
+        return opticalConfig(name, 5, 10);
+    if (name == "Optical8")
+        return opticalConfig(name, 8, 10);
+    if (name == "Optical4B32")
+        return opticalConfig(name, 4, 32);
+    if (name == "Optical4B64")
+        return opticalConfig(name, 4, 64);
+    if (name == "Optical4IB")
+        return opticalConfig(name, 4, 0); // infinite
+    if (name == "Electrical2")
+        return electricalConfig(name, 2);
+    if (name == "Electrical3")
+        return electricalConfig(name, 3);
+    fatal("unknown network configuration '%s'", name.c_str());
+}
+
+std::vector<NetConfig>
+standardConfigs()
+{
+    std::vector<NetConfig> out;
+    for (const char *n :
+         {"Optical4", "Optical5", "Optical8", "Optical4B32",
+          "Optical4B64", "Optical4IB", "Electrical2", "Electrical3"}) {
+        out.push_back(makeConfig(n));
+    }
+    return out;
+}
+
+std::vector<NetConfig>
+fig9Configs()
+{
+    std::vector<NetConfig> out;
+    for (const char *n : {"Optical4", "Optical5", "Optical8",
+                          "Electrical2", "Electrical3"}) {
+        out.push_back(makeConfig(n));
+    }
+    return out;
+}
+
+} // namespace phastlane::sim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The named network configurations of the paper's evaluation (Section
+ * 5): Optical4 / Optical5 / Optical8 (pessimistic / average /
+ * optimistic scaling hop limits), Optical4B32 / Optical4B64 /
+ * Optical4IB (buffer-size variants), and Electrical2 / Electrical3
+ * (2- and 3-cycle baseline routers). Each configuration knows how to
+ * build its network and evaluate its power model.
+ */
+
+#ifndef PHASTLANE_SIM_CONFIGS_HPP
+#define PHASTLANE_SIM_CONFIGS_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "power/energy_params.hpp"
+
+namespace phastlane::sim {
+
+/**
+ * One evaluatable network configuration.
+ */
+struct NetConfig {
+    std::string name;
+
+    /** True for Phastlane configurations. */
+    bool optical = false;
+
+    /** Build a fresh network seeded with @p seed. */
+    std::function<std::unique_ptr<Network>(uint64_t seed)> make;
+
+    /**
+     * Evaluate the configuration's power model over @p cycles of the
+     * given (just-run) network's event counters.
+     */
+    std::function<power::PowerBreakdown(const Network &net,
+                                        uint64_t cycles)>
+        power;
+};
+
+/** Build a configuration by its paper name; fatal() when unknown. */
+NetConfig makeConfig(const std::string &name);
+
+/** The full Section 5 configuration list, in the paper's order. */
+std::vector<NetConfig> standardConfigs();
+
+/** The Fig 9 subset: Optical4/5/8 and Electrical2/3. */
+std::vector<NetConfig> fig9Configs();
+
+} // namespace phastlane::sim
+
+#endif // PHASTLANE_SIM_CONFIGS_HPP

@@ -1,0 +1,106 @@
+#include "sim/experiment.hpp"
+
+#include "common/log.hpp"
+#include "core/network.hpp"
+
+namespace phastlane::sim {
+
+std::vector<BenchmarkRun>
+runExperiment(const ExperimentSpec &spec)
+{
+    if (spec.configs.empty() || spec.benchmarks.empty())
+        fatal("experiment needs at least one config and benchmark");
+
+    std::vector<BenchmarkRun> runs;
+    for (traffic::SplashProfile prof : spec.benchmarks) {
+        if (spec.txnsPerNode > 0)
+            prof.txnsPerNode = spec.txnsPerNode;
+        const auto streams =
+            traffic::generateStreams(prof, 64, spec.seed);
+        for (const std::string &name : spec.configs) {
+            const NetConfig cfg = makeConfig(name);
+            auto net = cfg.make(spec.seed);
+            traffic::CoherenceDriver driver(*net, streams,
+                                            prof.mshrLimit);
+            BenchmarkRun run;
+            run.benchmark = prof.name;
+            run.config = name;
+            run.result = driver.run();
+            run.power = cfg.power(
+                *net, run.result.completionCycles
+                          ? run.result.completionCycles
+                          : 1);
+            if (const auto *pl =
+                    dynamic_cast<core::PhastlaneNetwork *>(
+                        net.get())) {
+                run.drops = pl->phastlaneCounters().drops;
+            }
+            runs.push_back(std::move(run));
+        }
+    }
+    return runs;
+}
+
+const BenchmarkRun &
+findRun(const std::vector<BenchmarkRun> &runs,
+        const std::string &benchmark, const std::string &config)
+{
+    for (const auto &r : runs) {
+        if (r.benchmark == benchmark && r.config == config)
+            return r;
+    }
+    fatal("no run for benchmark '%s' and config '%s'",
+          benchmark.c_str(), config.c_str());
+}
+
+double
+speedupOf(const std::vector<BenchmarkRun> &runs,
+          const std::string &benchmark, const std::string &config,
+          const std::string &baseline)
+{
+    const BenchmarkRun &base = findRun(runs, benchmark, baseline);
+    const BenchmarkRun &run = findRun(runs, benchmark, config);
+    PL_ASSERT(run.result.completionCycles > 0, "zero-length run");
+    return static_cast<double>(base.result.completionCycles) /
+           static_cast<double>(run.result.completionCycles);
+}
+
+TextTable
+speedupTable(const ExperimentSpec &spec,
+             const std::vector<BenchmarkRun> &runs)
+{
+    std::vector<std::string> headers = {"benchmark"};
+    for (const auto &c : spec.configs)
+        headers.push_back(c);
+    TextTable t(std::move(headers));
+    for (const auto &b : spec.benchmarks) {
+        std::vector<std::string> row = {b.name};
+        for (const auto &c : spec.configs) {
+            row.push_back(TextTable::num(
+                speedupOf(runs, b.name, c, spec.baseline), 2));
+        }
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
+TextTable
+powerTable(const ExperimentSpec &spec,
+           const std::vector<BenchmarkRun> &runs)
+{
+    std::vector<std::string> headers = {"benchmark"};
+    for (const auto &c : spec.configs)
+        headers.push_back(c + " [W]");
+    TextTable t(std::move(headers));
+    for (const auto &b : spec.benchmarks) {
+        std::vector<std::string> row = {b.name};
+        for (const auto &c : spec.configs) {
+            row.push_back(TextTable::num(
+                findRun(runs, b.name, c).power.totalW, 1));
+        }
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
+} // namespace phastlane::sim

@@ -1,0 +1,100 @@
+#include "sim/metrics.hpp"
+
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace phastlane::sim {
+
+void
+LatencyBucket::add(const Delivery &d)
+{
+    const double lat = static_cast<double>(d.at - d.packet.createdAt);
+    total.add(lat);
+    network.add(static_cast<double>(d.at - d.injectedAt));
+    hist.add(lat);
+}
+
+LatencyCollector::LatencyCollector(const MeshTopology &mesh)
+    : mesh_(mesh),
+      byDistance_(static_cast<size_t>(mesh.width() + mesh.height() -
+                                      1))
+{
+}
+
+void
+LatencyCollector::add(const Delivery &d)
+{
+    overall_.add(d);
+    byKind_[static_cast<size_t>(d.packet.kind)].add(d);
+    const int dist = mesh_.hopDistance(d.packet.src, d.node);
+    PL_ASSERT(dist >= 0 &&
+                  dist < static_cast<int>(byDistance_.size()) + 1,
+              "distance out of range");
+    if (dist > 0)
+        byDistance_[static_cast<size_t>(dist - 1)].add(d);
+}
+
+void
+LatencyCollector::addAll(const std::vector<Delivery> &deliveries)
+{
+    for (const auto &d : deliveries)
+        add(d);
+}
+
+const LatencyBucket &
+LatencyCollector::byKind(MessageKind k) const
+{
+    return byKind_[static_cast<size_t>(k)];
+}
+
+const LatencyBucket &
+LatencyCollector::byDistance(int hops) const
+{
+    PL_ASSERT(hops >= 1 &&
+                  hops <= static_cast<int>(byDistance_.size()),
+              "distance out of range");
+    return byDistance_[static_cast<size_t>(hops - 1)];
+}
+
+std::string
+LatencyCollector::report() const
+{
+    char buf[256];
+    std::string out;
+    std::snprintf(buf, sizeof(buf),
+                  "deliveries: %llu  mean %.1f  p50 %.1f  p99 %.1f "
+                  "(cycles, creation->delivery)\n",
+                  static_cast<unsigned long long>(count()),
+                  overall_.total.mean(), overall_.hist.quantile(0.5),
+                  overall_.hist.quantile(0.99));
+    out += buf;
+    for (MessageKind k :
+         {MessageKind::Request, MessageKind::Response,
+          MessageKind::Invalidate, MessageKind::Writeback,
+          MessageKind::Synthetic}) {
+        const LatencyBucket &b = byKind(k);
+        if (b.total.count() == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf),
+                      "  %-10s n=%-8llu mean %.1f  p99 %.1f\n",
+                      messageKindName(k),
+                      static_cast<unsigned long long>(
+                          b.total.count()),
+                      b.total.mean(), b.hist.quantile(0.99));
+        out += buf;
+    }
+    out += "  latency by distance:";
+    for (int d = 1; d <= maxDistance(); ++d) {
+        const LatencyBucket &b = byDistance(d);
+        if (b.total.count() == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf), " %d:%.1f", d,
+                      b.total.mean());
+        out += buf;
+    }
+    out += '\n';
+    return out;
+}
+
+} // namespace phastlane::sim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Delivery-stream metrics: latency statistics broken down by message
+ * kind and by source-destination distance, with percentile support.
+ * Consumes the Delivery records any network produces; used by the
+ * harnesses and the CLI to report more than a single mean.
+ */
+
+#ifndef PHASTLANE_SIM_METRICS_HPP
+#define PHASTLANE_SIM_METRICS_HPP
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/stats.hpp"
+#include "net/packet.hpp"
+
+namespace phastlane::sim {
+
+/** Latency statistics of one bucket. */
+struct LatencyBucket {
+    RunningStat total;   ///< creation -> delivery
+    RunningStat network; ///< injection -> delivery
+    Histogram hist{5.0, 400};
+
+    void add(const Delivery &d);
+};
+
+/**
+ * Collects deliveries into kind- and distance-indexed buckets.
+ */
+class LatencyCollector
+{
+  public:
+    explicit LatencyCollector(const MeshTopology &mesh);
+
+    /** Record one delivery. */
+    void add(const Delivery &d);
+
+    /** Record everything a network reported this cycle. */
+    void addAll(const std::vector<Delivery> &deliveries);
+
+    const LatencyBucket &overall() const { return overall_; }
+    const LatencyBucket &byKind(MessageKind k) const;
+
+    /** Bucket for deliveries whose XY distance is @p hops. */
+    const LatencyBucket &byDistance(int hops) const;
+
+    /** Largest distance bucket index. */
+    int maxDistance() const
+    {
+        return static_cast<int>(byDistance_.size()) - 1;
+    }
+
+    uint64_t count() const { return overall_.total.count(); }
+
+    /**
+     * Render a compact text report: overall mean/p50/p99, per-kind
+     * rows, and the latency-vs-distance profile.
+     */
+    std::string report() const;
+
+  private:
+    MeshTopology mesh_;
+    LatencyBucket overall_;
+    std::array<LatencyBucket, 5> byKind_;
+    std::vector<LatencyBucket> byDistance_;
+};
+
+} // namespace phastlane::sim
+
+#endif // PHASTLANE_SIM_METRICS_HPP

@@ -1,0 +1,125 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "core/network.hpp"
+#include "electrical/network.hpp"
+
+namespace phastlane::sim {
+
+UtilizationReport::UtilizationReport(
+    const MeshTopology &mesh, const std::vector<uint64_t> &counts,
+    Cycle cycles)
+    : mesh_(mesh)
+{
+    if (cycles == 0)
+        fatal("utilization report over zero cycles");
+    PL_ASSERT(counts.size() == static_cast<size_t>(mesh.nodeCount()) *
+                                   kMeshPorts,
+              "counter vector does not match the mesh");
+    for (NodeId n = 0; n < mesh.nodeCount(); ++n) {
+        for (Port p : kMeshDirections) {
+            if (mesh.neighbor(n, p) == kInvalidNode)
+                continue; // no physical link at the mesh edge
+            LinkUtilization lu;
+            lu.router = n;
+            lu.out = p;
+            lu.traversals =
+                counts[static_cast<size_t>(n) * kMeshPorts +
+                       portIndex(p)];
+            lu.utilization = static_cast<double>(lu.traversals) /
+                             static_cast<double>(cycles);
+            links_.push_back(lu);
+        }
+    }
+}
+
+UtilizationReport
+UtilizationReport::fromNetwork(const Network &net, Cycle cycles)
+{
+    if (const auto *pl =
+            dynamic_cast<const core::PhastlaneNetwork *>(&net)) {
+        return UtilizationReport(pl->mesh(), pl->portClaimCounts(),
+                                 cycles);
+    }
+    if (const auto *el =
+            dynamic_cast<const electrical::ElectricalNetwork *>(
+                &net)) {
+        return UtilizationReport(el->mesh(), el->linkCounts(),
+                                 cycles);
+    }
+    fatal("unknown network type for utilization reporting");
+}
+
+double
+UtilizationReport::meanUtilization() const
+{
+    if (links_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &l : links_)
+        sum += l.utilization;
+    return sum / static_cast<double>(links_.size());
+}
+
+double
+UtilizationReport::peakUtilization() const
+{
+    double peak = 0.0;
+    for (const auto &l : links_)
+        peak = std::max(peak, l.utilization);
+    return peak;
+}
+
+std::vector<LinkUtilization>
+UtilizationReport::hottest(size_t n) const
+{
+    std::vector<LinkUtilization> sorted = links_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const LinkUtilization &a, const LinkUtilization &b) {
+                  return a.utilization > b.utilization;
+              });
+    if (sorted.size() > n)
+        sorted.resize(n);
+    return sorted;
+}
+
+std::string
+UtilizationReport::heatmap() const
+{
+    // Mean outgoing utilization per router.
+    std::vector<double> router_util(
+        static_cast<size_t>(mesh_.nodeCount()), 0.0);
+    std::vector<int> router_links(
+        static_cast<size_t>(mesh_.nodeCount()), 0);
+    for (const auto &l : links_) {
+        router_util[static_cast<size_t>(l.router)] += l.utilization;
+        ++router_links[static_cast<size_t>(l.router)];
+    }
+    std::string out;
+    // North-up: highest row first.
+    for (int y = mesh_.height() - 1; y >= 0; --y) {
+        for (int x = 0; x < mesh_.width(); ++x) {
+            const NodeId n = mesh_.nodeAt({x, y});
+            const double u =
+                router_links[static_cast<size_t>(n)] > 0
+                    ? router_util[static_cast<size_t>(n)] /
+                          router_links[static_cast<size_t>(n)]
+                    : 0.0;
+            char c = '.';
+            if (u > 0.005) {
+                const int digit = std::min(
+                    9, static_cast<int>(u * 10.0));
+                c = static_cast<char>('0' + digit);
+            }
+            out += c;
+            out += ' ';
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace phastlane::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Link-utilization reporting: turns either network's per-(router,
+ * output-port) traversal counters into a summary, a hottest-links
+ * list, and a printable per-router heatmap -- useful for diagnosing
+ * where the drop storms of Section 5 originate.
+ */
+
+#ifndef PHASTLANE_SIM_REPORT_HPP
+#define PHASTLANE_SIM_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "net/network.hpp"
+
+namespace phastlane::sim {
+
+/** Utilization of one directed mesh link. */
+struct LinkUtilization {
+    NodeId router = kInvalidNode;
+    Port out = Port::North;
+    uint64_t traversals = 0;
+    double utilization = 0.0; ///< traversals / cycles
+};
+
+/**
+ * A network's link-utilization snapshot over a measured interval.
+ */
+class UtilizationReport
+{
+  public:
+    /**
+     * @param counts Per (router * 4 + portIndex) traversal counters.
+     * @param cycles Interval length the counters cover.
+     */
+    UtilizationReport(const MeshTopology &mesh,
+                      const std::vector<uint64_t> &counts,
+                      Cycle cycles);
+
+    /** Build from either concrete network type (dispatches on the
+     *  dynamic type; fatal() for unknown networks). */
+    static UtilizationReport fromNetwork(const Network &net,
+                                         Cycle cycles);
+
+    /** Mean utilization over links that exist (edge ports excluded). */
+    double meanUtilization() const;
+
+    /** Highest single-link utilization. */
+    double peakUtilization() const;
+
+    /** The @p n busiest links, descending. */
+    std::vector<LinkUtilization> hottest(size_t n) const;
+
+    /**
+     * Text heatmap: one cell per router showing the mean utilization
+     * of its outgoing links as a digit 0-9 ('.' for idle), laid out
+     * north-up.
+     */
+    std::string heatmap() const;
+
+    const std::vector<LinkUtilization> &links() const
+    {
+        return links_;
+    }
+
+  private:
+    MeshTopology mesh_;
+    std::vector<LinkUtilization> links_;
+};
+
+} // namespace phastlane::sim
+
+#endif // PHASTLANE_SIM_REPORT_HPP

@@ -1,0 +1,50 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+
+namespace phastlane::sim {
+
+std::vector<double>
+defaultRateGrid()
+{
+    std::vector<double> rates;
+    for (double r = 0.01; r < 0.10; r += 0.01)
+        rates.push_back(r);
+    for (double r = 0.10; r <= 0.501; r += 0.025)
+        rates.push_back(r);
+    return rates;
+}
+
+std::vector<SweepPoint>
+runSweep(const NetConfig &config, const SweepConfig &sweep)
+{
+    std::vector<SweepPoint> points;
+    for (double rate : sweep.rates) {
+        auto net = config.make(sweep.seed);
+        traffic::SyntheticConfig cfg;
+        cfg.pattern = sweep.pattern;
+        cfg.injectionRate = rate;
+        cfg.warmupCycles = sweep.warmupCycles;
+        cfg.measureCycles = sweep.measureCycles;
+        cfg.seed = sweep.seed;
+        traffic::SyntheticDriver driver(*net, cfg);
+        SweepPoint pt;
+        pt.injectionRate = rate;
+        pt.result = driver.run();
+        points.push_back(pt);
+        if (sweep.stopAtSaturation && pt.result.saturated)
+            break;
+    }
+    return points;
+}
+
+double
+saturationThroughput(const std::vector<SweepPoint> &points)
+{
+    double best = 0.0;
+    for (const auto &pt : points)
+        best = std::max(best, pt.result.acceptedRate);
+    return best;
+}
+
+} // namespace phastlane::sim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Injection-rate sweeps (paper Fig 9): run a configuration at
+ * increasing offered load on a synthetic pattern and record average
+ * latency until the network saturates.
+ */
+
+#ifndef PHASTLANE_SIM_SWEEP_HPP
+#define PHASTLANE_SIM_SWEEP_HPP
+
+#include <vector>
+
+#include "sim/configs.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace phastlane::sim {
+
+/** One point of a latency/load curve. */
+struct SweepPoint {
+    double injectionRate = 0.0;
+    traffic::SyntheticResult result;
+};
+
+/** Sweep parameters. */
+struct SweepConfig {
+    traffic::Pattern pattern = traffic::Pattern::UniformRandom;
+    std::vector<double> rates;  ///< offered loads to test
+    Cycle warmupCycles = 1000;
+    Cycle measureCycles = 5000;
+    uint64_t seed = 42;
+    bool stopAtSaturation = true;
+};
+
+/** Default Fig 9 rate grid (packets/node/cycle). */
+std::vector<double> defaultRateGrid();
+
+/**
+ * Run the sweep for one configuration. Points after saturation are
+ * omitted when stopAtSaturation is set.
+ */
+std::vector<SweepPoint> runSweep(const NetConfig &config,
+                                 const SweepConfig &sweep);
+
+/**
+ * Saturation throughput: the highest accepted rate observed across
+ * the sweep points (packets/node/cycle).
+ */
+double saturationThroughput(const std::vector<SweepPoint> &points);
+
+} // namespace phastlane::sim
+
+#endif // PHASTLANE_SIM_SWEEP_HPP

@@ -1,0 +1,129 @@
+#include "traffic/patterns.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace phastlane::traffic {
+
+const char *
+patternName(Pattern p)
+{
+    switch (p) {
+      case Pattern::UniformRandom: return "uniform";
+      case Pattern::BitComplement: return "bitcomp";
+      case Pattern::BitReverse: return "bitrev";
+      case Pattern::Shuffle: return "shuffle";
+      case Pattern::Transpose: return "transpose";
+      case Pattern::Tornado: return "tornado";
+      case Pattern::Neighbor: return "neighbor";
+      case Pattern::Hotspot: return "hotspot";
+    }
+    return "?";
+}
+
+Pattern
+parsePattern(const std::string &name)
+{
+    for (Pattern p :
+         {Pattern::UniformRandom, Pattern::BitComplement,
+          Pattern::BitReverse, Pattern::Shuffle, Pattern::Transpose,
+          Pattern::Tornado, Pattern::Neighbor, Pattern::Hotspot}) {
+        if (name == patternName(p))
+            return p;
+    }
+    fatal("unknown traffic pattern '%s'", name.c_str());
+}
+
+bool
+needsPowerOfTwo(Pattern p)
+{
+    return p == Pattern::BitComplement || p == Pattern::BitReverse ||
+           p == Pattern::Shuffle;
+}
+
+namespace {
+
+int
+log2Exact(int n)
+{
+    PL_ASSERT(n > 0 && (n & (n - 1)) == 0,
+              "pattern requires a power-of-two node count (got %d)", n);
+    return std::countr_zero(static_cast<unsigned>(n));
+}
+
+} // namespace
+
+NodeId
+destination(Pattern p, NodeId src, const MeshTopology &mesh, Rng &rng)
+{
+    const int n = mesh.nodeCount();
+    NodeId dst = src;
+    switch (p) {
+      case Pattern::UniformRandom:
+        do {
+            dst = static_cast<NodeId>(rng.uniformInt(0, n - 1));
+        } while (dst == src);
+        return dst;
+      case Pattern::BitComplement: {
+        const int bits = log2Exact(n);
+        dst = static_cast<NodeId>(~static_cast<unsigned>(src) &
+                                  ((1u << bits) - 1));
+        break;
+      }
+      case Pattern::BitReverse: {
+        const int bits = log2Exact(n);
+        unsigned v = static_cast<unsigned>(src);
+        unsigned r = 0;
+        for (int i = 0; i < bits; ++i) {
+            r = (r << 1) | (v & 1u);
+            v >>= 1;
+        }
+        dst = static_cast<NodeId>(r);
+        break;
+      }
+      case Pattern::Shuffle: {
+        const int bits = log2Exact(n);
+        const unsigned v = static_cast<unsigned>(src);
+        dst = static_cast<NodeId>(
+            ((v << 1) | (v >> (bits - 1))) & ((1u << bits) - 1));
+        break;
+      }
+      case Pattern::Transpose: {
+        const Coord c = mesh.coordOf(src);
+        // Requires a square mesh; (x, y) -> (y, x).
+        PL_ASSERT(mesh.width() == mesh.height(),
+                  "transpose requires a square mesh");
+        dst = mesh.nodeAt(Coord{c.y, c.x});
+        break;
+      }
+      case Pattern::Tornado: {
+        const Coord c = mesh.coordOf(src);
+        dst = mesh.nodeAt(Coord{(c.x + mesh.width() / 2) %
+                                    mesh.width(),
+                                c.y});
+        break;
+      }
+      case Pattern::Neighbor: {
+        const Coord c = mesh.coordOf(src);
+        dst = mesh.nodeAt(Coord{(c.x + 1) % mesh.width(), c.y});
+        break;
+      }
+      case Pattern::Hotspot: {
+        // 20% of traffic to the center node, the rest uniform.
+        const NodeId hot = mesh.nodeAt(
+            Coord{mesh.width() / 2, mesh.height() / 2});
+        if (src != hot && rng.bernoulli(0.2))
+            return hot;
+        do {
+            dst = static_cast<NodeId>(rng.uniformInt(0, n - 1));
+        } while (dst == src);
+        return dst;
+      }
+    }
+    if (dst == src)
+        dst = static_cast<NodeId>((src + 1) % n);
+    return dst;
+}
+
+} // namespace phastlane::traffic

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Synthetic traffic patterns (paper Fig 9 uses Bit Complement, Bit
+ * Reverse, Shuffle and Transpose; Uniform, Tornado, Neighbor and
+ * Hotspot are provided for completeness).
+ *
+ * The bit-permutation patterns operate on the log2(N)-bit node index;
+ * Transpose and Tornado operate on mesh coordinates.
+ */
+
+#ifndef PHASTLANE_TRAFFIC_PATTERNS_HPP
+#define PHASTLANE_TRAFFIC_PATTERNS_HPP
+
+#include <string>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace phastlane::traffic {
+
+/** Synthetic destination pattern. */
+enum class Pattern {
+    UniformRandom,
+    BitComplement,
+    BitReverse,
+    Shuffle,
+    Transpose,
+    Tornado,
+    Neighbor,
+    Hotspot,
+};
+
+/** Display name ("bitcomp", "transpose", ...). */
+const char *patternName(Pattern p);
+
+/** Parse a pattern name; fatal() on unknown names. */
+Pattern parsePattern(const std::string &name);
+
+/**
+ * Stateless destination function for deterministic patterns; for
+ * UniformRandom/Hotspot the RNG picks the destination. Self-addressed
+ * results are remapped to (self+1) mod N for deterministic patterns
+ * whose permutation maps a node to itself, and re-drawn for random
+ * patterns.
+ */
+NodeId destination(Pattern p, NodeId src, const MeshTopology &mesh,
+                   Rng &rng);
+
+/** True when @p p needs a power-of-two node count. */
+bool needsPowerOfTwo(Pattern p);
+
+} // namespace phastlane::traffic
+
+#endif // PHASTLANE_TRAFFIC_PATTERNS_HPP

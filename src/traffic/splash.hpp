@@ -1,0 +1,116 @@
+/**
+ * @file
+ * SPLASH2-like workload profiles (paper Table 3 / Section 4).
+ *
+ * The paper drives its evaluation from SESC-generated SPLASH2 traces
+ * of a 64-core snoopy system (all L2 miss requests and invalidates
+ * broadcast; data responses unicast from cache-line-interleaved homes).
+ * We do not have SESC or its traces, so each benchmark is modeled as a
+ * per-node stream of coherence transactions with benchmark-specific
+ * intensity, burstiness, sharing mix and memory-level parallelism,
+ * pre-generated deterministically from a seed so both networks replay
+ * the identical stream (DESIGN.md 3.3). The profile parameters are
+ * calibrated so the qualitative Fig 10/11 behaviours hold: Ocean and
+ * FMM are drop/buffer-sensitive under Phastlane's 10-entry buffers,
+ * the low-MLP benchmarks are latency-bound and gain the most, and the
+ * remaining benchmarks sit in between.
+ */
+
+#ifndef PHASTLANE_TRAFFIC_SPLASH_HPP
+#define PHASTLANE_TRAFFIC_SPLASH_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace phastlane::traffic {
+
+/** Kind of one coherence transaction. */
+enum class TxnType : uint8_t {
+    Request,    ///< broadcast L2 miss request + unicast data response
+    Invalidate, ///< broadcast invalidate, no response
+    Writeback,  ///< unicast dirty eviction, no response
+};
+
+/** One pre-generated transaction of a node's stream. */
+struct Txn {
+    TxnType type = TxnType::Request;
+
+    /** Requests: snoop broadcast (true) or a directed fetch to the
+     *  line's home (false). */
+    bool broadcastReq = true;
+
+    /** Responding home node (Request) or writeback target. */
+    NodeId peer = kInvalidNode;
+
+    /** Home service latency before the response (Request only). */
+    Cycle serviceLatency = 0;
+
+    /** Think time after issuing this transaction. */
+    Cycle thinkAfter = 0;
+};
+
+/**
+ * One benchmark profile (name and input set from Table 3; behavioral
+ * parameters reconstructed, see file comment).
+ */
+struct SplashProfile {
+    std::string name;
+    std::string inputSet;
+
+    /** Transactions per node (scaled for simulation time). */
+    int txnsPerNode = 300;
+
+    /** Outstanding-request limit per node (MSHRs). */
+    int mshrLimit = 8;
+
+    /** Mean burst length (geometric). */
+    double burstLenMean = 4.0;
+
+    /** Gap between transactions inside a burst. [cycles] */
+    double intraBurstGap = 1.0;
+
+    /** Mean gap between bursts (exponential). [cycles] */
+    double interBurstGapMean = 150.0;
+
+    /**
+     * Fraction of request transactions sent as snoop broadcasts; the
+     * rest are directed fetches to the line's home node (re-fetches
+     * with a known owner, page walks, DMA -- present in real traces
+     * alongside snoops).
+     */
+    double requestBroadcastFraction = 1.0;
+
+    /** Fraction of transactions that are invalidate broadcasts. */
+    double invalidateFraction = 0.1;
+
+    /** Fraction that are unicast writebacks. */
+    double writebackFraction = 0.2;
+
+    /** Fraction of requests served by memory (80 cycles) rather than
+     *  a remote cache (20 cycles), Table 4. */
+    double memoryFraction = 0.5;
+
+    Cycle memoryLatency = 80;
+    Cycle cacheLatency = 20;
+};
+
+/** The ten SPLASH2 benchmarks of Table 3, in the paper's order. */
+std::vector<SplashProfile> splashSuite();
+
+/** Look up one benchmark by (case-sensitive) name; fatal() if absent. */
+SplashProfile splashProfile(const std::string &name);
+
+/**
+ * Deterministically pre-generate every node's transaction stream for
+ * @p profile on an @p node_count -node system. Independent of any
+ * network state, so both simulators replay the same workload.
+ */
+std::vector<std::vector<Txn>> generateStreams(
+    const SplashProfile &profile, int node_count, uint64_t seed);
+
+} // namespace phastlane::traffic
+
+#endif // PHASTLANE_TRAFFIC_SPLASH_HPP

@@ -1,0 +1,133 @@
+#include "traffic/synthetic.hpp"
+
+#include "common/log.hpp"
+
+namespace phastlane::traffic {
+
+SyntheticDriver::SyntheticDriver(Network &net,
+                                 const SyntheticConfig &cfg)
+    : net_(net),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      sourceQueues_(static_cast<size_t>(net.nodeCount()))
+{
+    if (cfg_.injectionRate < 0.0 || cfg_.injectionRate > 1.0)
+        fatal("injection rate must be in [0, 1]");
+}
+
+void
+SyntheticDriver::generate(Cycle now)
+{
+    const bool measuring = now >= measureStart_ && now < measureEnd_;
+    for (NodeId n = 0; n < net_.nodeCount(); ++n) {
+        if (!rng_.bernoulli(cfg_.injectionRate))
+            continue;
+        Packet pkt;
+        pkt.id = nextPacketId_++;
+        pkt.src = n;
+        pkt.kind = MessageKind::Synthetic;
+        pkt.createdAt = now;
+        if (cfg_.broadcastFraction > 0.0 &&
+            rng_.bernoulli(cfg_.broadcastFraction)) {
+            pkt.broadcast = true;
+        } else {
+            pkt.dst = destination(cfg_.pattern, n,
+                                  // Patterns only need geometry.
+                                  net_.mesh(), rng_);
+        }
+        sourceQueues_[static_cast<size_t>(n)].push_back(pkt);
+        if (measuring)
+            ++offeredMeasured_;
+    }
+}
+
+void
+SyntheticDriver::pumpSourceQueues()
+{
+    for (auto &q : sourceQueues_) {
+        while (!q.empty() && net_.inject(q.front()))
+            q.pop_front();
+    }
+}
+
+void
+SyntheticDriver::harvest(bool measuring)
+{
+    for (const auto &d : net_.deliveries()) {
+        if (!measuring)
+            continue;
+        if (d.packet.createdAt < measureStart_ ||
+            d.packet.createdAt >= measureEnd_) {
+            continue;
+        }
+        const double lat =
+            static_cast<double>(d.at - d.packet.createdAt);
+        const double net_lat =
+            static_cast<double>(d.at - d.injectedAt);
+        latency_.add(lat);
+        netLatency_.add(net_lat);
+        latencyHist_.add(lat);
+        ++measuredDeliveries_;
+    }
+}
+
+SyntheticResult
+SyntheticDriver::run()
+{
+    const int nodes = net_.nodeCount();
+    measureStart_ = net_.now() + cfg_.warmupCycles;
+    measureEnd_ = measureStart_ + cfg_.measureCycles;
+
+    bool saturated = false;
+    const uint64_t backlog_limit =
+        static_cast<uint64_t>(nodes) * 200;
+
+    // Warmup + measurement.
+    while (net_.now() < measureEnd_) {
+        generate(net_.now());
+        pumpSourceQueues();
+        net_.step();
+        harvest(net_.now() - 1 >= measureStart_);
+
+        uint64_t backlog = 0;
+        for (const auto &q : sourceQueues_)
+            backlog += q.size();
+        if (backlog > backlog_limit) {
+            saturated = true;
+            break;
+        }
+    }
+
+    // Drain: stop generating, let in-flight traffic finish.
+    if (!saturated) {
+        const Cycle drain_deadline = net_.now() + cfg_.maxDrainCycles;
+        while (net_.now() < drain_deadline) {
+            bool idle = net_.inFlight() == 0;
+            for (const auto &q : sourceQueues_)
+                idle = idle && q.empty();
+            if (idle)
+                break;
+            pumpSourceQueues();
+            net_.step();
+            harvest(true);
+        }
+        if (net_.inFlight() > 0)
+            saturated = true;
+    }
+
+    SyntheticResult r;
+    r.offeredRate = static_cast<double>(offeredMeasured_) /
+                    (static_cast<double>(nodes) *
+                     static_cast<double>(cfg_.measureCycles));
+    r.acceptedRate = static_cast<double>(measuredDeliveries_) /
+                     (static_cast<double>(nodes) *
+                      static_cast<double>(cfg_.measureCycles));
+    r.avgLatency = latency_.mean();
+    r.avgNetLatency = netLatency_.mean();
+    r.p99Latency = latencyHist_.quantile(0.99);
+    r.measuredPackets = measuredDeliveries_;
+    r.saturated = saturated || latency_.mean() > kSaturationLatency;
+    return r;
+}
+
+} // namespace phastlane::traffic

@@ -1,0 +1,131 @@
+#include "traffic/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+
+namespace phastlane::traffic {
+
+void
+writeTrace(const std::string &path,
+           const std::vector<TraceRecord> &records)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    std::fprintf(f, "# cycle src dst kind tag\n");
+    for (const auto &r : records) {
+        std::fprintf(f, "%" PRIu64 " %d %d %d %" PRIu64 "\n", r.cycle,
+                     r.src, r.dst, static_cast<int>(r.kind), r.tag);
+    }
+    std::fclose(f);
+}
+
+std::vector<TraceRecord>
+readTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        fatal("cannot open trace file '%s'", path.c_str());
+    std::vector<TraceRecord> records;
+    char line[256];
+    int lineno = 0;
+    Cycle last_cycle = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+        ++lineno;
+        if (line[0] == '#' || line[0] == '\n')
+            continue;
+        TraceRecord r;
+        int kind = 0;
+        if (std::sscanf(line, "%" SCNu64 " %d %d %d %" SCNu64,
+                        &r.cycle, &r.src, &r.dst, &kind,
+                        &r.tag) != 5) {
+            std::fclose(f);
+            fatal("malformed trace record at %s:%d", path.c_str(),
+                  lineno);
+        }
+        r.kind = static_cast<MessageKind>(kind);
+        if (r.cycle < last_cycle) {
+            std::fclose(f);
+            fatal("trace records out of order at %s:%d", path.c_str(),
+                  lineno);
+        }
+        last_cycle = r.cycle;
+        records.push_back(r);
+    }
+    std::fclose(f);
+    return records;
+}
+
+TraceReplayResult
+replayTrace(Network &net, const std::vector<TraceRecord> &records,
+            Cycle max_cycles)
+{
+    std::deque<Packet> pending;
+    size_t next = 0;
+    RunningStat latency;
+    uint64_t deliveries = 0;
+    uint64_t next_id = 1;
+    const Cycle deadline = net.now() + max_cycles;
+
+    while (net.now() < deadline) {
+        // Release due records into the pending queue.
+        while (next < records.size() &&
+               records[next].cycle <= net.now()) {
+            const TraceRecord &r = records[next++];
+            Packet pkt;
+            pkt.id = next_id++;
+            pkt.src = r.src;
+            pkt.dst = r.dst;
+            pkt.broadcast = r.broadcast();
+            pkt.kind = r.kind;
+            pkt.tag = r.tag;
+            pkt.createdAt = net.now();
+            pending.push_back(pkt);
+        }
+        // Offer pending packets in order (head-of-line per trace).
+        while (!pending.empty() && net.inject(pending.front()))
+            pending.pop_front();
+
+        if (next >= records.size() && pending.empty() &&
+            net.inFlight() == 0) {
+            break;
+        }
+        net.step();
+        for (const auto &d : net.deliveries()) {
+            latency.add(static_cast<double>(d.at - d.packet.createdAt));
+            ++deliveries;
+        }
+    }
+
+    if (net.inFlight() != 0)
+        warn("trace replay hit the cycle limit with %llu outstanding",
+             static_cast<unsigned long long>(net.inFlight()));
+
+    TraceReplayResult res;
+    res.completionCycle = net.now();
+    res.messages = records.size();
+    res.deliveries = deliveries;
+    res.avgLatency = latency.mean();
+    return res;
+}
+
+bool
+RecordingNetwork::inject(const Packet &pkt)
+{
+    if (!inner_.inject(pkt))
+        return false;
+    TraceRecord r;
+    r.cycle = inner_.now();
+    r.src = pkt.src;
+    r.dst = pkt.broadcast ? kInvalidNode : pkt.dst;
+    r.kind = pkt.kind;
+    r.tag = pkt.tag;
+    records_.push_back(r);
+    return true;
+}
+
+} // namespace phastlane::traffic

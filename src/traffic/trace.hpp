@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Trace file support. The paper drives both simulators from the same
+ * per-node packet-injection trace files (Section 4); we provide a
+ * plain-text format that either network driver can replay, plus a
+ * recorder that captures a workload into a trace.
+ *
+ * Format: one record per line,
+ *   <cycle> <src> <dst|-1 for broadcast> <kind> <tag>
+ * sorted by cycle; '#' starts a comment.
+ */
+
+#ifndef PHASTLANE_TRAFFIC_TRACE_HPP
+#define PHASTLANE_TRAFFIC_TRACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace phastlane::traffic {
+
+/** One trace record. */
+struct TraceRecord {
+    Cycle cycle = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode; ///< kInvalidNode encodes broadcast
+    MessageKind kind = MessageKind::Synthetic;
+    uint64_t tag = 0;
+
+    bool broadcast() const { return dst == kInvalidNode; }
+    bool operator==(const TraceRecord &) const = default;
+};
+
+/** Write @p records to @p path; fatal() on I/O errors. */
+void writeTrace(const std::string &path,
+                const std::vector<TraceRecord> &records);
+
+/** Read a trace file; fatal() on parse errors. */
+std::vector<TraceRecord> readTrace(const std::string &path);
+
+/** Results of a trace replay. */
+struct TraceReplayResult {
+    Cycle completionCycle = 0; ///< all deliveries done
+    uint64_t messages = 0;
+    uint64_t deliveries = 0;
+    double avgLatency = 0.0; ///< creation -> delivery
+};
+
+/**
+ * Replay a trace against a network: each record is offered at its
+ * cycle (or as soon afterwards as the NIC has room) and the run
+ * continues until every delivery completes.
+ */
+TraceReplayResult replayTrace(Network &net,
+                              const std::vector<TraceRecord> &records,
+                              Cycle max_cycles = 10000000);
+
+/**
+ * A transparent Network decorator that records every accepted
+ * injection as a trace record -- the paper's methodology of driving
+ * both simulators from the same trace files, applied to any workload
+ * driver: run the workload once through a recorder, write the trace,
+ * then replay it bit-identically on every configuration.
+ */
+class RecordingNetwork : public Network
+{
+  public:
+    explicit RecordingNetwork(Network &inner) : inner_(inner) {}
+
+    int nodeCount() const override { return inner_.nodeCount(); }
+    const MeshTopology &mesh() const override { return inner_.mesh(); }
+    Cycle now() const override { return inner_.now(); }
+    bool nicHasSpace(NodeId n) const override
+    {
+        return inner_.nicHasSpace(n);
+    }
+    bool inject(const Packet &pkt) override;
+    void step() override { inner_.step(); }
+    const std::vector<Delivery> &deliveries() const override
+    {
+        return inner_.deliveries();
+    }
+    uint64_t inFlight() const override { return inner_.inFlight(); }
+    const NetworkCounters &counters() const override
+    {
+        return inner_.counters();
+    }
+
+    /** Everything accepted so far, in injection order. */
+    const std::vector<TraceRecord> &recorded() const
+    {
+        return records_;
+    }
+
+  private:
+    Network &inner_;
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace phastlane::traffic
+
+#endif // PHASTLANE_TRAFFIC_TRACE_HPP

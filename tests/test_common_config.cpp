@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Command-line configuration parsing tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+
+namespace phastlane {
+namespace {
+
+Config
+parse(std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    argv.push_back(const_cast<char *>("prog"));
+    for (auto &a : args)
+        argv.push_back(a.data());
+    return Config::fromArgs(static_cast<int>(argv.size()),
+                            argv.data());
+}
+
+TEST(ConfigTest, DashedKeyValuePairs)
+{
+    Config c = parse({"--rate", "0.25", "--pattern", "shuffle"});
+    EXPECT_TRUE(c.has("rate"));
+    EXPECT_DOUBLE_EQ(c.getDouble("rate", 0.0), 0.25);
+    EXPECT_EQ(c.getString("pattern"), "shuffle");
+}
+
+TEST(ConfigTest, EqualsForm)
+{
+    Config c = parse({"--cycles=100", "seed=42"});
+    EXPECT_EQ(c.getInt("cycles", 0), 100);
+    EXPECT_EQ(c.getInt("seed", 0), 42);
+}
+
+TEST(ConfigTest, BareFlagIsTrue)
+{
+    Config c = parse({"--quick", "--csv", "out.csv"});
+    EXPECT_TRUE(c.getBool("quick", false));
+    EXPECT_EQ(c.getString("csv"), "out.csv");
+}
+
+TEST(ConfigTest, TrailingFlag)
+{
+    Config c = parse({"--rate", "0.1", "--verbose"});
+    EXPECT_TRUE(c.getBool("verbose", false));
+    EXPECT_DOUBLE_EQ(c.getDouble("rate", 0.0), 0.1);
+}
+
+TEST(ConfigTest, DefaultsWhenAbsent)
+{
+    Config c = parse({});
+    EXPECT_FALSE(c.has("missing"));
+    EXPECT_EQ(c.getInt("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(c.getDouble("missing", 2.5), 2.5);
+    EXPECT_EQ(c.getString("missing", "x"), "x");
+    EXPECT_TRUE(c.getBool("missing", true));
+}
+
+TEST(ConfigTest, BoolSpellings)
+{
+    Config c;
+    for (const char *v : {"1", "true", "yes", "on"}) {
+        c.set("k", v);
+        EXPECT_TRUE(c.getBool("k", false)) << v;
+    }
+    for (const char *v : {"0", "false", "no", "off", "junk"}) {
+        c.set("k", v);
+        EXPECT_FALSE(c.getBool("k", true)) << v;
+    }
+}
+
+TEST(ConfigTest, SetOverwrites)
+{
+    Config c;
+    c.set("a", "1");
+    c.set("a", "2");
+    EXPECT_EQ(c.getInt("a", 0), 2);
+}
+
+TEST(ConfigTest, KeysSorted)
+{
+    Config c = parse({"--zeta", "1", "--alpha", "2"});
+    const auto keys = c.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "alpha");
+    EXPECT_EQ(keys[1], "zeta");
+}
+
+TEST(ConfigTest, HexIntegers)
+{
+    Config c = parse({"--mask=0xff"});
+    EXPECT_EQ(c.getInt("mask", 0), 255);
+}
+
+} // namespace
+} // namespace phastlane

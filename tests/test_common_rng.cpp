@@ -1,0 +1,137 @@
+/**
+ * @file
+ * PRNG tests: determinism, distribution sanity, and stream
+ * independence.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace phastlane {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBounds)
+{
+    Rng r(11);
+    int counts[10] = {};
+    for (int i = 0; i < 100000; ++i) {
+        const int64_t v = r.uniformInt(3, 12);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 12);
+        ++counts[v - 3];
+    }
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, UniformIntDegenerateRange)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.uniformInt(42, 42), 42);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng r(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+        EXPECT_FALSE(r.bernoulli(-0.5));
+        EXPECT_TRUE(r.bernoulli(1.5));
+    }
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += r.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(17);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.exponential(25.0);
+        ASSERT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 25.0, 0.5);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng r(19);
+    // Mean failures before success = (1-p)/p = 4 for p = 0.2.
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(0.2));
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, GeometricCertainSuccess)
+{
+    Rng r(21);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.geometric(1.0), 0u);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    // Parent and child should not track each other.
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += parent.next() == child.next() ? 1 : 0;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsDeterministic)
+{
+    Rng a(77), b(77);
+    Rng ca = a.fork();
+    Rng cb = b.fork();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(ca.next(), cb.next());
+}
+
+} // namespace
+} // namespace phastlane

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Statistics container tests: Welford moments against closed-form
+ * references, merge associativity, histogram quantiles.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace phastlane {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatTest, KnownSequence)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1 = 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStatTest, MergeMatchesConcatenation)
+{
+    Rng rng(3);
+    RunningStat whole, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform() * 100.0;
+        whole.add(v);
+        (i < 400 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+    EXPECT_EQ(a.min(), whole.min());
+    EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatTest, ResetClears)
+{
+    RunningStat s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, CountsAndOverflow)
+{
+    Histogram h(10.0, 5); // bins [0,10) .. [40,50), overflow >= 50
+    h.add(0.0);
+    h.add(9.999);
+    h.add(10.0);
+    h.add(49.0);
+    h.add(50.0);
+    h.add(1000.0);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.binValue(0), 2u);
+    EXPECT_EQ(h.binValue(1), 1u);
+    EXPECT_EQ(h.binValue(4), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(HistogramTest, NegativeClampsToFirstBin)
+{
+    Histogram h(1.0, 4);
+    h.add(-5.0);
+    EXPECT_EQ(h.binValue(0), 1u);
+}
+
+TEST(HistogramTest, MedianOfUniformFill)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(HistogramTest, QuantileEmptyIsZero)
+{
+    Histogram h(1.0, 10);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileAllInOverflow)
+{
+    Histogram h(1.0, 10);
+    h.add(100.0);
+    h.add(200.0);
+    // Reported at the lower edge of the overflow region.
+    EXPECT_DOUBLE_EQ(h.quantile(0.9), 10.0);
+}
+
+TEST(CounterTest, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+} // namespace
+} // namespace phastlane

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Port/turn algebra tests: the direction arithmetic underlying the
+ * whole router model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+
+namespace phastlane {
+namespace {
+
+TEST(Types, OppositeIsInvolution)
+{
+    for (Port p : kMeshDirections)
+        EXPECT_EQ(opposite(opposite(p)), p);
+}
+
+TEST(Types, OppositePairs)
+{
+    EXPECT_EQ(opposite(Port::North), Port::South);
+    EXPECT_EQ(opposite(Port::South), Port::North);
+    EXPECT_EQ(opposite(Port::East), Port::West);
+    EXPECT_EQ(opposite(Port::West), Port::East);
+    EXPECT_EQ(opposite(Port::Local), Port::Local);
+}
+
+TEST(Types, PortIndexRoundTrip)
+{
+    for (int i = 0; i < kAllPorts; ++i)
+        EXPECT_EQ(portIndex(portFromIndex(i)), i);
+}
+
+TEST(Types, PortNamesDistinct)
+{
+    EXPECT_STREQ(portName(Port::North), "N");
+    EXPECT_STREQ(portName(Port::East), "E");
+    EXPECT_STREQ(portName(Port::South), "S");
+    EXPECT_STREQ(portName(Port::West), "W");
+    EXPECT_STREQ(portName(Port::Local), "L");
+}
+
+TEST(Types, StraightGoesToOppositePort)
+{
+    for (Port in : kMeshDirections)
+        EXPECT_EQ(applyTurn(in, Turn::Straight), opposite(in));
+}
+
+TEST(Types, TurnsNeverExitTheEntryPort)
+{
+    for (Port in : kMeshDirections) {
+        for (Turn t : {Turn::Straight, Turn::Left, Turn::Right}) {
+            const Port out = applyTurn(in, t);
+            EXPECT_NE(out, in) << "U-turn from " << portName(in);
+            EXPECT_NE(out, Port::Local);
+        }
+    }
+}
+
+TEST(Types, LeftAndRightAreMirrors)
+{
+    // A packet entering S travels north: right = East, left = West.
+    EXPECT_EQ(applyTurn(Port::South, Turn::Right), Port::East);
+    EXPECT_EQ(applyTurn(Port::South, Turn::Left), Port::West);
+    // Entering W travels east: right = South, left = North.
+    EXPECT_EQ(applyTurn(Port::West, Turn::Right), Port::South);
+    EXPECT_EQ(applyTurn(Port::West, Turn::Left), Port::North);
+}
+
+TEST(Types, TurnBetweenInvertsApplyTurn)
+{
+    for (Port in : kMeshDirections) {
+        for (Turn t : {Turn::Straight, Turn::Left, Turn::Right}) {
+            const Port out = applyTurn(in, t);
+            EXPECT_EQ(turnBetween(in, out), t)
+                << portName(in) << " -> " << portName(out);
+        }
+    }
+}
+
+TEST(Types, ThreeTurnsCoverThreeExits)
+{
+    // From any entry port the three turns reach exactly the three
+    // other mesh ports.
+    for (Port in : kMeshDirections) {
+        bool seen[kMeshPorts] = {false, false, false, false};
+        for (Turn t : {Turn::Straight, Turn::Left, Turn::Right})
+            seen[portIndex(applyTurn(in, t))] = true;
+        int count = 0;
+        for (int i = 0; i < kMeshPorts; ++i)
+            count += seen[i] ? 1 : 0;
+        EXPECT_EQ(count, 3);
+        EXPECT_FALSE(seen[portIndex(in)]);
+    }
+}
+
+} // namespace
+} // namespace phastlane

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests of the future-work extensions (paper Section 5/7): the shared
+ * per-router buffer pool and oldest-first buffer arbitration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "core/router.hpp"
+
+namespace phastlane::core {
+namespace {
+
+OpticalPacket
+mkPacket(uint64_t branch, NodeId dst)
+{
+    OpticalPacket pkt;
+    pkt.base.id = branch;
+    pkt.branchId = branch;
+    pkt.finalDst = dst;
+    return pkt;
+}
+
+TEST(SharedPool, QueueBorrowsFromTheSharedHalf)
+{
+    PhastlaneParams p;
+    p.routerBufferEntries = 4; // guaranteed 2 + shared 5 x 2 = 10
+    p.sharedBufferPool = true;
+    RouterBuffers rb(0, p);
+    // Per-port partitioning would stop at 4; with DAMQ sharing one
+    // queue can hold its guaranteed 2 plus the whole 10-slot shared
+    // region.
+    for (int i = 0; i < 12; ++i) {
+        ASSERT_TRUE(rb.hasSpace(Port::North)) << i;
+        rb.push(Port::North, mkPacket(static_cast<uint64_t>(i + 1), 5),
+                0);
+    }
+    EXPECT_FALSE(rb.hasSpace(Port::North));
+    EXPECT_EQ(rb.freeSlots(Port::North), 0);
+}
+
+TEST(SharedPool, GuaranteedSlotsSurviveAHog)
+{
+    PhastlaneParams p;
+    p.routerBufferEntries = 4;
+    p.sharedBufferPool = true;
+    RouterBuffers rb(0, p);
+    // North hogs its guarantee plus the entire shared region...
+    for (int i = 0; i < 12; ++i)
+        rb.push(Port::North, mkPacket(static_cast<uint64_t>(i + 1), 5),
+                0);
+    // ...yet every other queue still has its guaranteed two slots.
+    for (Port q : {Port::East, Port::South, Port::West, Port::Local}) {
+        EXPECT_EQ(rb.freeSlots(q), 2) << portName(q);
+        rb.push(q, mkPacket(static_cast<uint64_t>(100 + portIndex(q)),
+                            5), 0);
+        rb.push(q, mkPacket(static_cast<uint64_t>(200 + portIndex(q)),
+                            5), 0);
+        EXPECT_FALSE(rb.hasSpace(q)) << portName(q);
+    }
+}
+
+TEST(SharedPool, PartitionedModeIsPerPort)
+{
+    PhastlaneParams p;
+    p.routerBufferEntries = 2;
+    p.sharedBufferPool = false;
+    RouterBuffers rb(0, p);
+    rb.push(Port::North, mkPacket(1, 5), 0);
+    rb.push(Port::North, mkPacket(2, 5), 0);
+    EXPECT_FALSE(rb.hasSpace(Port::North));
+    EXPECT_TRUE(rb.hasSpace(Port::South));
+}
+
+TEST(SharedPool, NetworkDeliversUnderPressure)
+{
+    PhastlaneParams p;
+    p.routerBufferEntries = 2;
+    p.sharedBufferPool = true;
+    PhastlaneNetwork net(p);
+    PacketId id = 1;
+    for (NodeId src = 0; src < 64; src += 4) {
+        Packet b;
+        b.id = id++;
+        b.src = src;
+        b.broadcast = true;
+        ASSERT_TRUE(net.inject(b));
+    }
+    int guard = 0;
+    while (net.inFlight() > 0 && guard++ < 100000)
+        net.step();
+    EXPECT_EQ(net.inFlight(), 0u);
+    EXPECT_EQ(net.counters().deliveries, 16u * 63u);
+}
+
+TEST(SharedPool, FewerDropsThanPartitionedUnderHotspot)
+{
+    // Hotspot traffic concentrates on one input port; the shared pool
+    // absorbs it where the partition overflows.
+    auto drops = [](bool shared) {
+        PhastlaneParams p;
+        p.routerBufferEntries = 2;
+        p.sharedBufferPool = shared;
+        PhastlaneNetwork net(p);
+        PacketId id = 1;
+        // Many packets crossing the central column northward.
+        for (int round = 0; round < 8; ++round) {
+            for (NodeId src = 0; src < 8; ++src) {
+                Packet pkt;
+                pkt.id = id++;
+                pkt.src = src;          // bottom row
+                pkt.dst = 56 + 3;       // (3,7)
+                if (pkt.src == pkt.dst)
+                    continue;
+                net.inject(pkt);
+            }
+            net.step();
+        }
+        int guard = 0;
+        while (net.inFlight() > 0 && guard++ < 100000)
+            net.step();
+        return net.phastlaneCounters().drops;
+    };
+    EXPECT_LE(drops(true), drops(false));
+}
+
+TEST(OldestFirst, PicksStrictlyByAge)
+{
+    PhastlaneParams p;
+    p.routerBufferEntries = 4;
+    p.bufferArbitration = BufferArbitration::OldestFirst;
+    RouterBuffers rb(0, p);
+    // Later queue (West) receives the older packet.
+    rb.push(Port::West, mkPacket(1, 5), 0);
+    rb.push(Port::North, mkPacket(2, 5), 0);
+    // Both want the same output port: the oldest (seq 0) must win
+    // regardless of queue order.
+    auto launches = rb.arbitrate(0, [](const OpticalPacket &) {
+        return Port::East;
+    });
+    ASSERT_EQ(launches.size(), 1u);
+    EXPECT_EQ(launches[0].first->pkt.branchId, 1u);
+}
+
+TEST(OldestFirst, StillLaunchesUpToFourPorts)
+{
+    PhastlaneParams p;
+    p.routerBufferEntries = 8;
+    p.bufferArbitration = BufferArbitration::OldestFirst;
+    RouterBuffers rb(0, p);
+    const Port outs[4] = {Port::North, Port::East, Port::South,
+                          Port::West};
+    for (int i = 0; i < 6; ++i) {
+        OpticalPacket pk = mkPacket(static_cast<uint64_t>(i + 1), 5);
+        pk.base.tag = static_cast<uint64_t>(i % 4);
+        rb.push(Port::Local, pk, 0);
+    }
+    auto launches = rb.arbitrate(0, [&](const OpticalPacket &pkt) {
+        return outs[pkt.base.tag];
+    });
+    EXPECT_EQ(launches.size(), 4u);
+}
+
+TEST(OldestFirst, NetworkDeliversEverything)
+{
+    PhastlaneParams p;
+    p.bufferArbitration = BufferArbitration::OldestFirst;
+    p.routerBufferEntries = 4;
+    PhastlaneNetwork net(p);
+    PacketId id = 1;
+    for (NodeId src = 0; src < 64; src += 3) {
+        Packet b;
+        b.id = id++;
+        b.src = src;
+        b.broadcast = true;
+        ASSERT_TRUE(net.inject(b));
+    }
+    int guard = 0;
+    while (net.inFlight() > 0 && guard++ < 100000)
+        net.step();
+    EXPECT_EQ(net.inFlight(), 0u);
+}
+
+} // namespace
+} // namespace phastlane::core

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Optical NIC tests: broadcast expansion, capacity accounting, branch
+ * id uniqueness.
+ */
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "core/nic.hpp"
+
+namespace phastlane::core {
+namespace {
+
+class OpticalNicTest : public ::testing::Test
+{
+  protected:
+    OpticalNicTest() : mesh_(8, 8), nic_(27, params_, mesh_) {}
+
+    PhastlaneParams params_;
+    MeshTopology mesh_;
+    OpticalNic nic_;
+    uint64_t nextBranch_ = 1;
+};
+
+TEST_F(OpticalNicTest, UnicastTakesOneSlot)
+{
+    Packet p;
+    p.id = 1;
+    p.src = 27;
+    p.dst = 3;
+    ASSERT_TRUE(nic_.hasSpaceFor(p));
+    nic_.accept(p, 5, nextBranch_);
+    EXPECT_EQ(nic_.occupancy(), 1u);
+    EXPECT_EQ(nic_.head().finalDst, 3);
+    EXPECT_FALSE(nic_.head().multicast);
+    EXPECT_EQ(nic_.head().acceptedAt, 5u);
+}
+
+TEST_F(OpticalNicTest, BroadcastExpandsToBranches)
+{
+    Packet p;
+    p.id = 1;
+    p.src = 27; // interior: 16 branches
+    p.broadcast = true;
+    nic_.accept(p, 0, nextBranch_);
+    EXPECT_EQ(nic_.occupancy(), 16u);
+    // Branch ids are unique and the taps cover all 63 nodes.
+    std::set<uint64_t> ids;
+    std::multiset<NodeId> taps;
+    while (!nic_.empty()) {
+        const OpticalPacket op = nic_.popHead();
+        EXPECT_TRUE(op.multicast);
+        ids.insert(op.branchId);
+        taps.insert(op.taps.begin(), op.taps.end());
+        EXPECT_EQ(op.finalDst, op.taps.back());
+    }
+    EXPECT_EQ(ids.size(), 16u);
+    EXPECT_EQ(taps.size(), 63u);
+}
+
+TEST_F(OpticalNicTest, SpaceAccountsForWholeBroadcast)
+{
+    PhastlaneParams params;
+    params.nicQueueEntries = 20;
+    OpticalNic nic(27, params, mesh_);
+    Packet b;
+    b.id = 1;
+    b.src = 27;
+    b.broadcast = true;
+    nic.accept(b, 0, nextBranch_); // 16 branches
+    Packet b2 = b;
+    b2.id = 2;
+    EXPECT_FALSE(nic.hasSpaceFor(b2)); // needs 16, only 4 left
+    Packet u;
+    u.id = 3;
+    u.src = 27;
+    u.dst = 1;
+    EXPECT_TRUE(nic.hasSpaceFor(u));
+}
+
+TEST_F(OpticalNicTest, EdgeSourceBroadcastsEightBranches)
+{
+    OpticalNic nic(3, params_, mesh_); // bottom row
+    Packet b;
+    b.id = 1;
+    b.src = 3;
+    b.broadcast = true;
+    nic.accept(b, 0, nextBranch_);
+    EXPECT_EQ(nic.occupancy(), 8u);
+}
+
+TEST_F(OpticalNicTest, BranchIdsContinueAcrossMessages)
+{
+    Packet u;
+    u.id = 1;
+    u.src = 27;
+    u.dst = 2;
+    nic_.accept(u, 0, nextBranch_);
+    Packet u2 = u;
+    u2.id = 2;
+    u2.dst = 4;
+    nic_.accept(u2, 0, nextBranch_);
+    EXPECT_EQ(nextBranch_, 3u);
+    const uint64_t first = nic_.popHead().branchId;
+    const uint64_t second = nic_.popHead().branchId;
+    EXPECT_NE(first, second);
+}
+
+} // namespace
+} // namespace phastlane::core

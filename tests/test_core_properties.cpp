@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Property-style sweeps of the Phastlane network across hop limits,
+ * buffer depths, and mesh shapes: exactly-once delivery, the
+ * zero-load latency formula, and duplicate-free multicast
+ * retransmission.
+ */
+
+#include <gtest/gtest.h>
+#include <map>
+
+#include "core/network.hpp"
+
+namespace phastlane::core {
+namespace {
+
+class HopLimits : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HopLimits, ZeroLoadUnicastLatencyFormula)
+{
+    // An uncontended unicast injected at cycle 0 is launched at cycle
+    // 1 and crosses ceil(distance / H) segments, one per cycle.
+    const int H = GetParam();
+    PhastlaneParams p;
+    p.maxHopsPerCycle = H;
+    for (NodeId src : {0, 27, 63}) {
+        for (NodeId dst = 0; dst < 64; dst += 5) {
+            if (dst == src)
+                continue;
+            PhastlaneNetwork net(p);
+            Packet pkt;
+            pkt.id = 1;
+            pkt.src = src;
+            pkt.dst = dst;
+            ASSERT_TRUE(net.inject(pkt));
+            Cycle delivered = 0;
+            while (net.inFlight() > 0) {
+                net.step();
+                for (const auto &d : net.deliveries())
+                    delivered = d.at;
+            }
+            const int dist = net.mesh().hopDistance(src, dst);
+            const Cycle expect =
+                static_cast<Cycle>((dist + H - 1) / H);
+            EXPECT_EQ(delivered, expect)
+                << src << "->" << dst << " H=" << H;
+        }
+    }
+}
+
+TEST_P(HopLimits, BroadcastExactlyOnce)
+{
+    PhastlaneParams p;
+    p.maxHopsPerCycle = GetParam();
+    PhastlaneNetwork net(p);
+    Packet b;
+    b.id = 1;
+    b.src = 27;
+    b.broadcast = true;
+    ASSERT_TRUE(net.inject(b));
+    std::map<NodeId, int> seen;
+    int guard = 0;
+    while (net.inFlight() > 0 && guard++ < 10000) {
+        net.step();
+        for (const auto &d : net.deliveries())
+            ++seen[d.node];
+    }
+    EXPECT_EQ(seen.size(), 63u);
+    for (const auto &[node, count] : seen)
+        EXPECT_EQ(count, 1) << "node " << node << " H=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Hops, HopLimits,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 14));
+
+class BufferDepths : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BufferDepths, StormyBroadcastsDeliverExactlyOnce)
+{
+    // Retransmissions after drops must never duplicate a delivery:
+    // the resent multicast clears the Multicast bits of already
+    // served nodes (Section 2.1.4).
+    PhastlaneParams p;
+    p.routerBufferEntries = GetParam();
+    PhastlaneNetwork net(p);
+    std::map<std::pair<PacketId, NodeId>, int> seen;
+    PacketId id = 1;
+    for (NodeId src : {0, 9, 27, 36, 54, 63})
+        ASSERT_TRUE(net.inject([&] {
+            Packet b;
+            b.id = id++;
+            b.src = src;
+            b.broadcast = true;
+            return b;
+        }()));
+    int guard = 0;
+    while (net.inFlight() > 0 && guard++ < 200000) {
+        net.step();
+        for (const auto &d : net.deliveries())
+            ++seen[{d.packet.id, d.node}];
+    }
+    ASSERT_EQ(net.inFlight(), 0u);
+    EXPECT_EQ(seen.size(), 6u * 63u);
+    for (const auto &[key, count] : seen)
+        EXPECT_EQ(count, 1)
+            << "packet " << key.first << " node " << key.second;
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffers, BufferDepths,
+                         ::testing::Values(1, 2, 4, 10, 0));
+
+class MeshShapes4 : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(MeshShapes4, BroadcastCoversEveryNode)
+{
+    const auto [w, h] = GetParam();
+    PhastlaneParams p;
+    p.meshWidth = w;
+    p.meshHeight = h;
+    PhastlaneNetwork net(p);
+    Packet b;
+    b.id = 1;
+    b.src = 0;
+    b.broadcast = true;
+    ASSERT_TRUE(net.inject(b));
+    uint64_t count = 0;
+    int guard = 0;
+    while (net.inFlight() > 0 && guard++ < 10000) {
+        net.step();
+        count += net.deliveries().size();
+    }
+    EXPECT_EQ(count, static_cast<uint64_t>(w * h - 1));
+}
+
+TEST_P(MeshShapes4, UnicastsAcrossTheWholeMesh)
+{
+    const auto [w, h] = GetParam();
+    PhastlaneParams p;
+    p.meshWidth = w;
+    p.meshHeight = h;
+    PhastlaneNetwork net(p);
+    PacketId id = 1;
+    uint64_t expected = 0;
+    for (NodeId s = 0; s < w * h; ++s) {
+        const NodeId d = static_cast<NodeId>((s + 1) % (w * h));
+        if (d == s)
+            continue;
+        Packet pkt;
+        pkt.id = id++;
+        pkt.src = s;
+        pkt.dst = d;
+        ASSERT_TRUE(net.inject(pkt));
+        ++expected;
+    }
+    int guard = 0;
+    while (net.inFlight() > 0 && guard++ < 10000)
+        net.step();
+    EXPECT_EQ(net.counters().deliveries, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MeshShapes4,
+                         ::testing::Values(std::pair{2, 2},
+                                           std::pair{4, 4},
+                                           std::pair{4, 8},
+                                           std::pair{8, 4},
+                                           std::pair{8, 8}));
+
+} // namespace
+} // namespace phastlane::core

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Drop-signal return-path tests (paper Section 2.1.2 / footnote 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "core/return_path.hpp"
+
+namespace phastlane::core {
+namespace {
+
+TEST(ReturnPath, RegisterAndSignalCountsHops)
+{
+    ReturnPathRegistry reg(64);
+    reg.beginCycle();
+    // Packet: launch at 0, passes routers 1 and 2 eastward, dropped
+    // at 3.
+    std::vector<ReturnHop> path = {
+        {1, Port::West, Port::East},
+        {2, Port::West, Port::East},
+    };
+    for (const auto &h : path)
+        reg.registerHop(h.router, h.packetIn, h.packetOut);
+    EXPECT_EQ(reg.latchedHops(), 2u);
+    // Signal travels 3 -> 2 -> 1 -> 0: three links.
+    EXPECT_EQ(reg.signalDrop(path), 3);
+    EXPECT_EQ(reg.claimedLinks(), 2u);
+}
+
+TEST(ReturnPath, OneHopDrop)
+{
+    ReturnPathRegistry reg(64);
+    reg.beginCycle();
+    // Dropped at the first router entered: no pass-through hops, the
+    // signal still travels one link back to the launch router.
+    EXPECT_EQ(reg.signalDrop({}), 1);
+}
+
+TEST(ReturnPath, BeginCycleClearsState)
+{
+    ReturnPathRegistry reg(64);
+    reg.beginCycle();
+    reg.registerHop(5, Port::West, Port::East);
+    reg.beginCycle();
+    EXPECT_EQ(reg.latchedHops(), 0u);
+    // The connection can be re-latched after the cycle boundary.
+    reg.registerHop(5, Port::West, Port::East);
+    EXPECT_EQ(reg.latchedHops(), 1u);
+}
+
+TEST(ReturnPath, DoubleLatchOnOnePortDies)
+{
+    ReturnPathRegistry reg(64);
+    reg.beginCycle();
+    reg.registerHop(5, Port::West, Port::East);
+    // An output port carries at most one packet per cycle, so a
+    // second latch is a simulator bug.
+    EXPECT_DEATH(reg.registerHop(5, Port::South, Port::East),
+                 "return connection");
+}
+
+TEST(ReturnPath, OverlappingSignalsDie)
+{
+    ReturnPathRegistry reg(64);
+    reg.beginCycle();
+    std::vector<ReturnHop> path = {{7, Port::South, Port::North}};
+    reg.registerHop(7, Port::South, Port::North);
+    EXPECT_EQ(reg.signalDrop(path), 2);
+    EXPECT_DEATH(reg.signalDrop(path), "overlapping");
+}
+
+TEST(ReturnPath, DistinctPortsDoNotConflict)
+{
+    ReturnPathRegistry reg(64);
+    reg.beginCycle();
+    std::vector<ReturnHop> a = {{7, Port::South, Port::North}};
+    std::vector<ReturnHop> b = {{7, Port::West, Port::East}};
+    reg.registerHop(7, Port::South, Port::North);
+    reg.registerHop(7, Port::West, Port::East);
+    EXPECT_EQ(reg.signalDrop(a), 2);
+    EXPECT_EQ(reg.signalDrop(b), 2);
+    EXPECT_EQ(reg.claimedLinks(), 2u);
+}
+
+TEST(ReturnPath, NetworkAccountsSignalHopsUnderDrops)
+{
+    // End to end: with tiny buffers the network must drop; the
+    // drop-signal hop count accumulates and footnote 4's uniqueness
+    // invariant holds throughout (the registry panics otherwise).
+    PhastlaneParams p;
+    p.routerBufferEntries = 1;
+    PhastlaneNetwork net(p);
+    PacketId id = 1;
+    for (NodeId src = 0; src < 64; src += 2) {
+        Packet b;
+        b.id = id++;
+        b.src = src;
+        b.broadcast = true;
+        ASSERT_TRUE(net.inject(b));
+    }
+    int guard = 0;
+    while (net.inFlight() > 0 && guard++ < 200000)
+        net.step();
+    EXPECT_EQ(net.inFlight(), 0u);
+    EXPECT_GT(net.phastlaneCounters().drops, 0u);
+    // Every drop signals at least one hop, at most the hop limit.
+    EXPECT_GE(net.events().dropSignalHops,
+              net.phastlaneCounters().drops);
+    EXPECT_LE(net.events().dropSignalHops,
+              net.phastlaneCounters().drops *
+                  static_cast<uint64_t>(p.maxHopsPerCycle));
+}
+
+} // namespace
+} // namespace phastlane::core

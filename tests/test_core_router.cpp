@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Router buffer / rotating arbiter tests (paper Section 2.1.1).
+ */
+
+#include <set>
+#include <gtest/gtest.h>
+
+#include "core/router.hpp"
+
+namespace phastlane::core {
+namespace {
+
+PhastlaneParams
+smallParams(int entries)
+{
+    PhastlaneParams p;
+    p.routerBufferEntries = entries;
+    return p;
+}
+
+OpticalPacket
+mkPacket(uint64_t branch, NodeId dst)
+{
+    OpticalPacket pkt;
+    pkt.base.id = branch;
+    pkt.branchId = branch;
+    pkt.finalDst = dst;
+    return pkt;
+}
+
+TEST(RouterBuffers, CapacityEnforced)
+{
+    RouterBuffers rb(0, smallParams(2));
+    EXPECT_TRUE(rb.hasSpace(Port::North));
+    rb.push(Port::North, mkPacket(1, 5), 0);
+    rb.push(Port::North, mkPacket(2, 5), 0);
+    EXPECT_FALSE(rb.hasSpace(Port::North));
+    EXPECT_EQ(rb.freeSlots(Port::North), 0);
+    // Other queues unaffected.
+    EXPECT_TRUE(rb.hasSpace(Port::South));
+    EXPECT_EQ(rb.totalOccupancy(), 2u);
+}
+
+TEST(RouterBuffers, InfiniteBuffers)
+{
+    RouterBuffers rb(0, smallParams(0));
+    for (int i = 0; i < 1000; ++i)
+        rb.push(Port::Local, mkPacket(static_cast<uint64_t>(i), 5), 0);
+    EXPECT_TRUE(rb.hasSpace(Port::Local));
+    EXPECT_EQ(rb.occupancy(Port::Local), 1000u);
+}
+
+TEST(RouterBuffers, ArbitrateHonorsEligibility)
+{
+    RouterBuffers rb(0, smallParams(4));
+    rb.push(Port::North, mkPacket(1, 5), 10);
+    auto launches = rb.arbitrate(5, [](const OpticalPacket &) {
+        return Port::East;
+    });
+    EXPECT_TRUE(launches.empty());
+    launches = rb.arbitrate(10, [](const OpticalPacket &) {
+        return Port::East;
+    });
+    ASSERT_EQ(launches.size(), 1u);
+    EXPECT_EQ(launches[0].second, Port::East);
+    EXPECT_EQ(launches[0].first->state, EntryState::Launched);
+}
+
+TEST(RouterBuffers, OnePacketPerOutputPort)
+{
+    RouterBuffers rb(0, smallParams(4));
+    // Two packets in different queues wanting the same output port.
+    rb.push(Port::North, mkPacket(1, 5), 0);
+    rb.push(Port::South, mkPacket(2, 5), 0);
+    auto launches = rb.arbitrate(0, [](const OpticalPacket &) {
+        return Port::East;
+    });
+    EXPECT_EQ(launches.size(), 1u);
+}
+
+TEST(RouterBuffers, UpToFourLaunchesAcrossPorts)
+{
+    RouterBuffers rb(0, smallParams(8));
+    const Port outs[4] = {Port::North, Port::East, Port::South,
+                          Port::West};
+    for (int i = 0; i < 4; ++i) {
+        OpticalPacket p = mkPacket(static_cast<uint64_t>(i + 1), 5);
+        p.base.tag = static_cast<uint64_t>(i);
+        rb.push(Port::Local, p, 0);
+    }
+    auto launches = rb.arbitrate(0, [&](const OpticalPacket &pkt) {
+        return outs[pkt.base.tag];
+    });
+    EXPECT_EQ(launches.size(), 4u);
+}
+
+TEST(RouterBuffers, LaunchedEntriesAreSkipped)
+{
+    RouterBuffers rb(0, smallParams(4));
+    rb.push(Port::North, mkPacket(1, 5), 0);
+    auto first = rb.arbitrate(0, [](const OpticalPacket &) {
+        return Port::East;
+    });
+    ASSERT_EQ(first.size(), 1u);
+    auto second = rb.arbitrate(1, [](const OpticalPacket &) {
+        return Port::East;
+    });
+    EXPECT_TRUE(second.empty());
+}
+
+TEST(RouterBuffers, ReleaseFreesTheSlot)
+{
+    RouterBuffers rb(0, smallParams(1));
+    rb.push(Port::North, mkPacket(7, 5), 0);
+    rb.arbitrate(0, [](const OpticalPacket &) { return Port::East; });
+    EXPECT_FALSE(rb.hasSpace(Port::North));
+    rb.releaseLaunched(7);
+    EXPECT_TRUE(rb.hasSpace(Port::North));
+    EXPECT_EQ(rb.totalOccupancy(), 0u);
+}
+
+TEST(RouterBuffers, RestoreDroppedRetriesLater)
+{
+    RouterBuffers rb(0, smallParams(2));
+    rb.push(Port::North, mkPacket(7, 5), 0);
+    rb.arbitrate(0, [](const OpticalPacket &) { return Port::East; });
+    OpticalPacket updated = mkPacket(7, 5);
+    updated.taps = {3};
+    rb.restoreDropped(7, updated, 20);
+    // Not eligible before cycle 20.
+    auto launches = rb.arbitrate(10, [](const OpticalPacket &) {
+        return Port::East;
+    });
+    EXPECT_TRUE(launches.empty());
+    launches = rb.arbitrate(20, [](const OpticalPacket &) {
+        return Port::East;
+    });
+    ASSERT_EQ(launches.size(), 1u);
+    EXPECT_EQ(launches[0].first->pkt.taps, std::vector<NodeId>{3});
+    EXPECT_EQ(launches[0].first->attempts, 1);
+}
+
+TEST(RouterBuffers, FindLaunchedByBranchId)
+{
+    RouterBuffers rb(0, smallParams(4));
+    rb.push(Port::North, mkPacket(1, 5), 0);
+    rb.push(Port::East, mkPacket(2, 6), 0);
+    rb.arbitrate(0, [](const OpticalPacket &p) {
+        return p.branchId == 1 ? Port::South : Port::West;
+    });
+    Port q = Port::Local;
+    BufferEntry *e = rb.findLaunched(2, &q);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(q, Port::East);
+    EXPECT_EQ(rb.findLaunched(99), nullptr);
+}
+
+TEST(RouterBuffers, RotatingPointerGivesEveryQueueATurn)
+{
+    // Five queues all wanting the same output port: over five
+    // arbitration rounds each queue must win at least once.
+    RouterBuffers rb(0, smallParams(4));
+    for (Port q : kAllPortList)
+        rb.push(q, mkPacket(static_cast<uint64_t>(portIndex(q)) + 1,
+                            5), 0);
+    std::set<uint64_t> winners;
+    for (Cycle c = 0; c < 5; ++c) {
+        auto launches = rb.arbitrate(c, [](const OpticalPacket &) {
+            return Port::East;
+        });
+        ASSERT_EQ(launches.size(), 1u);
+        winners.insert(launches[0].first->pkt.branchId);
+        rb.releaseLaunched(launches[0].first->pkt.branchId);
+    }
+    EXPECT_EQ(winners.size(), 5u);
+}
+
+TEST(RouterBuffers, LaunchesPerQueueLimit)
+{
+    PhastlaneParams p = smallParams(8);
+    p.launchesPerQueue = 1;
+    RouterBuffers rb(0, p);
+    // Two local packets wanting different ports: only one may launch
+    // per cycle with the limit at 1.
+    OpticalPacket a = mkPacket(1, 5);
+    a.base.tag = 0;
+    OpticalPacket b = mkPacket(2, 5);
+    b.base.tag = 1;
+    rb.push(Port::Local, a, 0);
+    rb.push(Port::Local, b, 0);
+    auto launches = rb.arbitrate(0, [](const OpticalPacket &pkt) {
+        return pkt.base.tag == 0 ? Port::East : Port::West;
+    });
+    EXPECT_EQ(launches.size(), 1u);
+}
+
+} // namespace
+} // namespace phastlane::core

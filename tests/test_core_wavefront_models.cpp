@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Differential tests of the two intra-cycle contention models
+ * (DESIGN.md 3.1): sub-step FCFS finalizes claims in arrival order,
+ * while global priority lets a late-arriving straight packet evict an
+ * earlier turning packet's claim, as the paper's combinational
+ * hardware description suggests.
+ */
+
+#include <gtest/gtest.h>
+#include <map>
+
+#include "core/network.hpp"
+
+namespace phastlane::core {
+namespace {
+
+/**
+ * Scenario: router R = (3,3).
+ *  - Turn packet T launches one hop away at (2,3), enters R at
+ *    sub-step 1 and turns north.
+ *  - Straight packet S launches at (3,0), reaches R at sub-step 3
+ *    going straight north.
+ * Both want R's North port in the same cycle. Under sub-step FCFS the
+ * earlier T keeps the port and completes its single-segment route in
+ * cycle 1; under global priority S evicts T, which is buffered and
+ * delivered a cycle later.
+ */
+std::map<PacketId, Cycle>
+runScenario(WavefrontModel model)
+{
+    PhastlaneParams p;
+    p.wavefront = model;
+    PhastlaneNetwork net(p);
+    Packet turn;
+    turn.id = 1;
+    turn.src = 8 * 3 + 2; // (2,3)
+    turn.dst = 8 * 6 + 3; // (3,6)
+    Packet straight;
+    straight.id = 2;
+    straight.src = 3;          // (3,0)
+    straight.dst = 8 * 6 + 3;  // (3,6)
+    EXPECT_TRUE(net.inject(turn));
+    EXPECT_TRUE(net.inject(straight));
+    std::map<PacketId, Cycle> delivered;
+    int guard = 0;
+    while (net.inFlight() > 0 && guard++ < 1000) {
+        net.step();
+        for (const auto &d : net.deliveries())
+            delivered[d.packet.id] = d.at;
+    }
+    EXPECT_EQ(delivered.size(), 2u);
+    return delivered;
+}
+
+TEST(WavefrontModelsDiff, FcfsLetsTheEarlierTurnThrough)
+{
+    const auto delivered = runScenario(WavefrontModel::SubstepFcfs);
+    // T covers its 4-hop route in the launch cycle.
+    EXPECT_EQ(delivered.at(1), 1u);
+    // S is blocked at (3,3) and needs a relaunch.
+    EXPECT_EQ(delivered.at(2), 2u);
+}
+
+TEST(WavefrontModelsDiff, GlobalPriorityEvictsTheTurn)
+{
+    const auto delivered =
+        runScenario(WavefrontModel::GlobalPriority);
+    // T loses the North port to the straight packet despite arriving
+    // first, so its delivery slips behind the single-cycle transit it
+    // gets under FCFS (it may be blocked again by S's relaunch on the
+    // shared column).
+    EXPECT_GT(delivered.at(1), 1u);
+}
+
+TEST(WavefrontModelsDiff, ModelsAgreeWithoutContention)
+{
+    for (auto model : {WavefrontModel::SubstepFcfs,
+                       WavefrontModel::GlobalPriority}) {
+        PhastlaneParams p;
+        p.wavefront = model;
+        PhastlaneNetwork net(p);
+        Packet pkt;
+        pkt.id = 1;
+        pkt.src = 0;
+        pkt.dst = 63;
+        ASSERT_TRUE(net.inject(pkt));
+        Cycle delivered = 0;
+        while (net.inFlight() > 0) {
+            net.step();
+            for (const auto &d : net.deliveries())
+                delivered = d.at;
+        }
+        EXPECT_EQ(delivered, 4u);
+    }
+}
+
+TEST(WavefrontModelsDiff, BothModelsConserveUnderLoad)
+{
+    for (auto model : {WavefrontModel::SubstepFcfs,
+                       WavefrontModel::GlobalPriority}) {
+        PhastlaneParams p;
+        p.wavefront = model;
+        p.routerBufferEntries = 2;
+        PhastlaneNetwork net(p);
+        PacketId id = 1;
+        uint64_t expected = 0;
+        for (NodeId src = 0; src < 64; src += 2) {
+            Packet b;
+            b.id = id++;
+            b.src = src;
+            b.broadcast = true;
+            ASSERT_TRUE(net.inject(b));
+            expected += 63;
+        }
+        int guard = 0;
+        while (net.inFlight() > 0 && guard++ < 200000)
+            net.step();
+        EXPECT_EQ(net.counters().deliveries, expected);
+    }
+}
+
+} // namespace
+} // namespace phastlane::core

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Cross-subsystem integration tests: the headline relationships the
+ * paper reports must hold when the full stack runs together.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "electrical/network.hpp"
+#include "optical/area_model.hpp"
+#include "optical/power_model.hpp"
+#include "optical/timing.hpp"
+#include "sim/configs.hpp"
+#include "traffic/coherence.hpp"
+#include "traffic/splash.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace phastlane {
+namespace {
+
+TEST(Integration, HopConfigsMatchTimingModel)
+{
+    // The network configurations' hop limits are exactly what the
+    // timing model derives for the three scaling scenarios at 4 GHz
+    // and 64 wavelengths.
+    using optical::RouterTimingModel;
+    using optical::Scaling;
+    EXPECT_EQ(RouterTimingModel(Scaling::Pessimistic, 64)
+                  .maxHopsPerCycle(4.0), 4);
+    EXPECT_EQ(RouterTimingModel(Scaling::Average, 64)
+                  .maxHopsPerCycle(4.0), 5);
+    EXPECT_EQ(RouterTimingModel(Scaling::Optimistic, 64)
+                  .maxHopsPerCycle(4.0), 8);
+}
+
+TEST(Integration, DefaultConfigIsPeakPowerFeasible)
+{
+    // Table 1's 64-wavelength, four-hop default stays at the paper's
+    // 32 W peak-power point at 98% crossing efficiency.
+    optical::PeakPowerModel peak;
+    core::PhastlaneParams p;
+    EXPECT_LE(peak.peakPowerW(0.98, p.wavelengths,
+                              p.maxHopsPerCycle), 32.5);
+}
+
+TEST(Integration, DefaultConfigFitsTheNode)
+{
+    optical::AreaModel area;
+    optical::ChipGeometry geom;
+    core::PhastlaneParams p;
+    EXPECT_TRUE(area.fitsNode(p.wavelengths, geom.nodeAreaMm2));
+}
+
+TEST(Integration, LowLoadLatencyRatioMatchesFig9)
+{
+    traffic::SyntheticConfig cfg;
+    cfg.pattern = traffic::Pattern::UniformRandom;
+    cfg.injectionRate = 0.02;
+    cfg.warmupCycles = 300;
+    cfg.measureCycles = 2000;
+
+    auto opt = sim::makeConfig("Optical4").make(1);
+    auto elec = sim::makeConfig("Electrical3").make(1);
+    const auto ro = traffic::SyntheticDriver(*opt, cfg).run();
+    const auto re = traffic::SyntheticDriver(*elec, cfg).run();
+    const double ratio = re.avgLatency / ro.avgLatency;
+    // Paper: ~5-10X lower latency (we allow a generous band).
+    EXPECT_GT(ratio, 4.0);
+    EXPECT_LT(ratio, 25.0);
+}
+
+TEST(Integration, PowerAdvantageOnRealTraffic)
+{
+    // Paper headline: ~80% lower network power on SPLASH2 traffic
+    // (>= 70% for every benchmark; spot-check one mid and one light).
+    for (const char *bench : {"LU", "Raytrace"}) {
+        const auto prof = traffic::splashProfile(bench);
+        const auto streams = traffic::generateStreams(prof, 64, 9);
+
+        auto ecfg = sim::makeConfig("Electrical3");
+        auto enet = ecfg.make(1);
+        const auto re =
+            traffic::CoherenceDriver(*enet, streams,
+                                     prof.mshrLimit).run();
+        const double ew =
+            ecfg.power(*enet, re.completionCycles).totalW;
+
+        auto ocfg = sim::makeConfig("Optical4");
+        auto onet = ocfg.make(1);
+        const auto ro =
+            traffic::CoherenceDriver(*onet, streams,
+                                     prof.mshrLimit).run();
+        const double ow =
+            ocfg.power(*onet, ro.completionCycles).totalW;
+
+        EXPECT_LT(ow, 0.31 * ew)
+            << bench << ": optical " << ow << " W vs electrical "
+            << ew << " W";
+    }
+}
+
+TEST(Integration, SpeedupAdvantageOnLatencyBoundBenchmark)
+{
+    // One of the paper's >2.8X benchmarks.
+    const auto prof = traffic::splashProfile("Raytrace");
+    const auto streams = traffic::generateStreams(prof, 64, 9);
+    auto run = [&](const char *name) {
+        auto net = sim::makeConfig(name).make(1);
+        return traffic::CoherenceDriver(*net, streams,
+                                        prof.mshrLimit)
+            .run().completionCycles;
+    };
+    const double speedup =
+        static_cast<double>(run("Electrical3")) /
+        static_cast<double>(run("Optical4"));
+    EXPECT_GT(speedup, 2.3);
+}
+
+TEST(Integration, DropBoundBenchmarkRecoversWithBuffers)
+{
+    // Ocean: the four-hop network with 10 buffers falls behind the
+    // electrical baseline; 64 buffers roughly match it (paper
+    // Section 5). Reduced transaction count to keep the test fast.
+    auto prof = traffic::splashProfile("Ocean");
+    prof.txnsPerNode = 60;
+    const auto streams = traffic::generateStreams(prof, 64, 9);
+    auto run = [&](const char *name) {
+        auto net = sim::makeConfig(name).make(1);
+        return traffic::CoherenceDriver(*net, streams,
+                                        prof.mshrLimit)
+            .run().completionCycles;
+    };
+    const auto elec = run("Electrical3");
+    const auto opt4 = run("Optical4");
+    const auto opt4b64 = run("Optical4B64");
+    EXPECT_GT(opt4, elec);          // 10 buffers: slower
+    EXPECT_LT(opt4b64, opt4);       // buffers help
+    EXPECT_LT(static_cast<double>(std::max(opt4b64, elec)) /
+                  static_cast<double>(std::min(opt4b64, elec)),
+              1.25);                // 64 buffers: roughly matched
+}
+
+TEST(Integration, BothNetworksAgreeOnWorkloadTotals)
+{
+    const auto prof = traffic::splashProfile("FFT");
+    auto small = prof;
+    small.txnsPerNode = 30;
+    const auto streams = traffic::generateStreams(small, 64, 11);
+    auto opt = sim::makeConfig("Optical4").make(1);
+    auto elec = sim::makeConfig("Electrical3").make(1);
+    const auto ro = traffic::CoherenceDriver(*opt, streams,
+                                             small.mshrLimit).run();
+    const auto re = traffic::CoherenceDriver(*elec, streams,
+                                             small.mshrLimit).run();
+    EXPECT_EQ(ro.transactions, re.transactions);
+    EXPECT_EQ(opt->counters().deliveries,
+              elec->counters().deliveries);
+}
+
+} // namespace
+} // namespace phastlane

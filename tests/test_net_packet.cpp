@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Packet/Delivery basics and the electrical NIC's tree-state
+ * bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "electrical/nic.hpp"
+#include "net/packet.hpp"
+
+namespace phastlane {
+namespace {
+
+TEST(Packet, DeliveryCount)
+{
+    Packet p;
+    p.src = 3;
+    p.dst = 9;
+    EXPECT_EQ(p.deliveryCount(64), 1);
+    p.broadcast = true;
+    EXPECT_EQ(p.deliveryCount(64), 63);
+    EXPECT_EQ(p.deliveryCount(16), 15);
+}
+
+TEST(Packet, KindNames)
+{
+    EXPECT_STREQ(messageKindName(MessageKind::Request), "request");
+    EXPECT_STREQ(messageKindName(MessageKind::Response), "response");
+    EXPECT_STREQ(messageKindName(MessageKind::Invalidate),
+                 "invalidate");
+    EXPECT_STREQ(messageKindName(MessageKind::Writeback),
+                 "writeback");
+    EXPECT_STREQ(messageKindName(MessageKind::Synthetic),
+                 "synthetic");
+}
+
+TEST(Packet, SizeIsTheEightyBytePaperPacket)
+{
+    EXPECT_EQ(Packet::kSizeBytes, 80);
+}
+
+TEST(ElectricalNicTest, QueueDiscipline)
+{
+    electrical::ElectricalParams params;
+    params.nicQueueEntries = 2;
+    electrical::ElectricalNic nic(4, params);
+    EXPECT_TRUE(nic.empty());
+    EXPECT_TRUE(nic.hasSpace());
+
+    Packet a;
+    a.id = 1;
+    a.src = 4;
+    a.dst = 7;
+    nic.accept(a, 10);
+    Packet b = a;
+    b.id = 2;
+    nic.accept(b, 11);
+    EXPECT_FALSE(nic.hasSpace());
+    EXPECT_EQ(nic.occupancy(), 2u);
+
+    EXPECT_EQ(nic.head().msg->id, 1u);
+    EXPECT_EQ(nic.head().acceptedAt, 10u);
+    nic.popHead();
+    EXPECT_EQ(nic.head().msg->id, 2u);
+    EXPECT_TRUE(nic.hasSpace());
+}
+
+TEST(ElectricalNicTest, TreeStateMachine)
+{
+    electrical::ElectricalParams params;
+    electrical::ElectricalNic nic(0, params);
+    EXPECT_EQ(nic.treeState(), electrical::TreeState::NotBuilt);
+    nic.setTreeState(electrical::TreeState::Building);
+    nic.pendingSetupDeliveries() = 3;
+    nic.startSetupStream({5, 6, 7},
+                         std::make_shared<const Packet>(), 42);
+    EXPECT_EQ(nic.setupTargets().size(), 3u);
+    EXPECT_EQ(nic.setupAcceptedAt(), 42u);
+    nic.setupTargets().pop_back();
+    EXPECT_EQ(nic.setupTargets().size(), 2u);
+    nic.setTreeState(electrical::TreeState::Ready);
+    EXPECT_EQ(nic.treeState(), electrical::TreeState::Ready);
+}
+
+} // namespace
+} // namespace phastlane

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Router area model tests (paper Fig 8): the 64-wavelength sweet spot
+ * and the node-area budgets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "optical/area_model.hpp"
+
+namespace phastlane::optical {
+namespace {
+
+TEST(Area, SweetSpotIs64Wavelengths)
+{
+    AreaModel m;
+    const int candidates[] = {16, 32, 64, 128, 256};
+    EXPECT_EQ(m.sweetSpot(candidates, 5), 64);
+}
+
+TEST(Area, SixtyFourFitsSingleCoreNode)
+{
+    AreaModel m;
+    ChipGeometry g;
+    // Paper: 64 wavelengths are necessary to match the 3.5 mm^2
+    // single-core node.
+    EXPECT_TRUE(m.fitsNode(64, g.nodeAreaMm2));
+    EXPECT_FALSE(m.fitsNode(32, g.nodeAreaMm2));
+    EXPECT_FALSE(m.fitsNode(128, g.nodeAreaMm2));
+}
+
+TEST(Area, ThirtyTwoAnd128FitLargerNodes)
+{
+    AreaModel m;
+    ChipGeometry g;
+    // Paper: with dual/quad-core nodes, 32 or 128 wavelengths also
+    // meet the die-size constraint.
+    EXPECT_TRUE(m.fitsNode(128, g.dualNodeAreaMm2));
+    EXPECT_TRUE(m.fitsNode(32, g.quadNodeAreaMm2));
+}
+
+TEST(Area, PortLengthGrowsWithWavelengths)
+{
+    AreaModel m;
+    double prev = 0.0;
+    for (int wl : {16, 32, 64, 128, 256}) {
+        const RouterArea a = m.evaluate(wl);
+        EXPECT_GT(a.portLengthMm, prev);
+        prev = a.portLengthMm;
+    }
+}
+
+TEST(Area, InternalLengthShrinksWithWavelengths)
+{
+    AreaModel m;
+    double prev = 1e12;
+    for (int wl : {16, 32, 64, 128, 256}) {
+        const RouterArea a = m.evaluate(wl);
+        EXPECT_LT(a.internalLengthMm, prev);
+        prev = a.internalLengthMm;
+    }
+}
+
+TEST(Area, EdgeIsPortPlusInternal)
+{
+    AreaModel m;
+    for (int wl : {32, 64, 128}) {
+        const RouterArea a = m.evaluate(wl);
+        EXPECT_DOUBLE_EQ(a.edgeMm,
+                         a.portLengthMm + a.internalLengthMm);
+        EXPECT_DOUBLE_EQ(a.areaMm2, a.edgeMm * a.edgeMm);
+    }
+}
+
+TEST(Area, WaveguideCountsMatchPacketFormat)
+{
+    PacketFormat f;
+    // Table 1: 10 payload waveguides at 64-way WDM plus 2 control.
+    EXPECT_EQ(f.payloadWaveguides(64), 10);
+    EXPECT_EQ(f.controlWaveguides(), 2);
+    EXPECT_EQ(f.totalWaveguides(64), 12);
+    EXPECT_EQ(f.payloadWaveguides(32), 20);
+    EXPECT_EQ(f.payloadWaveguides(128), 5);
+}
+
+TEST(Area, ChipGeometryDerivedQuantities)
+{
+    ChipGeometry g;
+    // 64 nodes x 3.5 mm^2 -> ~15 mm die edge, ~1.87 mm pitch.
+    EXPECT_NEAR(g.dieEdgeMm(), 14.97, 0.01);
+    EXPECT_NEAR(g.nodePitchMm(), 1.87, 0.01);
+}
+
+TEST(Area, RoutersFitUnderTheNodePitchAt64)
+{
+    AreaModel m;
+    ChipGeometry g;
+    EXPECT_LT(m.evaluate(64).edgeMm, g.nodePitchMm());
+}
+
+} // namespace
+} // namespace phastlane::optical

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Itemized loss-budget tests and consistency with the Fig 7 peak-power
+ * model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "optical/loss.hpp"
+#include "optical/power_model.hpp"
+
+namespace phastlane::optical {
+namespace {
+
+TEST(Loss, FixedPartsSumToThePeakModelConstant)
+{
+    LossConstants c;
+    WaveguideConstants wg;
+    // The itemized fixed losses (default: four taps) reproduce the
+    // aggregate fixedPathLossDb the peak-power model uses.
+    EXPECT_NEAR(c.fixedTotalDb(4), wg.fixedPathLossDb, 1e-9);
+}
+
+TEST(Loss, BudgetMatchesPeakModelPathLoss)
+{
+    LossModel loss;
+    PeakPowerModel peak;
+    for (int wl : {32, 64, 128}) {
+        for (int hops : {1, 4, 8}) {
+            const LossBudget b =
+                loss.worstCasePath(0.98, wl, hops, 4);
+            EXPECT_NEAR(b.totalDb(),
+                        peak.pathLossDb(0.98, wl, hops), 1e-9)
+                << wl << " lambda, " << hops << " hops";
+        }
+    }
+}
+
+TEST(Loss, CrossingsDominateTheBudget)
+{
+    // The paper's premise: crossings are the loss driver at realistic
+    // efficiencies and hop counts.
+    LossModel loss;
+    const LossBudget b = loss.worstCasePath(0.98, 64, 4);
+    double crossings = 0.0;
+    for (const auto &item : b.items) {
+        if (item.name == "waveguide crossings")
+            crossings = item.db;
+    }
+    EXPECT_GT(crossings, 0.5 * b.totalDb());
+}
+
+TEST(Loss, PowerFactorIsExponentialInDb)
+{
+    LossBudget b;
+    b.items.push_back({"x", 10.0});
+    EXPECT_NEAR(b.powerFactor(), 10.0, 1e-9);
+    b.items.push_back({"y", 10.0});
+    EXPECT_NEAR(b.powerFactor(), 100.0, 1e-9);
+}
+
+TEST(Loss, PerfectCrossingsLeaveOnlyFixedLoss)
+{
+    LossModel loss;
+    const LossBudget b = loss.worstCasePath(1.0, 64, 8, 4);
+    EXPECT_NEAR(b.totalDb(), loss.constants().fixedTotalDb(4), 1e-9);
+}
+
+TEST(Loss, MoreTapsMoreLoss)
+{
+    LossModel loss;
+    const double t2 = loss.worstCasePath(0.98, 64, 4, 2).totalDb();
+    const double t6 = loss.worstCasePath(0.98, 64, 4, 6).totalDb();
+    EXPECT_NEAR(t6 - t2, 4.0 * loss.constants().tapDb, 1e-9);
+}
+
+TEST(Loss, ItemizationIsComplete)
+{
+    LossModel loss;
+    const LossBudget b = loss.worstCasePath(0.98, 64, 4);
+    EXPECT_EQ(b.items.size(), 6u);
+    for (const auto &item : b.items)
+        EXPECT_GE(item.db, 0.0) << item.name;
+}
+
+} // namespace
+} // namespace phastlane::optical

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Peak optical power model tests (paper Fig 7): calibration anchors
+ * and monotonicity.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "optical/power_model.hpp"
+
+namespace phastlane::optical {
+namespace {
+
+TEST(PeakPower, PaperAnchorPoints)
+{
+    PeakPowerModel m;
+    // Paper section 3.2: 64 lambda / 4 hops @ 98% -> 32 W;
+    // 128 / 5 @ 98% -> 32 W; 128 / 4 @ 98% -> 15 W.
+    EXPECT_NEAR(m.peakPowerW(0.98, 64, 4), 32.0, 0.5);
+    EXPECT_NEAR(m.peakPowerW(0.98, 128, 5), 32.0, 0.5);
+    EXPECT_NEAR(m.peakPowerW(0.98, 128, 4), 15.0, 0.3);
+}
+
+TEST(PeakPower, ThirtyTwoWavelengthsAreExcessive)
+{
+    PeakPowerModel m;
+    // Paper: 32 lambda needs >= 99% efficiency or a 2-3 hop limit.
+    EXPECT_GT(m.peakPowerW(0.98, 32, 4), 100.0);
+    EXPECT_LT(m.peakPowerW(0.99, 32, 3), 32.0);
+    EXPECT_LT(m.peakPowerW(0.98, 32, 2), 32.0);
+}
+
+TEST(PeakPower, MonotonicInHops)
+{
+    PeakPowerModel m;
+    for (int wl : {32, 64, 128}) {
+        double prev = 0.0;
+        for (int h = 1; h <= 8; ++h) {
+            const double p = m.peakPowerW(0.98, wl, h);
+            EXPECT_GT(p, prev) << wl << " lambda, " << h << " hops";
+            prev = p;
+        }
+    }
+}
+
+TEST(PeakPower, BetterEfficiencyLowersPower)
+{
+    PeakPowerModel m;
+    double prev = 1e12;
+    for (double eff : {0.97, 0.98, 0.99, 0.995, 1.0}) {
+        const double p = m.peakPowerW(eff, 64, 4);
+        EXPECT_LT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(PeakPower, PerfectCrossingsLeaveFixedLossOnly)
+{
+    PeakPowerModel m;
+    WaveguideConstants wg;
+    const double expected =
+        wg.basePowerW * std::pow(10.0, wg.fixedPathLossDb / 10.0);
+    EXPECT_NEAR(m.peakPowerW(1.0, 64, 8), expected, 1e-9);
+}
+
+TEST(PeakPower, MoreWavelengthsFewerCrossings)
+{
+    PeakPowerModel m;
+    for (int h : {2, 4, 8}) {
+        EXPECT_GT(m.worstCaseCrossings(32, h),
+                  m.worstCaseCrossings(64, h));
+        EXPECT_GT(m.worstCaseCrossings(64, h),
+                  m.worstCaseCrossings(128, h));
+    }
+}
+
+TEST(PeakPower, CrossingLossFormula)
+{
+    EXPECT_NEAR(PeakPowerModel::crossingLossDb(1.0), 0.0, 1e-12);
+    EXPECT_NEAR(PeakPowerModel::crossingLossDb(0.98), 0.0877, 0.001);
+    EXPECT_NEAR(PeakPowerModel::crossingLossDb(0.5), 3.0103, 0.001);
+}
+
+TEST(PeakPower, MaxHopsWithinBudgetInvertsPeakPower)
+{
+    PeakPowerModel m;
+    for (int wl : {64, 128}) {
+        const int h = m.maxHopsWithinBudget(0.98, wl, 32.0);
+        ASSERT_GE(h, 1);
+        EXPECT_LE(m.peakPowerW(0.98, wl, h), 32.0);
+        EXPECT_GT(m.peakPowerW(0.98, wl, h + 1), 32.0);
+    }
+}
+
+TEST(PeakPower, BudgetTooSmallGivesZeroHops)
+{
+    PeakPowerModel m;
+    EXPECT_EQ(m.maxHopsWithinBudget(0.9, 32, 0.001), 0);
+}
+
+TEST(PeakPower, TradeoffStory)
+{
+    PeakPowerModel m;
+    // Paper: going from 64 to 128 wavelengths at four hops cuts the
+    // peak power roughly in half (32 W -> 15 W).
+    const double p64 = m.peakPowerW(0.98, 64, 4);
+    const double p128 = m.peakPowerW(0.98, 128, 4);
+    EXPECT_NEAR(p128 / p64, 15.0 / 32.0, 0.03);
+}
+
+} // namespace
+} // namespace phastlane::optical

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Device-scaling model tests (paper Fig 4): the 16 nm extrapolations
+ * must land on the published endpoints and behave sensibly between the
+ * anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "optical/scaling.hpp"
+
+namespace phastlane::optical {
+namespace {
+
+constexpr std::array<Scaling, 3> kAll = {
+    Scaling::Optimistic, Scaling::Average, Scaling::Pessimistic};
+
+TEST(Scaling, PaperTransmitEndpointsAt16nm)
+{
+    DeviceScalingModel m;
+    // Paper: 8.0 - 19.4 ps at 16 nm.
+    EXPECT_NEAR(m.txDelayPs(Scaling::Optimistic, 16.0), 8.0, 0.1);
+    EXPECT_NEAR(m.txDelayPs(Scaling::Pessimistic, 16.0), 19.4, 0.1);
+    const double avg = m.txDelayPs(Scaling::Average, 16.0);
+    EXPECT_GT(avg, 8.0);
+    EXPECT_LT(avg, 19.4);
+}
+
+TEST(Scaling, PaperReceiveEndpointsAt16nm)
+{
+    DeviceScalingModel m;
+    // Paper: 1.8 - 3.7 ps at 16 nm.
+    EXPECT_NEAR(m.rxDelayPs(Scaling::Optimistic, 16.0), 1.8, 0.05);
+    EXPECT_NEAR(m.rxDelayPs(Scaling::Pessimistic, 16.0), 3.7, 0.05);
+    const double avg = m.rxDelayPs(Scaling::Average, 16.0);
+    EXPECT_GT(avg, 1.8);
+    EXPECT_LT(avg, 3.7);
+}
+
+TEST(Scaling, AllFitsAgreeAtTheAnchors)
+{
+    DeviceScalingModel m;
+    for (Scaling s : kAll) {
+        EXPECT_NEAR(m.txDelayPs(s, 22.0), m.txAnchor22(), 1e-9);
+        EXPECT_NEAR(m.txDelayPs(s, 45.0), m.txAnchor45(), 1e-9);
+        EXPECT_NEAR(m.rxDelayPs(s, 22.0), m.rxAnchor22(), 1e-9);
+        EXPECT_NEAR(m.rxDelayPs(s, 45.0), m.rxAnchor45(), 1e-9);
+    }
+}
+
+TEST(Scaling, DelaysShrinkWithTechnology)
+{
+    DeviceScalingModel m;
+    for (Scaling s : kAll) {
+        double prev_tx = 1e9, prev_rx = 1e9;
+        for (double node : {45.0, 32.0, 22.0, 16.0}) {
+            const double tx = m.txDelayPs(s, node);
+            const double rx = m.rxDelayPs(s, node);
+            EXPECT_LT(tx, prev_tx) << scalingName(s) << " @" << node;
+            EXPECT_LT(rx, prev_rx) << scalingName(s) << " @" << node;
+            EXPECT_GT(tx, 0.0);
+            EXPECT_GT(rx, 0.0);
+            prev_tx = tx;
+            prev_rx = rx;
+        }
+    }
+}
+
+TEST(Scaling, ScenarioOrderingBelowAnchors)
+{
+    DeviceScalingModel m;
+    // Below 22 nm: log (optimistic) < linear (average) < exp
+    // (pessimistic).
+    for (double node : {20.0, 18.0, 16.0}) {
+        EXPECT_LT(m.txDelayPs(Scaling::Optimistic, node),
+                  m.txDelayPs(Scaling::Average, node));
+        EXPECT_LT(m.txDelayPs(Scaling::Average, node),
+                  m.txDelayPs(Scaling::Pessimistic, node));
+        EXPECT_LT(m.rxDelayPs(Scaling::Optimistic, node),
+                  m.rxDelayPs(Scaling::Average, node));
+        EXPECT_LT(m.rxDelayPs(Scaling::Average, node),
+                  m.rxDelayPs(Scaling::Pessimistic, node));
+    }
+}
+
+TEST(Scaling, TransmitDominatesReceive)
+{
+    DeviceScalingModel m;
+    for (Scaling s : kAll) {
+        for (double node : {45.0, 32.0, 22.0, 16.0})
+            EXPECT_GT(m.txDelayPs(s, node), m.rxDelayPs(s, node));
+    }
+}
+
+TEST(Scaling, NamesAreStable)
+{
+    EXPECT_STREQ(scalingName(Scaling::Optimistic), "optimistic");
+    EXPECT_STREQ(scalingName(Scaling::Average), "average");
+    EXPECT_STREQ(scalingName(Scaling::Pessimistic), "pessimistic");
+}
+
+} // namespace
+} // namespace phastlane::optical

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Router timing tests (paper Fig 5 and Fig 6): critical-path
+ * structure and the per-cycle hop budgets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "optical/timing.hpp"
+
+namespace phastlane::optical {
+namespace {
+
+class TimingAcrossWavelengths : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TimingAcrossWavelengths, PaperHopBudgetsAt4GHz)
+{
+    const int wl = GetParam();
+    // Paper Fig 6: 8 / 5 / 4 hops per 4 GHz cycle for optimistic /
+    // average / pessimistic scaling, independent of the wavelength
+    // count.
+    EXPECT_EQ(RouterTimingModel(Scaling::Optimistic, wl)
+                  .maxHopsPerCycle(4.0), 8);
+    EXPECT_EQ(RouterTimingModel(Scaling::Average, wl)
+                  .maxHopsPerCycle(4.0), 5);
+    EXPECT_EQ(RouterTimingModel(Scaling::Pessimistic, wl)
+                  .maxHopsPerCycle(4.0), 4);
+}
+
+TEST_P(TimingAcrossWavelengths, CriticalPathOrdering)
+{
+    const int wl = GetParam();
+    for (Scaling s : {Scaling::Optimistic, Scaling::Average,
+                      Scaling::Pessimistic}) {
+        RouterTimingModel m(s, wl);
+        // Paper Fig 5: pass is the slowest, accept the fastest.
+        EXPECT_GT(m.packetPass().totalPs(), m.packetBlock().totalPs());
+        EXPECT_GT(m.packetBlock().totalPs(),
+                  m.packetAccept().totalPs());
+        EXPECT_DOUBLE_EQ(m.packetAccept().totalPs(),
+                         m.packetInterimAccept().totalPs());
+    }
+}
+
+TEST_P(TimingAcrossWavelengths, ResonatorDriveDominatesPass)
+{
+    const int wl = GetParam();
+    for (Scaling s : {Scaling::Average, Scaling::Pessimistic}) {
+        RouterTimingModel m(s, wl);
+        // Paper: "most of the delay involves driving the resonators".
+        EXPECT_GT(2.0 * m.resonatorDrivePs(),
+                  0.5 * m.packetPass().totalPs());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Wavelengths, TimingAcrossWavelengths,
+                         ::testing::Values(32, 64, 128));
+
+TEST(Timing, WavelengthsHaveLittleDelayImpact)
+{
+    // Paper Fig 5: the wavelength count barely changes the critical
+    // paths. The swing between 32 and 128 lambda comes from the
+    // internal traverse distance and is bounded in absolute terms; it
+    // never changes the hop budget (checked above).
+    for (Scaling s : {Scaling::Optimistic, Scaling::Average,
+                      Scaling::Pessimistic}) {
+        const double pp32 =
+            RouterTimingModel(s, 32).packetPass().totalPs();
+        const double pp128 =
+            RouterTimingModel(s, 128).packetPass().totalPs();
+        EXPECT_LT(std::abs(pp32 - pp128), 15.0);
+    }
+    // For the average and pessimistic scenarios (larger totals) the
+    // relative impact is small as well.
+    for (Scaling s : {Scaling::Average, Scaling::Pessimistic}) {
+        const double pp32 =
+            RouterTimingModel(s, 32).packetPass().totalPs();
+        const double pp128 =
+            RouterTimingModel(s, 128).packetPass().totalPs();
+        EXPECT_LT(std::abs(pp32 - pp128) / pp32, 0.35);
+    }
+}
+
+TEST(Timing, PathDelayIsMonotonicInHops)
+{
+    RouterTimingModel m(Scaling::Average, 64);
+    double prev = 0.0;
+    for (int h = 1; h <= 14; ++h) {
+        const double d = m.pathDelayPs(h);
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(Timing, MaxHopsUsesWholeBudget)
+{
+    for (Scaling s : {Scaling::Optimistic, Scaling::Average,
+                      Scaling::Pessimistic}) {
+        RouterTimingModel m(s, 64);
+        const int h = m.maxHopsPerCycle(4.0);
+        ASSERT_GE(h, 1);
+        EXPECT_LE(m.pathDelayPs(h), 250.0);
+        EXPECT_GT(m.pathDelayPs(h + 1), 250.0);
+    }
+}
+
+TEST(Timing, SlowerClockAllowsMoreHops)
+{
+    RouterTimingModel m(Scaling::Pessimistic, 64);
+    EXPECT_GE(m.maxHopsPerCycle(2.0), m.maxHopsPerCycle(4.0));
+    EXPECT_GE(m.maxHopsPerCycle(4.0), m.maxHopsPerCycle(8.0));
+}
+
+TEST(Timing, HopBudgetCappedByControlGroups)
+{
+    RouterTimingModel m(Scaling::Optimistic, 64);
+    // At a very slow clock the control-field limit (14 groups) caps
+    // the reach.
+    EXPECT_LE(m.maxHopsPerCycle(0.1), 14);
+}
+
+TEST(Timing, ComponentBreakdownSumsToTotal)
+{
+    RouterTimingModel m(Scaling::Average, 64);
+    for (const CriticalPath &p :
+         {m.packetPass(), m.packetBlock(), m.packetAccept(),
+          m.packetInterimAccept()}) {
+        double sum = 0.0;
+        for (const auto &c : p.components) {
+            EXPECT_GT(c.ps, 0.0) << p.name << "/" << c.name;
+            sum += c.ps;
+        }
+        EXPECT_DOUBLE_EQ(sum, p.totalPs());
+    }
+}
+
+TEST(Timing, ScenarioDelaysOrdered)
+{
+    RouterTimingModel opt(Scaling::Optimistic, 64);
+    RouterTimingModel avg(Scaling::Average, 64);
+    RouterTimingModel pess(Scaling::Pessimistic, 64);
+    EXPECT_LT(opt.packetPass().totalPs(), avg.packetPass().totalPs());
+    EXPECT_LT(avg.packetPass().totalPs(), pess.packetPass().totalPs());
+}
+
+} // namespace
+} // namespace phastlane::optical

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Power model tests: CACTI-lite behavior, breakdown consistency, and
+ * the paper's optical-vs-electrical power relationships.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/cacti_lite.hpp"
+#include "power/electrical_power.hpp"
+#include "power/optical_power.hpp"
+
+namespace phastlane::power {
+namespace {
+
+TEST(CactiLite, AccessEnergyGrowsWithDepth)
+{
+    BufferEnergyModel small(1, 640);
+    BufferEnergyModel mid(10, 640);
+    BufferEnergyModel big(64, 640);
+    EXPECT_LT(small.readPj(), mid.readPj());
+    EXPECT_LT(mid.readPj(), big.readPj());
+}
+
+TEST(CactiLite, WriteCostsSlightlyMoreThanRead)
+{
+    BufferEnergyModel b(10, 640);
+    EXPECT_GT(b.writePj(), b.readPj());
+    EXPECT_LT(b.writePj(), 1.2 * b.readPj());
+}
+
+TEST(CactiLite, LeakageScalesWithCells)
+{
+    BufferEnergyModel a(10, 640);
+    BufferEnergyModel b(20, 640);
+    EXPECT_NEAR(b.leakageW() / a.leakageW(), 2.0, 1e-9);
+    BufferEnergyModel c(10, 1280);
+    EXPECT_NEAR(c.leakageW() / a.leakageW(), 2.0, 1e-9);
+}
+
+TEST(CactiLite, CalibrationPoint)
+{
+    // ~0.04 pJ/bit for a 10 x 640-bit buffer.
+    BufferEnergyModel b(10, 640);
+    EXPECT_NEAR(b.readPj() / 640.0, 0.04, 0.005);
+}
+
+double
+sumParts(const PowerBreakdown &p)
+{
+    return p.bufferDynamicW + p.bufferLeakageW + p.crossbarW +
+           p.linkW + p.allocW + p.ejectW + p.laserW + p.modulatorW +
+           p.receiverW + p.resonatorW + p.staticW;
+}
+
+TEST(ElectricalPower, BreakdownSumsToTotal)
+{
+    electrical::ElectricalParams np;
+    ElectricalPowerModel m(np);
+    electrical::ElectricalEvents ev;
+    ev.bufferWrites = 1000;
+    ev.bufferReads = 900;
+    ev.xbarTraversals = 900;
+    ev.linkTraversals = 900;
+    ev.vaGrants = 900;
+    ev.saGrants = 900;
+    ev.ejections = 200;
+    const PowerBreakdown p = m.report(ev, 10000);
+    EXPECT_NEAR(p.totalW, sumParts(p), 1e-12);
+    EXPECT_GT(p.totalW, 0.0);
+}
+
+TEST(ElectricalPower, IdleNetworkStillLeaks)
+{
+    electrical::ElectricalParams np;
+    ElectricalPowerModel m(np);
+    const PowerBreakdown p = m.report({}, 10000);
+    EXPECT_GT(p.staticW, 0.0);
+    EXPECT_GT(p.bufferLeakageW, 0.0);
+    EXPECT_EQ(p.crossbarW, 0.0);
+    EXPECT_EQ(p.linkW, 0.0);
+}
+
+TEST(ElectricalPower, DynamicPowerScalesWithActivity)
+{
+    electrical::ElectricalParams np;
+    ElectricalPowerModel m(np);
+    electrical::ElectricalEvents lo, hi;
+    lo.linkTraversals = 1000;
+    hi.linkTraversals = 2000;
+    const double plo = m.report(lo, 10000).linkW;
+    const double phi = m.report(hi, 10000).linkW;
+    EXPECT_NEAR(phi / plo, 2.0, 1e-9);
+}
+
+TEST(OpticalPower, BreakdownSumsToTotal)
+{
+    core::PhastlaneParams np;
+    OpticalPowerModel m(np);
+    core::OpticalEvents ev;
+    ev.launches = 1000;
+    ev.passTraversals = 2500;
+    ev.receives = 800;
+    ev.tapReceives = 600;
+    ev.bufferWrites = 700;
+    ev.bufferReads = 1000;
+    ev.drops = 50;
+    ev.dropSignalHops = 120;
+    const PowerBreakdown p = m.report(ev, 10000);
+    EXPECT_NEAR(p.totalW, sumParts(p), 1e-12);
+}
+
+TEST(OpticalPower, EightHopLaserCostsMore)
+{
+    // Paper Fig 11: the eight-hop network's transmit power rises
+    // sharply relative to four/five hops.
+    core::PhastlaneParams p4, p5, p8;
+    p4.maxHopsPerCycle = 4;
+    p5.maxHopsPerCycle = 5;
+    p8.maxHopsPerCycle = 8;
+    OpticalPowerModel m4(p4), m5(p5), m8(p8);
+    EXPECT_LT(m4.laserFjPerBit(), m5.laserFjPerBit());
+    EXPECT_LT(m5.laserFjPerBit(), m8.laserFjPerBit());
+    EXPECT_GT(m8.laserFjPerBit() / m4.laserFjPerBit(), 2.0);
+}
+
+TEST(OpticalPower, BiggerBuffersLeakMore)
+{
+    core::PhastlaneParams p10, p64;
+    p10.routerBufferEntries = 10;
+    p64.routerBufferEntries = 64;
+    OpticalPowerModel m10(p10), m64(p64);
+    const PowerBreakdown b10 = m10.report({}, 1000);
+    const PowerBreakdown b64 = m64.report({}, 1000);
+    EXPECT_GT(b64.bufferLeakageW, b10.bufferLeakageW);
+}
+
+TEST(OpticalPower, ComparableTrafficUsesFarLessPowerThanElectrical)
+{
+    // Model the same unicast stream through both networks: N packets
+    // over an average 5.33-hop path. Electrical: per-hop buffer
+    // write+read, crossbar, link; optical: ~1.8 launches (segments)
+    // with buffer ops at segment ends. The optical network must come
+    // in far below the electrical one (paper: 80% less).
+    const uint64_t n = 1000000;
+    const uint64_t cycles = 100000;
+
+    electrical::ElectricalParams ep;
+    ElectricalPowerModel em(ep);
+    electrical::ElectricalEvents ee;
+    ee.bufferWrites = static_cast<uint64_t>(n * 5.33) + n;
+    ee.bufferReads = static_cast<uint64_t>(n * 5.33);
+    ee.xbarTraversals = static_cast<uint64_t>(n * 5.33);
+    ee.linkTraversals = static_cast<uint64_t>(n * 5.33);
+    ee.vaGrants = ee.saGrants = static_cast<uint64_t>(n * 5.33);
+    ee.ejections = n;
+    ee.routerCycles = 64 * cycles;
+
+    core::PhastlaneParams op;
+    OpticalPowerModel om(op);
+    core::OpticalEvents oe;
+    oe.launches = static_cast<uint64_t>(n * 1.8);
+    oe.passTraversals = static_cast<uint64_t>(n * 3.5);
+    oe.receives = static_cast<uint64_t>(n * 1.8);
+    oe.bufferWrites = static_cast<uint64_t>(n * 1.8);
+    oe.bufferReads = static_cast<uint64_t>(n * 1.8);
+    oe.routerCycles = 64 * cycles;
+
+    const double ew = em.report(ee, cycles).totalW;
+    const double ow = om.report(oe, cycles).totalW;
+    EXPECT_LT(ow, 0.35 * ew)
+        << "optical " << ow << " W vs electrical " << ew << " W";
+}
+
+} // namespace
+} // namespace phastlane::power

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Experiment-harness tests on a reduced two-benchmark, three-config
+ * matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace phastlane::sim {
+namespace {
+
+ExperimentSpec
+tinySpec()
+{
+    ExperimentSpec spec;
+    spec.configs = {"Electrical3", "Optical4", "Optical4B64"};
+    spec.benchmarks = {traffic::splashProfile("Raytrace"),
+                       traffic::splashProfile("LU")};
+    spec.txnsPerNode = 25;
+    spec.seed = 5;
+    return spec;
+}
+
+TEST(Experiment, ProducesOneRowPerCell)
+{
+    const auto spec = tinySpec();
+    const auto runs = runExperiment(spec);
+    EXPECT_EQ(runs.size(),
+              spec.configs.size() * spec.benchmarks.size());
+    for (const auto &r : runs) {
+        EXPECT_FALSE(r.result.timedOut) << r.benchmark << "/"
+                                        << r.config;
+        EXPECT_GT(r.result.completionCycles, 0u);
+        EXPECT_GT(r.power.totalW, 0.0);
+    }
+}
+
+TEST(Experiment, BaselineSpeedupIsOne)
+{
+    const auto spec = tinySpec();
+    const auto runs = runExperiment(spec);
+    for (const auto &b : spec.benchmarks) {
+        EXPECT_DOUBLE_EQ(
+            speedupOf(runs, b.name, "Electrical3"), 1.0);
+    }
+}
+
+TEST(Experiment, OpticalWinsOnTheLatencyBoundBenchmark)
+{
+    const auto spec = tinySpec();
+    const auto runs = runExperiment(spec);
+    EXPECT_GT(speedupOf(runs, "Raytrace", "Optical4"), 1.5);
+    // And uses far less power.
+    const auto &elec = findRun(runs, "Raytrace", "Electrical3");
+    const auto &opt = findRun(runs, "Raytrace", "Optical4");
+    EXPECT_LT(opt.power.totalW, elec.power.totalW);
+}
+
+TEST(Experiment, TablesHaveTheRightShape)
+{
+    const auto spec = tinySpec();
+    const auto runs = runExperiment(spec);
+    const TextTable sp = speedupTable(spec, runs);
+    const TextTable pw = powerTable(spec, runs);
+    EXPECT_EQ(sp.rowCount(), spec.benchmarks.size());
+    EXPECT_EQ(pw.rowCount(), spec.benchmarks.size());
+    const std::string rendered = sp.render();
+    EXPECT_NE(rendered.find("Raytrace"), std::string::npos);
+    EXPECT_NE(rendered.find("Optical4B64"), std::string::npos);
+}
+
+TEST(Experiment, FindRunRejectsUnknownCells)
+{
+    const auto spec = tinySpec();
+    const auto runs = runExperiment(spec);
+    EXPECT_DEATH(findRun(runs, "Raytrace", "NoSuchConfig"),
+                 "no run");
+}
+
+TEST(Experiment, DeterministicAcrossInvocations)
+{
+    const auto spec = tinySpec();
+    const auto a = runExperiment(spec);
+    const auto b = runExperiment(spec);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].result.completionCycles,
+                  b[i].result.completionCycles);
+        EXPECT_EQ(a[i].drops, b[i].drops);
+    }
+}
+
+} // namespace
+} // namespace phastlane::sim

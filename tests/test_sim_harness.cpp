@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Simulation harness tests: the named configuration registry and the
+ * injection-rate sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "electrical/network.hpp"
+#include "sim/configs.hpp"
+#include "sim/sweep.hpp"
+
+namespace phastlane::sim {
+namespace {
+
+TEST(Configs, StandardListMatchesPaperSection5)
+{
+    const auto configs = standardConfigs();
+    ASSERT_EQ(configs.size(), 8u);
+    const char *names[] = {"Optical4", "Optical5", "Optical8",
+                           "Optical4B32", "Optical4B64",
+                           "Optical4IB", "Electrical2",
+                           "Electrical3"};
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(configs[i].name, names[i]);
+}
+
+TEST(Configs, OpticalHopLimits)
+{
+    for (auto [name, hops] :
+         {std::pair{"Optical4", 4}, {"Optical5", 5},
+          {"Optical8", 8}}) {
+        auto net = makeConfig(name).make(1);
+        auto *pl = dynamic_cast<core::PhastlaneNetwork *>(net.get());
+        ASSERT_NE(pl, nullptr) << name;
+        EXPECT_EQ(pl->params().maxHopsPerCycle, hops);
+        EXPECT_EQ(pl->params().routerBufferEntries, 10);
+    }
+}
+
+TEST(Configs, BufferVariants)
+{
+    auto b32 = makeConfig("Optical4B32").make(1);
+    auto b64 = makeConfig("Optical4B64").make(1);
+    auto ib = makeConfig("Optical4IB").make(1);
+    EXPECT_EQ(dynamic_cast<core::PhastlaneNetwork *>(b32.get())
+                  ->params().routerBufferEntries, 32);
+    EXPECT_EQ(dynamic_cast<core::PhastlaneNetwork *>(b64.get())
+                  ->params().routerBufferEntries, 64);
+    EXPECT_TRUE(dynamic_cast<core::PhastlaneNetwork *>(ib.get())
+                    ->params().infiniteBuffers());
+}
+
+TEST(Configs, ElectricalDelays)
+{
+    auto e2 = makeConfig("Electrical2").make(1);
+    auto e3 = makeConfig("Electrical3").make(1);
+    EXPECT_EQ(dynamic_cast<electrical::ElectricalNetwork *>(e2.get())
+                  ->params().routerDelay, 2);
+    EXPECT_EQ(dynamic_cast<electrical::ElectricalNetwork *>(e3.get())
+                  ->params().routerDelay, 3);
+}
+
+TEST(Configs, PowerEvaluatorsWork)
+{
+    for (const auto &cfg : standardConfigs()) {
+        auto net = cfg.make(1);
+        Packet p;
+        p.id = 1;
+        p.src = 0;
+        p.dst = 5;
+        ASSERT_TRUE(net->inject(p));
+        while (net->inFlight() > 0)
+            net->step();
+        const auto power = cfg.power(*net, net->now());
+        EXPECT_GT(power.totalW, 0.0) << cfg.name;
+    }
+}
+
+TEST(Configs, UnknownNameDies)
+{
+    EXPECT_DEATH(makeConfig("NotAConfig"), "unknown");
+}
+
+TEST(Sweep, DefaultGridIsIncreasing)
+{
+    const auto grid = defaultRateGrid();
+    ASSERT_GT(grid.size(), 5u);
+    for (size_t i = 1; i < grid.size(); ++i)
+        EXPECT_GT(grid[i], grid[i - 1]);
+}
+
+TEST(Sweep, ProducesMonotoneLoadPoints)
+{
+    SweepConfig sc;
+    sc.pattern = traffic::Pattern::Transpose;
+    sc.rates = {0.02, 0.1, 0.5};
+    sc.warmupCycles = 200;
+    sc.measureCycles = 1000;
+    const auto pts = runSweep(makeConfig("Electrical3"), sc);
+    ASSERT_GE(pts.size(), 2u);
+    EXPECT_LT(pts.front().result.avgLatency,
+              pts.back().result.avgLatency);
+}
+
+TEST(Sweep, StopsAtSaturation)
+{
+    SweepConfig sc;
+    sc.pattern = traffic::Pattern::BitComplement;
+    sc.rates = {0.05, 0.5, 0.6, 0.7};
+    sc.warmupCycles = 200;
+    sc.measureCycles = 1500;
+    const auto pts = runSweep(makeConfig("Electrical3"), sc);
+    ASSERT_GE(pts.size(), 2u);
+    EXPECT_TRUE(pts.back().result.saturated);
+    EXPECT_LT(pts.size(), sc.rates.size() + 1);
+}
+
+TEST(Sweep, SaturationThroughputIsMaxAccepted)
+{
+    SweepConfig sc;
+    sc.pattern = traffic::Pattern::Transpose;
+    sc.rates = {0.02, 0.1};
+    sc.warmupCycles = 200;
+    sc.measureCycles = 1000;
+    const auto pts = runSweep(makeConfig("Optical4"), sc);
+    const double sat = saturationThroughput(pts);
+    for (const auto &pt : pts)
+        EXPECT_LE(pt.result.acceptedRate, sat + 1e-12);
+}
+
+} // namespace
+} // namespace phastlane::sim

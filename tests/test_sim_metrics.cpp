@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Latency-collector tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "sim/metrics.hpp"
+
+namespace phastlane::sim {
+namespace {
+
+Delivery
+mkDelivery(NodeId src, NodeId node, Cycle created, Cycle injected,
+           Cycle at, MessageKind kind = MessageKind::Synthetic)
+{
+    Delivery d;
+    d.packet.src = src;
+    d.packet.createdAt = created;
+    d.packet.kind = kind;
+    d.node = node;
+    d.injectedAt = injected;
+    d.at = at;
+    return d;
+}
+
+TEST(Metrics, OverallAndKindBuckets)
+{
+    MeshTopology mesh(8, 8);
+    LatencyCollector c(mesh);
+    c.add(mkDelivery(0, 1, 0, 2, 10, MessageKind::Request));
+    c.add(mkDelivery(0, 2, 0, 1, 20, MessageKind::Response));
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.overall().total.mean(), 15.0);
+    EXPECT_DOUBLE_EQ(c.byKind(MessageKind::Request).total.mean(),
+                     10.0);
+    EXPECT_DOUBLE_EQ(c.byKind(MessageKind::Response).total.mean(),
+                     20.0);
+    EXPECT_EQ(c.byKind(MessageKind::Writeback).total.count(), 0u);
+}
+
+TEST(Metrics, NetworkLatencyExcludesQueueing)
+{
+    MeshTopology mesh(8, 8);
+    LatencyCollector c(mesh);
+    c.add(mkDelivery(0, 1, 0, 7, 10));
+    EXPECT_DOUBLE_EQ(c.overall().total.mean(), 10.0);
+    EXPECT_DOUBLE_EQ(c.overall().network.mean(), 3.0);
+}
+
+TEST(Metrics, DistanceBuckets)
+{
+    MeshTopology mesh(8, 8);
+    LatencyCollector c(mesh);
+    c.add(mkDelivery(0, 1, 0, 0, 5));   // 1 hop
+    c.add(mkDelivery(0, 63, 0, 0, 40)); // 14 hops
+    EXPECT_DOUBLE_EQ(c.byDistance(1).total.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(c.byDistance(14).total.mean(), 40.0);
+    EXPECT_EQ(c.byDistance(7).total.count(), 0u);
+    EXPECT_EQ(c.maxDistance(), 14);
+}
+
+TEST(Metrics, ReportMentionsPopulatedKinds)
+{
+    MeshTopology mesh(8, 8);
+    LatencyCollector c(mesh);
+    c.add(mkDelivery(0, 9, 0, 0, 12, MessageKind::Invalidate));
+    const std::string rep = c.report();
+    EXPECT_NE(rep.find("invalidate"), std::string::npos);
+    EXPECT_EQ(rep.find("writeback"), std::string::npos);
+    EXPECT_NE(rep.find("latency by distance"), std::string::npos);
+}
+
+TEST(Metrics, DrivenByARealNetwork)
+{
+    core::PhastlaneNetwork net(core::PhastlaneParams{});
+    MeshTopology mesh(8, 8);
+    LatencyCollector c(mesh);
+    Packet pkt;
+    pkt.id = 1;
+    pkt.src = 0;
+    pkt.dst = 63;
+    ASSERT_TRUE(net.inject(pkt));
+    while (net.inFlight() > 0) {
+        net.step();
+        c.addAll(net.deliveries());
+    }
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_EQ(c.byDistance(14).total.count(), 1u);
+    // Longer distances cost more cycles on average: compare a short
+    // and a long transfer.
+    Packet pkt2;
+    pkt2.id = 2;
+    pkt2.src = 0;
+    pkt2.dst = 1;
+    ASSERT_TRUE(net.inject(pkt2));
+    while (net.inFlight() > 0) {
+        net.step();
+        c.addAll(net.deliveries());
+    }
+    EXPECT_LT(c.byDistance(1).network.mean(),
+              c.byDistance(14).network.mean());
+}
+
+} // namespace
+} // namespace phastlane::sim

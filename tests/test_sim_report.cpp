@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Link-utilization report tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "electrical/network.hpp"
+#include "sim/report.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace phastlane::sim {
+namespace {
+
+TEST(Report, EdgePortsAreExcluded)
+{
+    MeshTopology mesh(8, 8);
+    std::vector<uint64_t> counts(64 * kMeshPorts, 0);
+    UtilizationReport r(mesh, counts, 100);
+    // 2 * (w*(h-1) + h*(w-1)) directed links in an 8x8 mesh = 224.
+    EXPECT_EQ(r.links().size(), 224u);
+}
+
+TEST(Report, UtilizationArithmetic)
+{
+    MeshTopology mesh(2, 2);
+    std::vector<uint64_t> counts(4 * kMeshPorts, 0);
+    // Node 0's East port used 50 of 100 cycles.
+    counts[0 * kMeshPorts + portIndex(Port::East)] = 50;
+    UtilizationReport r(mesh, counts, 100);
+    EXPECT_DOUBLE_EQ(r.peakUtilization(), 0.5);
+    // 8 directed links in a 2x2 mesh.
+    EXPECT_EQ(r.links().size(), 8u);
+    EXPECT_DOUBLE_EQ(r.meanUtilization(), 0.5 / 8.0);
+    const auto hot = r.hottest(1);
+    ASSERT_EQ(hot.size(), 1u);
+    EXPECT_EQ(hot[0].router, 0);
+    EXPECT_EQ(hot[0].out, Port::East);
+}
+
+TEST(Report, HottestIsSortedAndTruncated)
+{
+    MeshTopology mesh(2, 2);
+    std::vector<uint64_t> counts(4 * kMeshPorts, 0);
+    counts[0 * kMeshPorts + portIndex(Port::East)] = 10;
+    counts[0 * kMeshPorts + portIndex(Port::North)] = 30;
+    counts[3 * kMeshPorts + portIndex(Port::West)] = 20;
+    UtilizationReport r(mesh, counts, 100);
+    const auto hot = r.hottest(2);
+    ASSERT_EQ(hot.size(), 2u);
+    EXPECT_EQ(hot[0].traversals, 30u);
+    EXPECT_EQ(hot[1].traversals, 20u);
+}
+
+TEST(Report, HeatmapShapeAndScale)
+{
+    MeshTopology mesh(4, 4);
+    std::vector<uint64_t> counts(16 * kMeshPorts, 0);
+    // Saturate every outgoing link of node 5.
+    for (Port p : kMeshDirections)
+        counts[5 * kMeshPorts + portIndex(p)] = 100;
+    UtilizationReport r(mesh, counts, 100);
+    const std::string map = r.heatmap();
+    // 4 rows of "c c c c \n".
+    EXPECT_EQ(std::count(map.begin(), map.end(), '\n'), 4);
+    EXPECT_NE(map.find('9'), std::string::npos);
+    EXPECT_NE(map.find('.'), std::string::npos);
+}
+
+TEST(Report, FromPhastlaneNetworkUnderTraffic)
+{
+    core::PhastlaneNetwork net(core::PhastlaneParams{});
+    traffic::SyntheticConfig cfg;
+    cfg.injectionRate = 0.05;
+    cfg.warmupCycles = 100;
+    cfg.measureCycles = 1000;
+    traffic::SyntheticDriver(net, cfg).run();
+    const auto r = UtilizationReport::fromNetwork(net, net.now());
+    EXPECT_GT(r.meanUtilization(), 0.0);
+    EXPECT_LE(r.peakUtilization(), 1.0);
+}
+
+TEST(Report, FromElectricalNetworkUnderTraffic)
+{
+    electrical::ElectricalNetwork net(
+        electrical::ElectricalParams{});
+    traffic::SyntheticConfig cfg;
+    cfg.injectionRate = 0.05;
+    cfg.warmupCycles = 100;
+    cfg.measureCycles = 1000;
+    traffic::SyntheticDriver(net, cfg).run();
+    const auto r = UtilizationReport::fromNetwork(net, net.now());
+    EXPECT_GT(r.meanUtilization(), 0.0);
+    EXPECT_LE(r.peakUtilization(), 1.0);
+}
+
+TEST(Report, LinkCapacityInvariant)
+{
+    // No link can carry more than one flit per cycle in either
+    // network, so utilization never exceeds 1.
+    core::PhastlaneNetwork net(core::PhastlaneParams{});
+    traffic::SyntheticConfig cfg;
+    cfg.pattern = traffic::Pattern::Transpose;
+    cfg.injectionRate = 0.4; // deep saturation
+    cfg.warmupCycles = 100;
+    cfg.measureCycles = 1500;
+    traffic::SyntheticDriver(net, cfg).run();
+    const auto r = UtilizationReport::fromNetwork(net, net.now());
+    for (const auto &l : r.links())
+        EXPECT_LE(l.utilization, 1.0)
+            << "router " << l.router << " port " << portName(l.out);
+}
+
+} // namespace
+} // namespace phastlane::sim

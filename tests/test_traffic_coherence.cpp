@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Closed-loop coherence driver tests on both networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "electrical/network.hpp"
+#include "traffic/coherence.hpp"
+
+namespace phastlane::traffic {
+namespace {
+
+SplashProfile
+tinyProfile()
+{
+    SplashProfile p;
+    p.name = "tiny";
+    p.txnsPerNode = 20;
+    p.mshrLimit = 2;
+    p.burstLenMean = 3.0;
+    p.intraBurstGap = 2.0;
+    p.interBurstGapMean = 40.0;
+    p.invalidateFraction = 0.1;
+    p.writebackFraction = 0.2;
+    p.memoryFraction = 0.3;
+    return p;
+}
+
+TEST(Coherence, RunsToCompletionOnOptical)
+{
+    const auto prof = tinyProfile();
+    const auto streams = generateStreams(prof, 64, 1);
+    core::PhastlaneNetwork net(core::PhastlaneParams{});
+    CoherenceDriver d(net, streams, prof.mshrLimit);
+    const CoherenceResult r = d.run();
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.transactions, 64u * 20u);
+    EXPECT_EQ(net.inFlight(), 0u);
+}
+
+TEST(Coherence, RunsToCompletionOnElectrical)
+{
+    const auto prof = tinyProfile();
+    const auto streams = generateStreams(prof, 64, 1);
+    electrical::ElectricalNetwork net(
+        electrical::ElectricalParams{});
+    CoherenceDriver d(net, streams, prof.mshrLimit);
+    const CoherenceResult r = d.run();
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.transactions, 64u * 20u);
+}
+
+TEST(Coherence, EveryRequestGetsExactlyOneResponse)
+{
+    const auto prof = tinyProfile();
+    const auto streams = generateStreams(prof, 64, 2);
+    uint64_t requests = 0;
+    for (const auto &s : streams)
+        for (const Txn &t : s)
+            requests += t.type == TxnType::Request ? 1 : 0;
+
+    core::PhastlaneNetwork net(core::PhastlaneParams{});
+    CoherenceDriver d(net, streams, prof.mshrLimit);
+    const CoherenceResult r = d.run();
+    // unicasts = responses + writebacks + directed requests.
+    uint64_t writebacks = 0, directed = 0;
+    for (const auto &s : streams) {
+        for (const Txn &t : s) {
+            writebacks += t.type == TxnType::Writeback ? 1 : 0;
+            directed += t.type == TxnType::Request && !t.broadcastReq
+                            ? 1 : 0;
+        }
+    }
+    EXPECT_EQ(r.unicasts, requests + writebacks + directed);
+}
+
+TEST(Coherence, DeliveryCountsBalance)
+{
+    const auto prof = tinyProfile();
+    const auto streams = generateStreams(prof, 64, 3);
+    electrical::ElectricalNetwork net(
+        electrical::ElectricalParams{});
+    CoherenceDriver d(net, streams, prof.mshrLimit);
+    const CoherenceResult r = d.run();
+    // Broadcast messages deliver 63 copies, unicasts one.
+    EXPECT_EQ(net.counters().deliveries,
+              r.broadcasts * 63 + r.unicasts);
+}
+
+TEST(Coherence, LatencyMetricsPopulated)
+{
+    const auto prof = tinyProfile();
+    const auto streams = generateStreams(prof, 64, 4);
+    core::PhastlaneNetwork net(core::PhastlaneParams{});
+    CoherenceDriver d(net, streams, prof.mshrLimit);
+    const CoherenceResult r = d.run();
+    EXPECT_GT(r.avgLatency, 0.0);
+    EXPECT_GT(r.avgMessageLatency, 0.0);
+    EXPECT_GE(r.avgMessageLatency, r.avgLatency);
+    // A round trip includes the service latency.
+    EXPECT_GT(r.avgRoundTrip,
+              r.avgRequestLatency +
+                  static_cast<double>(prof.cacheLatency) - 1.0);
+}
+
+TEST(Coherence, MshrLimitThrottlesProgress)
+{
+    // With one MSHR and a long service time, completion takes longer
+    // than with many MSHRs.
+    SplashProfile p = tinyProfile();
+    p.writebackFraction = 0.0;
+    p.invalidateFraction = 0.0;
+    p.memoryFraction = 1.0;
+    p.interBurstGapMean = 1.0;
+    p.intraBurstGap = 0.0;
+    const auto streams = generateStreams(p, 64, 5);
+
+    auto completion = [&](int mshr) {
+        core::PhastlaneNetwork net(core::PhastlaneParams{});
+        CoherenceDriver d(net, streams, mshr);
+        return d.run().completionCycles;
+    };
+    EXPECT_GT(completion(1), completion(8));
+}
+
+TEST(Coherence, SameStreamsReplayedOnBothNetworks)
+{
+    const auto prof = tinyProfile();
+    const auto streams = generateStreams(prof, 64, 6);
+    core::PhastlaneNetwork opt(core::PhastlaneParams{});
+    electrical::ElectricalNetwork elec(
+        electrical::ElectricalParams{});
+    const CoherenceResult ro =
+        CoherenceDriver(opt, streams, prof.mshrLimit).run();
+    const CoherenceResult re =
+        CoherenceDriver(elec, streams, prof.mshrLimit).run();
+    EXPECT_EQ(ro.transactions, re.transactions);
+    EXPECT_EQ(ro.broadcasts, re.broadcasts);
+    EXPECT_EQ(ro.unicasts, re.unicasts);
+    // The optical network wins at this light load.
+    EXPECT_LT(ro.avgMessageLatency, re.avgMessageLatency);
+}
+
+TEST(Coherence, DeterministicCompletion)
+{
+    const auto prof = tinyProfile();
+    const auto streams = generateStreams(prof, 64, 7);
+    auto run = [&]() {
+        core::PhastlaneNetwork net(core::PhastlaneParams{});
+        return CoherenceDriver(net, streams, prof.mshrLimit)
+            .run().completionCycles;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Coherence, SmallMeshWorks)
+{
+    SplashProfile p = tinyProfile();
+    const auto streams = generateStreams(p, 16, 8);
+    core::PhastlaneParams np;
+    np.meshWidth = 4;
+    np.meshHeight = 4;
+    core::PhastlaneNetwork net(np);
+    const CoherenceResult r =
+        CoherenceDriver(net, streams, p.mshrLimit).run();
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.transactions, 16u * 20u);
+}
+
+} // namespace
+} // namespace phastlane::traffic

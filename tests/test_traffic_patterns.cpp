@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Synthetic traffic pattern tests: permutation properties and the
+ * paper's four Fig 9 patterns.
+ */
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "traffic/patterns.hpp"
+
+namespace phastlane::traffic {
+namespace {
+
+class DeterministicPatterns : public ::testing::TestWithParam<Pattern>
+{
+  protected:
+    MeshTopology mesh_{8, 8};
+    Rng rng_{1};
+};
+
+TEST_P(DeterministicPatterns, NoSelfTraffic)
+{
+    for (NodeId s = 0; s < 64; ++s)
+        EXPECT_NE(destination(GetParam(), s, mesh_, rng_), s);
+}
+
+TEST_P(DeterministicPatterns, DestinationsInRange)
+{
+    for (NodeId s = 0; s < 64; ++s) {
+        const NodeId d = destination(GetParam(), s, mesh_, rng_);
+        EXPECT_GE(d, 0);
+        EXPECT_LT(d, 64);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, DeterministicPatterns,
+    ::testing::Values(Pattern::BitComplement, Pattern::BitReverse,
+                      Pattern::Shuffle, Pattern::Transpose,
+                      Pattern::Tornado, Pattern::Neighbor),
+    [](const auto &info) {
+        return std::string(patternName(info.param));
+    });
+
+TEST(Patterns, BitComplementValues)
+{
+    MeshTopology mesh(8, 8);
+    Rng rng(1);
+    EXPECT_EQ(destination(Pattern::BitComplement, 0, mesh, rng), 63);
+    EXPECT_EQ(destination(Pattern::BitComplement, 63, mesh, rng), 0);
+    EXPECT_EQ(destination(Pattern::BitComplement, 0b101010, mesh,
+                          rng), 0b010101);
+}
+
+TEST(Patterns, BitReverseValues)
+{
+    MeshTopology mesh(8, 8);
+    Rng rng(1);
+    // 6-bit reversal: 0b000001 -> 0b100000.
+    EXPECT_EQ(destination(Pattern::BitReverse, 1, mesh, rng), 32);
+    EXPECT_EQ(destination(Pattern::BitReverse, 0b110100, mesh, rng),
+              0b001011);
+}
+
+TEST(Patterns, ShuffleIsRotateLeft)
+{
+    MeshTopology mesh(8, 8);
+    Rng rng(1);
+    EXPECT_EQ(destination(Pattern::Shuffle, 0b000011, mesh, rng),
+              0b000110);
+    EXPECT_EQ(destination(Pattern::Shuffle, 0b100000, mesh, rng),
+              0b000001);
+}
+
+TEST(Patterns, TransposeSwapsCoordinates)
+{
+    MeshTopology mesh(8, 8);
+    Rng rng(1);
+    const NodeId src = mesh.nodeAt({2, 5});
+    EXPECT_EQ(destination(Pattern::Transpose, src, mesh, rng),
+              mesh.nodeAt({5, 2}));
+}
+
+TEST(Patterns, BitPatternsArePermutationsModuloFixedPoints)
+{
+    // Excluding self-remapped fixed points, the deterministic
+    // patterns must hit distinct destinations.
+    MeshTopology mesh(8, 8);
+    Rng rng(1);
+    for (Pattern p : {Pattern::BitComplement, Pattern::BitReverse,
+                      Pattern::Transpose}) {
+        std::set<NodeId> dsts;
+        int fixed = 0;
+        for (NodeId s = 0; s < 64; ++s) {
+            const NodeId d = destination(p, s, mesh, rng);
+            if (d == static_cast<NodeId>((s + 1) % 64))
+                ++fixed; // remapped self-hit
+            else
+                dsts.insert(d);
+        }
+        EXPECT_GE(static_cast<int>(dsts.size()), 64 - 2 * fixed - 1);
+    }
+}
+
+TEST(Patterns, UniformExcludesSelfAndCoversAll)
+{
+    MeshTopology mesh(8, 8);
+    Rng rng(7);
+    std::set<NodeId> seen;
+    for (int i = 0; i < 20000; ++i) {
+        const NodeId d =
+            destination(Pattern::UniformRandom, 5, mesh, rng);
+        EXPECT_NE(d, 5);
+        seen.insert(d);
+    }
+    EXPECT_EQ(seen.size(), 63u);
+}
+
+TEST(Patterns, HotspotConcentratesTraffic)
+{
+    MeshTopology mesh(8, 8);
+    Rng rng(7);
+    const NodeId hot = mesh.nodeAt({4, 4});
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (destination(Pattern::Hotspot, 2, mesh, rng) == hot)
+            ++hits;
+    }
+    // 20% direct + uniform share.
+    EXPECT_GT(hits, n / 6);
+}
+
+TEST(Patterns, ParseRoundTrip)
+{
+    for (Pattern p : {Pattern::UniformRandom, Pattern::BitComplement,
+                      Pattern::BitReverse, Pattern::Shuffle,
+                      Pattern::Transpose, Pattern::Tornado,
+                      Pattern::Neighbor, Pattern::Hotspot}) {
+        EXPECT_EQ(parsePattern(patternName(p)), p);
+    }
+}
+
+TEST(Patterns, PowerOfTwoRequirementFlag)
+{
+    EXPECT_TRUE(needsPowerOfTwo(Pattern::BitComplement));
+    EXPECT_TRUE(needsPowerOfTwo(Pattern::Shuffle));
+    EXPECT_FALSE(needsPowerOfTwo(Pattern::Transpose));
+    EXPECT_FALSE(needsPowerOfTwo(Pattern::UniformRandom));
+}
+
+} // namespace
+} // namespace phastlane::traffic

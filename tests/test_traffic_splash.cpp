@@ -1,0 +1,141 @@
+/**
+ * @file
+ * SPLASH2 workload profile and stream generation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "traffic/splash.hpp"
+
+namespace phastlane::traffic {
+namespace {
+
+TEST(Splash, SuiteHasTheTenPaperBenchmarks)
+{
+    const auto suite = splashSuite();
+    ASSERT_EQ(suite.size(), 10u);
+    const char *names[] = {"Barnes", "Cholesky", "FFT", "LU",
+                           "Ocean", "Radix", "Raytrace",
+                           "Water-NSquared", "Water-Spatial", "FMM"};
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(suite[i].name, names[i]);
+}
+
+TEST(Splash, Table3InputSets)
+{
+    EXPECT_EQ(splashProfile("Barnes").inputSet, "64 K particles");
+    EXPECT_EQ(splashProfile("Cholesky").inputSet, "tk29.O");
+    EXPECT_EQ(splashProfile("Ocean").inputSet, "2050x2050 grid");
+    EXPECT_EQ(splashProfile("Radix").inputSet, "64 M integers");
+    EXPECT_EQ(splashProfile("Raytrace").inputSet, "balls4");
+}
+
+TEST(Splash, ProfilesAreWellFormed)
+{
+    for (const auto &p : splashSuite()) {
+        EXPECT_GT(p.txnsPerNode, 0) << p.name;
+        EXPECT_GE(p.mshrLimit, 1) << p.name;
+        EXPECT_GT(p.burstLenMean, 0.0) << p.name;
+        EXPECT_GE(p.interBurstGapMean, 0.0) << p.name;
+        EXPECT_GE(p.requestBroadcastFraction, 0.0) << p.name;
+        EXPECT_LE(p.requestBroadcastFraction, 1.0) << p.name;
+        EXPECT_LE(p.invalidateFraction + p.writebackFraction, 1.0)
+            << p.name;
+        EXPECT_GT(p.memoryLatency, p.cacheLatency) << p.name;
+    }
+}
+
+TEST(Splash, StreamsAreDeterministic)
+{
+    const auto p = splashProfile("Barnes");
+    const auto a = generateStreams(p, 64, 42);
+    const auto b = generateStreams(p, 64, 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t n = 0; n < a.size(); ++n) {
+        ASSERT_EQ(a[n].size(), b[n].size());
+        for (size_t i = 0; i < a[n].size(); ++i) {
+            EXPECT_EQ(a[n][i].type, b[n][i].type);
+            EXPECT_EQ(a[n][i].peer, b[n][i].peer);
+            EXPECT_EQ(a[n][i].thinkAfter, b[n][i].thinkAfter);
+        }
+    }
+}
+
+TEST(Splash, DifferentSeedsDiffer)
+{
+    const auto p = splashProfile("LU");
+    const auto a = generateStreams(p, 64, 1);
+    const auto b = generateStreams(p, 64, 2);
+    int diffs = 0;
+    for (size_t i = 0; i < a[0].size(); ++i)
+        diffs += a[0][i].peer != b[0][i].peer ? 1 : 0;
+    EXPECT_GT(diffs, 10);
+}
+
+TEST(Splash, StreamShape)
+{
+    const auto p = splashProfile("Ocean");
+    const auto streams = generateStreams(p, 64, 7);
+    ASSERT_EQ(streams.size(), 64u);
+    for (NodeId n = 0; n < 64; ++n) {
+        ASSERT_EQ(streams[static_cast<size_t>(n)].size(),
+                  static_cast<size_t>(p.txnsPerNode));
+        for (const Txn &t : streams[static_cast<size_t>(n)]) {
+            EXPECT_NE(t.peer, n);
+            EXPECT_GE(t.peer, 0);
+            EXPECT_LT(t.peer, 64);
+            if (t.type == TxnType::Request) {
+                EXPECT_TRUE(t.serviceLatency == p.memoryLatency ||
+                            t.serviceLatency == p.cacheLatency);
+            }
+        }
+    }
+}
+
+TEST(Splash, MixFractionsApproximatelyHonored)
+{
+    SplashProfile p = splashProfile("Barnes");
+    p.txnsPerNode = 2000;
+    const auto streams = generateStreams(p, 64, 3);
+    uint64_t inval = 0, wb = 0, total = 0;
+    for (const auto &s : streams) {
+        for (const Txn &t : s) {
+            ++total;
+            inval += t.type == TxnType::Invalidate ? 1 : 0;
+            wb += t.type == TxnType::Writeback ? 1 : 0;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(inval) / total,
+                p.invalidateFraction, 0.01);
+    EXPECT_NEAR(static_cast<double>(wb) / total,
+                p.writebackFraction, 0.01);
+}
+
+TEST(Splash, ThinkTimeMatchesBurstModel)
+{
+    SplashProfile p = splashProfile("Raytrace");
+    p.txnsPerNode = 5000;
+    const auto streams = generateStreams(p, 4, 5);
+    double total_think = 0.0;
+    uint64_t count = 0;
+    for (const auto &s : streams) {
+        for (const Txn &t : s) {
+            total_think += static_cast<double>(t.thinkAfter);
+            ++count;
+        }
+    }
+    // Expected mean think per txn: mostly intra-burst gaps plus one
+    // inter-burst gap per burst.
+    const double expected =
+        (p.intraBurstGap * (p.burstLenMean - 1.0) +
+         p.interBurstGapMean) / p.burstLenMean;
+    EXPECT_NEAR(total_think / count, expected, expected * 0.25);
+}
+
+TEST(Splash, UnknownBenchmarkIsFatal)
+{
+    EXPECT_DEATH(splashProfile("NotABenchmark"), "unknown");
+}
+
+} // namespace
+} // namespace phastlane::traffic

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Open-loop synthetic driver tests on both networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "electrical/network.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace phastlane::traffic {
+namespace {
+
+TEST(Synthetic, OfferedRateMatchesConfig)
+{
+    core::PhastlaneNetwork net(core::PhastlaneParams{});
+    SyntheticConfig cfg;
+    cfg.injectionRate = 0.05;
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 4000;
+    SyntheticDriver d(net, cfg);
+    const SyntheticResult r = d.run();
+    EXPECT_NEAR(r.offeredRate, 0.05, 0.005);
+    EXPECT_FALSE(r.saturated);
+}
+
+TEST(Synthetic, LowLoadAcceptsEverythingOffered)
+{
+    core::PhastlaneNetwork net(core::PhastlaneParams{});
+    SyntheticConfig cfg;
+    cfg.injectionRate = 0.02;
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 3000;
+    SyntheticDriver d(net, cfg);
+    const SyntheticResult r = d.run();
+    EXPECT_NEAR(r.acceptedRate, r.offeredRate, 0.002);
+    EXPECT_GT(r.measuredPackets, 0u);
+}
+
+TEST(Synthetic, OpticalLatencyFarBelowElectricalAtLowLoad)
+{
+    SyntheticConfig cfg;
+    cfg.injectionRate = 0.02;
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 2000;
+
+    core::PhastlaneNetwork opt(core::PhastlaneParams{});
+    electrical::ElectricalNetwork elec(
+        electrical::ElectricalParams{});
+    const SyntheticResult ro = SyntheticDriver(opt, cfg).run();
+    const SyntheticResult re = SyntheticDriver(elec, cfg).run();
+    // Paper Fig 9: roughly 5-10X lower latency.
+    EXPECT_GT(re.avgLatency / ro.avgLatency, 4.0);
+}
+
+TEST(Synthetic, LatencyRisesWithLoad)
+{
+    double prev = 0.0;
+    for (double rate : {0.02, 0.15, 0.25}) {
+        electrical::ElectricalNetwork net(
+            electrical::ElectricalParams{});
+        SyntheticConfig cfg;
+        cfg.injectionRate = rate;
+        cfg.warmupCycles = 300;
+        cfg.measureCycles = 2000;
+        const SyntheticResult r = SyntheticDriver(net, cfg).run();
+        EXPECT_GE(r.avgLatency, prev);
+        prev = r.avgLatency;
+    }
+}
+
+TEST(Synthetic, OverloadIsDetectedAsSaturation)
+{
+    electrical::ElectricalNetwork net(electrical::ElectricalParams{});
+    SyntheticConfig cfg;
+    cfg.pattern = Pattern::BitComplement;
+    cfg.injectionRate = 0.6; // far beyond capacity
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 3000;
+    const SyntheticResult r = SyntheticDriver(net, cfg).run();
+    EXPECT_TRUE(r.saturated);
+}
+
+TEST(Synthetic, BroadcastFractionProducesExtraDeliveries)
+{
+    core::PhastlaneNetwork net(core::PhastlaneParams{});
+    SyntheticConfig cfg;
+    cfg.injectionRate = 0.005;
+    cfg.broadcastFraction = 0.5;
+    cfg.warmupCycles = 100;
+    cfg.measureCycles = 2000;
+    const SyntheticResult r = SyntheticDriver(net, cfg).run();
+    // Each broadcast yields 63 deliveries, so the delivered rate far
+    // exceeds the injection rate.
+    EXPECT_GT(r.acceptedRate, 5.0 * r.offeredRate);
+}
+
+TEST(Synthetic, NetLatencyExcludesSourceQueueing)
+{
+    electrical::ElectricalNetwork net(electrical::ElectricalParams{});
+    SyntheticConfig cfg;
+    cfg.injectionRate = 0.2;
+    cfg.warmupCycles = 300;
+    cfg.measureCycles = 2000;
+    const SyntheticResult r = SyntheticDriver(net, cfg).run();
+    EXPECT_LE(r.avgNetLatency, r.avgLatency + 1e-9);
+}
+
+TEST(Synthetic, DeterministicForSeed)
+{
+    auto run = [] {
+        core::PhastlaneNetwork net(core::PhastlaneParams{});
+        SyntheticConfig cfg;
+        cfg.injectionRate = 0.05;
+        cfg.warmupCycles = 100;
+        cfg.measureCycles = 1000;
+        cfg.seed = 99;
+        return SyntheticDriver(net, cfg).run();
+    };
+    const SyntheticResult a = run();
+    const SyntheticResult b = run();
+    EXPECT_EQ(a.measuredPackets, b.measuredPackets);
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+}
+
+} // namespace
+} // namespace phastlane::traffic
