@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wavefront.dir/ablation_wavefront.cpp.o"
+  "CMakeFiles/ablation_wavefront.dir/ablation_wavefront.cpp.o.d"
+  "ablation_wavefront"
+  "ablation_wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

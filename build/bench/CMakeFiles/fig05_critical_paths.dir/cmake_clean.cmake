@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_critical_paths.dir/fig05_critical_paths.cpp.o"
+  "CMakeFiles/fig05_critical_paths.dir/fig05_critical_paths.cpp.o.d"
+  "fig05_critical_paths"
+  "fig05_critical_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_critical_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_max_hops.dir/fig06_max_hops.cpp.o"
+  "CMakeFiles/fig06_max_hops.dir/fig06_max_hops.cpp.o.d"
+  "fig06_max_hops"
+  "fig06_max_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_max_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

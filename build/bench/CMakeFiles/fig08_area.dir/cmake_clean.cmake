@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_area.dir/fig08_area.cpp.o"
+  "CMakeFiles/fig08_area.dir/fig08_area.cpp.o.d"
+  "fig08_area"
+  "fig08_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

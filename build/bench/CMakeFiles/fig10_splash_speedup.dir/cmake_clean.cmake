@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_splash_speedup.dir/fig10_splash_speedup.cpp.o"
+  "CMakeFiles/fig10_splash_speedup.dir/fig10_splash_speedup.cpp.o.d"
+  "fig10_splash_speedup"
+  "fig10_splash_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_splash_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futurework_buffers.dir/futurework_buffers.cpp.o"
+  "CMakeFiles/futurework_buffers.dir/futurework_buffers.cpp.o.d"
+  "futurework_buffers"
+  "futurework_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futurework_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_router_step.dir/micro_router_step.cpp.o"
+  "CMakeFiles/micro_router_step.dir/micro_router_step.cpp.o.d"
+  "micro_router_step"
+  "micro_router_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_router_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

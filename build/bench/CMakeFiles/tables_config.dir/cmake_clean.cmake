@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tables_config.dir/tables_config.cpp.o"
+  "CMakeFiles/tables_config.dir/tables_config.cpp.o.d"
+  "tables_config"
+  "tables_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cpp" "src/common/CMakeFiles/plcommon.dir/config.cpp.o" "gcc" "src/common/CMakeFiles/plcommon.dir/config.cpp.o.d"
+  "/root/repo/src/common/geometry.cpp" "src/common/CMakeFiles/plcommon.dir/geometry.cpp.o" "gcc" "src/common/CMakeFiles/plcommon.dir/geometry.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/plcommon.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/plcommon.dir/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/plcommon.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/plcommon.dir/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/plcommon.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/plcommon.dir/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/plcommon.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/plcommon.dir/table.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/common/CMakeFiles/plcommon.dir/types.cpp.o" "gcc" "src/common/CMakeFiles/plcommon.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

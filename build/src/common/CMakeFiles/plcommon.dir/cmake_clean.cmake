@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plcommon.dir/config.cpp.o"
+  "CMakeFiles/plcommon.dir/config.cpp.o.d"
+  "CMakeFiles/plcommon.dir/geometry.cpp.o"
+  "CMakeFiles/plcommon.dir/geometry.cpp.o.d"
+  "CMakeFiles/plcommon.dir/log.cpp.o"
+  "CMakeFiles/plcommon.dir/log.cpp.o.d"
+  "CMakeFiles/plcommon.dir/rng.cpp.o"
+  "CMakeFiles/plcommon.dir/rng.cpp.o.d"
+  "CMakeFiles/plcommon.dir/stats.cpp.o"
+  "CMakeFiles/plcommon.dir/stats.cpp.o.d"
+  "CMakeFiles/plcommon.dir/table.cpp.o"
+  "CMakeFiles/plcommon.dir/table.cpp.o.d"
+  "CMakeFiles/plcommon.dir/types.cpp.o"
+  "CMakeFiles/plcommon.dir/types.cpp.o.d"
+  "libplcommon.a"
+  "libplcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/control.cpp" "src/core/CMakeFiles/plcore.dir/control.cpp.o" "gcc" "src/core/CMakeFiles/plcore.dir/control.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/core/CMakeFiles/plcore.dir/network.cpp.o" "gcc" "src/core/CMakeFiles/plcore.dir/network.cpp.o.d"
+  "/root/repo/src/core/nic.cpp" "src/core/CMakeFiles/plcore.dir/nic.cpp.o" "gcc" "src/core/CMakeFiles/plcore.dir/nic.cpp.o.d"
+  "/root/repo/src/core/return_path.cpp" "src/core/CMakeFiles/plcore.dir/return_path.cpp.o" "gcc" "src/core/CMakeFiles/plcore.dir/return_path.cpp.o.d"
+  "/root/repo/src/core/router.cpp" "src/core/CMakeFiles/plcore.dir/router.cpp.o" "gcc" "src/core/CMakeFiles/plcore.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/plnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/ploptical.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

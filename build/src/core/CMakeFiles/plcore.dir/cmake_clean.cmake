@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plcore.dir/control.cpp.o"
+  "CMakeFiles/plcore.dir/control.cpp.o.d"
+  "CMakeFiles/plcore.dir/network.cpp.o"
+  "CMakeFiles/plcore.dir/network.cpp.o.d"
+  "CMakeFiles/plcore.dir/nic.cpp.o"
+  "CMakeFiles/plcore.dir/nic.cpp.o.d"
+  "CMakeFiles/plcore.dir/return_path.cpp.o"
+  "CMakeFiles/plcore.dir/return_path.cpp.o.d"
+  "CMakeFiles/plcore.dir/router.cpp.o"
+  "CMakeFiles/plcore.dir/router.cpp.o.d"
+  "libplcore.a"
+  "libplcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/electrical/network.cpp" "src/electrical/CMakeFiles/plelectrical.dir/network.cpp.o" "gcc" "src/electrical/CMakeFiles/plelectrical.dir/network.cpp.o.d"
+  "/root/repo/src/electrical/nic.cpp" "src/electrical/CMakeFiles/plelectrical.dir/nic.cpp.o" "gcc" "src/electrical/CMakeFiles/plelectrical.dir/nic.cpp.o.d"
+  "/root/repo/src/electrical/router.cpp" "src/electrical/CMakeFiles/plelectrical.dir/router.cpp.o" "gcc" "src/electrical/CMakeFiles/plelectrical.dir/router.cpp.o.d"
+  "/root/repo/src/electrical/vctm.cpp" "src/electrical/CMakeFiles/plelectrical.dir/vctm.cpp.o" "gcc" "src/electrical/CMakeFiles/plelectrical.dir/vctm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/plnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plelectrical.dir/network.cpp.o"
+  "CMakeFiles/plelectrical.dir/network.cpp.o.d"
+  "CMakeFiles/plelectrical.dir/nic.cpp.o"
+  "CMakeFiles/plelectrical.dir/nic.cpp.o.d"
+  "CMakeFiles/plelectrical.dir/router.cpp.o"
+  "CMakeFiles/plelectrical.dir/router.cpp.o.d"
+  "CMakeFiles/plelectrical.dir/vctm.cpp.o"
+  "CMakeFiles/plelectrical.dir/vctm.cpp.o.d"
+  "libplelectrical.a"
+  "libplelectrical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plelectrical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

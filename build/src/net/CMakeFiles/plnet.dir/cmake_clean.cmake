@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plnet.dir/packet.cpp.o"
+  "CMakeFiles/plnet.dir/packet.cpp.o.d"
+  "libplnet.a"
+  "libplnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optical/area_model.cpp" "src/optical/CMakeFiles/ploptical.dir/area_model.cpp.o" "gcc" "src/optical/CMakeFiles/ploptical.dir/area_model.cpp.o.d"
+  "/root/repo/src/optical/devices.cpp" "src/optical/CMakeFiles/ploptical.dir/devices.cpp.o" "gcc" "src/optical/CMakeFiles/ploptical.dir/devices.cpp.o.d"
+  "/root/repo/src/optical/loss.cpp" "src/optical/CMakeFiles/ploptical.dir/loss.cpp.o" "gcc" "src/optical/CMakeFiles/ploptical.dir/loss.cpp.o.d"
+  "/root/repo/src/optical/power_model.cpp" "src/optical/CMakeFiles/ploptical.dir/power_model.cpp.o" "gcc" "src/optical/CMakeFiles/ploptical.dir/power_model.cpp.o.d"
+  "/root/repo/src/optical/scaling.cpp" "src/optical/CMakeFiles/ploptical.dir/scaling.cpp.o" "gcc" "src/optical/CMakeFiles/ploptical.dir/scaling.cpp.o.d"
+  "/root/repo/src/optical/timing.cpp" "src/optical/CMakeFiles/ploptical.dir/timing.cpp.o" "gcc" "src/optical/CMakeFiles/ploptical.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/plcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

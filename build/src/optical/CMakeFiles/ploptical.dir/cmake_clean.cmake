@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ploptical.dir/area_model.cpp.o"
+  "CMakeFiles/ploptical.dir/area_model.cpp.o.d"
+  "CMakeFiles/ploptical.dir/devices.cpp.o"
+  "CMakeFiles/ploptical.dir/devices.cpp.o.d"
+  "CMakeFiles/ploptical.dir/loss.cpp.o"
+  "CMakeFiles/ploptical.dir/loss.cpp.o.d"
+  "CMakeFiles/ploptical.dir/power_model.cpp.o"
+  "CMakeFiles/ploptical.dir/power_model.cpp.o.d"
+  "CMakeFiles/ploptical.dir/scaling.cpp.o"
+  "CMakeFiles/ploptical.dir/scaling.cpp.o.d"
+  "CMakeFiles/ploptical.dir/timing.cpp.o"
+  "CMakeFiles/ploptical.dir/timing.cpp.o.d"
+  "libploptical.a"
+  "libploptical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ploptical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/cacti_lite.cpp" "src/power/CMakeFiles/plpower.dir/cacti_lite.cpp.o" "gcc" "src/power/CMakeFiles/plpower.dir/cacti_lite.cpp.o.d"
+  "/root/repo/src/power/electrical_power.cpp" "src/power/CMakeFiles/plpower.dir/electrical_power.cpp.o" "gcc" "src/power/CMakeFiles/plpower.dir/electrical_power.cpp.o.d"
+  "/root/repo/src/power/optical_power.cpp" "src/power/CMakeFiles/plpower.dir/optical_power.cpp.o" "gcc" "src/power/CMakeFiles/plpower.dir/optical_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/plcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/electrical/CMakeFiles/plelectrical.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/ploptical.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/plnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plpower.dir/cacti_lite.cpp.o"
+  "CMakeFiles/plpower.dir/cacti_lite.cpp.o.d"
+  "CMakeFiles/plpower.dir/electrical_power.cpp.o"
+  "CMakeFiles/plpower.dir/electrical_power.cpp.o.d"
+  "CMakeFiles/plpower.dir/optical_power.cpp.o"
+  "CMakeFiles/plpower.dir/optical_power.cpp.o.d"
+  "libplpower.a"
+  "libplpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for plpower.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plsim.dir/configs.cpp.o"
+  "CMakeFiles/plsim.dir/configs.cpp.o.d"
+  "CMakeFiles/plsim.dir/experiment.cpp.o"
+  "CMakeFiles/plsim.dir/experiment.cpp.o.d"
+  "CMakeFiles/plsim.dir/metrics.cpp.o"
+  "CMakeFiles/plsim.dir/metrics.cpp.o.d"
+  "CMakeFiles/plsim.dir/report.cpp.o"
+  "CMakeFiles/plsim.dir/report.cpp.o.d"
+  "CMakeFiles/plsim.dir/sweep.cpp.o"
+  "CMakeFiles/plsim.dir/sweep.cpp.o.d"
+  "libplsim.a"
+  "libplsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/coherence.cpp" "src/traffic/CMakeFiles/pltraffic.dir/coherence.cpp.o" "gcc" "src/traffic/CMakeFiles/pltraffic.dir/coherence.cpp.o.d"
+  "/root/repo/src/traffic/patterns.cpp" "src/traffic/CMakeFiles/pltraffic.dir/patterns.cpp.o" "gcc" "src/traffic/CMakeFiles/pltraffic.dir/patterns.cpp.o.d"
+  "/root/repo/src/traffic/splash.cpp" "src/traffic/CMakeFiles/pltraffic.dir/splash.cpp.o" "gcc" "src/traffic/CMakeFiles/pltraffic.dir/splash.cpp.o.d"
+  "/root/repo/src/traffic/synthetic.cpp" "src/traffic/CMakeFiles/pltraffic.dir/synthetic.cpp.o" "gcc" "src/traffic/CMakeFiles/pltraffic.dir/synthetic.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/traffic/CMakeFiles/pltraffic.dir/trace.cpp.o" "gcc" "src/traffic/CMakeFiles/pltraffic.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/plnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pltraffic.dir/coherence.cpp.o"
+  "CMakeFiles/pltraffic.dir/coherence.cpp.o.d"
+  "CMakeFiles/pltraffic.dir/patterns.cpp.o"
+  "CMakeFiles/pltraffic.dir/patterns.cpp.o.d"
+  "CMakeFiles/pltraffic.dir/splash.cpp.o"
+  "CMakeFiles/pltraffic.dir/splash.cpp.o.d"
+  "CMakeFiles/pltraffic.dir/synthetic.cpp.o"
+  "CMakeFiles/pltraffic.dir/synthetic.cpp.o.d"
+  "CMakeFiles/pltraffic.dir/trace.cpp.o"
+  "CMakeFiles/pltraffic.dir/trace.cpp.o.d"
+  "libpltraffic.a"
+  "libpltraffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pltraffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

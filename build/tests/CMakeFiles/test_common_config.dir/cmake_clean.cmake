@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_config.dir/test_common_config.cpp.o"
+  "CMakeFiles/test_common_config.dir/test_common_config.cpp.o.d"
+  "test_common_config"
+  "test_common_config.pdb"
+  "test_common_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_geometry.dir/test_common_geometry.cpp.o"
+  "CMakeFiles/test_common_geometry.dir/test_common_geometry.cpp.o.d"
+  "test_common_geometry"
+  "test_common_geometry.pdb"
+  "test_common_geometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_control.dir/test_core_control.cpp.o"
+  "CMakeFiles/test_core_control.dir/test_core_control.cpp.o.d"
+  "test_core_control"
+  "test_core_control.pdb"
+  "test_core_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_nic.dir/test_core_nic.cpp.o"
+  "CMakeFiles/test_core_nic.dir/test_core_nic.cpp.o.d"
+  "test_core_nic"
+  "test_core_nic.pdb"
+  "test_core_nic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_return_path.dir/test_core_return_path.cpp.o"
+  "CMakeFiles/test_core_return_path.dir/test_core_return_path.cpp.o.d"
+  "test_core_return_path"
+  "test_core_return_path.pdb"
+  "test_core_return_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_return_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

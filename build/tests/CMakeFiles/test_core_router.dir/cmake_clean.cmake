@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_router.dir/test_core_router.cpp.o"
+  "CMakeFiles/test_core_router.dir/test_core_router.cpp.o.d"
+  "test_core_router"
+  "test_core_router.pdb"
+  "test_core_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

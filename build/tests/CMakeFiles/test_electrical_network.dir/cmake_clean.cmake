@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_electrical_network.dir/test_electrical_network.cpp.o"
+  "CMakeFiles/test_electrical_network.dir/test_electrical_network.cpp.o.d"
+  "test_electrical_network"
+  "test_electrical_network.pdb"
+  "test_electrical_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_electrical_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

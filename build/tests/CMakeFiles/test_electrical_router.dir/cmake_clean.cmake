@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_electrical_router.dir/test_electrical_router.cpp.o"
+  "CMakeFiles/test_electrical_router.dir/test_electrical_router.cpp.o.d"
+  "test_electrical_router"
+  "test_electrical_router.pdb"
+  "test_electrical_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_electrical_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

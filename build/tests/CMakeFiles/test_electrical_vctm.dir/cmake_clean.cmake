@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_electrical_vctm.dir/test_electrical_vctm.cpp.o"
+  "CMakeFiles/test_electrical_vctm.dir/test_electrical_vctm.cpp.o.d"
+  "test_electrical_vctm"
+  "test_electrical_vctm.pdb"
+  "test_electrical_vctm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_electrical_vctm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_packet.dir/test_net_packet.cpp.o"
+  "CMakeFiles/test_net_packet.dir/test_net_packet.cpp.o.d"
+  "test_net_packet"
+  "test_net_packet.pdb"
+  "test_net_packet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

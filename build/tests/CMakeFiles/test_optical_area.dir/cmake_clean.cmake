@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optical_area.dir/test_optical_area.cpp.o"
+  "CMakeFiles/test_optical_area.dir/test_optical_area.cpp.o.d"
+  "test_optical_area"
+  "test_optical_area.pdb"
+  "test_optical_area[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optical_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

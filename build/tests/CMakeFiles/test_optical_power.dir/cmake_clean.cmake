@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optical_power.dir/test_optical_power.cpp.o"
+  "CMakeFiles/test_optical_power.dir/test_optical_power.cpp.o.d"
+  "test_optical_power"
+  "test_optical_power.pdb"
+  "test_optical_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optical_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optical_scaling.dir/test_optical_scaling.cpp.o"
+  "CMakeFiles/test_optical_scaling.dir/test_optical_scaling.cpp.o.d"
+  "test_optical_scaling"
+  "test_optical_scaling.pdb"
+  "test_optical_scaling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optical_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

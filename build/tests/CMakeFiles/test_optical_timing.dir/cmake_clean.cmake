@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optical_timing.dir/test_optical_timing.cpp.o"
+  "CMakeFiles/test_optical_timing.dir/test_optical_timing.cpp.o.d"
+  "test_optical_timing"
+  "test_optical_timing.pdb"
+  "test_optical_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optical_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

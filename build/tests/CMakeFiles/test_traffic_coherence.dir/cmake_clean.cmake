@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_coherence.dir/test_traffic_coherence.cpp.o"
+  "CMakeFiles/test_traffic_coherence.dir/test_traffic_coherence.cpp.o.d"
+  "test_traffic_coherence"
+  "test_traffic_coherence.pdb"
+  "test_traffic_coherence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

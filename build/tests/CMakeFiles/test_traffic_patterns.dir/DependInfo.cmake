@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_traffic_patterns.cpp" "tests/CMakeFiles/test_traffic_patterns.dir/test_traffic_patterns.cpp.o" "gcc" "tests/CMakeFiles/test_traffic_patterns.dir/test_traffic_patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/plsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/pltraffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/plpower.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/plcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/electrical/CMakeFiles/plelectrical.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/ploptical.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/plnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

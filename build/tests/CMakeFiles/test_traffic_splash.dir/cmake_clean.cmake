@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_splash.dir/test_traffic_splash.cpp.o"
+  "CMakeFiles/test_traffic_splash.dir/test_traffic_splash.cpp.o.d"
+  "test_traffic_splash"
+  "test_traffic_splash.pdb"
+  "test_traffic_splash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_splash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

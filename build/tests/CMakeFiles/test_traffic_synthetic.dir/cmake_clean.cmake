@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_synthetic.dir/test_traffic_synthetic.cpp.o"
+  "CMakeFiles/test_traffic_synthetic.dir/test_traffic_synthetic.cpp.o.d"
+  "test_traffic_synthetic"
+  "test_traffic_synthetic.pdb"
+  "test_traffic_synthetic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

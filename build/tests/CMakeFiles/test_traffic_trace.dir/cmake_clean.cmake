@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_trace.dir/test_traffic_trace.cpp.o"
+  "CMakeFiles/test_traffic_trace.dir/test_traffic_trace.cpp.o.d"
+  "test_traffic_trace"
+  "test_traffic_trace.pdb"
+  "test_traffic_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
