@@ -6,6 +6,9 @@
  *   --csv <path>   also write the table as CSV
  *   --quick        reduced workload sizes (CI-friendly)
  *   --seed <n>     workload seed (default 12345)
+ *   --threads <n>  simulation threads (default: PL_THREADS env, else
+ *                  hardware concurrency; results are identical at any
+ *                  thread count)
  */
 
 #ifndef PHASTLANE_BENCH_BENCH_UTIL_HPP
@@ -16,6 +19,7 @@
 
 #include "common/config.hpp"
 #include "common/table.hpp"
+#include "sim/parallel.hpp"
 
 namespace phastlane::bench {
 
@@ -24,6 +28,7 @@ struct BenchOptions {
     std::string csvPath;
     bool quick = false;
     uint64_t seed = 12345;
+    int threads = 0; ///< resolved: >= 1
     Config raw;
 
     static BenchOptions
@@ -34,6 +39,8 @@ struct BenchOptions {
         o.csvPath = o.raw.getString("csv");
         o.quick = o.raw.getBool("quick", false);
         o.seed = static_cast<uint64_t>(o.raw.getInt("seed", 12345));
+        o.threads = sim::resolveThreadCount(
+            static_cast<int>(o.raw.getInt("threads", 0)));
         return o;
     }
 };

@@ -45,6 +45,9 @@ main(int argc, char **argv)
             sc.warmupCycles = opts.quick ? 300 : 1000;
             sc.measureCycles = opts.quick ? 1500 : 4000;
             sc.seed = opts.seed;
+            // The sweep points fan out across cores; results are
+            // identical to a serial sweep (see sim/parallel.hpp).
+            sc.threads = opts.threads;
             const auto pts = runSweep(cfg, sc);
             for (const auto &pt : pts) {
                 t.addRow({cfg.name,

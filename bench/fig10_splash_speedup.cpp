@@ -18,6 +18,7 @@
 #include "bench_util.hpp"
 #include "core/network.hpp"
 #include "sim/configs.hpp"
+#include "sim/parallel.hpp"
 #include "traffic/coherence.hpp"
 #include "traffic/splash.hpp"
 
@@ -47,19 +48,36 @@ main(int argc, char **argv)
         const auto streams =
             generateStreams(prof, 64, opts.seed);
 
-        // Baseline first.
+        // All configurations replay the identical stream
+        // independently, so they fan out across cores; rows are
+        // emitted afterwards in configuration order, unchanged.
+        struct ConfigResult {
+            CoherenceResult r;
+            uint64_t drops = 0;
+        };
+        std::vector<ConfigResult> results(configs.size());
+        sim::parallelFor(
+            configs.size(),
+            [&](size_t i) {
+                auto net = configs[i].make(1);
+                CoherenceDriver driver(*net, streams,
+                                       prof.mshrLimit);
+                results[i].r = driver.run();
+                if (auto *pl =
+                        dynamic_cast<core::PhastlaneNetwork *>(
+                            net.get())) {
+                    results[i].drops =
+                        pl->phastlaneCounters().drops;
+                }
+            },
+            opts.threads);
+
         double base_cycles = 0.0;
         std::vector<std::string> row = {prof.name};
         std::vector<std::pair<std::string, double>> speedups;
-        for (const NetConfig &cfg : configs) {
-            auto net = cfg.make(1);
-            CoherenceDriver driver(*net, streams, prof.mshrLimit);
-            const CoherenceResult r = driver.run();
-            uint64_t drops = 0;
-            if (auto *pl = dynamic_cast<core::PhastlaneNetwork *>(
-                    net.get())) {
-                drops = pl->phastlaneCounters().drops;
-            }
+        for (size_t i = 0; i < configs.size(); ++i) {
+            const NetConfig &cfg = configs[i];
+            const CoherenceResult &r = results[i].r;
             if (cfg.name == "Electrical3")
                 base_cycles =
                     static_cast<double>(r.completionCycles);
@@ -71,7 +89,8 @@ main(int argc, char **argv)
                      r.completionCycles)),
                  "", TextTable::num(r.avgMessageLatency, 1),
                  TextTable::num(r.avgRoundTrip, 1),
-                 TextTable::num(static_cast<int64_t>(drops))});
+                 TextTable::num(
+                     static_cast<int64_t>(results[i].drops))});
         }
         for (const char *name :
              {"Optical4", "Optical5", "Optical8", "Optical4B32",

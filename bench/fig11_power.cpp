@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "sim/configs.hpp"
+#include "sim/parallel.hpp"
 #include "traffic/coherence.hpp"
 #include "traffic/splash.hpp"
 
@@ -36,29 +37,37 @@ main(int argc, char **argv)
             prof.txnsPerNode = 60;
         const auto streams = generateStreams(prof, 64, opts.seed);
 
-        // Baseline first so every row can report its saving.
+        // Every configuration replays the identical stream, so the
+        // whole row of power models runs in parallel; the baseline's
+        // result is picked out afterwards.
+        std::vector<power::PowerBreakdown> results(configs.size());
+        sim::parallelFor(
+            configs.size(),
+            [&](size_t i) {
+                auto net = configs[i].make(1);
+                CoherenceDriver driver(*net, streams,
+                                       prof.mshrLimit);
+                const CoherenceResult r = driver.run();
+                results[i] = configs[i].power(
+                    *net,
+                    r.completionCycles ? r.completionCycles : 1);
+            },
+            opts.threads);
+
         double base_w = 0.0;
-        {
-            const NetConfig base = makeConfig("Electrical3");
-            auto net = base.make(1);
-            CoherenceDriver driver(*net, streams, prof.mshrLimit);
-            const CoherenceResult r = driver.run();
-            base_w = base.power(
-                *net, r.completionCycles ? r.completionCycles : 1)
-                .totalW;
+        for (size_t i = 0; i < configs.size(); ++i) {
+            if (configs[i].name == "Electrical3")
+                base_w = results[i].totalW;
         }
-        for (const NetConfig &cfg : configs) {
+        for (size_t i = 0; i < configs.size(); ++i) {
+            const NetConfig &cfg = configs[i];
             if (cfg.name == "Electrical3") {
                 t.addRow({prof.name, cfg.name,
                           TextTable::num(base_w, 1), "0%", "-", "-",
                           "-", "-", "-", "-"});
                 continue;
             }
-            auto net = cfg.make(1);
-            CoherenceDriver driver(*net, streams, prof.mshrLimit);
-            const CoherenceResult r = driver.run();
-            const auto p = cfg.power(
-                *net, r.completionCycles ? r.completionCycles : 1);
+            const auto &p = results[i];
             const double rel =
                 base_w > 0.0 ? 1.0 - p.totalW / base_w : 0.0;
             if (cfg.name == "Optical4" && base_w > 0.0) {

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Simulator performance regression harness (not a paper artifact).
+ *
+ * Measures, with wall-clock timers:
+ *   1. PhastlaneNetwork::step() throughput (cycles/sec and
+ *      node-cycles/sec) under the micro_router_step uniform-random
+ *      workload, exercising the flat-array wavefront hot path;
+ *   2. sweep wall-clock at 1, 2, and N simulation threads over a
+ *      fixed (non-early-exit) rate grid, exercising the parallel
+ *      dispatch in runSweep().
+ *
+ * Emits BENCH_perf.json (override with --out <path>) so the perf
+ * trajectory is tracked across PRs; --quick shrinks the workload for
+ * CI smoke runs. Timings are environment-dependent -- the harness
+ * reports, it does not gate.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/network.hpp"
+#include "sim/configs.hpp"
+#include "sim/parallel.hpp"
+#include "sim/sweep.hpp"
+#include "traffic/patterns.hpp"
+
+using namespace phastlane;
+using namespace phastlane::sim;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** step() throughput under Bernoulli uniform-random load. */
+double
+stepThroughput(uint64_t cycles, double rate)
+{
+    core::PhastlaneParams params;
+    core::PhastlaneNetwork net(params);
+    Rng rng(7);
+    PacketId id = 1;
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t c = 0; c < cycles; ++c) {
+        for (NodeId n = 0; n < net.nodeCount(); ++n) {
+            if (rng.bernoulli(rate)) {
+                Packet p;
+                p.id = id++;
+                p.src = n;
+                p.dst = traffic::destination(
+                    traffic::Pattern::UniformRandom, n, net.mesh(),
+                    rng);
+                p.createdAt = net.now();
+                net.inject(p);
+            }
+        }
+        net.step();
+    }
+    const double secs = secondsSince(start);
+    return secs > 0.0 ? static_cast<double>(cycles) / secs : 0.0;
+}
+
+/** Wall-clock of one fixed-size sweep at the given thread count. */
+double
+sweepSeconds(const SweepConfig &base, int threads)
+{
+    SweepConfig sc = base;
+    sc.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const auto pts = runSweep(makeConfig("Optical4"), sc);
+    const double secs = secondsSince(start);
+    if (pts.size() != base.rates.size())
+        std::fprintf(stderr,
+                     "warning: sweep truncated (%zu/%zu points)\n",
+                     pts.size(), base.rates.size());
+    return secs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    const std::string out =
+        opts.raw.getString("out", "BENCH_perf.json");
+    const int max_threads = opts.threads;
+
+    // 1. Single-thread step() throughput (the hot-path metric).
+    const uint64_t warm_cycles = opts.quick ? 500 : 2000;
+    const uint64_t cycles = opts.quick ? 2000 : 20000;
+    const double rate = 0.10;
+    stepThroughput(warm_cycles, rate); // warm caches/allocator
+    const double steps_per_sec = stepThroughput(cycles, rate);
+    std::printf("step() throughput: %.0f cycles/sec "
+                "(%.2fM node-cycles/sec, rate %.2f, %llu cycles)\n",
+                steps_per_sec, steps_per_sec * 64 / 1e6, rate,
+                static_cast<unsigned long long>(cycles));
+
+    // 2. Sweep wall-clock scaling over threads.
+    SweepConfig sc;
+    sc.pattern = traffic::Pattern::UniformRandom;
+    sc.warmupCycles = opts.quick ? 200 : 1000;
+    sc.measureCycles = opts.quick ? 800 : 4000;
+    sc.seed = opts.seed;
+    sc.stopAtSaturation = false; // constant work per thread count
+    {
+        const int points = opts.quick ? 8 : 16;
+        for (int i = 1; i <= points; ++i)
+            sc.rates.push_back(0.28 * i / points);
+    }
+
+    std::vector<int> thread_counts = {1};
+    if (max_threads >= 2)
+        thread_counts.push_back(2);
+    if (max_threads > 2)
+        thread_counts.push_back(max_threads);
+
+    std::vector<std::pair<int, double>> sweep_times;
+    double serial_secs = 0.0;
+    for (int t : thread_counts) {
+        const double secs = sweepSeconds(sc, t);
+        if (t == 1)
+            serial_secs = secs;
+        sweep_times.emplace_back(t, secs);
+        std::printf("sweep wall-clock @ %2d threads: %7.3f s "
+                    "(speedup %.2fx)\n",
+                    t, secs, secs > 0.0 ? serial_secs / secs : 0.0);
+    }
+
+    std::FILE *f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"quick\": %s,\n",
+                 opts.quick ? "true" : "false");
+    std::fprintf(f, "  \"step_cycles_per_sec\": %.1f,\n",
+                 steps_per_sec);
+    std::fprintf(f, "  \"step_node_cycles_per_sec\": %.1f,\n",
+                 steps_per_sec * 64);
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (size_t i = 0; i < sweep_times.size(); ++i) {
+        const auto &[t, secs] = sweep_times[i];
+        std::fprintf(f,
+                     "    {\"threads\": %d, \"seconds\": %.4f, "
+                     "\"speedup\": %.3f}%s\n",
+                     t, secs, secs > 0.0 ? serial_secs / secs : 0.0,
+                     i + 1 < sweep_times.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("[perf json written to %s]\n", out.c_str());
+    return 0;
+}

@@ -6,12 +6,15 @@
  *
  *   ./examples/saturation_sweep --config Optical4 --pattern transpose
  *       [--max-rate 0.5] [--steps 12] [--measure 4000]
+ *       [--threads N]   (default: PL_THREADS env, else all cores;
+ *                        results are identical at any thread count)
  */
 
 #include <cstdio>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
+#include "sim/parallel.hpp"
 #include "sim/sweep.hpp"
 
 using namespace phastlane;
@@ -35,12 +38,14 @@ main(int argc, char **argv)
     sc.measureCycles =
         static_cast<Cycle>(args.getInt("measure", 4000));
     sc.seed = static_cast<uint64_t>(args.getInt("seed", 42));
+    sc.threads = static_cast<int>(args.getInt("threads", 0));
     for (int i = 1; i <= steps; ++i)
         sc.rates.push_back(max_rate * i / steps);
 
-    std::printf("sweeping %s on %s up to %.3f pkt/node/cycle\n",
+    std::printf("sweeping %s on %s up to %.3f pkt/node/cycle "
+                "(%d threads)\n",
                 config_name.c_str(), traffic::patternName(pattern),
-                max_rate);
+                max_rate, resolveThreadCount(sc.threads));
 
     const auto points = runSweep(makeConfig(config_name), sc);
 

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
-#include <tuple>
+#include <numeric>
 
 #include "common/log.hpp"
 
@@ -23,10 +22,13 @@ PhastlaneNetwork::PhastlaneNetwork(const PhastlaneParams &params)
         nics_.emplace_back(n, params_, mesh_);
         routers_.emplace_back(n, params_);
     }
-    claims_.assign(static_cast<size_t>(mesh_.nodeCount()) * kMeshPorts,
-                   0);
-    portClaimCounts_.assign(
-        static_cast<size_t>(mesh_.nodeCount()) * kMeshPorts, 0);
+    const size_t flat_ports =
+        static_cast<size_t>(mesh_.nodeCount()) * kMeshPorts;
+    claims_.assign(flat_ports, 0);
+    portClaimCounts_.assign(flat_ports, 0);
+    bestRank_.assign(flat_ports, 0);
+    bestFlight_.assign(flat_ports, 0);
+    bestEpoch_.assign(flat_ports, 0);
 }
 
 bool
@@ -78,7 +80,7 @@ PhastlaneNetwork::buildProgram(NodeId from, const OpticalPacket &pkt)
 {
     if (pkt.multicast) {
         MulticastBranch branch;
-        branch.taps = pkt.taps;
+        branch.taps = pkt.remainingTaps();
         return buildMulticastProgram(mesh_, from, branch,
                                      params_.maxHopsPerCycle);
     }
@@ -167,10 +169,11 @@ PhastlaneNetwork::nicToLocalQueues()
     }
 }
 
-std::vector<PhastlaneNetwork::Flight>
+void
 PhastlaneNetwork::launchPhase()
 {
-    std::vector<Flight> flights;
+    std::vector<Flight> &flights = flights_;
+    flights.clear();
     for (NodeId r = 0; r < mesh_.nodeCount(); ++r) {
         auto &rb = routers_[static_cast<size_t>(r)];
         auto launches = rb.arbitrate(
@@ -204,7 +207,6 @@ PhastlaneNetwork::launchPhase()
             flights.push_back(std::move(f));
         }
     }
-    return flights;
 }
 
 bool
@@ -217,10 +219,10 @@ PhastlaneNetwork::handleArrival(Flight &f)
     if (g.multicast) {
         // Broadcast tap: a fraction of the optical power is received
         // and a copy delivered to this node.
-        PL_ASSERT(!f.pkt.taps.empty() && f.pkt.taps.front() == f.at,
+        PL_ASSERT(!f.pkt.tapsDone() && f.pkt.nextTap() == f.at,
                   "tap bookkeeping out of sync at node %d", f.at);
         deliver(f.pkt, f.at);
-        f.pkt.taps.erase(f.pkt.taps.begin());
+        f.pkt.serveTap();
         ++events_.tapReceives;
     }
 
@@ -280,15 +282,18 @@ PhastlaneNetwork::receiveOrDrop(Flight &f, bool interim)
 void
 PhastlaneNetwork::propagateSubstepFcfs(std::vector<Flight> &flights)
 {
-    std::vector<size_t> active;
-    active.reserve(flights.size());
+    std::vector<size_t> &active = scratchActive_;
+    std::vector<size_t> &next = scratchNext_;
+    std::vector<PassRequest> &requests = scratchRequests_;
+    std::vector<uint32_t> &order = scratchOrder_;
+
+    active.clear();
     for (size_t i = 0; i < flights.size(); ++i)
         active.push_back(i);
 
-    std::vector<PassRequest> requests;
     while (!active.empty()) {
         requests.clear();
-        std::vector<size_t> next;
+        next.clear();
 
         // Arrival-side actions; collect pass requests.
         for (size_t i : active) {
@@ -305,32 +310,44 @@ PhastlaneNetwork::propagateSubstepFcfs(std::vector<Flight> &flights)
             requests.push_back(r);
         }
 
-        // Resolve claims per (router, output port).
-        std::map<std::pair<NodeId, Port>, std::vector<size_t>> byPort;
-        for (size_t ri = 0; ri < requests.size(); ++ri)
-            byPort[{requests[ri].router, requests[ri].out}]
-                .push_back(ri);
+        // Resolve claims per (router, output port): group the
+        // requests by flat port index. The stable sort reproduces the
+        // (router, port)-ordered, arrival-ordered iteration the old
+        // std::map performed, without any per-substep allocation.
+        const auto flatKey = [&](uint32_t ri) {
+            const PassRequest &r = requests[ri];
+            return static_cast<size_t>(r.router) * kMeshPorts +
+                   portIndex(r.out);
+        };
+        order.resize(requests.size());
+        std::iota(order.begin(), order.end(), 0u);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](uint32_t a, uint32_t b) {
+                             return flatKey(a) < flatKey(b);
+                         });
 
-        for (auto &[key, idxs] : byPort) {
-            const auto [router, out] = key;
+        for (size_t g0 = 0; g0 < order.size();) {
+            size_t g1 = g0 + 1;
+            while (g1 < order.size() &&
+                   flatKey(order[g1]) == flatKey(order[g0]))
+                ++g1;
+            const NodeId router = requests[order[g0]].router;
+            const Port out = requests[order[g0]].out;
+
             size_t winner = SIZE_MAX;
             if (!claimed(router, out)) {
-                winner = idxs.front();
+                winner = order[g0];
                 if (params_.opticalArbitration ==
                     OpticalArbitration::FixedPriority) {
-                    for (size_t ri : idxs) {
-                        const auto &a = requests[ri];
-                        const auto &b = requests[winner];
-                        const auto rank =
-                            [&](const PassRequest &r, size_t fi) {
-                                return std::make_pair(
-                                    r.straight ? 0 : 1,
-                                    portIndex(flights[fi].inPort));
-                            };
-                        if (rank(a, a.flight) <
-                            rank(b, b.flight)) {
-                            winner = ri;
-                        }
+                    const auto rank = [&](size_t ri) {
+                        const PassRequest &r = requests[ri];
+                        return std::make_pair(
+                            r.straight ? 0 : 1,
+                            portIndex(flights[r.flight].inPort));
+                    };
+                    for (size_t k = g0; k < g1; ++k) {
+                        if (rank(order[k]) < rank(winner))
+                            winner = order[k];
                     }
                 } else {
                     // Rotating priority over input ports (ablation).
@@ -341,13 +358,14 @@ PhastlaneNetwork::propagateSubstepFcfs(std::vector<Flight> &flights)
                             flights[requests[ri].flight].inPort);
                         return (p - start + kMeshPorts) % kMeshPorts;
                     };
-                    for (size_t ri : idxs) {
-                        if (rrRank(ri) < rrRank(winner))
-                            winner = ri;
+                    for (size_t k = g0; k < g1; ++k) {
+                        if (rrRank(order[k]) < rrRank(winner))
+                            winner = order[k];
                     }
                 }
             }
-            for (size_t ri : idxs) {
+            for (size_t k = g0; k < g1; ++k) {
+                const size_t ri = order[k];
                 Flight &f = flights[requests[ri].flight];
                 if (ri == winner) {
                     setClaim(router, out);
@@ -366,8 +384,9 @@ PhastlaneNetwork::propagateSubstepFcfs(std::vector<Flight> &flights)
                     receiveOrDrop(f, false);
                 }
             }
+            g0 = g1;
         }
-        active = std::move(next);
+        std::swap(active, next);
     }
 }
 
@@ -379,21 +398,15 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
     // Resolved as a monotone fixed point: once blocked, a flight stays
     // blocked, which is conservative when its blocker is itself
     // blocked upstream.
-    struct Claim {
-        NodeId router;
-        Port out;
-        bool straight;
-        Port inPort;
-    };
-    struct Itinerary {
-        std::vector<Claim> claims; ///< pass claims after arrival i
-        std::vector<NodeId> entered;
-        std::vector<Port> inPorts;
-        size_t stop; ///< index in entered of the local/final router
-    };
-
     const size_t n = flights.size();
-    std::vector<Itinerary> its(n);
+    std::vector<Itinerary> &its = scratchIts_;
+    its.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        its[i].claims.clear();
+        its[i].entered.clear();
+        its[i].inPorts.clear();
+        its[i].stop = 0;
+    }
     for (size_t i = 0; i < n; ++i) {
         Flight f = flights[i]; // walk a copy of the program
         Itinerary &it = its[i];
@@ -406,9 +419,10 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
                 break;
             }
             const Port out = applyTurn(f.inPort, g.turn());
-            it.claims.push_back(Claim{f.at, out,
-                                      g.turn() == Turn::Straight,
-                                      f.inPort});
+            it.claims.push_back(
+                ItineraryClaim{f.at, out,
+                               g.turn() == Turn::Straight,
+                               f.inPort});
             f.prog.translate();
             f.at = mesh_.neighbor(f.at, out);
             PL_ASSERT(f.at != kInvalidNode, "route left the mesh");
@@ -417,16 +431,25 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
     }
 
     // blocked[i] = index of the first losing claim (SIZE_MAX: none).
-    std::vector<size_t> blocked(n, SIZE_MAX);
+    std::vector<size_t> &blocked = scratchBlocked_;
+    blocked.assign(n, SIZE_MAX);
+    // Rank per claim, lower wins: straight-ness, then input port,
+    // then flight index -- packed into one word so the flat winner
+    // table below needs a single compare.
+    const auto packedRank = [](const ItineraryClaim &c, size_t i) {
+        return (static_cast<uint64_t>(c.straight ? 0 : 1) << 62) |
+               (static_cast<uint64_t>(portIndex(c.inPort)) << 56) |
+               static_cast<uint64_t>(i);
+    };
     bool changed = true;
     while (changed) {
         changed = false;
         // Winner per (router, port) among still-active claims;
         // launches (claim index 0 at the launch router) outrank
         // everything, then straight, then turn, then input port.
-        std::map<std::pair<NodeId, int>,
-                 std::pair<std::tuple<int, int, size_t>, size_t>>
-            best;
+        // bestEpoch_ tags which flat slots are live this round, so
+        // the tables need no clearing between fixed-point rounds.
+        ++resolveEpoch_;
         for (size_t i = 0; i < n; ++i) {
             const auto &cl = its[i].claims;
             const size_t limit = std::min(blocked[i], cl.size());
@@ -436,15 +459,15 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
                 // handled separately below.
                 if (claimed(cl[k].router, cl[k].out))
                     continue;
-                const auto key = std::make_pair(
-                    cl[k].router, portIndex(cl[k].out));
-                const auto rank = std::make_tuple(
-                    cl[k].straight ? 0 : 1,
-                    portIndex(cl[k].inPort), i);
-                auto found = best.find(key);
-                if (found == best.end() ||
-                    rank < found->second.first) {
-                    best[key] = {rank, i};
+                const size_t key =
+                    static_cast<size_t>(cl[k].router) * kMeshPorts +
+                    portIndex(cl[k].out);
+                const uint64_t rank = packedRank(cl[k], i);
+                if (bestEpoch_[key] != resolveEpoch_ ||
+                    rank < bestRank_[key]) {
+                    bestEpoch_[key] = resolveEpoch_;
+                    bestRank_[key] = rank;
+                    bestFlight_[key] = static_cast<uint32_t>(i);
                 }
             }
         }
@@ -452,11 +475,12 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
             const auto &cl = its[i].claims;
             const size_t limit = std::min(blocked[i], cl.size());
             for (size_t k = 0; k < limit; ++k) {
-                const auto key = std::make_pair(
-                    cl[k].router, portIndex(cl[k].out));
+                const size_t key =
+                    static_cast<size_t>(cl[k].router) * kMeshPorts +
+                    portIndex(cl[k].out);
                 const bool loses =
                     claimed(cl[k].router, cl[k].out) ||
-                    best[key].second != i;
+                    bestFlight_[key] != i;
                 if (loses) {
                     blocked[i] = k;
                     changed = true;
@@ -481,11 +505,11 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
                 // blocked packet is received or dropped.
                 const ControlGroup g = f.prog.front();
                 if (g.multicast) {
-                    PL_ASSERT(!f.pkt.taps.empty() &&
-                                  f.pkt.taps.front() == f.at,
+                    PL_ASSERT(!f.pkt.tapsDone() &&
+                                  f.pkt.nextTap() == f.at,
                               "tap bookkeeping out of sync");
                     deliver(f.pkt, f.at);
-                    f.pkt.taps.erase(f.pkt.taps.begin());
+                    f.pkt.serveTap();
                     ++events_.tapReceives;
                 }
                 receiveOrDrop(f, false);
@@ -516,11 +540,11 @@ PhastlaneNetwork::step()
 
     resolveOutcomes();
     nicToLocalQueues();
-    std::vector<Flight> flights = launchPhase();
+    launchPhase();
     if (params_.wavefront == WavefrontModel::SubstepFcfs)
-        propagateSubstepFcfs(flights);
+        propagateSubstepFcfs(flights_);
     else
-        propagateGlobalPriority(flights);
+        propagateGlobalPriority(flights_);
 
     events_.routerCycles += static_cast<uint64_t>(mesh_.nodeCount());
     ++cycle_;

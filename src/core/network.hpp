@@ -114,13 +114,29 @@ class PhastlaneNetwork : public Network
         bool straight = false;
     };
 
+    /** One pass claim in a precomputed global-priority itinerary. */
+    struct ItineraryClaim {
+        NodeId router;
+        Port out;
+        bool straight;
+        Port inPort;
+    };
+
+    /** A flight's full intra-cycle route under global priority. */
+    struct Itinerary {
+        std::vector<ItineraryClaim> claims; ///< pass claims in order
+        std::vector<NodeId> entered;
+        std::vector<Port> inPorts;
+        size_t stop = 0; ///< index in entered of the local router
+    };
+
     Port desiredPort(NodeId at, const OpticalPacket &pkt) const;
     ControlProgram buildProgram(NodeId from,
                                 const OpticalPacket &pkt) const;
 
     void resolveOutcomes();
     void nicToLocalQueues();
-    std::vector<Flight> launchPhase();
+    void launchPhase();
     void propagateSubstepFcfs(std::vector<Flight> &flights);
     void propagateGlobalPriority(std::vector<Flight> &flights);
 
@@ -151,6 +167,23 @@ class PhastlaneNetwork : public Network
 
     std::vector<LaunchOutcome> pendingOutcomes_;
     std::vector<Delivery> deliveries_;
+
+    // Reusable per-cycle scratch for the step() hot path: the flight
+    // list, the sub-step work lists, and the flat (router, port)
+    // claim-resolution tables that replaced per-cycle std::map
+    // allocations. All are cleared, never shrunk, so steady-state
+    // cycles allocate nothing.
+    std::vector<Flight> flights_;
+    std::vector<size_t> scratchActive_;
+    std::vector<size_t> scratchNext_;
+    std::vector<PassRequest> scratchRequests_;
+    std::vector<uint32_t> scratchOrder_;
+    std::vector<Itinerary> scratchIts_;
+    std::vector<size_t> scratchBlocked_;
+    std::vector<uint64_t> bestRank_;   ///< per router * kMeshPorts
+    std::vector<uint32_t> bestFlight_; ///< winner per flat port index
+    std::vector<uint64_t> bestEpoch_;  ///< validity tag for the above
+    uint64_t resolveEpoch_ = 0;
 
     NetworkCounters counters_;
     PhastlaneCounters pl_;

@@ -32,13 +32,33 @@ struct OpticalPacket {
     bool multicast = false;
 
     /**
-     * Remaining multicast delivery targets in path order (the last one
-     * is finalDst). Served taps are removed in flight, so after a drop
+     * Multicast delivery targets in path order (the last one is
+     * finalDst). Served taps are skipped via tapCursor rather than
+     * erased (an O(n) front-erase on the hot path), so after a drop
      * the retransmission covers exactly the unserved nodes (the paper
      * clears the Multicast bits of nodes identified via the dropped
      * packet's return-path Node ID).
      */
     std::vector<NodeId> taps;
+
+    /** Index of the first unserved tap in taps. */
+    uint32_t tapCursor = 0;
+
+    /** True when every tap has been served. */
+    bool tapsDone() const { return tapCursor >= taps.size(); }
+
+    /** The next unserved tap; requires !tapsDone(). */
+    NodeId nextTap() const { return taps[tapCursor]; }
+
+    /** Mark the next tap served. */
+    void serveTap() { ++tapCursor; }
+
+    /** The unserved taps, in path order. */
+    std::vector<NodeId> remainingTaps() const
+    {
+        return std::vector<NodeId>(taps.begin() + tapCursor,
+                                   taps.end());
+    }
 
     /** Cycle the message entered the source NIC queue. */
     Cycle acceptedAt = 0;

@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "core/network.hpp"
+#include "sim/parallel.hpp"
 
 namespace phastlane::sim {
 
@@ -11,20 +12,35 @@ runExperiment(const ExperimentSpec &spec)
     if (spec.configs.empty() || spec.benchmarks.empty())
         fatal("experiment needs at least one config and benchmark");
 
-    std::vector<BenchmarkRun> runs;
-    for (traffic::SplashProfile prof : spec.benchmarks) {
+    // Pre-generate every benchmark's streams once (shared read-only
+    // across the grid), then dispatch the independent (benchmark,
+    // config) cells across the pool. Cell i owns runs[i], so the
+    // result vector comes back in the serial order: grouped by
+    // benchmark, configs in specification order.
+    const size_t nb = spec.benchmarks.size();
+    const size_t nc = spec.configs.size();
+    std::vector<traffic::SplashProfile> profiles(spec.benchmarks);
+    std::vector<std::vector<std::vector<traffic::Txn>>> streams(nb);
+    for (size_t b = 0; b < nb; ++b) {
         if (spec.txnsPerNode > 0)
-            prof.txnsPerNode = spec.txnsPerNode;
-        const auto streams =
-            traffic::generateStreams(prof, 64, spec.seed);
-        for (const std::string &name : spec.configs) {
-            const NetConfig cfg = makeConfig(name);
+            profiles[b].txnsPerNode = spec.txnsPerNode;
+        streams[b] =
+            traffic::generateStreams(profiles[b], 64, spec.seed);
+    }
+
+    std::vector<BenchmarkRun> runs(nb * nc);
+    parallelFor(
+        nb * nc,
+        [&](size_t i) {
+            const size_t b = i / nc;
+            const size_t c = i % nc;
+            const NetConfig cfg = makeConfig(spec.configs[c]);
             auto net = cfg.make(spec.seed);
-            traffic::CoherenceDriver driver(*net, streams,
-                                            prof.mshrLimit);
-            BenchmarkRun run;
-            run.benchmark = prof.name;
-            run.config = name;
+            traffic::CoherenceDriver driver(*net, streams[b],
+                                            profiles[b].mshrLimit);
+            BenchmarkRun &run = runs[i];
+            run.benchmark = profiles[b].name;
+            run.config = spec.configs[c];
             run.result = driver.run();
             run.power = cfg.power(
                 *net, run.result.completionCycles
@@ -35,9 +51,8 @@ runExperiment(const ExperimentSpec &spec)
                         net.get())) {
                 run.drops = pl->phastlaneCounters().drops;
             }
-            runs.push_back(std::move(run));
-        }
-    }
+        },
+        spec.threads);
     return runs;
 }
 

@@ -46,6 +46,11 @@ struct ExperimentSpec {
     std::string baseline = "Electrical3";
 
     uint64_t seed = 12345;
+
+    /** Simulation threads for the (benchmark x config) grid: 0 = auto
+     *  (PL_THREADS env, else hardware concurrency), 1 = serial.
+     *  Results are bit-identical across thread counts. */
+    int threads = 0;
 };
 
 /**

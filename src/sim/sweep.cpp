@@ -2,38 +2,97 @@
 
 #include <algorithm>
 
+#include "sim/parallel.hpp"
+
 namespace phastlane::sim {
 
 std::vector<double>
 defaultRateGrid()
 {
+    // Generated from integer counters so the endpoints are exact:
+    // repeated floating-point accumulation (r += 0.01) drifts enough
+    // that the grid's length and endpoints depend on rounding.
     std::vector<double> rates;
-    for (double r = 0.01; r < 0.10; r += 0.01)
-        rates.push_back(r);
-    for (double r = 0.10; r <= 0.501; r += 0.025)
-        rates.push_back(r);
+    for (int m = 1; m <= 9; ++m) // 0.01 .. 0.09 step 0.01
+        rates.push_back(m / 100.0);
+    for (int m = 100; m <= 500; m += 25) // 0.10 .. 0.50 step 0.025
+        rates.push_back(m / 1000.0);
     return rates;
 }
+
+namespace {
+
+/** Simulate one sweep point; self-contained and thread-safe (its own
+ *  network, driver, and RNG). */
+SweepPoint
+runPoint(const NetConfig &config, const SweepConfig &sweep,
+         double rate)
+{
+    auto net = config.make(sweep.seed);
+    traffic::SyntheticConfig cfg;
+    cfg.pattern = sweep.pattern;
+    cfg.injectionRate = rate;
+    cfg.warmupCycles = sweep.warmupCycles;
+    cfg.measureCycles = sweep.measureCycles;
+    cfg.seed = sweep.seed;
+    traffic::SyntheticDriver driver(*net, cfg);
+    SweepPoint pt;
+    pt.injectionRate = rate;
+    pt.result = driver.run();
+    return pt;
+}
+
+} // namespace
 
 std::vector<SweepPoint>
 runSweep(const NetConfig &config, const SweepConfig &sweep)
 {
-    std::vector<SweepPoint> points;
-    for (double rate : sweep.rates) {
-        auto net = config.make(sweep.seed);
-        traffic::SyntheticConfig cfg;
-        cfg.pattern = sweep.pattern;
-        cfg.injectionRate = rate;
-        cfg.warmupCycles = sweep.warmupCycles;
-        cfg.measureCycles = sweep.measureCycles;
-        cfg.seed = sweep.seed;
-        traffic::SyntheticDriver driver(*net, cfg);
-        SweepPoint pt;
-        pt.injectionRate = rate;
-        pt.result = driver.run();
-        points.push_back(pt);
-        if (sweep.stopAtSaturation && pt.result.saturated)
-            break;
+    const size_t n = sweep.rates.size();
+    const int threads = resolveThreadCount(sweep.threads);
+
+    if (threads <= 1 || n <= 1) {
+        std::vector<SweepPoint> points;
+        for (double rate : sweep.rates) {
+            points.push_back(runPoint(config, sweep, rate));
+            if (sweep.stopAtSaturation && points.back().result.saturated)
+                break;
+        }
+        return points;
+    }
+
+    std::vector<SweepPoint> points(n);
+    if (!sweep.stopAtSaturation) {
+        parallelFor(
+            n,
+            [&](size_t i) {
+                points[i] =
+                    runPoint(config, sweep, sweep.rates[i]);
+            },
+            threads);
+        return points;
+    }
+
+    // Early exit must survive parallelism: simulate in thread-sized
+    // waves and truncate at the first saturated point, matching the
+    // serial result exactly (points up to and including it).
+    size_t done = 0;
+    while (done < n) {
+        const size_t batch =
+            std::min(n - done, static_cast<size_t>(threads));
+        parallelFor(
+            batch,
+            [&](size_t i) {
+                points[done + i] = runPoint(config, sweep,
+                                            sweep.rates[done + i]);
+            },
+            threads);
+        for (size_t i = 0; i < batch; ++i) {
+            if (points[done + i].result.saturated) {
+                points.resize(done + i + 1);
+                return points;
+            }
+        }
+        done += batch;
     }
     return points;
 }

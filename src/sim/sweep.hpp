@@ -29,6 +29,11 @@ struct SweepConfig {
     Cycle measureCycles = 5000;
     uint64_t seed = 42;
     bool stopAtSaturation = true;
+
+    /** Simulation threads for the sweep points: 0 = auto (PL_THREADS
+     *  env, else hardware concurrency), 1 = serial. Results are
+     *  bit-identical across thread counts (see sim/parallel.hpp). */
+    int threads = 0;
 };
 
 /** Default Fig 9 rate grid (packets/node/cycle). */
