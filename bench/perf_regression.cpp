@@ -12,12 +12,18 @@
  *
  * Emits BENCH_perf.json (override with --out <path>) so the perf
  * trajectory is tracked across PRs; --quick shrinks the workload for
- * CI smoke runs. Timings are environment-dependent -- the harness
- * reports, it does not gate.
+ * CI smoke runs.
+ *
+ * With --baseline <path> the harness becomes a gate: it compares
+ * step_cycles_per_sec against the baseline JSON and fails (without
+ * touching --out) when throughput falls below --gate-ratio (default
+ * 0.70, i.e. a >30% regression) of the baseline. A missing baseline
+ * is reported and skipped, not failed, so fresh checkouts still run.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -85,6 +91,24 @@ sweepSeconds(const SweepConfig &base, int threads)
     return secs;
 }
 
+/** step_cycles_per_sec from a previous run's JSON, or -1. */
+double
+readBaselineStepRate(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return -1.0;
+    std::string text(1 << 16, '\0');
+    const size_t n = std::fread(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    text.resize(n);
+    const std::string key = "\"step_cycles_per_sec\":";
+    const size_t pos = text.find(key);
+    if (pos == std::string::npos)
+        return -1.0;
+    return std::atof(text.c_str() + pos + key.size());
+}
+
 } // namespace
 
 int
@@ -135,6 +159,31 @@ main(int argc, char **argv)
         std::printf("sweep wall-clock @ %2d threads: %7.3f s "
                     "(speedup %.2fx)\n",
                     t, secs, secs > 0.0 ? serial_secs / secs : 0.0);
+    }
+
+    // Gate before writing: a failing run must not refresh the
+    // baseline it just failed against.
+    const std::string baseline = opts.raw.getString("baseline", "");
+    if (!baseline.empty()) {
+        const double base = readBaselineStepRate(baseline);
+        if (base <= 0.0) {
+            std::printf("[no usable baseline at %s, gate skipped]\n",
+                        baseline.c_str());
+        } else {
+            const double ratio =
+                opts.raw.getDouble("gate-ratio", 0.70);
+            std::printf("gate: %.0f cycles/sec vs baseline %.0f "
+                        "(%.0f%%, floor %.0f%%)\n",
+                        steps_per_sec, base,
+                        100.0 * steps_per_sec / base, 100.0 * ratio);
+            if (steps_per_sec < base * ratio) {
+                std::fprintf(stderr,
+                             "FAIL: step() throughput regressed "
+                             "below %.0f%% of baseline\n",
+                             100.0 * ratio);
+                return 1;
+            }
+        }
     }
 
     std::FILE *f = std::fopen(out.c_str(), "w");

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "check/checked_network.hpp"
 #include "common/config.hpp"
 #include "common/log.hpp"
 #include "core/network.hpp"
@@ -96,6 +97,10 @@ main(int argc, char **argv)
             "  synthetic: --rate R --bcast F --warmup N --measure N\n"
             "  splash: --txns N --seed S\n"
             "  reports: --metrics --power --heatmap\n"
+            "  checking: --check (run under the invariant checker "
+            "and, where supported,\n"
+            "            in lockstep with the reference oracle; "
+            "aborts on divergence)\n"
             "  configs: Optical4/5/8, Optical4B32/B64/IB, "
             "Electrical2/3\n");
         return 0;
@@ -110,7 +115,24 @@ main(int argc, char **argv)
 
     const sim::NetConfig cfg = sim::makeConfig(config_name);
     auto net = cfg.make(seed);
-    sim::LatencyCollector metrics(net->mesh());
+    std::unique_ptr<check::CheckedNetwork> checked;
+    if (args.getBool("check", false)) {
+        auto *pl = dynamic_cast<core::PhastlaneNetwork *>(net.get());
+        if (!pl)
+            panic("--check supports optical (Phastlane) "
+                  "configurations only");
+        checked =
+            std::make_unique<check::CheckedNetwork>(pl->params());
+        net.reset();
+    }
+    // The workload drives `drive`; reports read `report`, which stays
+    // the PhastlaneNetwork so their dynamic_casts keep working when
+    // --check interposes the wrapper.
+    Network &drive =
+        checked ? static_cast<Network &>(*checked) : *net;
+    Network &report =
+        checked ? static_cast<Network &>(checked->primary()) : *net;
+    sim::LatencyCollector metrics(drive.mesh());
 
     std::printf("config %s, workload %s\n", config_name.c_str(),
                 workload.c_str());
@@ -121,8 +143,8 @@ main(int argc, char **argv)
         prof.txnsPerNode =
             static_cast<int>(args.getInt("txns", 100));
         const auto streams =
-            traffic::generateStreams(prof, net->nodeCount(), seed);
-        traffic::RecordingNetwork rec(*net);
+            traffic::generateStreams(prof, drive.nodeCount(), seed);
+        traffic::RecordingNetwork rec(drive);
         traffic::CoherenceDriver driver(rec, streams,
                                         prof.mshrLimit);
         // Run manually so every delivery feeds the collector.
@@ -134,12 +156,12 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         result.completionCycles),
                     result.avgMessageLatency, result.avgRoundTrip);
-        printCommonReports(args, cfg, *net, result.completionCycles,
+        printCommonReports(args, cfg, report, result.completionCycles,
                            nullptr);
     } else if (workload.rfind("trace:", 0) == 0) {
         const auto records =
             traffic::readTrace(workload.substr(6));
-        const auto result = traffic::replayTrace(*net, records);
+        const auto result = traffic::replayTrace(drive, records);
         std::printf("replayed %llu messages (%llu deliveries) in "
                     "%llu cycles, avg latency %.1f\n",
                     static_cast<unsigned long long>(result.messages),
@@ -148,7 +170,7 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         result.completionCycle),
                     result.avgLatency);
-        printCommonReports(args, cfg, *net, result.completionCycle,
+        printCommonReports(args, cfg, report, result.completionCycle,
                            nullptr);
     } else {
         traffic::SyntheticConfig sc;
@@ -160,14 +182,31 @@ main(int argc, char **argv)
         sc.measureCycles =
             static_cast<Cycle>(args.getInt("measure", 5000));
         sc.seed = seed;
-        traffic::SyntheticDriver driver(*net, sc);
+        traffic::SyntheticDriver driver(drive, sc);
         const auto result = driver.run();
         std::printf("offered %.4f accepted %.4f pkt/node/cycle, avg "
                     "latency %.1f (p99 %.1f)%s\n",
                     result.offeredRate, result.acceptedRate,
                     result.avgLatency, result.p99Latency,
                     result.saturated ? " [saturated]" : "");
-        printCommonReports(args, cfg, *net, net->now(), &metrics);
+        printCommonReports(args, cfg, report, drive.now(), &metrics);
+    }
+
+    if (checked) {
+        // Drain so the quiescence invariants (all units delivered,
+        // every drop retransmitted) can be asserted too.
+        auto &pl = checked->primary();
+        for (int i = 0;
+             i < 200000 &&
+             (pl.inFlight() > 0 || pl.bufferedPackets() > 0 ||
+              pl.nicQueuedPackets() > 0);
+             ++i)
+            checked->step();
+        checked->checkQuiescent();
+        std::printf("check: ok (%s)\n",
+                    checked->hasOracle()
+                        ? "invariants + differential oracle"
+                        : "invariants only");
     }
     return 0;
 }

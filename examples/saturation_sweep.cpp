@@ -8,11 +8,15 @@
  *       [--max-rate 0.5] [--steps 12] [--measure 4000]
  *       [--threads N]   (default: PL_THREADS env, else all cores;
  *                        results are identical at any thread count)
+ *       [--check]       (every sweep point runs under the invariant
+ *                        checker and the differential oracle; slower)
  */
 
 #include <cstdio>
 
+#include "check/checked_network.hpp"
 #include "common/config.hpp"
+#include "common/log.hpp"
 #include "common/table.hpp"
 #include "sim/parallel.hpp"
 #include "sim/sweep.hpp"
@@ -47,7 +51,24 @@ main(int argc, char **argv)
                 config_name.c_str(), traffic::patternName(pattern),
                 max_rate, resolveThreadCount(sc.threads));
 
-    const auto points = runSweep(makeConfig(config_name), sc);
+    NetConfig cfg = makeConfig(config_name);
+    if (args.getBool("check", false)) {
+        const auto inner = cfg.make;
+        cfg.make = [inner](uint64_t seed) -> std::unique_ptr<Network> {
+            auto net = inner(seed);
+            auto *pl =
+                dynamic_cast<core::PhastlaneNetwork *>(net.get());
+            if (!pl)
+                panic("--check supports optical (Phastlane) "
+                      "configurations only");
+            return std::make_unique<check::CheckedNetwork>(
+                pl->params());
+        };
+        std::printf("checking enabled: invariants + lockstep oracle "
+                    "on every point\n");
+    }
+
+    const auto points = runSweep(cfg, sc);
 
     TextTable t({"rate", "avg latency [cyc]", "p99 [cyc]",
                  "accepted", "saturated"});

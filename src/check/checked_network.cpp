@@ -1,0 +1,52 @@
+#include "check/checked_network.hpp"
+
+#include "check/differential.hpp"
+#include "common/log.hpp"
+
+namespace phastlane::check {
+
+CheckedNetwork::CheckedNetwork(const core::PhastlaneParams &params)
+    : primary_(params), checker_(primary_, /*abort_on_violation=*/true)
+{
+    primary_.setObserver(&checker_);
+    if (ReferenceNetwork::supports(params)) {
+        oracle_ = std::make_unique<ReferenceNetwork>(params);
+    } else {
+        warn("--check: no reference model for this configuration; "
+             "running invariant checks only");
+    }
+}
+
+bool
+CheckedNetwork::inject(const Packet &pkt)
+{
+    const bool accepted = primary_.inject(pkt);
+    if (oracle_) {
+        const bool ref_accepted = oracle_->inject(pkt);
+        if (accepted != ref_accepted) {
+            panic("check: inject of message %llu %s by the optimized "
+                  "network but %s by the reference",
+                  static_cast<unsigned long long>(pkt.id),
+                  accepted ? "accepted" : "rejected",
+                  ref_accepted ? "accepted" : "rejected");
+        }
+    }
+    return accepted;
+}
+
+void
+CheckedNetwork::step()
+{
+    primary_.step();
+    if (!oracle_)
+        return;
+    oracle_->step();
+    const std::string diff = diffNetworks(primary_, *oracle_);
+    if (!diff.empty()) {
+        panic("check: differential mismatch at cycle %llu: %s",
+              static_cast<unsigned long long>(primary_.now() - 1),
+              diff.c_str());
+    }
+}
+
+} // namespace phastlane::check

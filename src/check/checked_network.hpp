@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CheckedNetwork: a drop-in Network wrapper that runs a
+ * PhastlaneNetwork under the invariant checker and, when the
+ * configuration has a reference model, in lockstep with the
+ * differential oracle. Any violation or divergence aborts with a
+ * diagnostic. Enabled by --check on netsim_cli and saturation_sweep.
+ */
+
+#ifndef PHASTLANE_CHECK_CHECKED_NETWORK_HPP
+#define PHASTLANE_CHECK_CHECKED_NETWORK_HPP
+
+#include <memory>
+
+#include "check/invariants.hpp"
+#include "check/reference_network.hpp"
+#include "core/network.hpp"
+
+namespace phastlane::check {
+
+/**
+ * Owns the primary network plus its checkers and forwards the Network
+ * interface to the primary. Configurations without a reference model
+ * (GlobalPriority) run under the invariant checker alone, with a
+ * warning.
+ */
+class CheckedNetwork : public Network
+{
+  public:
+    explicit CheckedNetwork(const core::PhastlaneParams &params);
+
+    // Network interface, forwarded to the primary network.
+    int nodeCount() const override { return primary_.nodeCount(); }
+    const MeshTopology &mesh() const override
+    {
+        return primary_.mesh();
+    }
+    Cycle now() const override { return primary_.now(); }
+    bool nicHasSpace(NodeId n) const override
+    {
+        return primary_.nicHasSpace(n);
+    }
+    bool inject(const Packet &pkt) override;
+    void step() override;
+    const std::vector<Delivery> &deliveries() const override
+    {
+        return primary_.deliveries();
+    }
+    uint64_t inFlight() const override { return primary_.inFlight(); }
+    const NetworkCounters &counters() const override
+    {
+        return primary_.counters();
+    }
+
+    /** The wrapped network, for Phastlane-specific reports. */
+    core::PhastlaneNetwork &primary() { return primary_; }
+    const core::PhastlaneNetwork &primary() const { return primary_; }
+
+    /** True when the differential oracle is running alongside. */
+    bool hasOracle() const { return oracle_ != nullptr; }
+
+    /** Final quiescence checks; call after draining the network. */
+    void checkQuiescent() { checker_.checkQuiescent(); }
+
+  private:
+    core::PhastlaneNetwork primary_;
+    InvariantChecker checker_;
+    std::unique_ptr<ReferenceNetwork> oracle_;
+};
+
+} // namespace phastlane::check
+
+#endif // PHASTLANE_CHECK_CHECKED_NETWORK_HPP

@@ -1,0 +1,432 @@
+#include "check/differential.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "check/invariants.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace phastlane::check {
+
+namespace {
+
+/** Delivery key for order-independent comparison: within one cycle
+ *  the two implementations may emit deliveries in different orders. */
+using DeliveryKey = std::tuple<PacketId, NodeId, Cycle, Cycle>;
+
+std::vector<DeliveryKey>
+deliveryKeys(const std::vector<Delivery> &ds)
+{
+    std::vector<DeliveryKey> keys;
+    keys.reserve(ds.size());
+    for (const auto &d : ds)
+        keys.emplace_back(d.packet.id, d.node, d.acceptedAt,
+                          d.injectedAt);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+std::string
+diffCounter(const char *name, uint64_t opt, uint64_t ref)
+{
+    if (opt == ref)
+        return "";
+    return detail::formatMsg("%s: optimized %llu, reference %llu",
+                             name,
+                             static_cast<unsigned long long>(opt),
+                             static_cast<unsigned long long>(ref));
+}
+
+} // namespace
+
+std::vector<Injection>
+makeStream(const core::PhastlaneParams &params,
+           const StreamConfig &cfg)
+{
+    const MeshTopology mesh(params.meshWidth, params.meshHeight);
+    Rng rng(cfg.seed);
+    std::vector<Injection> stream;
+    PacketId next_id = 1;
+    for (Cycle c = 0; c < cfg.cycles; ++c) {
+        for (NodeId n = 0; n < mesh.nodeCount(); ++n) {
+            if (!rng.bernoulli(cfg.rate))
+                continue;
+            Injection inj;
+            inj.at = c;
+            inj.pkt.id = next_id++;
+            inj.pkt.src = n;
+            inj.pkt.kind = MessageKind::Synthetic;
+            inj.pkt.createdAt = c;
+            if (rng.bernoulli(cfg.broadcastFraction)) {
+                inj.pkt.broadcast = true;
+            } else {
+                inj.pkt.dst =
+                    traffic::destination(cfg.pattern, n, mesh, rng);
+            }
+            stream.push_back(std::move(inj));
+        }
+    }
+    return stream;
+}
+
+std::string
+diffNetworks(const core::PhastlaneNetwork &optimized,
+             const ReferenceNetwork &reference)
+{
+    // Per-cycle deliveries, compared as multisets.
+    const auto a = deliveryKeys(optimized.deliveries());
+    const auto b = deliveryKeys(reference.deliveries());
+    if (a != b) {
+        std::ostringstream os;
+        os << "deliveries differ (" << a.size() << " vs " << b.size()
+           << ")";
+        for (size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+            if (i < a.size() && i < b.size() && a[i] == b[i])
+                continue;
+            if (i < a.size()) {
+                os << "; optimized: msg " << std::get<0>(a[i])
+                   << " at node " << std::get<1>(a[i]);
+            }
+            if (i < b.size()) {
+                os << "; reference: msg " << std::get<0>(b[i])
+                   << " at node " << std::get<1>(b[i]);
+            }
+            break; // first divergence is enough
+        }
+        return os.str();
+    }
+
+    const auto &oc = optimized.counters();
+    const auto &rc = reference.counters();
+    const auto &op = optimized.phastlaneCounters();
+    const auto &rp = reference.phastlaneCounters();
+    const auto &oe = optimized.events();
+    const auto &re = reference.events();
+
+    struct Pair {
+        const char *name;
+        uint64_t opt;
+        uint64_t ref;
+    };
+    const Pair pairs[] = {
+        {"messagesAccepted", oc.messagesAccepted, rc.messagesAccepted},
+        {"packetsInjected", oc.packetsInjected, rc.packetsInjected},
+        {"deliveries", oc.deliveries, rc.deliveries},
+        {"drops", op.drops, rp.drops},
+        {"retransmissions", op.retransmissions, rp.retransmissions},
+        {"blockedBuffered", op.blockedBuffered, rp.blockedBuffered},
+        {"interimAccepts", op.interimAccepts, rp.interimAccepts},
+        {"launches", op.launches, rp.launches},
+        {"passTraversals", oe.passTraversals, re.passTraversals},
+        {"receives", oe.receives, re.receives},
+        {"tapReceives", oe.tapReceives, re.tapReceives},
+        {"bufferWrites", oe.bufferWrites, re.bufferWrites},
+        {"bufferReads", oe.bufferReads, re.bufferReads},
+        {"dropSignalHops", oe.dropSignalHops, re.dropSignalHops},
+        {"inFlight", optimized.inFlight(), reference.inFlight()},
+        {"bufferedPackets", optimized.bufferedPackets(),
+         reference.bufferedPackets()},
+        {"nicQueuedPackets", optimized.nicQueuedPackets(),
+         reference.nicQueuedPackets()},
+    };
+    for (const auto &p : pairs) {
+        std::string d = diffCounter(p.name, p.opt, p.ref);
+        if (!d.empty())
+            return d;
+    }
+    return "";
+}
+
+DiffResult
+runLockstep(const core::PhastlaneParams &params,
+            const std::vector<Injection> &stream, Cycle max_cycles)
+{
+    if (!ReferenceNetwork::supports(params))
+        fatal("runLockstep: configuration has no reference model");
+
+    core::PhastlaneNetwork optimized(params);
+    ReferenceNetwork reference(params);
+    InvariantChecker checker(optimized, /*abort_on_violation=*/false);
+    optimized.setObserver(&checker);
+
+    std::vector<Injection> pending(stream.begin(), stream.end());
+    DiffResult result;
+    for (Cycle c = 0; c < max_cycles; ++c) {
+        // Attempt every due injection on both networks; a full NIC
+        // retries next cycle. Acceptance itself must agree.
+        size_t keep = 0;
+        for (size_t i = 0; i < pending.size(); ++i) {
+            if (pending[i].at > optimized.now()) {
+                pending[keep++] = pending[i];
+                continue;
+            }
+            const bool a = optimized.inject(pending[i].pkt);
+            const bool b = reference.inject(pending[i].pkt);
+            if (a != b) {
+                result.ok = false;
+                result.failCycle = optimized.now();
+                result.message = detail::formatMsg(
+                    "inject of message %llu %s by the optimized "
+                    "network but %s by the reference",
+                    static_cast<unsigned long long>(pending[i].pkt.id),
+                    a ? "accepted" : "rejected",
+                    b ? "accepted" : "rejected");
+                return result;
+            }
+            if (!a)
+                pending[keep++] = pending[i];
+        }
+        pending.resize(keep);
+
+        optimized.step();
+        reference.step();
+
+        std::string diff = diffNetworks(optimized, reference);
+        if (!diff.empty()) {
+            result.ok = false;
+            result.failCycle = optimized.now() - 1;
+            result.message = diff;
+            return result;
+        }
+        if (!checker.ok()) {
+            result.ok = false;
+            result.failCycle = optimized.now() - 1;
+            result.message =
+                "invariant violation: " + checker.violations().front();
+            return result;
+        }
+
+        if (pending.empty() && optimized.inFlight() == 0 &&
+            optimized.bufferedPackets() == 0 &&
+            optimized.nicQueuedPackets() == 0) {
+            checker.checkQuiescent();
+            if (!checker.ok()) {
+                result.ok = false;
+                result.failCycle = optimized.now() - 1;
+                result.message = "at quiescence: " +
+                                 checker.violations().front();
+            }
+            return result;
+        }
+    }
+    result.ok = false;
+    result.failCycle = max_cycles;
+    result.message = detail::formatMsg(
+        "networks did not drain within %llu cycles (%llu still in "
+        "flight)",
+        static_cast<unsigned long long>(max_cycles),
+        static_cast<unsigned long long>(optimized.inFlight()));
+    return result;
+}
+
+std::vector<Injection>
+shrinkStream(const core::PhastlaneParams &params,
+             const std::vector<Injection> &stream, Cycle max_cycles,
+             int max_evaluations)
+{
+    int evaluations = 0;
+    const auto fails = [&](const std::vector<Injection> &s) {
+        ++evaluations;
+        return !runLockstep(params, s, max_cycles).ok;
+    };
+    if (stream.empty() || !fails(stream))
+        return stream;
+
+    // ddmin: remove ever-finer complements while the failure persists.
+    std::vector<Injection> current = stream;
+    size_t granularity = 2;
+    while (current.size() >= 2 && evaluations < max_evaluations) {
+        const size_t chunk =
+            (current.size() + granularity - 1) / granularity;
+        bool reduced = false;
+        for (size_t start = 0;
+             start < current.size() && evaluations < max_evaluations;
+             start += chunk) {
+            std::vector<Injection> complement;
+            complement.reserve(current.size());
+            for (size_t i = 0; i < current.size(); ++i) {
+                if (i < start || i >= start + chunk)
+                    complement.push_back(current[i]);
+            }
+            if (complement.size() < current.size() &&
+                fails(complement)) {
+                current = std::move(complement);
+                granularity = std::max<size_t>(granularity - 1, 2);
+                reduced = true;
+                break;
+            }
+        }
+        if (!reduced) {
+            if (granularity >= current.size())
+                break;
+            granularity = std::min(current.size(), granularity * 2);
+        }
+    }
+    return current;
+}
+
+std::string
+reproTestCase(const core::PhastlaneParams &params,
+              const std::vector<Injection> &stream)
+{
+    std::ostringstream os;
+    os << "// Auto-generated by phastlane::check::reproTestCase from "
+          "a shrunk\n"
+          "// differential failure. Paste into "
+          "tests/test_check_differential.cpp.\n"
+          "TEST(CheckDifferentialRepro, Shrunk)\n"
+          "{\n"
+          "    phastlane::core::PhastlaneParams p;\n";
+    os << "    p.meshWidth = " << params.meshWidth << ";\n";
+    os << "    p.meshHeight = " << params.meshHeight << ";\n";
+    os << "    p.maxHopsPerCycle = " << params.maxHopsPerCycle
+       << ";\n";
+    os << "    p.routerBufferEntries = " << params.routerBufferEntries
+       << ";\n";
+    os << "    p.nicQueueEntries = " << params.nicQueueEntries
+       << ";\n";
+    os << "    p.nicTransfersPerCycle = "
+       << params.nicTransfersPerCycle << ";\n";
+    os << "    p.launchesPerQueue = " << params.launchesPerQueue
+       << ";\n";
+    os << "    p.backoffBase = " << params.backoffBase << ";\n";
+    os << "    p.exponentialBackoff = "
+       << (params.exponentialBackoff ? "true" : "false") << ";\n";
+    os << "    p.backoffCap = " << params.backoffCap << ";\n";
+    os << "    p.sharedBufferPool = "
+       << (params.sharedBufferPool ? "true" : "false") << ";\n";
+    os << "    p.seed = " << params.seed << "u;\n";
+    if (params.bufferArbitration ==
+        core::BufferArbitration::OldestFirst) {
+        os << "    p.bufferArbitration = "
+              "phastlane::core::BufferArbitration::OldestFirst;\n";
+    }
+    if (params.opticalArbitration ==
+        core::OpticalArbitration::RoundRobin) {
+        os << "    p.opticalArbitration = "
+              "phastlane::core::OpticalArbitration::RoundRobin;\n";
+    }
+    if (params.faults.invertStraightPriority)
+        os << "    p.faults.invertStraightPriority = true;\n";
+
+    os << "    std::vector<phastlane::check::Injection> stream;\n"
+          "    const auto inj = [&](phastlane::Cycle at,\n"
+          "                         phastlane::PacketId id,\n"
+          "                         phastlane::NodeId src,\n"
+          "                         phastlane::NodeId dst,\n"
+          "                         bool broadcast) {\n"
+          "        phastlane::Packet k;\n"
+          "        k.id = id;\n"
+          "        k.src = src;\n"
+          "        k.dst = dst;\n"
+          "        k.broadcast = broadcast;\n"
+          "        k.createdAt = at;\n"
+          "        stream.push_back({at, k});\n"
+          "    };\n";
+    for (const auto &i : stream) {
+        os << "    inj(" << i.at << ", " << i.pkt.id << ", "
+           << i.pkt.src << ", " << i.pkt.dst << ", "
+           << (i.pkt.broadcast ? "true" : "false") << ");\n";
+    }
+    os << "    const auto r =\n"
+          "        phastlane::check::runLockstep(p, stream, 50000);\n"
+          "    EXPECT_TRUE(r.ok) << \"cycle \" << r.failCycle << "
+          "\": \" << r.message;\n"
+          "}\n";
+    return os.str();
+}
+
+std::vector<CampaignCell>
+defaultCampaign(int seeds_per_cell, Cycle cycles)
+{
+    std::vector<CampaignCell> cells;
+    uint64_t seed = 1000;
+    const auto add = [&](const std::string &name, int w, int h,
+                         int hops, int depth, traffic::Pattern pat,
+                         double rate, double bcast,
+                         const auto &tweak) {
+        for (int s = 0; s < seeds_per_cell; ++s) {
+            CampaignCell cell;
+            cell.name = name + "/s" + std::to_string(s);
+            cell.params.meshWidth = w;
+            cell.params.meshHeight = h;
+            cell.params.maxHopsPerCycle = hops;
+            cell.params.routerBufferEntries = depth;
+            tweak(cell.params);
+            cell.stream.pattern = pat;
+            cell.stream.rate = rate;
+            cell.stream.broadcastFraction = bcast;
+            cell.stream.cycles = cycles;
+            cell.stream.seed = seed++;
+            cell.params.seed = cell.stream.seed;
+            cells.push_back(std::move(cell));
+        }
+    };
+    const auto noop = [](core::PhastlaneParams &) {};
+    using traffic::Pattern;
+
+    // Patterns x shapes x hop limits x depths. Depth 1-2 cells force
+    // heavy drop/retransmit traffic; rates sit near saturation.
+    add("uniform-4x4-h4-d10", 4, 4, 4, 10, Pattern::UniformRandom,
+        0.30, 0.10, noop);
+    add("transpose-4x4-h4-d2", 4, 4, 4, 2, Pattern::Transpose, 0.40,
+        0.00, noop);
+    add("tornado-4x4-h5-d1", 4, 4, 5, 1, Pattern::Tornado, 0.50, 0.05,
+        noop);
+    add("uniform-8x8-h5-d10", 8, 8, 5, 10, Pattern::UniformRandom,
+        0.20, 0.10, noop);
+    add("transpose-8x8-h8-d10", 8, 8, 8, 10, Pattern::Transpose, 0.30,
+        0.05, noop);
+    add("hotspot-8x8-h4-d2", 8, 8, 4, 2, Pattern::Hotspot, 0.15, 0.20,
+        noop);
+    add("uniform-4x2-h4-d2", 4, 2, 4, 2, Pattern::UniformRandom, 0.40,
+        0.30, noop);
+    add("neighbor-8x4-h5-d1", 8, 4, 5, 1, Pattern::Neighbor, 0.60,
+        0.00, noop);
+    add("uniform-4x4-shared", 4, 4, 4, 10, Pattern::UniformRandom,
+        0.35, 0.10,
+        [](core::PhastlaneParams &p) { p.sharedBufferPool = true; });
+    add("uniform-8x8-oldest", 8, 8, 4, 10, Pattern::UniformRandom,
+        0.25, 0.10, [](core::PhastlaneParams &p) {
+            p.bufferArbitration = core::BufferArbitration::OldestFirst;
+        });
+    add("tornado-4x4-rr", 4, 4, 4, 2, Pattern::Tornado, 0.40, 0.05,
+        [](core::PhastlaneParams &p) {
+            p.opticalArbitration = core::OpticalArbitration::RoundRobin;
+        });
+    add("uniform-4x4-backoff", 4, 4, 4, 1, Pattern::UniformRandom,
+        0.40, 0.10, [](core::PhastlaneParams &p) {
+            p.exponentialBackoff = true;
+            p.backoffBase = 1;
+        });
+    return cells;
+}
+
+CampaignResult
+runCampaign(const std::vector<CampaignCell> &cells, Cycle max_cycles)
+{
+    CampaignResult result;
+    for (const auto &cell : cells) {
+        ++result.runs;
+        const auto stream = makeStream(cell.params, cell.stream);
+        const DiffResult r =
+            runLockstep(cell.params, stream, max_cycles);
+        if (r.ok)
+            continue;
+        ++result.failures;
+        const auto shrunk =
+            shrinkStream(cell.params, stream, max_cycles);
+        result.reports.push_back(
+            cell.name + " failed at cycle " +
+            std::to_string(r.failCycle) + ": " + r.message +
+            "\nminimal repro (" + std::to_string(shrunk.size()) +
+            " of " + std::to_string(stream.size()) +
+            " injections):\n" +
+            reproTestCase(cell.params, shrunk));
+    }
+    return result;
+}
+
+} // namespace phastlane::check

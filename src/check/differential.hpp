@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Lockstep differential testing of PhastlaneNetwork against the
+ * ReferenceNetwork oracle (DESIGN.md §7).
+ *
+ * A test case is a PhastlaneParams plus an explicit injection stream.
+ * runLockstep() drives both implementations through identical
+ * injections, diffing the per-cycle delivery sets, every counter
+ * group, and the queue/buffer occupancy totals, while an
+ * InvariantChecker shadows the optimized network. On mismatch,
+ * shrinkStream() delta-debugs the stream to a minimal failing subset
+ * and reproTestCase() renders it as a ready-to-paste gtest case.
+ *
+ * defaultCampaign() builds the randomized matrix (patterns x mesh
+ * shapes x hop limits x buffer depths x seeds) run by tier-1;
+ * PL_CHECK_LONG=1 in the environment extends it.
+ */
+
+#ifndef PHASTLANE_CHECK_DIFFERENTIAL_HPP
+#define PHASTLANE_CHECK_DIFFERENTIAL_HPP
+
+#include <string>
+#include <vector>
+
+#include "check/reference_network.hpp"
+#include "core/network.hpp"
+#include "core/params.hpp"
+#include "traffic/patterns.hpp"
+
+namespace phastlane::check {
+
+/** One scheduled injection. Retried each cycle while the NIC is full;
+ *  later injections of the same node queue behind it. */
+struct Injection {
+    Cycle at = 0;
+    Packet pkt;
+};
+
+/** Recipe for a reproducible random injection stream. */
+struct StreamConfig {
+    traffic::Pattern pattern = traffic::Pattern::UniformRandom;
+    /** Injection probability per node per cycle. */
+    double rate = 0.2;
+    /** Fraction of injected messages that are broadcasts. */
+    double broadcastFraction = 0.1;
+    /** Cycles over which injections are generated. */
+    Cycle cycles = 100;
+    uint64_t seed = 1;
+};
+
+/** Expand a stream recipe into explicit injections. */
+std::vector<Injection> makeStream(const core::PhastlaneParams &params,
+                                  const StreamConfig &cfg);
+
+/**
+ * Compare the externally observable state of the two implementations
+ * after a step: the cycle's deliveries (as multisets), all counter
+ * groups, and occupancy totals. Returns "" when they agree, else a
+ * description of the first difference.
+ */
+std::string diffNetworks(const core::PhastlaneNetwork &optimized,
+                         const ReferenceNetwork &reference);
+
+/** Outcome of one lockstep run. */
+struct DiffResult {
+    bool ok = true;
+    /** Cycle of the first mismatch (meaningful when !ok). */
+    Cycle failCycle = 0;
+    std::string message;
+};
+
+/**
+ * Run both implementations in lockstep over @p stream, then let them
+ * drain. Fails on the first per-cycle difference, on any invariant
+ * violation in the optimized network, or if the networks have not
+ * drained after @p max_cycles total cycles.
+ * Requires ReferenceNetwork::supports(params).
+ */
+DiffResult runLockstep(const core::PhastlaneParams &params,
+                       const std::vector<Injection> &stream,
+                       Cycle max_cycles);
+
+/**
+ * Delta-debug a failing stream down to a locally minimal subset that
+ * still fails (ddmin over injection subsets, capped at
+ * @p max_evaluations lockstep runs). Returns @p stream unchanged if
+ * it does not fail.
+ */
+std::vector<Injection>
+shrinkStream(const core::PhastlaneParams &params,
+             const std::vector<Injection> &stream, Cycle max_cycles,
+             int max_evaluations = 200);
+
+/** Render params + stream as a self-contained gtest case. */
+std::string reproTestCase(const core::PhastlaneParams &params,
+                          const std::vector<Injection> &stream);
+
+/** One cell of the randomized differential campaign. */
+struct CampaignCell {
+    std::string name;
+    core::PhastlaneParams params;
+    StreamConfig stream;
+};
+
+/**
+ * The campaign matrix: every supported configuration axis (patterns,
+ * mesh shapes including non-square, hop limits, buffer depths, both
+ * buffer arbitrations, both optical arbitrations, shared pools,
+ * exponential backoff), each cell replicated @p seeds_per_cell times
+ * with distinct seeds.
+ */
+std::vector<CampaignCell> defaultCampaign(int seeds_per_cell,
+                                          Cycle cycles);
+
+/** Aggregate campaign outcome. */
+struct CampaignResult {
+    int runs = 0;
+    int failures = 0;
+    /** One shrunk repro report per failing cell. */
+    std::vector<std::string> reports;
+};
+
+/** Run every cell; failing cells are shrunk and reported. */
+CampaignResult runCampaign(const std::vector<CampaignCell> &cells,
+                           Cycle max_cycles);
+
+} // namespace phastlane::check
+
+#endif // PHASTLANE_CHECK_DIFFERENTIAL_HPP

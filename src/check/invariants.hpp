@@ -1,0 +1,130 @@
+/**
+ * @file
+ * InvariantChecker: a StepObserver that shadows a PhastlaneNetwork
+ * with an independent event ledger and asserts, every cycle, the
+ * conservation and uniqueness properties the Phastlane protocol
+ * guarantees (DESIGN.md §7):
+ *
+ *  - packet conservation: accepted delivery units == delivered units
+ *    + in-flight units, every cycle;
+ *  - buffer-slot conservation: total router-buffer occupancy equals
+ *    the ledger of NIC transfers, buffer receives and resolved
+ *    successes (launched "zombie" slots free one cycle after their
+ *    branch succeeds downstream);
+ *  - exactly-once delivery: no (message, node) pair delivered twice,
+ *    and no message delivered to more nodes than it addresses — this
+ *    covers duplicate-free multicast across partial drops;
+ *  - buffer occupancy never exceeds the configured depth;
+ *  - no packet crosses more than maxHopsPerCycle routers per cycle,
+ *    and no drop signal travels further than the packet did;
+ *  - the network's own counters agree with the ledger (drops,
+ *    launches, retransmissions, deliveries, pass traversals);
+ *  - at quiescence: every drop was retransmitted exactly once and
+ *    every accepted unit was delivered.
+ *
+ * Unlike the differential oracle, the checker knows nothing about
+ * routing or arbitration, so it also holds for configurations the
+ * ReferenceNetwork does not model (GlobalPriority).
+ */
+
+#ifndef PHASTLANE_CHECK_INVARIANTS_HPP
+#define PHASTLANE_CHECK_INVARIANTS_HPP
+
+#include <cstdarg>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/observer.hpp"
+
+namespace phastlane::check {
+
+/**
+ * Per-cycle invariant checker. Attach with
+ * net.setObserver(&checker); the checker must outlive its network or
+ * be detached first.
+ */
+class InvariantChecker : public core::StepObserver
+{
+  public:
+    /**
+     * @param net The network being observed (read for cross-checks).
+     * @param abort_on_violation panic() at the first violation
+     *        (default); otherwise violations accumulate for tests.
+     */
+    explicit InvariantChecker(const core::PhastlaneNetwork &net,
+                              bool abort_on_violation = true);
+
+    void onCycleBegin(Cycle cycle) override;
+    void onAccept(const Packet &pkt, int branches,
+                  int delivery_units) override;
+    void onLaunch(const core::OpticalPacket &pkt, NodeId router,
+                  Port out, int attempts) override;
+    void onPass(const core::OpticalPacket &pkt, NodeId router) override;
+    void onDeliver(const Delivery &d) override;
+    void onBranchFinal(const core::OpticalPacket &pkt,
+                       NodeId router) override;
+    void onBufferReceive(const core::OpticalPacket &pkt, NodeId router,
+                         Port queue, bool interim) override;
+    void onDrop(const core::OpticalPacket &pkt, NodeId router,
+                NodeId launch_router, int signal_hops) override;
+    void onCycleEnd(Cycle cycle) override;
+
+    /**
+     * Final checks once the caller believes the network has drained
+     * (no in-flight, buffered or NIC-queued packets): every accepted
+     * unit delivered, every drop matched by a retransmission.
+     */
+    void checkQuiescent();
+
+    bool ok() const { return violations_.empty(); }
+    const std::vector<std::string> &violations() const
+    {
+        return violations_;
+    }
+    uint64_t cyclesChecked() const { return cyclesChecked_; }
+
+  private:
+    void violation(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    const core::PhastlaneNetwork &net_;
+    bool abort_;
+
+    // Event ledger, independent of the network's own counters.
+    uint64_t acceptedMessages_ = 0;
+    uint64_t acceptedBranches_ = 0;
+    uint64_t acceptedUnits_ = 0;
+    uint64_t deliveredUnits_ = 0;
+    uint64_t launches_ = 0;
+    uint64_t retransmissions_ = 0;
+    uint64_t passes_ = 0;
+    uint64_t finals_ = 0;
+    uint64_t bufferReceives_ = 0;
+    uint64_t drops_ = 0;
+    uint64_t dropSignalHops_ = 0;
+
+    /** finals_ + bufferReceives_ snapshotted at cycle begin: the
+     *  successes whose holder slots have been released by cycle end. */
+    uint64_t successesResolved_ = 0;
+
+    /** Routers crossed per branch within the current cycle. */
+    std::unordered_map<uint64_t, int> hopsThisCycle_;
+
+    /** Every (message id, node) delivered so far. */
+    std::set<std::pair<PacketId, NodeId>> delivered_;
+    /** Addressed vs completed delivery units per message. */
+    std::unordered_map<PacketId, std::pair<uint64_t, uint64_t>>
+        perMessage_;
+
+    std::vector<std::string> violations_;
+    Cycle cycle_ = 0;
+    uint64_t cyclesChecked_ = 0;
+};
+
+} // namespace phastlane::check
+
+#endif // PHASTLANE_CHECK_INVARIANTS_HPP

@@ -1,0 +1,532 @@
+#include "check/reference_network.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace phastlane::check {
+
+std::vector<std::vector<NodeId>>
+referenceBroadcastBranches(const MeshTopology &mesh, NodeId src)
+{
+    // Section 2.1.4: one multicast branch per column and Y-direction.
+    // Every branch first travels east/west along the source row to its
+    // column's turn router, then turns north or south; the turn router
+    // itself is served by the north branch except for a top-row source
+    // (whose single branch runs the full column southward). Branch
+    // order: columns west to east, north before south.
+    const Coord s = mesh.coordOf(src);
+    const int top = mesh.height() - 1;
+    std::vector<std::vector<NodeId>> branches;
+    for (int x = 0; x < mesh.width(); ++x) {
+        std::vector<NodeId> north;
+        std::vector<NodeId> south;
+        if (s.y < top) {
+            for (int y = s.y; y <= top; ++y) {
+                if (x == s.x && y == s.y)
+                    continue; // the source serves itself
+                north.push_back(mesh.nodeAt({x, y}));
+            }
+        }
+        const int south_start = (s.y == top) ? top : s.y - 1;
+        for (int y = south_start; y >= 0; --y) {
+            if (x == s.x && y == s.y)
+                continue;
+            south.push_back(mesh.nodeAt({x, y}));
+        }
+        if (!north.empty())
+            branches.push_back(std::move(north));
+        if (!south.empty())
+            branches.push_back(std::move(south));
+    }
+    return branches;
+}
+
+bool
+ReferenceNetwork::supports(const core::PhastlaneParams &params)
+{
+    // GlobalPriority is an idealized ablation with intentionally
+    // different intra-cycle semantics; only the default wavefront is
+    // given a reference model.
+    return params.wavefront == core::WavefrontModel::SubstepFcfs &&
+           params.maxHopsPerCycle >= 1;
+}
+
+ReferenceNetwork::ReferenceNetwork(const core::PhastlaneParams &params)
+    : params_(params),
+      mesh_(params.meshWidth, params.meshHeight),
+      rng_(params.seed)
+{
+    if (!supports(params_))
+        fatal("ReferenceNetwork does not model this configuration "
+              "(GlobalPriority wavefront or invalid hop limit)");
+    nics_.resize(static_cast<size_t>(mesh_.nodeCount()));
+    routers_.resize(static_cast<size_t>(mesh_.nodeCount()));
+}
+
+bool
+ReferenceNetwork::nicHasSpace(NodeId n) const
+{
+    PL_ASSERT(mesh_.valid(n), "invalid node %d", n);
+    // Same conservative contract as the optimized NIC: space for a
+    // full broadcast.
+    const size_t needed = referenceBroadcastBranches(mesh_, n).size();
+    return nics_[static_cast<size_t>(n)].size() + needed <=
+           static_cast<size_t>(params_.nicQueueEntries);
+}
+
+bool
+ReferenceNetwork::inject(const Packet &pkt)
+{
+    PL_ASSERT(mesh_.valid(pkt.src), "invalid source %d", pkt.src);
+    auto &nic = nics_[static_cast<size_t>(pkt.src)];
+    const size_t capacity =
+        static_cast<size_t>(params_.nicQueueEntries);
+
+    if (pkt.broadcast) {
+        auto branches = referenceBroadcastBranches(mesh_, pkt.src);
+        if (nic.size() + branches.size() > capacity)
+            return false;
+        for (auto &targets : branches) {
+            RefPacket rp;
+            rp.base = pkt;
+            rp.branchId = nextBranchId_++;
+            rp.multicast = true;
+            rp.finalDst = targets.back();
+            rp.taps.assign(targets.begin(), targets.end());
+            rp.acceptedAt = cycle_;
+            nic.push_back(std::move(rp));
+        }
+    } else {
+        PL_ASSERT(mesh_.valid(pkt.dst) && pkt.dst != pkt.src,
+                  "invalid unicast destination");
+        if (nic.size() + 1 > capacity)
+            return false;
+        RefPacket rp;
+        rp.base = pkt;
+        rp.branchId = nextBranchId_++;
+        rp.finalDst = pkt.dst;
+        rp.acceptedAt = cycle_;
+        nic.push_back(std::move(rp));
+    }
+    ++counters_.messagesAccepted;
+    outstanding_ +=
+        static_cast<uint64_t>(pkt.deliveryCount(mesh_.nodeCount()));
+    return true;
+}
+
+uint64_t
+ReferenceNetwork::bufferedPackets() const
+{
+    uint64_t total = 0;
+    for (const auto &rt : routers_)
+        for (const auto &q : rt.queues)
+            total += q.size();
+    return total;
+}
+
+uint64_t
+ReferenceNetwork::nicQueuedPackets() const
+{
+    uint64_t total = 0;
+    for (const auto &nic : nics_)
+        total += nic.size();
+    return total;
+}
+
+int
+ReferenceNetwork::freeSlots(NodeId router, Port q) const
+{
+    if (params_.infiniteBuffers())
+        return std::numeric_limits<int>::max();
+    const auto &rt = routers_[static_cast<size_t>(router)];
+    const int cap = params_.routerBufferEntries;
+    const int occ =
+        static_cast<int>(rt.queues[static_cast<size_t>(portIndex(q))]
+                             .size());
+    if (!params_.sharedBufferPool)
+        return cap - occ;
+    // DAMQ with reserved slots (params.hpp): each queue keeps a
+    // guaranteed half of its partition, the rest pools per router.
+    const int guaranteed = std::max(1, cap / 2);
+    int shared_used = 0;
+    for (const auto &queue : rt.queues) {
+        shared_used +=
+            std::max(0, static_cast<int>(queue.size()) - guaranteed);
+    }
+    const int shared_size = kAllPorts * (cap - guaranteed);
+    return std::max(0, guaranteed - occ) +
+           std::max(0, shared_size - shared_used);
+}
+
+void
+ReferenceNetwork::pushEntry(NodeId router, Port q, RefPacket pkt,
+                            Cycle eligible_at)
+{
+    PL_ASSERT(hasSpace(router, q), "pushing into a full buffer");
+    auto &rt = routers_[static_cast<size_t>(router)];
+    RefEntry e;
+    e.pkt = std::move(pkt);
+    e.eligibleAt = eligible_at;
+    e.seq = rt.nextSeq++;
+    rt.queues[static_cast<size_t>(portIndex(q))].push_back(
+        std::move(e));
+}
+
+Cycle
+ReferenceNetwork::dropRetryCycle(int attempts)
+{
+    Cycle extra = static_cast<Cycle>(params_.backoffBase);
+    if (params_.exponentialBackoff) {
+        const int exp = std::min(attempts, 6);
+        const int64_t window = std::min<int64_t>(
+            (int64_t{1} << exp) - 1, params_.backoffCap);
+        if (window > 0)
+            extra += static_cast<Cycle>(rng_.uniformInt(0, window));
+    }
+    return cycle_ + 1 + extra;
+}
+
+bool
+ReferenceNetwork::claimed(NodeId router, Port out) const
+{
+    for (const auto &[r, p] : claimedPorts_) {
+        if (r == router && p == portIndex(out))
+            return true;
+    }
+    return false;
+}
+
+void
+ReferenceNetwork::claim(NodeId router, Port out)
+{
+    claimedPorts_.emplace_back(router, portIndex(out));
+}
+
+void
+ReferenceNetwork::deliver(const RefPacket &pkt, NodeId node)
+{
+    Delivery d;
+    d.packet = pkt.base;
+    d.node = node;
+    d.at = cycle_;
+    d.acceptedAt = pkt.acceptedAt;
+    d.injectedAt = pkt.firstInjectedAt;
+    deliveries_.push_back(std::move(d));
+    ++counters_.deliveries;
+    PL_ASSERT(outstanding_ > 0,
+              "reference: delivery without outstanding message");
+    --outstanding_;
+}
+
+void
+ReferenceNetwork::resolveOutcomes()
+{
+    // Launch outcomes resolve one cycle after the launch, in event
+    // order, before any buffer activity of the new cycle.
+    for (auto &o : pendingOutcomes_) {
+        auto &rt = routers_[static_cast<size_t>(o.holder)];
+        bool found = false;
+        for (auto &queue : rt.queues) {
+            for (auto it = queue.begin(); it != queue.end(); ++it) {
+                if (!it->launched || it->pkt.branchId != o.branchId)
+                    continue;
+                if (o.dropped) {
+                    // Restore in place: the entry keeps its queue
+                    // position and age; the retransmission carries the
+                    // tap-reduced state (served taps stay served).
+                    it->eligibleAt = dropRetryCycle(it->attempts + 1);
+                    it->pkt = std::move(o.updated);
+                    it->launched = false;
+                    ++it->attempts;
+                } else {
+                    queue.erase(it);
+                }
+                found = true;
+                break;
+            }
+            if (found)
+                break;
+        }
+        if (!found)
+            fatal("reference: launch outcome lost its buffer entry");
+    }
+    pendingOutcomes_.clear();
+}
+
+void
+ReferenceNetwork::nicToLocalQueues()
+{
+    for (NodeId n = 0; n < mesh_.nodeCount(); ++n) {
+        auto &nic = nics_[static_cast<size_t>(n)];
+        for (int i = 0; i < params_.nicTransfersPerCycle &&
+                        !nic.empty() && hasSpace(n, Port::Local);
+             ++i) {
+            // One cycle of electrical transfer: launchable next cycle.
+            pushEntry(n, Port::Local, std::move(nic.front()),
+                      cycle_ + 1);
+            nic.pop_front();
+        }
+    }
+}
+
+std::vector<ReferenceNetwork::RefFlight>
+ReferenceNetwork::launchPhase()
+{
+    std::vector<RefFlight> flights;
+    for (NodeId r = 0; r < mesh_.nodeCount(); ++r) {
+        auto &rt = routers_[static_cast<size_t>(r)];
+
+        // Select up to four launches for distinct output ports among
+        // the waiting eligible entries (Section 2.1.1).
+        std::vector<std::pair<RefEntry *, Port>> launches;
+        bool port_taken[kMeshPorts] = {false, false, false, false};
+        auto try_launch = [&](RefEntry &e, int &budget) {
+            if (budget <= 0 || e.launched || e.eligibleAt > cycle_)
+                return;
+            PL_ASSERT(e.pkt.finalDst != r,
+                      "reference: buffered packet already at its "
+                      "destination");
+            const Port out = mesh_.xyFirstHop(r, e.pkt.finalDst);
+            if (out == Port::Local || port_taken[portIndex(out)])
+                return;
+            port_taken[portIndex(out)] = true;
+            e.launched = true;
+            launches.emplace_back(&e, out);
+            --budget;
+        };
+
+        if (params_.bufferArbitration ==
+            core::BufferArbitration::OldestFirst) {
+            std::vector<std::pair<uint64_t, RefEntry *>> candidates;
+            for (auto &queue : rt.queues) {
+                for (auto &e : queue) {
+                    if (!e.launched && e.eligibleAt <= cycle_)
+                        candidates.emplace_back(e.seq, &e);
+                }
+            }
+            std::sort(candidates.begin(), candidates.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.first < b.first;
+                      });
+            int budget = kMeshPorts;
+            for (auto &[seq, e] : candidates)
+                try_launch(*e, budget);
+        } else {
+            // Rotating pointer over the five queues, oldest-first
+            // within a queue, at most launchesPerQueue per queue.
+            for (int qi = 0; qi < kAllPorts; ++qi) {
+                auto &queue =
+                    rt.queues[static_cast<size_t>(rt.rotate + qi) %
+                              kAllPorts];
+                int budget = params_.launchesPerQueue;
+                for (auto &e : queue)
+                    try_launch(e, budget);
+            }
+            rt.rotate = (rt.rotate + 1) % kAllPorts;
+        }
+
+        for (auto &[e, out] : launches) {
+            ++events_.launches;
+            ++events_.bufferReads;
+            ++pl_.launches;
+            if (e->attempts > 0) {
+                ++events_.retransmissions;
+                ++pl_.retransmissions;
+            }
+            if (e->pkt.firstInjectedAt == kNeverCycle) {
+                e->pkt.firstInjectedAt = cycle_;
+                ++counters_.packetsInjected;
+            }
+
+            RefFlight f;
+            f.pkt = e->pkt;
+            f.launchRouter = r;
+            f.path = mesh_.xyPath(r, e->pkt.finalDst);
+            f.dirs = mesh_.xyRoute(r, e->pkt.finalDst);
+            PL_ASSERT(!f.path.empty() && f.dirs.front() == out,
+                      "reference: route disagrees with launch port");
+            f.idx = 0;
+            // Stop at the next interim node (every maxHopsPerCycle
+            // routers, Section 2.1.3) or at the final router.
+            f.stopIdx =
+                std::min(f.path.size(), static_cast<size_t>(
+                                            params_.maxHopsPerCycle)) -
+                1;
+            claim(r, out);
+            flights.push_back(std::move(f));
+        }
+    }
+    return flights;
+}
+
+bool
+ReferenceNetwork::handleArrival(RefFlight &f)
+{
+    const NodeId here = f.path[f.idx];
+
+    if (f.pkt.multicast && !f.pkt.taps.empty() &&
+        f.pkt.taps.front() == here) {
+        // Broadcast tap: a copy splits off to this node (2.1.4). The
+        // tap happens on arrival, before any blocking downstream, and
+        // stays served across a later drop of this branch.
+        deliver(f.pkt, here);
+        f.pkt.taps.pop_front();
+        ++events_.tapReceives;
+    }
+
+    if (f.idx != f.stopIdx)
+        return false;
+
+    if (f.idx + 1 == f.path.size()) {
+        // Final router of the packet/branch. A multicast final was
+        // just delivered by its tap; a unicast delivers here.
+        if (!f.pkt.multicast) {
+            PL_ASSERT(here == f.pkt.finalDst,
+                      "reference: unicast final at wrong node");
+            deliver(f.pkt, here);
+        }
+        ++events_.receives;
+        pendingOutcomes_.push_back(
+            RefOutcome{f.launchRouter, f.pkt.branchId, false, {}});
+        return true;
+    }
+    // Interim node: buffer here and assume responsibility.
+    receiveOrDrop(f, true);
+    return true;
+}
+
+void
+ReferenceNetwork::receiveOrDrop(RefFlight &f, bool interim)
+{
+    const NodeId here = f.path[f.idx];
+    const Port in = opposite(f.dirs[f.idx]);
+    if (hasSpace(here, in)) {
+        ++events_.receives;
+        ++events_.bufferWrites;
+        if (interim)
+            ++pl_.interimAccepts;
+        else
+            ++pl_.blockedBuffered;
+        pushEntry(here, in, f.pkt, cycle_ + 1);
+        pendingOutcomes_.push_back(
+            RefOutcome{f.launchRouter, f.pkt.branchId, false, {}});
+    } else {
+        // Drop: the return signal retraces every link the packet
+        // crossed this cycle plus the final link into this router.
+        ++events_.drops;
+        ++pl_.drops;
+        const int signal_hops =
+            static_cast<int>(f.crossed.size()) + 1;
+        events_.dropSignalHops += static_cast<uint64_t>(signal_hops);
+        for (const auto &[router, out] : f.crossed) {
+            // Footnote 4: return paths of a cycle never overlap.
+            for (const auto &[ur, up] : dropSignalLinks_) {
+                if (ur == router && up == portIndex(out))
+                    fatal("reference: overlapping drop-signal return "
+                          "paths in one cycle");
+            }
+            dropSignalLinks_.emplace_back(router, portIndex(out));
+        }
+        pendingOutcomes_.push_back(
+            RefOutcome{f.launchRouter, f.pkt.branchId, true, f.pkt});
+    }
+}
+
+void
+ReferenceNetwork::propagate(std::vector<RefFlight> flights)
+{
+    // The wavefront advances one hop per sub-step for every active
+    // flight; contested output ports resolve per sub-step with
+    // straight-over-turn priority (Section 2.2, footnote 3).
+    std::vector<size_t> active(flights.size());
+    for (size_t i = 0; i < flights.size(); ++i)
+        active[i] = i;
+
+    struct Req {
+        size_t flight = 0;
+        bool straight = false;
+    };
+
+    while (!active.empty()) {
+        // Arrival-side actions (taps, interim stops, finals) first;
+        // survivors request their next output port.
+        std::map<std::pair<NodeId, int>, std::vector<Req>> groups;
+        for (size_t i : active) {
+            RefFlight &f = flights[i];
+            if (handleArrival(f))
+                continue;
+            const NodeId router = f.path[f.idx];
+            const Port out = f.dirs[f.idx + 1];
+            groups[{router, portIndex(out)}].push_back(
+                Req{i, f.dirs[f.idx + 1] == f.dirs[f.idx]});
+        }
+
+        // Resolve each contested (router, output port) in ascending
+        // order; within a group, requests keep arrival order.
+        std::vector<size_t> next;
+        for (auto &[key, members] : groups) {
+            const NodeId router = key.first;
+            const Port out = portFromIndex(key.second);
+
+            size_t winner = members.size(); // none
+            if (!claimed(router, out)) {
+                const auto rank = [&](const Req &r) {
+                    const Port in = opposite(
+                        flights[r.flight].dirs[flights[r.flight].idx]);
+                    if (params_.opticalArbitration ==
+                        core::OpticalArbitration::FixedPriority) {
+                        // Straight beats turns; ties by port order.
+                        return std::make_pair(r.straight ? 0 : 1,
+                                              portIndex(in));
+                    }
+                    // Rotating input-port priority (ablation).
+                    const int start =
+                        static_cast<int>(cycle_ % kMeshPorts);
+                    return std::make_pair(
+                        0, (portIndex(in) - start + kMeshPorts) %
+                               kMeshPorts);
+                };
+                winner = 0;
+                for (size_t k = 1; k < members.size(); ++k) {
+                    if (rank(members[k]) < rank(members[winner]))
+                        winner = k;
+                }
+            }
+
+            for (size_t k = 0; k < members.size(); ++k) {
+                RefFlight &f = flights[members[k].flight];
+                if (k == winner) {
+                    claim(router, out);
+                    ++events_.passTraversals;
+                    f.crossed.emplace_back(router, out);
+                    ++f.idx;
+                    next.push_back(members[k].flight);
+                } else {
+                    receiveOrDrop(f, false);
+                }
+            }
+        }
+        active = std::move(next);
+    }
+}
+
+void
+ReferenceNetwork::step()
+{
+    deliveries_.clear();
+    claimedPorts_.clear();
+    dropSignalLinks_.clear();
+
+    resolveOutcomes();
+    nicToLocalQueues();
+    propagate(launchPhase());
+
+    events_.routerCycles += static_cast<uint64_t>(mesh_.nodeCount());
+    ++cycle_;
+}
+
+} // namespace phastlane::check

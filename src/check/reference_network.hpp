@@ -1,0 +1,200 @@
+/**
+ * @file
+ * ReferenceNetwork: a slow, obviously-correct reimplementation of the
+ * Phastlane semantics (paper Sections 2.1-2.4), used as the
+ * differential oracle for the optimized wavefront in core/network.cpp
+ * (DESIGN.md §7).
+ *
+ * Design rules:
+ *  - Zero shared code with the optimized wavefront. This file reuses
+ *    only the spec-level foundations both implementations are defined
+ *    against (Packet, the Network interface, MeshTopology for XY
+ *    routes, Rng) and reimplements everything Phastlane-specific:
+ *    broadcast splitting, interim-node placement, the rotating /
+ *    oldest-first launch arbiters, the substep wavefront with
+ *    straight-over-turn priority, DAMQ buffer accounting, drop
+ *    signaling and retransmission.
+ *  - Clarity over speed: plain std::map/std::set claim tables, one
+ *    explicit hop per substep, no scratch reuse. Routes are recomputed
+ *    from the mesh at every launch instead of carrying predecoded
+ *    control groups.
+ *  - Cycle-accurate lockstep: on identical injection streams it must
+ *    match PhastlaneNetwork's per-cycle delivery sets and every
+ *    counter, so the event-processing order within a cycle mirrors the
+ *    documented arbitration order (routers ascending, contested ports
+ *    in (router, port) order, arrival order within a port).
+ *
+ * Not modeled: WavefrontModel::GlobalPriority (an idealized ablation;
+ * the invariant checker covers those runs). Construction fatal()s if
+ * it is requested.
+ */
+
+#ifndef PHASTLANE_CHECK_REFERENCE_NETWORK_HPP
+#define PHASTLANE_CHECK_REFERENCE_NETWORK_HPP
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "core/events.hpp"
+#include "core/network.hpp"
+#include "core/params.hpp"
+#include "net/network.hpp"
+
+namespace phastlane::check {
+
+/**
+ * Independent reimplementation of the paper's broadcast split (one
+ * multicast branch per column and Y-direction, the turn router on the
+ * north branch, Section 2.1.4). Each inner vector is one branch's
+ * delivery targets in path order. Must agree with
+ * core::splitBroadcast; test_check_reference cross-validates.
+ */
+std::vector<std::vector<NodeId>>
+referenceBroadcastBranches(const MeshTopology &mesh, NodeId src);
+
+/**
+ * The reference Phastlane network. Implements the same Network
+ * interface and exposes the same counter groups as PhastlaneNetwork
+ * so the differential driver can diff them field by field.
+ */
+class ReferenceNetwork : public Network
+{
+  public:
+    explicit ReferenceNetwork(const core::PhastlaneParams &params);
+
+    /** True when the reference models this configuration. */
+    static bool supports(const core::PhastlaneParams &params);
+
+    // Network interface.
+    int nodeCount() const override { return mesh_.nodeCount(); }
+    const MeshTopology &mesh() const override { return mesh_; }
+    Cycle now() const override { return cycle_; }
+    bool nicHasSpace(NodeId n) const override;
+    bool inject(const Packet &pkt) override;
+    void step() override;
+    const std::vector<Delivery> &deliveries() const override
+    {
+        return deliveries_;
+    }
+    uint64_t inFlight() const override { return outstanding_; }
+    const NetworkCounters &counters() const override
+    {
+        return counters_;
+    }
+
+    // Counter mirrors of PhastlaneNetwork, for the differential diff.
+    const core::PhastlaneCounters &phastlaneCounters() const
+    {
+        return pl_;
+    }
+    const core::OpticalEvents &events() const { return events_; }
+    uint64_t bufferedPackets() const;
+    uint64_t nicQueuedPackets() const;
+
+  private:
+    /** One unicast packet or multicast branch, spec-level state. */
+    struct RefPacket {
+        Packet base;
+        uint64_t branchId = 0;
+        NodeId finalDst = kInvalidNode;
+        bool multicast = false;
+        /** Unserved multicast targets in path order (the last one is
+         *  finalDst until served). */
+        std::deque<NodeId> taps;
+        Cycle acceptedAt = 0;
+        Cycle firstInjectedAt = kNeverCycle;
+    };
+
+    /** One occupied router-buffer slot. */
+    struct RefEntry {
+        RefPacket pkt;
+        bool launched = false; ///< slot held awaiting drop resolution
+        Cycle eligibleAt = 0;
+        int attempts = 0;
+        uint64_t seq = 0; ///< router-local insertion order (age)
+    };
+
+    /** The five buffer queues of one router. */
+    struct RefRouter {
+        std::array<std::vector<RefEntry>, kAllPorts> queues;
+        int rotate = 0;
+        uint64_t nextSeq = 0;
+    };
+
+    /** A packet in optical transit this cycle. */
+    struct RefFlight {
+        RefPacket pkt;
+        NodeId launchRouter = kInvalidNode;
+        /** Routers entered, launch router excluded; recomputed from
+         *  the mesh XY route at launch. */
+        std::vector<NodeId> path;
+        /** Output direction taken at the launch router (dirs[0]) and
+         *  at each path node i (dirs[i+1]). */
+        std::vector<Port> dirs;
+        size_t idx = 0;     ///< current position in path
+        size_t stopIdx = 0; ///< interim or final node index in path
+        /** (router, out port) pass-throughs this cycle; the reverse
+         *  connections a drop signal would use. */
+        std::vector<std::pair<NodeId, Port>> crossed;
+    };
+
+    /** Deferred resolution of one launch (applied next cycle). */
+    struct RefOutcome {
+        NodeId holder = kInvalidNode;
+        uint64_t branchId = 0;
+        bool dropped = false;
+        RefPacket updated; ///< tap-reduced state when dropped
+    };
+
+    int freeSlots(NodeId router, Port q) const;
+    bool hasSpace(NodeId router, Port q) const
+    {
+        return freeSlots(router, q) > 0;
+    }
+    void pushEntry(NodeId router, Port q, RefPacket pkt,
+                   Cycle eligible_at);
+    Cycle dropRetryCycle(int attempts);
+
+    void resolveOutcomes();
+    void nicToLocalQueues();
+    std::vector<RefFlight> launchPhase();
+    void propagate(std::vector<RefFlight> flights);
+
+    /** Tap / interim / final handling on entering a router; returns
+     *  true when the flight terminated there. */
+    bool handleArrival(RefFlight &f);
+    void receiveOrDrop(RefFlight &f, bool interim);
+    void deliver(const RefPacket &pkt, NodeId node);
+
+    bool claimed(NodeId router, Port out) const;
+    void claim(NodeId router, Port out);
+
+    core::PhastlaneParams params_;
+    MeshTopology mesh_;
+    Rng rng_;
+    Cycle cycle_ = 0;
+
+    std::vector<std::deque<RefPacket>> nics_;
+    std::vector<RefRouter> routers_;
+    std::vector<RefOutcome> pendingOutcomes_;
+    std::vector<Delivery> deliveries_;
+
+    /** Output ports carrying a packet this cycle (launch or pass). */
+    std::vector<std::pair<NodeId, int>> claimedPorts_;
+    /** Reverse links claimed by drop signals this cycle (footnote 4:
+     *  must be unique). */
+    std::vector<std::pair<NodeId, int>> dropSignalLinks_;
+
+    NetworkCounters counters_;
+    core::PhastlaneCounters pl_;
+    core::OpticalEvents events_;
+    uint64_t outstanding_ = 0;
+    uint64_t nextBranchId_ = 1;
+};
+
+} // namespace phastlane::check
+
+#endif // PHASTLANE_CHECK_REFERENCE_NETWORK_HPP

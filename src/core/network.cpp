@@ -50,10 +50,16 @@ PhastlaneNetwork::inject(const Packet &pkt)
     auto &nic = nics_[static_cast<size_t>(pkt.src)];
     if (!nic.hasSpaceFor(pkt))
         return false;
+    const size_t nic_before = nic.occupancy();
     nic.accept(pkt, cycle_, nextBranchId_);
     ++counters_.messagesAccepted;
     outstanding_ +=
         static_cast<uint64_t>(pkt.deliveryCount(mesh_.nodeCount()));
+    if (observer_) {
+        observer_->onAccept(
+            pkt, static_cast<int>(nic.occupancy() - nic_before),
+            pkt.deliveryCount(mesh_.nodeCount()));
+    }
     return true;
 }
 
@@ -63,6 +69,15 @@ PhastlaneNetwork::bufferedPackets() const
     uint64_t total = 0;
     for (const auto &r : routers_)
         total += r.totalOccupancy();
+    return total;
+}
+
+uint64_t
+PhastlaneNetwork::nicQueuedPackets() const
+{
+    uint64_t total = 0;
+    for (const auto &nic : nics_)
+        total += nic.occupancy();
     return total;
 }
 
@@ -134,6 +149,8 @@ PhastlaneNetwork::deliver(const OpticalPacket &pkt, NodeId node)
     ++counters_.deliveries;
     PL_ASSERT(outstanding_ > 0, "delivery without outstanding message");
     --outstanding_;
+    if (observer_)
+        observer_->onDeliver(deliveries_.back());
 }
 
 void
@@ -204,6 +221,8 @@ PhastlaneNetwork::launchPhase()
             f.hops = 1;
             f.holder = EntryRef{r, Port::Local, entry->pkt.branchId};
             setClaim(r, out);
+            if (observer_)
+                observer_->onLaunch(f.pkt, r, out, entry->attempts);
             flights.push_back(std::move(f));
         }
     }
@@ -242,6 +261,8 @@ PhastlaneNetwork::handleArrival(Flight &f)
             pendingOutcomes_.push_back(
                 LaunchOutcome{f.holder, false, {}});
             f.active = false;
+            if (observer_)
+                observer_->onBranchFinal(f.pkt, f.at);
         } else {
             // Interim node: buffer and assume responsibility.
             receiveOrDrop(f, true);
@@ -265,16 +286,22 @@ PhastlaneNetwork::receiveOrDrop(Flight &f, bool interim)
         // Re-launchable from the next cycle's arbitration.
         rb.push(f.inPort, f.pkt, cycle_ + 1);
         pendingOutcomes_.push_back(LaunchOutcome{f.holder, false, {}});
+        if (observer_)
+            observer_->onBufferReceive(f.pkt, f.at, f.inPort, interim);
     } else {
         // Dropped: the return path carries the Packet Dropped signal
         // and this router's Node ID back to the holder next cycle,
         // over the reverse connections latched behind the packet.
         ++events_.drops;
         ++pl_.drops;
-        events_.dropSignalHops +=
-            static_cast<uint64_t>(returnPaths_.signalDrop(f.path));
+        const int signal_hops = returnPaths_.signalDrop(f.path);
+        events_.dropSignalHops += static_cast<uint64_t>(signal_hops);
         pendingOutcomes_.push_back(
             LaunchOutcome{f.holder, true, f.pkt});
+        if (observer_) {
+            observer_->onDrop(f.pkt, f.at, f.holder.router,
+                              signal_hops);
+        }
     }
     f.active = false;
 }
@@ -339,10 +366,12 @@ PhastlaneNetwork::propagateSubstepFcfs(std::vector<Flight> &flights)
                 winner = order[g0];
                 if (params_.opticalArbitration ==
                     OpticalArbitration::FixedPriority) {
+                    const bool invert =
+                        params_.faults.invertStraightPriority;
                     const auto rank = [&](size_t ri) {
                         const PassRequest &r = requests[ri];
                         return std::make_pair(
-                            r.straight ? 0 : 1,
+                            r.straight != invert ? 0 : 1,
                             portIndex(flights[r.flight].inPort));
                     };
                     for (size_t k = g0; k < g1; ++k) {
@@ -370,6 +399,8 @@ PhastlaneNetwork::propagateSubstepFcfs(std::vector<Flight> &flights)
                 if (ri == winner) {
                     setClaim(router, out);
                     ++events_.passTraversals;
+                    if (observer_)
+                        observer_->onPass(f.pkt, router);
                     returnPaths_.registerHop(router, f.inPort, out);
                     f.path.push_back(
                         ReturnHop{router, f.inPort, out});
@@ -436,8 +467,11 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
     // Rank per claim, lower wins: straight-ness, then input port,
     // then flight index -- packed into one word so the flat winner
     // table below needs a single compare.
-    const auto packedRank = [](const ItineraryClaim &c, size_t i) {
-        return (static_cast<uint64_t>(c.straight ? 0 : 1) << 62) |
+    const bool invert = params_.faults.invertStraightPriority;
+    const auto packedRank = [invert](const ItineraryClaim &c,
+                                     size_t i) {
+        return (static_cast<uint64_t>(c.straight != invert ? 0 : 1)
+                << 62) |
                (static_cast<uint64_t>(portIndex(c.inPort)) << 56) |
                static_cast<uint64_t>(i);
     };
@@ -521,6 +555,8 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
             const Port out = applyTurn(f.inPort, g.turn());
             setClaim(f.at, out);
             ++events_.passTraversals;
+            if (observer_)
+                observer_->onPass(f.pkt, f.at);
             returnPaths_.registerHop(f.at, f.inPort, out);
             f.path.push_back(ReturnHop{f.at, f.inPort, out});
             f.prog.translate();
@@ -534,6 +570,8 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
 void
 PhastlaneNetwork::step()
 {
+    if (observer_)
+        observer_->onCycleBegin(cycle_);
     deliveries_.clear();
     std::fill(claims_.begin(), claims_.end(), 0);
     returnPaths_.beginCycle();
@@ -547,6 +585,8 @@ PhastlaneNetwork::step()
         propagateGlobalPriority(flights_);
 
     events_.routerCycles += static_cast<uint64_t>(mesh_.nodeCount());
+    if (observer_)
+        observer_->onCycleEnd(cycle_);
     ++cycle_;
 }
 

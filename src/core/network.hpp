@@ -26,6 +26,7 @@
 #include "core/control.hpp"
 #include "core/events.hpp"
 #include "core/nic.hpp"
+#include "core/observer.hpp"
 #include "core/params.hpp"
 #include "core/return_path.hpp"
 #include "core/router.hpp"
@@ -73,6 +74,22 @@ class PhastlaneNetwork : public Network
 
     /** Total packets currently held in router buffers. */
     uint64_t bufferedPackets() const;
+
+    /** Total packets currently queued in the NICs. */
+    uint64_t nicQueuedPackets() const;
+
+    /** Buffer state of router @p n (read-only; for checkers). */
+    const RouterBuffers &routerBuffers(NodeId n) const
+    {
+        return routers_[static_cast<size_t>(n)];
+    }
+
+    /**
+     * Attach (or detach with nullptr) a per-cycle observer. At most
+     * one observer is supported; the caller keeps ownership and must
+     * outlive the network or detach first.
+     */
+    void setObserver(StepObserver *obs) { observer_ = obs; }
 
     /**
      * Cumulative optical traversals per (router, mesh output port),
@@ -188,6 +205,7 @@ class PhastlaneNetwork : public Network
     NetworkCounters counters_;
     PhastlaneCounters pl_;
     OpticalEvents events_;
+    StepObserver *observer_ = nullptr;
     uint64_t outstanding_ = 0;
     uint64_t nextBranchId_ = 1;
 };

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Observation hooks into the PhastlaneNetwork cycle (DESIGN.md §7).
+ *
+ * The optimized wavefront in network.cpp is the single source of truth
+ * for the paper's trickiest semantics, so external checkers (the
+ * invariant checker and the differential oracle in src/check/) need a
+ * way to watch every semantically meaningful event without perturbing
+ * the hot path. A StepObserver is attached with
+ * PhastlaneNetwork::setObserver(); every callback site is guarded by a
+ * single null check, so an unobserved network pays one predictable
+ * branch per event.
+ *
+ * Callbacks fire in simulation order: onCycleBegin, then the launch /
+ * propagation events of the cycle interleaved as they happen, then
+ * onCycleEnd (still at the same cycle number, after all state for the
+ * cycle is final but before the cycle counter advances).
+ */
+
+#ifndef PHASTLANE_CORE_OBSERVER_HPP
+#define PHASTLANE_CORE_OBSERVER_HPP
+
+#include "common/types.hpp"
+#include "core/packet.hpp"
+
+namespace phastlane::core {
+
+/**
+ * Interface for watching a PhastlaneNetwork cycle-by-cycle. All
+ * methods default to no-ops so checkers implement only what they need.
+ */
+class StepObserver
+{
+  public:
+    virtual ~StepObserver() = default;
+
+    /** step() entered; nothing for cycle @p cycle has happened yet. */
+    virtual void onCycleBegin(Cycle cycle) { (void)cycle; }
+
+    /**
+     * A message was accepted into its source NIC. @p branches is the
+     * number of branch packets enqueued (1 for unicast, one per
+     * multicast branch for a broadcast); @p delivery_units the number
+     * of per-node deliveries the message will eventually produce.
+     */
+    virtual void onAccept(const Packet &pkt, int branches,
+                          int delivery_units)
+    {
+        (void)pkt;
+        (void)branches;
+        (void)delivery_units;
+    }
+
+    /**
+     * A buffered packet was launched optically from @p router toward
+     * @p out. @p attempts is the number of previously completed
+     * (dropped) attempts: > 0 marks a retransmission.
+     */
+    virtual void onLaunch(const OpticalPacket &pkt, NodeId router,
+                          Port out, int attempts)
+    {
+        (void)pkt;
+        (void)router;
+        (void)out;
+        (void)attempts;
+    }
+
+    /** The packet won a pass-through claim and is exiting @p router. */
+    virtual void onPass(const OpticalPacket &pkt, NodeId router)
+    {
+        (void)pkt;
+        (void)router;
+    }
+
+    /** A delivery completed (unicast final or multicast tap copy). */
+    virtual void onDeliver(const Delivery &d) { (void)d; }
+
+    /**
+     * The branch terminated at its final router this cycle; its buffer
+     * slot at the responsible holder frees next cycle.
+     */
+    virtual void onBranchFinal(const OpticalPacket &pkt, NodeId router)
+    {
+        (void)pkt;
+        (void)router;
+    }
+
+    /**
+     * The packet was received into @p router 's @p queue input buffer,
+     * either as an interim-node handoff (@p interim) or because it
+     * lost a port claim.
+     */
+    virtual void onBufferReceive(const OpticalPacket &pkt,
+                                 NodeId router, Port queue,
+                                 bool interim)
+    {
+        (void)pkt;
+        (void)router;
+        (void)queue;
+        (void)interim;
+    }
+
+    /**
+     * The packet was dropped at @p router (blocked, buffer full). The
+     * drop signal returns over @p signal_hops reverse links to the
+     * holder at @p launch_router, which restores and later
+     * retransmits. @p pkt carries the tap-reduced multicast state.
+     */
+    virtual void onDrop(const OpticalPacket &pkt, NodeId router,
+                        NodeId launch_router, int signal_hops)
+    {
+        (void)pkt;
+        (void)router;
+        (void)launch_router;
+        (void)signal_hops;
+    }
+
+    /**
+     * step() finished for @p cycle: deliveries(), counters and buffer
+     * state are final for the cycle and safe to inspect.
+     */
+    virtual void onCycleEnd(Cycle cycle) { (void)cycle; }
+};
+
+} // namespace phastlane::core
+
+#endif // PHASTLANE_CORE_OBSERVER_HPP

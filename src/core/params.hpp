@@ -113,6 +113,19 @@ struct PhastlaneParams {
     /** Seed for backoff jitter. */
     uint64_t seed = 1;
 
+    /**
+     * Deliberate semantic mutations used ONLY to validate that the
+     * src/check/ verification subsystem actually catches bugs (a
+     * checker that never fires is untested). Never enable outside
+     * checker-validation tests.
+     */
+    struct FaultInjection {
+        /** Invert the straight-over-turn optical priority (paper
+         *  Section 2.2): turning packets win contended ports. */
+        bool invertStraightPriority = false;
+    };
+    FaultInjection faults;
+
     bool infiniteBuffers() const { return routerBufferEntries <= 0; }
     int nodeCount() const { return meshWidth * meshHeight; }
 };

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * ReferenceNetwork unit tests: the oracle must itself implement the
+ * paper's semantics correctly on cases simple enough to verify by
+ * hand, and its independently rewritten broadcast split must agree
+ * with the production one everywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "check/reference_network.hpp"
+#include "core/control.hpp"
+
+namespace phastlane::check {
+namespace {
+
+core::PhastlaneParams
+smallParams(int w = 4, int h = 4)
+{
+    core::PhastlaneParams p;
+    p.meshWidth = w;
+    p.meshHeight = h;
+    return p;
+}
+
+Packet
+unicast(PacketId id, NodeId src, NodeId dst)
+{
+    Packet k;
+    k.id = id;
+    k.src = src;
+    k.dst = dst;
+    return k;
+}
+
+TEST(CheckReference, BroadcastSplitMatchesProductionEverywhere)
+{
+    // The oracle's split is rewritten from the paper text; it must
+    // agree with core::splitBroadcast for every source on square,
+    // wide, tall and degenerate meshes.
+    const std::pair<int, int> shapes[] = {
+        {8, 8}, {4, 4}, {5, 3}, {2, 7}, {8, 1}, {1, 8}, {2, 2}};
+    for (const auto &[w, h] : shapes) {
+        const MeshTopology mesh(w, h);
+        for (NodeId src = 0; src < mesh.nodeCount(); ++src) {
+            const auto production = core::splitBroadcast(mesh, src);
+            const auto reference =
+                referenceBroadcastBranches(mesh, src);
+            ASSERT_EQ(production.size(), reference.size())
+                << w << "x" << h << " src " << src;
+            for (size_t b = 0; b < production.size(); ++b) {
+                EXPECT_EQ(production[b].taps, reference[b])
+                    << w << "x" << h << " src " << src << " branch "
+                    << b;
+            }
+        }
+    }
+}
+
+TEST(CheckReference, BroadcastSplitShape)
+{
+    // Section 2.1.4: at most 2*width branches, exactly width for a
+    // top/bottom-row source; every non-source node exactly once.
+    const MeshTopology mesh(8, 8);
+    for (NodeId src : {NodeId{0}, NodeId{27}, NodeId{63}}) {
+        const auto branches = referenceBroadcastBranches(mesh, src);
+        EXPECT_LE(branches.size(), static_cast<size_t>(2 * 8));
+        std::set<NodeId> covered;
+        size_t total = 0;
+        for (const auto &b : branches) {
+            total += b.size();
+            covered.insert(b.begin(), b.end());
+        }
+        EXPECT_EQ(total, covered.size()) << "duplicate tap";
+        EXPECT_EQ(covered.size(), 63u);
+        EXPECT_FALSE(covered.count(src));
+    }
+    EXPECT_EQ(referenceBroadcastBranches(mesh, 0).size(), 8u);
+    EXPECT_EQ(referenceBroadcastBranches(mesh, 60).size(), 8u);
+}
+
+TEST(CheckReference, UnicastDeliversWithCorrectTiming)
+{
+    // src 0 -> dst 3 on a 4x4 mesh: accept at cycle 0, one cycle of
+    // NIC-to-router transfer, launch at cycle 1, three hops <= H=4 in
+    // one wavefront: delivery at cycle 1.
+    ReferenceNetwork net(smallParams());
+    ASSERT_TRUE(net.inject(unicast(1, 0, 3)));
+    EXPECT_EQ(net.inFlight(), 1u);
+    net.step(); // NIC -> local queue; not yet launchable
+    EXPECT_TRUE(net.deliveries().empty());
+    net.step(); // launch + wavefront
+    ASSERT_EQ(net.deliveries().size(), 1u);
+    EXPECT_EQ(net.deliveries()[0].node, 3);
+    EXPECT_EQ(net.deliveries()[0].packet.id, 1u);
+    EXPECT_EQ(net.inFlight(), 0u);
+    EXPECT_EQ(net.counters().deliveries, 1u);
+    EXPECT_EQ(net.events().passTraversals, 2u);
+    EXPECT_EQ(net.phastlaneCounters().drops, 0u);
+}
+
+TEST(CheckReference, LongRouteUsesInterimNodes)
+{
+    // 8x8, corner to corner: 14 hops at H=4 needs interim buffering
+    // (Section 2.1.3); the packet must still arrive exactly once.
+    core::PhastlaneParams p = smallParams(8, 8);
+    ReferenceNetwork net(p);
+    ASSERT_TRUE(net.inject(unicast(1, 0, 63)));
+    for (int i = 0; i < 40 && net.inFlight() > 0; ++i)
+        net.step();
+    ASSERT_EQ(net.deliveries().size(), 1u);
+    EXPECT_EQ(net.deliveries()[0].node, 63);
+    EXPECT_EQ(net.inFlight(), 0u);
+    EXPECT_GT(net.phastlaneCounters().interimAccepts, 0u);
+}
+
+TEST(CheckReference, BroadcastDeliversEverywhereOnce)
+{
+    ReferenceNetwork net(smallParams());
+    Packet b;
+    b.id = 9;
+    b.src = 5;
+    b.broadcast = true;
+    ASSERT_TRUE(net.inject(b));
+    EXPECT_EQ(net.inFlight(), 15u);
+    for (int i = 0; i < 60 && net.inFlight() > 0; ++i)
+        net.step();
+    EXPECT_EQ(net.inFlight(), 0u);
+    EXPECT_EQ(net.counters().deliveries, 15u);
+}
+
+TEST(CheckReference, DropsRetransmitUnderTinyBuffers)
+{
+    core::PhastlaneParams p = smallParams();
+    p.routerBufferEntries = 1;
+    ReferenceNetwork net(p);
+    PacketId id = 1;
+    for (NodeId src = 0; src < net.nodeCount(); ++src) {
+        Packet b;
+        b.id = id++;
+        b.src = src;
+        b.broadcast = true;
+        ASSERT_TRUE(net.inject(b));
+    }
+    int guard = 0;
+    while (net.inFlight() > 0 && guard++ < 20000)
+        net.step();
+    EXPECT_EQ(net.inFlight(), 0u);
+    EXPECT_GT(net.phastlaneCounters().drops, 0u);
+    EXPECT_EQ(net.phastlaneCounters().drops,
+              net.phastlaneCounters().retransmissions);
+}
+
+TEST(CheckReference, SupportsRejectsGlobalPriority)
+{
+    core::PhastlaneParams p = smallParams();
+    EXPECT_TRUE(ReferenceNetwork::supports(p));
+    p.wavefront = core::WavefrontModel::GlobalPriority;
+    EXPECT_FALSE(ReferenceNetwork::supports(p));
+}
+
+} // namespace
+} // namespace phastlane::check

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 #include <map>
+#include <set>
 
 #include "core/network.hpp"
+#include "core/observer.hpp"
 
 namespace phastlane::core {
 namespace {
@@ -304,6 +306,49 @@ TEST(PhastlaneNet, EventAccountingConsistent)
     EXPECT_EQ(ev.drops, net.phastlaneCounters().drops);
     // Taps are a subset of deliveries.
     EXPECT_LE(ev.tapReceives, net.counters().deliveries);
+}
+
+TEST(PhastlaneNet, MulticastRetransmitAfterPartialDropIsExactlyOnce)
+{
+    // A multicast branch that served some taps and is then dropped
+    // must be retransmitted covering ONLY the unserved taps (the
+    // paper clears the Multicast bits of nodes reached before the
+    // drop) — every addressed node once, no node twice.
+    struct PartialDropSpy : StepObserver {
+        int partialDrops = 0;
+        void onDrop(const OpticalPacket &pkt, NodeId, NodeId,
+                    int) override
+        {
+            if (pkt.multicast && pkt.tapCursor > 0)
+                ++partialDrops;
+        }
+    };
+
+    PhastlaneParams p;
+    p.routerBufferEntries = 1;
+    PhastlaneNetwork net(p);
+    PartialDropSpy spy;
+    net.setObserver(&spy);
+    PacketId id = 1;
+    for (NodeId src = 0; src < 64; ++src)
+        ASSERT_TRUE(net.inject(broadcast(id++, src, net.now())));
+    const auto dels = runToIdle(net, 200000);
+
+    ASSERT_GT(spy.partialDrops, 0)
+        << "storm never dropped a partially served multicast branch";
+    // Exactly-once delivery per (message, node), full coverage.
+    std::map<PacketId, std::set<NodeId>> reached;
+    for (const auto &d : dels) {
+        EXPECT_TRUE(reached[d.packet.id].insert(d.node).second)
+            << "message " << d.packet.id << " delivered twice at node "
+            << d.node;
+    }
+    ASSERT_EQ(reached.size(), 64u);
+    for (PacketId m = 1; m <= 64; ++m)
+        EXPECT_EQ(reached[m].size(), 63u)
+            << "message " << m << " missed nodes";
+    EXPECT_EQ(net.phastlaneCounters().drops,
+              net.phastlaneCounters().retransmissions);
 }
 
 TEST(PhastlaneNet, LatencyStampsAreOrdered)
