@@ -19,6 +19,11 @@
  * touching --out) when throughput falls below --gate-ratio (default
  * 0.70, i.e. a >30% regression) of the baseline. A missing baseline
  * is reported and skipped, not failed, so fresh checkouts still run.
+ *
+ * The gate never rewrites the baseline implicitly: refreshing the
+ * committed BENCH_perf.json requires the explicit --update-baseline
+ * flag, which copies this run's results over the baseline path only
+ * after the gate has passed.
  */
 
 #include <chrono>
@@ -186,29 +191,49 @@ main(int argc, char **argv)
         }
     }
 
-    std::FILE *f = std::fopen(out.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    const auto writeJson = [&](const std::string &path) -> bool {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"quick\": %s,\n",
+                     opts.quick ? "true" : "false");
+        std::fprintf(f, "  \"step_cycles_per_sec\": %.1f,\n",
+                     steps_per_sec);
+        std::fprintf(f, "  \"step_node_cycles_per_sec\": %.1f,\n",
+                     steps_per_sec * 64);
+        std::fprintf(f, "  \"sweep\": [\n");
+        for (size_t i = 0; i < sweep_times.size(); ++i) {
+            const auto &[t, secs] = sweep_times[i];
+            std::fprintf(
+                f,
+                "    {\"threads\": %d, \"seconds\": %.4f, "
+                "\"speedup\": %.3f}%s\n",
+                t, secs, secs > 0.0 ? serial_secs / secs : 0.0,
+                i + 1 < sweep_times.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("[perf json written to %s]\n", path.c_str());
+        return true;
+    };
+
+    if (!writeJson(out))
         return 1;
+
+    // Baseline refresh is opt-in only: a gate run must never rewrite
+    // the baseline it just measured against as a side effect.
+    if (opts.raw.getBool("update-baseline", false)) {
+        if (baseline.empty()) {
+            std::fprintf(stderr,
+                         "--update-baseline requires --baseline\n");
+            return 1;
+        }
+        if (baseline != out && !writeJson(baseline))
+            return 1;
+        std::printf("[baseline refreshed at %s]\n", baseline.c_str());
     }
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"quick\": %s,\n",
-                 opts.quick ? "true" : "false");
-    std::fprintf(f, "  \"step_cycles_per_sec\": %.1f,\n",
-                 steps_per_sec);
-    std::fprintf(f, "  \"step_node_cycles_per_sec\": %.1f,\n",
-                 steps_per_sec * 64);
-    std::fprintf(f, "  \"sweep\": [\n");
-    for (size_t i = 0; i < sweep_times.size(); ++i) {
-        const auto &[t, secs] = sweep_times[i];
-        std::fprintf(f,
-                     "    {\"threads\": %d, \"seconds\": %.4f, "
-                     "\"speedup\": %.3f}%s\n",
-                     t, secs, secs > 0.0 ? serial_secs / secs : 0.0,
-                     i + 1 < sweep_times.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("[perf json written to %s]\n", out.c_str());
     return 0;
 }

@@ -19,11 +19,14 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "check/checked_network.hpp"
 #include "common/config.hpp"
 #include "common/log.hpp"
 #include "core/network.hpp"
+#include "core/observer.hpp"
+#include "obs/observe.hpp"
 #include "sim/configs.hpp"
 #include "sim/metrics.hpp"
 #include "sim/report.hpp"
@@ -35,6 +38,50 @@
 using namespace phastlane;
 
 namespace {
+
+/**
+ * Forwards the Network interface and feeds each step's deliveries to
+ * a LatencyCollector, so --metrics reports what actually ran (the
+ * collector used to be declared but never fed on the synthetic path).
+ */
+class CollectingNetwork : public Network
+{
+  public:
+    CollectingNetwork(Network &inner, sim::LatencyCollector &metrics)
+        : inner_(inner), metrics_(metrics)
+    {
+    }
+
+    int nodeCount() const override { return inner_.nodeCount(); }
+    const MeshTopology &mesh() const override { return inner_.mesh(); }
+    Cycle now() const override { return inner_.now(); }
+    bool nicHasSpace(NodeId n) const override
+    {
+        return inner_.nicHasSpace(n);
+    }
+    bool inject(const Packet &pkt) override
+    {
+        return inner_.inject(pkt);
+    }
+    void step() override
+    {
+        inner_.step();
+        metrics_.addAll(inner_.deliveries());
+    }
+    const std::vector<Delivery> &deliveries() const override
+    {
+        return inner_.deliveries();
+    }
+    uint64_t inFlight() const override { return inner_.inFlight(); }
+    const NetworkCounters &counters() const override
+    {
+        return inner_.counters();
+    }
+
+  private:
+    Network &inner_;
+    sim::LatencyCollector &metrics_;
+};
 
 void
 printCommonReports(const Config &args, const sim::NetConfig &cfg,
@@ -97,6 +144,17 @@ main(int argc, char **argv)
             "  synthetic: --rate R --bcast F --warmup N --measure N\n"
             "  splash: --txns N --seed S\n"
             "  reports: --metrics --power --heatmap\n"
+            "  observability (optical configs):\n"
+            "    --trace F.json    per-packet Chrome trace "
+            "(chrome://tracing, Perfetto)\n"
+            "    --trace-cap N     trace ring capacity "
+            "(default 1048576 records)\n"
+            "    --metrics-out F   counters/gauges/histograms as "
+            "JSON\n"
+            "    --heatmap-csv F   per-router heatmap snapshots as "
+            "CSV\n"
+            "    --heatmap-interval N   cycles between snapshots "
+            "(default 64)\n"
             "  checking: --check (run under the invariant checker "
             "and, where supported,\n"
             "            in lockstep with the reference oracle; "
@@ -128,11 +186,57 @@ main(int argc, char **argv)
     // The workload drives `drive`; reports read `report`, which stays
     // the PhastlaneNetwork so their dynamic_casts keep working when
     // --check interposes the wrapper.
-    Network &drive =
-        checked ? static_cast<Network &>(*checked) : *net;
     Network &report =
         checked ? static_cast<Network &>(checked->primary()) : *net;
-    sim::LatencyCollector metrics(drive.mesh());
+    sim::LatencyCollector metrics(report.mesh());
+    CollectingNetwork drive(
+        checked ? static_cast<Network &>(*checked) : *net, metrics);
+
+    // Observability (src/obs/): per-packet trace ring, metrics
+    // registry, and per-router heatmap, composed with the invariant
+    // checker through an ObserverMux when --check is on.
+    const std::string trace_path = args.getString("trace", "");
+    const std::string metrics_path =
+        args.getString("metrics-out", "");
+    const std::string heatmap_path =
+        args.getString("heatmap-csv", "");
+    obs::ObserveOptions oopts;
+    oopts.traceCapacity = static_cast<size_t>(
+        args.getInt("trace-cap", 1 << 20));
+    oopts.heatmapInterval = static_cast<Cycle>(
+        args.getInt("heatmap-interval", 64));
+    std::unique_ptr<obs::TraceObserver> tracer;
+    std::unique_ptr<obs::MetricsObserver> recorder;
+    obs::MetricsRegistry registry;
+    core::ObserverMux mux;
+    auto *pl_report =
+        dynamic_cast<core::PhastlaneNetwork *>(&report);
+    if (!trace_path.empty() || !metrics_path.empty() ||
+        !heatmap_path.empty()) {
+        if (!pl_report)
+            panic("--trace/--metrics-out/--heatmap-csv support "
+                  "optical (Phastlane) configurations only");
+        if (heatmap_path.empty())
+            oopts.heatmapInterval = 0;
+        if (!trace_path.empty())
+            tracer = std::make_unique<obs::TraceObserver>(*pl_report,
+                                                          oopts);
+        if (!metrics_path.empty() || !heatmap_path.empty())
+            recorder = std::make_unique<obs::MetricsObserver>(
+                *pl_report, registry, oopts);
+        if (checked) {
+            if (recorder)
+                checked->addObserver(recorder.get());
+            if (tracer)
+                checked->addObserver(tracer.get());
+        } else {
+            if (recorder)
+                mux.add(recorder.get());
+            if (tracer)
+                mux.add(tracer.get());
+            pl_report->setObserver(&mux);
+        }
+    }
 
     std::printf("config %s, workload %s\n", config_name.c_str(),
                 workload.c_str());
@@ -157,7 +261,7 @@ main(int argc, char **argv)
                         result.completionCycles),
                     result.avgMessageLatency, result.avgRoundTrip);
         printCommonReports(args, cfg, report, result.completionCycles,
-                           nullptr);
+                           &metrics);
     } else if (workload.rfind("trace:", 0) == 0) {
         const auto records =
             traffic::readTrace(workload.substr(6));
@@ -171,7 +275,7 @@ main(int argc, char **argv)
                         result.completionCycle),
                     result.avgLatency);
         printCommonReports(args, cfg, report, result.completionCycle,
-                           nullptr);
+                           &metrics);
     } else {
         traffic::SyntheticConfig sc;
         sc.pattern = traffic::parsePattern(workload);
@@ -207,6 +311,36 @@ main(int argc, char **argv)
                     checked->hasOracle()
                         ? "invariants + differential oracle"
                         : "invariants only");
+    }
+
+    if (tracer) {
+        const auto &ring = tracer->ring();
+        const auto &oc = pl_report->phastlaneCounters();
+        std::printf(
+            "trace: %llu records retained (%llu shed); deliver "
+            "events %llu vs counter %llu, drop events %llu vs "
+            "counter %llu\n",
+            static_cast<unsigned long long>(ring.size()),
+            static_cast<unsigned long long>(ring.shedRecords()),
+            static_cast<unsigned long long>(
+                ring.kindCount(obs::TraceEvent::Deliver)),
+            static_cast<unsigned long long>(
+                report.counters().deliveries),
+            static_cast<unsigned long long>(
+                ring.kindCount(obs::TraceEvent::Drop)),
+            static_cast<unsigned long long>(oc.drops));
+        obs::writeChromeTrace(ring, report.mesh(), trace_path);
+        std::printf("trace: wrote %s\n", trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        registry.writeJson(metrics_path);
+        std::printf("metrics: wrote %s\n", metrics_path.c_str());
+    }
+    if (recorder && !heatmap_path.empty()) {
+        if (const auto *hm = recorder->heatmap()) {
+            hm->writeCsv(heatmap_path);
+            std::printf("heatmap: wrote %s\n", heatmap_path.c_str());
+        }
     }
     return 0;
 }

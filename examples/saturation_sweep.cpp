@@ -10,6 +10,8 @@
  *                        results are identical at any thread count)
  *       [--check]       (every sweep point runs under the invariant
  *                        checker and the differential oracle; slower)
+ *       [--metrics-out F.json]  (per-point obs metrics merged in
+ *                        rate order -- identical at any thread count)
  */
 
 #include <cstdio>
@@ -43,6 +45,9 @@ main(int argc, char **argv)
         static_cast<Cycle>(args.getInt("measure", 4000));
     sc.seed = static_cast<uint64_t>(args.getInt("seed", 42));
     sc.threads = static_cast<int>(args.getInt("threads", 0));
+    const std::string metrics_path =
+        args.getString("metrics-out", "");
+    sc.collectMetrics = !metrics_path.empty();
     for (int i = 1; i <= steps; ++i)
         sc.rates.push_back(max_rate * i / steps);
 
@@ -66,6 +71,12 @@ main(int argc, char **argv)
         };
         std::printf("checking enabled: invariants + lockstep oracle "
                     "on every point\n");
+        if (sc.collectMetrics) {
+            warn("--metrics-out is skipped under --check (the "
+                 "checker wrapper hides the optical network; use "
+                 "PL_CHECK_METRICS=1 on the campaign instead)");
+            sc.collectMetrics = false;
+        }
     }
 
     const auto points = runSweep(cfg, sc);
@@ -87,6 +98,10 @@ main(int argc, char **argv)
     if (!csv.empty()) {
         t.writeCsv(csv);
         std::printf("csv written to %s\n", csv.c_str());
+    }
+    if (sc.collectMetrics) {
+        mergedMetrics(points).writeJson(metrics_path);
+        std::printf("metrics written to %s\n", metrics_path.c_str());
     }
     return 0;
 }

@@ -17,6 +17,20 @@ CheckedNetwork::CheckedNetwork(const core::PhastlaneParams &params)
     }
 }
 
+void
+CheckedNetwork::addObserver(core::StepObserver *obs)
+{
+    if (!obs)
+        return;
+    if (mux_.size() == 0) {
+        // First extra observer: interpose the mux, checker first so
+        // its diagnostics fire before any downstream recording.
+        mux_.add(&checker_);
+        primary_.setObserver(&mux_);
+    }
+    mux_.add(obs);
+}
+
 bool
 CheckedNetwork::inject(const Packet &pkt)
 {

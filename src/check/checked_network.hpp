@@ -62,9 +62,17 @@ class CheckedNetwork : public Network
     /** Final quiescence checks; call after draining the network. */
     void checkQuiescent() { checker_.checkQuiescent(); }
 
+    /**
+     * Attach an additional observer (e.g. the tracing/metrics
+     * observers of src/obs/) composed after the invariant checker
+     * through an ObserverMux. The observer must outlive this network.
+     */
+    void addObserver(core::StepObserver *obs);
+
   private:
     core::PhastlaneNetwork primary_;
     InvariantChecker checker_;
+    core::ObserverMux mux_;
     std::unique_ptr<ReferenceNetwork> oracle_;
 };
 

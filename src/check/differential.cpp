@@ -1,12 +1,15 @@
 #include "check/differential.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <tuple>
 
 #include "check/invariants.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "obs/observe.hpp"
 
 namespace phastlane::check {
 
@@ -150,6 +153,30 @@ runLockstep(const core::PhastlaneParams &params,
     ReferenceNetwork reference(params);
     InvariantChecker checker(optimized, /*abort_on_violation=*/false);
     optimized.setObserver(&checker);
+
+    // PL_CHECK_METRICS=1 composes the metrics/tracing observers of
+    // src/obs/ with the checker through an ObserverMux on every
+    // lockstep run — CI uses it to prove the observer stack neither
+    // perturbs the simulation nor the checker. Results must be
+    // identical with or without it (observers are read-only).
+    obs::MetricsRegistry metricsRegistry;
+    std::unique_ptr<obs::MetricsObserver> metricsObserver;
+    std::unique_ptr<obs::TraceObserver> traceObserver;
+    core::ObserverMux mux;
+    if (const char *v = std::getenv("PL_CHECK_METRICS");
+        v && v[0] != '\0' && v[0] != '0') {
+        obs::ObserveOptions opts;
+        opts.heatmapInterval = 32;
+        opts.traceCapacity = 1u << 16;
+        metricsObserver = std::make_unique<obs::MetricsObserver>(
+            optimized, metricsRegistry, opts);
+        traceObserver =
+            std::make_unique<obs::TraceObserver>(optimized, opts);
+        mux.add(&checker);
+        mux.add(metricsObserver.get());
+        mux.add(traceObserver.get());
+        optimized.setObserver(&mux);
+    }
 
     std::vector<Injection> pending(stream.begin(), stream.end());
     DiffResult result;

@@ -180,13 +180,9 @@ Cycle
 ReferenceNetwork::dropRetryCycle(int attempts)
 {
     Cycle extra = static_cast<Cycle>(params_.backoffBase);
-    if (params_.exponentialBackoff) {
-        const int exp = std::min(attempts, 6);
-        const int64_t window = std::min<int64_t>(
-            (int64_t{1} << exp) - 1, params_.backoffCap);
-        if (window > 0)
-            extra += static_cast<Cycle>(rng_.uniformInt(0, window));
-    }
+    const int64_t window = core::backoffWindow(params_, attempts);
+    if (window > 0)
+        extra += static_cast<Cycle>(rng_.uniformInt(0, window));
     return cycle_ + 1 + extra;
 }
 

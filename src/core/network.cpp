@@ -109,14 +109,9 @@ PhastlaneNetwork::dropRetryCycle(int attempts)
     // The drop signal arrives in the cycle being processed; the
     // earliest relaunch is the next one, plus any configured backoff.
     Cycle extra = static_cast<Cycle>(params_.backoffBase);
-    if (params_.exponentialBackoff) {
-        const int exp = std::min(attempts, 6);
-        const int64_t window =
-            std::min<int64_t>((int64_t{1} << exp) - 1,
-                              params_.backoffCap);
-        if (window > 0)
-            extra += static_cast<Cycle>(rng_.uniformInt(0, window));
-    }
+    const int64_t window = backoffWindow(params_, attempts);
+    if (window > 0)
+        extra += static_cast<Cycle>(rng_.uniformInt(0, window));
     return cycle_ + 1 + extra;
 }
 
@@ -243,6 +238,8 @@ PhastlaneNetwork::handleArrival(Flight &f)
         deliver(f.pkt, f.at);
         f.pkt.serveTap();
         ++events_.tapReceives;
+        if (observer_)
+            observer_->onTap(f.pkt, f.at);
     }
 
     if (g.local) {
@@ -545,6 +542,8 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
                     deliver(f.pkt, f.at);
                     f.pkt.serveTap();
                     ++events_.tapReceives;
+                    if (observer_)
+                        observer_->onTap(f.pkt, f.at);
                 }
                 receiveOrDrop(f, false);
                 break;

@@ -20,6 +20,8 @@
 #ifndef PHASTLANE_CORE_OBSERVER_HPP
 #define PHASTLANE_CORE_OBSERVER_HPP
 
+#include <vector>
+
 #include "common/types.hpp"
 #include "core/packet.hpp"
 
@@ -76,6 +78,16 @@ class StepObserver
     virtual void onDeliver(const Delivery &d) { (void)d; }
 
     /**
+     * A multicast power tap was served at @p router (the matching
+     * delivery was reported through onDeliver just before).
+     */
+    virtual void onTap(const OpticalPacket &pkt, NodeId router)
+    {
+        (void)pkt;
+        (void)router;
+    }
+
+    /**
      * The branch terminated at its final router this cycle; its buffer
      * slot at the responsible holder frees next cycle.
      */
@@ -120,6 +132,84 @@ class StepObserver
      * state are final for the cycle and safe to inspect.
      */
     virtual void onCycleEnd(Cycle cycle) { (void)cycle; }
+};
+
+/**
+ * Fans one network's observer slot out to several observers, in
+ * attachment order. Lets the invariant checker run composed with the
+ * tracing/metrics observers of src/obs/ (a PhastlaneNetwork carries
+ * at most one StepObserver). The mux does not own its children; they
+ * must outlive it or be removed first.
+ */
+class ObserverMux : public StepObserver
+{
+  public:
+    void add(StepObserver *obs)
+    {
+        if (obs)
+            children_.push_back(obs);
+    }
+
+    size_t size() const { return children_.size(); }
+
+    void onCycleBegin(Cycle cycle) override
+    {
+        for (auto *o : children_)
+            o->onCycleBegin(cycle);
+    }
+    void onAccept(const Packet &pkt, int branches,
+                  int delivery_units) override
+    {
+        for (auto *o : children_)
+            o->onAccept(pkt, branches, delivery_units);
+    }
+    void onLaunch(const OpticalPacket &pkt, NodeId router, Port out,
+                  int attempts) override
+    {
+        for (auto *o : children_)
+            o->onLaunch(pkt, router, out, attempts);
+    }
+    void onPass(const OpticalPacket &pkt, NodeId router) override
+    {
+        for (auto *o : children_)
+            o->onPass(pkt, router);
+    }
+    void onDeliver(const Delivery &d) override
+    {
+        for (auto *o : children_)
+            o->onDeliver(d);
+    }
+    void onTap(const OpticalPacket &pkt, NodeId router) override
+    {
+        for (auto *o : children_)
+            o->onTap(pkt, router);
+    }
+    void onBranchFinal(const OpticalPacket &pkt,
+                       NodeId router) override
+    {
+        for (auto *o : children_)
+            o->onBranchFinal(pkt, router);
+    }
+    void onBufferReceive(const OpticalPacket &pkt, NodeId router,
+                         Port queue, bool interim) override
+    {
+        for (auto *o : children_)
+            o->onBufferReceive(pkt, router, queue, interim);
+    }
+    void onDrop(const OpticalPacket &pkt, NodeId router,
+                NodeId launch_router, int signal_hops) override
+    {
+        for (auto *o : children_)
+            o->onDrop(pkt, router, launch_router, signal_hops);
+    }
+    void onCycleEnd(Cycle cycle) override
+    {
+        for (auto *o : children_)
+            o->onCycleEnd(cycle);
+    }
+
+  private:
+    std::vector<StepObserver *> children_;
 };
 
 } // namespace phastlane::core

@@ -7,6 +7,7 @@
 #ifndef PHASTLANE_CORE_PARAMS_HPP
 #define PHASTLANE_CORE_PARAMS_HPP
 
+#include <algorithm>
 #include <cstdint>
 
 namespace phastlane::core {
@@ -129,6 +130,31 @@ struct PhastlaneParams {
     bool infiniteBuffers() const { return routerBufferEntries <= 0; }
     int nodeCount() const { return meshWidth * meshHeight; }
 };
+
+/**
+ * Exponential-backoff jitter window after @p attempts completed
+ * (dropped) launch attempts: min(2^attempts - 1, backoffCap), in
+ * cycles. The single source of truth for both PhastlaneNetwork and
+ * the ReferenceNetwork oracle, which must stay in exact lockstep
+ * (including whether a jitter value is drawn at all: the RNG is
+ * consulted only when the window is positive).
+ *
+ * The shift amount is clamped only to keep 2^attempts representable;
+ * the effective cap is backoffCap itself. (An earlier version clamped
+ * the exponent at 6 *before* applying the cap, so backoffCap > 63
+ * silently never widened the window beyond 63 cycles.)
+ */
+inline int64_t
+backoffWindow(const PhastlaneParams &params, int attempts)
+{
+    if (!params.exponentialBackoff || attempts <= 0 ||
+        params.backoffCap <= 0) {
+        return 0;
+    }
+    const int exp = attempts < 62 ? attempts : 62;
+    return std::min<int64_t>((int64_t{1} << exp) - 1,
+                             static_cast<int64_t>(params.backoffCap));
+}
 
 } // namespace phastlane::core
 

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-router heatmap snapshots (DESIGN.md §8): cumulative per-router
+ * activity (drops, turns lost to blocking, interim accepts, launches)
+ * plus instantaneous buffer depth, sampled at a configurable cycle
+ * interval and dumped as CSV or JSON for offline congestion analysis.
+ */
+
+#ifndef PHASTLANE_OBS_HEATMAP_HPP
+#define PHASTLANE_OBS_HEATMAP_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace phastlane::obs {
+
+/** One router's state within a snapshot. Counter fields are
+ *  cumulative since the start of the run; depth is instantaneous. */
+struct RouterCell {
+    uint32_t bufferDepth = 0; ///< packets held across the five queues
+    uint64_t drops = 0;
+    uint64_t turnsLost = 0; ///< buffered after losing a port claim
+    uint64_t interimAccepts = 0;
+    uint64_t launches = 0;
+};
+
+/** All routers at one sample cycle. */
+struct HeatmapSnapshot {
+    Cycle cycle = 0;
+    std::vector<RouterCell> cells;
+};
+
+/**
+ * Accumulates per-router counters (fixed arrays, no allocation per
+ * event) and materializes snapshots on demand.
+ */
+class HeatmapRecorder
+{
+  public:
+    explicit HeatmapRecorder(const MeshTopology &mesh);
+
+    void addDrop(NodeId router) { ++live_[idx(router)].drops; }
+    void addTurnLost(NodeId router)
+    {
+        ++live_[idx(router)].turnsLost;
+    }
+    void addInterim(NodeId router)
+    {
+        ++live_[idx(router)].interimAccepts;
+    }
+    void addLaunch(NodeId router) { ++live_[idx(router)].launches; }
+
+    /**
+     * Record a snapshot at @p cycle; @p depth_of yields each router's
+     * current buffer occupancy.
+     */
+    template <typename DepthFn>
+    void snapshot(Cycle cycle, DepthFn &&depth_of)
+    {
+        HeatmapSnapshot s;
+        s.cycle = cycle;
+        s.cells = live_;
+        for (size_t n = 0; n < s.cells.size(); ++n) {
+            s.cells[n].bufferDepth = static_cast<uint32_t>(
+                depth_of(static_cast<NodeId>(n)));
+        }
+        snapshots_.push_back(std::move(s));
+    }
+
+    const std::vector<HeatmapSnapshot> &snapshots() const
+    {
+        return snapshots_;
+    }
+
+    /** Live (cumulative) per-router cells, depth fields unset. */
+    const std::vector<RouterCell> &live() const { return live_; }
+
+    /** "cycle,router,x,y,depth,drops,turns_lost,interim,launches". */
+    std::string toCsv() const;
+
+    /** JSON array of snapshots (same fields as the CSV). */
+    std::string toJson() const;
+
+    void writeCsv(const std::string &path) const;
+    void writeJson(const std::string &path) const;
+
+  private:
+    size_t idx(NodeId n) const { return static_cast<size_t>(n); }
+
+    MeshTopology mesh_;
+    std::vector<RouterCell> live_;
+    std::vector<HeatmapSnapshot> snapshots_;
+};
+
+} // namespace phastlane::obs
+
+#endif // PHASTLANE_OBS_HEATMAP_HPP

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Metrics registry for the observability layer (DESIGN.md §8):
+ * named counters, gauges, and HDR-style histograms with a
+ * deterministic merge so per-shard registries collected by the
+ * parallel harnesses combine into the same totals at any thread
+ * count.
+ *
+ * Hot-path discipline: handles (references) are resolved by name once
+ * at attach time; recording an event afterwards touches fixed-size
+ * storage only — no map lookups, no allocation (histogram buckets are
+ * preallocated in the constructor).
+ */
+
+#ifndef PHASTLANE_OBS_METRICS_HPP
+#define PHASTLANE_OBS_METRICS_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace phastlane::obs {
+
+/** A monotonically increasing named event counter. */
+class Counter
+{
+  public:
+    void inc(uint64_t by = 1) { value_ += by; }
+    uint64_t value() const { return value_; }
+    void merge(const Counter &other) { value_ += other.value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** A last-written instantaneous value (e.g. packets in flight). */
+class Gauge
+{
+  public:
+    void set(int64_t v)
+    {
+        value_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    int64_t value() const { return value_; }
+    int64_t max() const { return max_; }
+
+    /** Shard merge keeps the larger extreme and last value; gauges
+     *  are instantaneous, so "sum" would be meaningless. */
+    void merge(const Gauge &other)
+    {
+        if (other.max_ > max_)
+            max_ = other.max_;
+        value_ = other.value_;
+    }
+
+  private:
+    int64_t value_ = 0;
+    int64_t max_ = 0;
+};
+
+/**
+ * HDR-style histogram of non-negative integer values: logarithmic
+ * tiers (one per bit width) of kSubBuckets linear sub-buckets, so
+ * relative error is bounded by 1/kSubBuckets at any magnitude while
+ * storage stays fixed (64 x 16 buckets). Values below kSubBuckets
+ * are recorded exactly.
+ */
+class HdrHistogram
+{
+  public:
+    static constexpr int kSubBuckets = 16;
+    static constexpr int kTiers = 60;
+
+    HdrHistogram();
+
+    void record(uint64_t value);
+    void recordN(uint64_t value, uint64_t times);
+
+    uint64_t count() const { return count_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return count_ ? max_ : 0; }
+    double mean() const;
+
+    /** Largest value v such that at least q * count samples are <= v
+     *  (upper edge of the quantile's bucket); q in [0, 1]. */
+    uint64_t quantile(double q) const;
+
+    void merge(const HdrHistogram &other);
+
+    /** Bucket index of @p value (exposed for tests). */
+    static size_t bucketOf(uint64_t value);
+
+    /** Upper inclusive edge of bucket @p b (exposed for tests). */
+    static uint64_t bucketUpperEdge(size_t b);
+
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = UINT64_MAX;
+    uint64_t max_ = 0;
+};
+
+/**
+ * An ordered collection of named metrics. Lookup by name allocates
+ * the metric on first use; the returned reference stays valid for the
+ * registry's lifetime (deque-backed), so observers resolve their
+ * handles once and record through them.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    HdrHistogram &histogram(const std::string &name);
+
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const HdrHistogram *findHistogram(const std::string &name) const;
+
+    /**
+     * Merge another registry into this one, metric by metric (union
+     * of names). Merging shards in a fixed order (e.g. sweep-point
+     * index) yields identical results at any thread count: counters
+     * and histograms are commutative sums, gauges keep the shared
+     * max.
+     */
+    void merge(const MetricsRegistry &other);
+
+    /** Render as a JSON object (counters, gauges, histogram summary
+     *  stats and percentiles). */
+    std::string toJson() const;
+
+    /** One "name,type,field,value" row per scalar, for spreadsheets. */
+    std::string toCsv() const;
+
+    /** Write toJson() / toCsv() to @p path; fatal() on I/O error. */
+    void writeJson(const std::string &path) const;
+    void writeCsv(const std::string &path) const;
+
+    /** All registered names of each kind, in registration order. */
+    std::vector<std::string> counterNames() const;
+    std::vector<std::string> gaugeNames() const;
+    std::vector<std::string> histogramNames() const;
+
+  private:
+    // deques keep references stable across growth; the maps give
+    // name lookup at registration time only.
+    std::deque<Counter> counters_;
+    std::deque<Gauge> gauges_;
+    std::deque<HdrHistogram> histograms_;
+    std::map<std::string, size_t> counterIndex_;
+    std::map<std::string, size_t> gaugeIndex_;
+    std::map<std::string, size_t> histogramIndex_;
+    std::vector<std::string> counterOrder_;
+    std::vector<std::string> gaugeOrder_;
+    std::vector<std::string> histogramOrder_;
+};
+
+} // namespace phastlane::obs
+
+#endif // PHASTLANE_OBS_METRICS_HPP

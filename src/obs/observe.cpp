@@ -1,0 +1,235 @@
+#include "obs/observe.hpp"
+
+namespace phastlane::obs {
+
+namespace {
+
+int32_t
+clamped(Cycle later, Cycle earlier)
+{
+    const Cycle d = later >= earlier ? later - earlier : 0;
+    return d > INT32_MAX ? INT32_MAX : static_cast<int32_t>(d);
+}
+
+} // namespace
+
+TraceObserver::TraceObserver(const core::PhastlaneNetwork &net,
+                             const ObserveOptions &opts)
+    : net_(net),
+      ring_(opts.traceCapacity),
+      sampleInterval_(opts.sampleInterval)
+{
+}
+
+void
+TraceObserver::onAccept(const Packet &pkt, int branches,
+                        int delivery_units)
+{
+    (void)delivery_units;
+    ring_.push(TraceRecord{net_.now(), pkt.id, 0, pkt.src, branches,
+                           TraceEvent::Inject});
+}
+
+void
+TraceObserver::onLaunch(const core::OpticalPacket &pkt, NodeId router,
+                        Port out, int attempts)
+{
+    (void)out;
+    ring_.push(TraceRecord{net_.now(), pkt.base.id, pkt.branchId,
+                           router, attempts,
+                           attempts > 0 ? TraceEvent::Retransmit
+                                        : TraceEvent::Launch});
+}
+
+void
+TraceObserver::onPass(const core::OpticalPacket &pkt, NodeId router)
+{
+    ring_.push(TraceRecord{net_.now(), pkt.base.id, pkt.branchId,
+                           router, 0, TraceEvent::Pass});
+}
+
+void
+TraceObserver::onDeliver(const Delivery &d)
+{
+    ring_.push(TraceRecord{d.at, d.packet.id, 0, d.node,
+                           clamped(d.at, d.acceptedAt),
+                           TraceEvent::Deliver});
+}
+
+void
+TraceObserver::onTap(const core::OpticalPacket &pkt, NodeId router)
+{
+    ring_.push(TraceRecord{net_.now(), pkt.base.id, pkt.branchId,
+                           router, 0, TraceEvent::Tap});
+}
+
+void
+TraceObserver::onBranchFinal(const core::OpticalPacket &pkt,
+                             NodeId router)
+{
+    ring_.push(TraceRecord{net_.now(), pkt.base.id, pkt.branchId,
+                           router, 0, TraceEvent::BranchFinal});
+}
+
+void
+TraceObserver::onBufferReceive(const core::OpticalPacket &pkt,
+                               NodeId router, Port queue, bool interim)
+{
+    ring_.push(TraceRecord{net_.now(), pkt.base.id, pkt.branchId,
+                           router, portIndex(queue),
+                           interim ? TraceEvent::InterimAccept
+                                   : TraceEvent::BufferBlocked});
+}
+
+void
+TraceObserver::onDrop(const core::OpticalPacket &pkt, NodeId router,
+                      NodeId launch_router, int signal_hops)
+{
+    ring_.push(TraceRecord{net_.now(), pkt.base.id, pkt.branchId,
+                           router, signal_hops, TraceEvent::Drop});
+    ring_.push(TraceRecord{net_.now(), pkt.base.id, pkt.branchId,
+                           launch_router, signal_hops,
+                           TraceEvent::DropSignal});
+}
+
+void
+TraceObserver::onCycleEnd(Cycle cycle)
+{
+    if (sampleInterval_ && cycle % sampleInterval_ == 0) {
+        ring_.push(TraceRecord{cycle, net_.inFlight(),
+                               net_.bufferedPackets(), kInvalidNode, 0,
+                               TraceEvent::Sample});
+    }
+}
+
+MetricsObserver::MetricsObserver(const core::PhastlaneNetwork &net,
+                                 MetricsRegistry &registry,
+                                 const ObserveOptions &opts)
+    : net_(net),
+      sampleInterval_(opts.sampleInterval),
+      heatmapInterval_(opts.heatmapInterval),
+      accepts_(registry.counter("net.accepts")),
+      deliveries_(registry.counter("net.deliveries")),
+      launches_(registry.counter("optical.launches")),
+      retransmissions_(registry.counter("optical.retransmissions")),
+      drops_(registry.counter("optical.drops")),
+      taps_(registry.counter("optical.taps")),
+      passes_(registry.counter("optical.passes")),
+      blocked_(registry.counter("buffer.blocked_receives")),
+      interim_(registry.counter("buffer.interim_accepts")),
+      dropSignalHops_(registry.counter("drop.signal_hops")),
+      inFlight_(registry.gauge("net.in_flight")),
+      buffered_(registry.gauge("buffer.packets")),
+      nicQueued_(registry.gauge("nic.queued")),
+      latencyTotal_(registry.histogram("latency.accept_to_deliver")),
+      latencyNetwork_(registry.histogram("latency.inject_to_deliver")),
+      backoffAttempts_(registry.histogram("backoff.attempts")),
+      occupancy_(registry.histogram("buffer.occupancy")),
+      signalHops_(registry.histogram("drop.signal_hops"))
+{
+    if (heatmapInterval_ > 0)
+        heatmap_.emplace(net.mesh());
+}
+
+void
+MetricsObserver::onAccept(const Packet &pkt, int branches,
+                          int delivery_units)
+{
+    (void)pkt;
+    (void)branches;
+    (void)delivery_units;
+    accepts_.inc();
+}
+
+void
+MetricsObserver::onLaunch(const core::OpticalPacket &pkt,
+                          NodeId router, Port out, int attempts)
+{
+    (void)pkt;
+    (void)out;
+    launches_.inc();
+    if (heatmap_)
+        heatmap_->addLaunch(router);
+    if (attempts > 0) {
+        retransmissions_.inc();
+        backoffAttempts_.record(static_cast<uint64_t>(attempts));
+    }
+}
+
+void
+MetricsObserver::onPass(const core::OpticalPacket &pkt, NodeId router)
+{
+    (void)pkt;
+    (void)router;
+    passes_.inc();
+}
+
+void
+MetricsObserver::onDeliver(const Delivery &d)
+{
+    deliveries_.inc();
+    latencyTotal_.record(
+        d.at >= d.acceptedAt ? d.at - d.acceptedAt : 0);
+    latencyNetwork_.record(
+        d.at >= d.injectedAt ? d.at - d.injectedAt : 0);
+}
+
+void
+MetricsObserver::onTap(const core::OpticalPacket &pkt, NodeId router)
+{
+    (void)pkt;
+    (void)router;
+    taps_.inc();
+}
+
+void
+MetricsObserver::onBufferReceive(const core::OpticalPacket &pkt,
+                                 NodeId router, Port queue,
+                                 bool interim)
+{
+    (void)pkt;
+    (void)queue;
+    if (interim) {
+        interim_.inc();
+        if (heatmap_)
+            heatmap_->addInterim(router);
+    } else {
+        blocked_.inc();
+        if (heatmap_)
+            heatmap_->addTurnLost(router);
+    }
+}
+
+void
+MetricsObserver::onDrop(const core::OpticalPacket &pkt, NodeId router,
+                        NodeId launch_router, int signal_hops)
+{
+    (void)pkt;
+    (void)launch_router;
+    drops_.inc();
+    dropSignalHops_.inc(static_cast<uint64_t>(signal_hops));
+    signalHops_.record(static_cast<uint64_t>(signal_hops));
+    if (heatmap_)
+        heatmap_->addDrop(router);
+}
+
+void
+MetricsObserver::onCycleEnd(Cycle cycle)
+{
+    if (sampleInterval_ && cycle % sampleInterval_ == 0) {
+        inFlight_.set(static_cast<int64_t>(net_.inFlight()));
+        buffered_.set(static_cast<int64_t>(net_.bufferedPackets()));
+        nicQueued_.set(static_cast<int64_t>(net_.nicQueuedPackets()));
+        for (NodeId n = 0; n < net_.nodeCount(); ++n) {
+            occupancy_.record(
+                net_.routerBuffers(n).totalOccupancy());
+        }
+    }
+    if (heatmap_ && cycle % heatmapInterval_ == 0) {
+        heatmap_->snapshot(cycle, [this](NodeId n) {
+            return net_.routerBuffers(n).totalOccupancy();
+        });
+    }
+}
+
+} // namespace phastlane::obs

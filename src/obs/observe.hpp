@@ -1,0 +1,134 @@
+/**
+ * @file
+ * StepObserver implementations feeding the observability layer
+ * (DESIGN.md §8): TraceObserver pushes fixed-size records into a
+ * TraceRing; MetricsObserver updates a MetricsRegistry and an
+ * optional per-router HeatmapRecorder. Both resolve their metric
+ * handles at construction and allocate nothing per event, and both
+ * compose with the invariant checker through core::ObserverMux.
+ *
+ * The disabled path costs nothing beyond the network's existing
+ * single null-observer branch per event: when no observer is
+ * attached, PhastlaneNetwork::step never calls into this code.
+ */
+
+#ifndef PHASTLANE_OBS_OBSERVE_HPP
+#define PHASTLANE_OBS_OBSERVE_HPP
+
+#include <optional>
+
+#include "core/network.hpp"
+#include "core/observer.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace phastlane::obs {
+
+/** Knobs shared by the observers. */
+struct ObserveOptions {
+    /** Cycles between in-flight/occupancy samples (0 = never). */
+    Cycle sampleInterval = 64;
+
+    /** Cycles between heatmap snapshots (0 = no heatmap). */
+    Cycle heatmapInterval = 0;
+
+    /** Trace ring capacity (records). */
+    size_t traceCapacity = 1u << 20;
+};
+
+/**
+ * Records the per-packet event stream of one PhastlaneNetwork into a
+ * TraceRing. Attach with net.setObserver (or through an ObserverMux);
+ * must outlive the network or be detached first.
+ */
+class TraceObserver : public core::StepObserver
+{
+  public:
+    TraceObserver(const core::PhastlaneNetwork &net,
+                  const ObserveOptions &opts = {});
+
+    const TraceRing &ring() const { return ring_; }
+
+    void onAccept(const Packet &pkt, int branches,
+                  int delivery_units) override;
+    void onLaunch(const core::OpticalPacket &pkt, NodeId router,
+                  Port out, int attempts) override;
+    void onPass(const core::OpticalPacket &pkt, NodeId router) override;
+    void onDeliver(const Delivery &d) override;
+    void onTap(const core::OpticalPacket &pkt, NodeId router) override;
+    void onBranchFinal(const core::OpticalPacket &pkt,
+                       NodeId router) override;
+    void onBufferReceive(const core::OpticalPacket &pkt, NodeId router,
+                         Port queue, bool interim) override;
+    void onDrop(const core::OpticalPacket &pkt, NodeId router,
+                NodeId launch_router, int signal_hops) override;
+    void onCycleEnd(Cycle cycle) override;
+
+  private:
+    const core::PhastlaneNetwork &net_;
+    TraceRing ring_;
+    Cycle sampleInterval_;
+};
+
+/**
+ * Updates a caller-owned MetricsRegistry (counters, latency/backoff/
+ * occupancy histograms, in-flight gauges) and, when
+ * opts.heatmapInterval > 0, an internal per-router HeatmapRecorder.
+ */
+class MetricsObserver : public core::StepObserver
+{
+  public:
+    MetricsObserver(const core::PhastlaneNetwork &net,
+                    MetricsRegistry &registry,
+                    const ObserveOptions &opts = {});
+
+    /** The heatmap recorder, or nullptr when disabled. */
+    const HeatmapRecorder *heatmap() const
+    {
+        return heatmap_ ? &*heatmap_ : nullptr;
+    }
+
+    void onAccept(const Packet &pkt, int branches,
+                  int delivery_units) override;
+    void onLaunch(const core::OpticalPacket &pkt, NodeId router,
+                  Port out, int attempts) override;
+    void onPass(const core::OpticalPacket &pkt, NodeId router) override;
+    void onDeliver(const Delivery &d) override;
+    void onTap(const core::OpticalPacket &pkt, NodeId router) override;
+    void onBufferReceive(const core::OpticalPacket &pkt, NodeId router,
+                         Port queue, bool interim) override;
+    void onDrop(const core::OpticalPacket &pkt, NodeId router,
+                NodeId launch_router, int signal_hops) override;
+    void onCycleEnd(Cycle cycle) override;
+
+  private:
+    const core::PhastlaneNetwork &net_;
+    Cycle sampleInterval_;
+    Cycle heatmapInterval_;
+    std::optional<HeatmapRecorder> heatmap_;
+
+    // Handles resolved once against the registry.
+    Counter &accepts_;
+    Counter &deliveries_;
+    Counter &launches_;
+    Counter &retransmissions_;
+    Counter &drops_;
+    Counter &taps_;
+    Counter &passes_;
+    Counter &blocked_;
+    Counter &interim_;
+    Counter &dropSignalHops_;
+    Gauge &inFlight_;
+    Gauge &buffered_;
+    Gauge &nicQueued_;
+    HdrHistogram &latencyTotal_;
+    HdrHistogram &latencyNetwork_;
+    HdrHistogram &backoffAttempts_;
+    HdrHistogram &occupancy_;
+    HdrHistogram &signalHops_;
+};
+
+} // namespace phastlane::obs
+
+#endif // PHASTLANE_OBS_OBSERVE_HPP

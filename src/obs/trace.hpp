@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-packet event tracing (DESIGN.md §8): fixed-size records pushed
+ * into a preallocated ring buffer on the simulation hot path, and an
+ * offline exporter that renders the ring as Chrome trace_event JSON
+ * loadable in chrome://tracing and Perfetto.
+ *
+ * Timeline mapping: one "thread" row per router (tid = router id,
+ * 1 cycle = 1 us), so a run can be scrubbed spatially. Each optical
+ * flight of a branch becomes a nestable async span (id = branchId)
+ * opened at launch and closed at its terminal event (deliver/final,
+ * buffered, or drop), with taps and pass-throughs as nested instants.
+ * Per-kind totals are counted independently of the ring, so summary
+ * counts stay exact even if the ring wraps and sheds old records.
+ */
+
+#ifndef PHASTLANE_OBS_TRACE_HPP
+#define PHASTLANE_OBS_TRACE_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace phastlane::obs {
+
+/** Kind of one trace record (the packet lifecycle of DESIGN.md §8). */
+enum class TraceEvent : uint8_t {
+    Inject,        ///< message accepted into its source NIC
+    Launch,        ///< first optical launch of a buffer entry
+    Retransmit,    ///< re-launch after a drop (attempts > 0)
+    Pass,          ///< pass-through claim won at a router
+    Tap,           ///< multicast power tap served
+    Deliver,       ///< a delivery completed
+    BufferBlocked, ///< buffered after losing a port claim
+    InterimAccept, ///< buffered as an interim-node handoff
+    Drop,          ///< dropped (buffer full)
+    DropSignal,    ///< drop signal returned to the holder
+    BranchFinal,   ///< branch terminated at its final router
+    Sample,        ///< periodic in-flight/buffered counter sample
+};
+
+constexpr int kTraceEventKinds = 12;
+
+/** Name of a trace event kind (stable; used in the JSON export). */
+const char *traceEventName(TraceEvent e);
+
+/** One fixed-size trace record. */
+struct TraceRecord {
+    Cycle cycle = 0;
+    PacketId packet = 0;  ///< message id (Sample: in-flight units)
+    uint64_t branch = 0;  ///< branch id (Sample: buffered packets)
+    NodeId node = kInvalidNode; ///< router/node of the event
+    int32_t aux = 0;      ///< kind-specific (attempts, hops, queue…)
+    TraceEvent kind = TraceEvent::Inject;
+};
+
+/**
+ * Preallocated ring of trace records. push() is allocation-free;
+ * once full, the oldest records are overwritten and counted in
+ * shedRecords(). Per-kind totals cover the whole run regardless.
+ */
+class TraceRing
+{
+  public:
+    /** @param capacity Maximum records retained (>= 1). */
+    explicit TraceRing(size_t capacity = 1u << 20);
+
+    void push(const TraceRecord &r)
+    {
+        ring_[head_] = r;
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+        if (size_ < ring_.size())
+            ++size_;
+        else
+            ++shed_;
+        ++kindCounts_[static_cast<size_t>(r.kind)];
+    }
+
+    size_t capacity() const { return ring_.size(); }
+    size_t size() const { return size_; }
+
+    /** Records overwritten after the ring filled. */
+    uint64_t shedRecords() const { return shed_; }
+
+    /** Whole-run total of records of @p kind (ring overflow safe). */
+    uint64_t kindCount(TraceEvent kind) const
+    {
+        return kindCounts_[static_cast<size_t>(kind)];
+    }
+
+    /** Retained records, oldest first. */
+    std::vector<TraceRecord> snapshot() const;
+
+  private:
+    std::vector<TraceRecord> ring_;
+    size_t head_ = 0;
+    size_t size_ = 0;
+    uint64_t shed_ = 0;
+    std::array<uint64_t, kTraceEventKinds> kindCounts_{};
+};
+
+/**
+ * Render the ring as Chrome trace_event JSON ({"traceEvents": [...]}).
+ * @p mesh labels the router rows. Returns the JSON text.
+ */
+std::string toChromeTrace(const TraceRing &ring,
+                          const MeshTopology &mesh);
+
+/** Write toChromeTrace() to @p path; fatal() on I/O error. */
+void writeChromeTrace(const TraceRing &ring, const MeshTopology &mesh,
+                      const std::string &path);
+
+} // namespace phastlane::obs
+
+#endif // PHASTLANE_OBS_TRACE_HPP

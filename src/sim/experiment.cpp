@@ -1,7 +1,10 @@
 #include "sim/experiment.hpp"
 
+#include <optional>
+
 #include "common/log.hpp"
 #include "core/network.hpp"
+#include "obs/observe.hpp"
 #include "sim/parallel.hpp"
 
 namespace phastlane::sim {
@@ -41,16 +44,24 @@ runExperiment(const ExperimentSpec &spec)
             BenchmarkRun &run = runs[i];
             run.benchmark = profiles[b].name;
             run.config = spec.configs[c];
+            // Each cell records into its own registry so parallel
+            // shards never share observer state.
+            std::optional<obs::MetricsObserver> observer;
+            auto *pl = dynamic_cast<core::PhastlaneNetwork *>(
+                net.get());
+            if (spec.collectMetrics && pl) {
+                observer.emplace(*pl, run.metrics);
+                pl->setObserver(&*observer);
+            }
             run.result = driver.run();
+            if (pl && observer)
+                pl->setObserver(nullptr);
             run.power = cfg.power(
                 *net, run.result.completionCycles
                           ? run.result.completionCycles
                           : 1);
-            if (const auto *pl =
-                    dynamic_cast<core::PhastlaneNetwork *>(
-                        net.get())) {
+            if (pl)
                 run.drops = pl->phastlaneCounters().drops;
-            }
         },
         spec.threads);
     return runs;
@@ -97,6 +108,15 @@ speedupTable(const ExperimentSpec &spec,
         t.addRow(std::move(row));
     }
     return t;
+}
+
+obs::MetricsRegistry
+mergedMetrics(const std::vector<BenchmarkRun> &runs)
+{
+    obs::MetricsRegistry total;
+    for (const auto &run : runs)
+        total.merge(run.metrics);
+    return total;
 }
 
 TextTable

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
 #include "power/energy_params.hpp"
 #include "sim/configs.hpp"
 #include "traffic/coherence.hpp"
@@ -28,6 +29,11 @@ struct BenchmarkRun {
     traffic::CoherenceResult result;
     power::PowerBreakdown power;
     uint64_t drops = 0; ///< optical configurations only
+
+    /** Per-cell observability metrics; populated only when
+     *  ExperimentSpec::collectMetrics is set and the configuration is
+     *  a PhastlaneNetwork (empty otherwise). */
+    obs::MetricsRegistry metrics;
 };
 
 /** Experiment specification. */
@@ -51,6 +57,10 @@ struct ExperimentSpec {
      *  (PL_THREADS env, else hardware concurrency), 1 = serial.
      *  Results are bit-identical across thread counts. */
     int threads = 0;
+
+    /** Collect per-cell obs metrics (each grid cell records into its
+     *  own registry; merge with mergedMetrics() for run totals). */
+    bool collectMetrics = false;
 };
 
 /**
@@ -80,6 +90,14 @@ TextTable speedupTable(const ExperimentSpec &spec,
 /** Benchmark-by-configuration total-power table (Fig 11 layout). */
 TextTable powerTable(const ExperimentSpec &spec,
                      const std::vector<BenchmarkRun> &runs);
+
+/**
+ * Merge every run's metrics registry in grid order (benchmark-major,
+ * configs in specification order). Deterministic at any thread count
+ * because each cell records into its own registry.
+ */
+obs::MetricsRegistry
+mergedMetrics(const std::vector<BenchmarkRun> &runs);
 
 } // namespace phastlane::sim
 

@@ -1,7 +1,10 @@
 #include "sim/sweep.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "core/network.hpp"
+#include "obs/observe.hpp"
 #include "sim/parallel.hpp"
 
 namespace phastlane::sim {
@@ -38,7 +41,17 @@ runPoint(const NetConfig &config, const SweepConfig &sweep,
     traffic::SyntheticDriver driver(*net, cfg);
     SweepPoint pt;
     pt.injectionRate = rate;
+    // Each point records into its own registry so parallel shards
+    // never share observer state; runSweep merges them in rate order.
+    std::optional<obs::MetricsObserver> observer;
+    auto *pl = dynamic_cast<core::PhastlaneNetwork *>(net.get());
+    if (sweep.collectMetrics && pl) {
+        observer.emplace(*pl, pt.metrics);
+        pl->setObserver(&*observer);
+    }
     pt.result = driver.run();
+    if (pl && observer)
+        pl->setObserver(nullptr);
     return pt;
 }
 
@@ -104,6 +117,15 @@ saturationThroughput(const std::vector<SweepPoint> &points)
     for (const auto &pt : points)
         best = std::max(best, pt.result.acceptedRate);
     return best;
+}
+
+obs::MetricsRegistry
+mergedMetrics(const std::vector<SweepPoint> &points)
+{
+    obs::MetricsRegistry total;
+    for (const auto &pt : points)
+        total.merge(pt.metrics);
+    return total;
 }
 
 } // namespace phastlane::sim

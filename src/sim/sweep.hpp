@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/configs.hpp"
 #include "traffic/synthetic.hpp"
 
@@ -19,6 +20,11 @@ namespace phastlane::sim {
 struct SweepPoint {
     double injectionRate = 0.0;
     traffic::SyntheticResult result;
+
+    /** Per-point observability metrics; populated only when
+     *  SweepConfig::collectMetrics is set and the configuration is a
+     *  PhastlaneNetwork (empty otherwise). */
+    obs::MetricsRegistry metrics;
 };
 
 /** Sweep parameters. */
@@ -34,6 +40,10 @@ struct SweepConfig {
      *  env, else hardware concurrency), 1 = serial. Results are
      *  bit-identical across thread counts (see sim/parallel.hpp). */
     int threads = 0;
+
+    /** Collect per-point obs metrics (each shard records into its own
+     *  registry; merge with mergedMetrics() for run totals). */
+    bool collectMetrics = false;
 };
 
 /** Default Fig 9 rate grid (packets/node/cycle). */
@@ -51,6 +61,14 @@ std::vector<SweepPoint> runSweep(const NetConfig &config,
  * the sweep points (packets/node/cycle).
  */
 double saturationThroughput(const std::vector<SweepPoint> &points);
+
+/**
+ * Merge every point's metrics registry in point (rate) order. Because
+ * each shard records into its own registry and the merge order is
+ * fixed, the result is identical at any thread count.
+ */
+obs::MetricsRegistry
+mergedMetrics(const std::vector<SweepPoint> &points);
 
 } // namespace phastlane::sim
 

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Exponential-backoff edge cases. Pins the backoffWindow() contract
+ * (the documented cap is honoured even above 63 — the old code
+ * clamped the exponent at 6 before applying the cap, silently
+ * limiting every window to 63 cycles) and proves the optimized
+ * network and the reference oracle stay in lockstep across the
+ * backoffBase/backoffCap matrix, including the RNG draw-order rule
+ * that jitter is drawn only when the window is positive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "check/differential.hpp"
+#include "core/params.hpp"
+
+namespace phastlane::core {
+namespace {
+
+PhastlaneParams
+backoffParams(int base, int cap)
+{
+    PhastlaneParams p;
+    p.exponentialBackoff = true;
+    p.backoffBase = base;
+    p.backoffCap = cap;
+    return p;
+}
+
+TEST(BackoffWindow, DisabledWithoutExponentialFlag)
+{
+    PhastlaneParams p;
+    p.exponentialBackoff = false;
+    p.backoffCap = 1000;
+    for (int attempts = 0; attempts < 10; ++attempts)
+        EXPECT_EQ(backoffWindow(p, attempts), 0);
+}
+
+TEST(BackoffWindow, ZeroBeforeFirstRetry)
+{
+    const auto p = backoffParams(0, 64);
+    EXPECT_EQ(backoffWindow(p, 0), 0);
+    EXPECT_EQ(backoffWindow(p, -1), 0);
+}
+
+TEST(BackoffWindow, GrowsAsPowersOfTwoMinusOne)
+{
+    const auto p = backoffParams(0, 1 << 20);
+    EXPECT_EQ(backoffWindow(p, 1), 1);
+    EXPECT_EQ(backoffWindow(p, 2), 3);
+    EXPECT_EQ(backoffWindow(p, 3), 7);
+    EXPECT_EQ(backoffWindow(p, 6), 63);
+    EXPECT_EQ(backoffWindow(p, 7), 127);
+    EXPECT_EQ(backoffWindow(p, 10), 1023);
+}
+
+TEST(BackoffWindow, CapIsHonouredAsDocumented)
+{
+    // cap = 0: no window, so no RNG draw at all.
+    EXPECT_EQ(backoffWindow(backoffParams(0, 0), 5), 0);
+    // cap = 1: every retry jitters over {0, 1}.
+    EXPECT_EQ(backoffWindow(backoffParams(0, 1), 1), 1);
+    EXPECT_EQ(backoffWindow(backoffParams(0, 1), 9), 1);
+    // cap = 63 matches the natural window at attempts = 6.
+    EXPECT_EQ(backoffWindow(backoffParams(0, 63), 6), 63);
+    EXPECT_EQ(backoffWindow(backoffParams(0, 63), 7), 63);
+    // The regression this file pins: caps above 63 must widen the
+    // window past 63 once attempts > 6.
+    EXPECT_EQ(backoffWindow(backoffParams(0, 64), 7), 64);
+    EXPECT_EQ(backoffWindow(backoffParams(0, 64), 50), 64);
+    EXPECT_EQ(backoffWindow(backoffParams(0, 1000), 7), 127);
+    EXPECT_EQ(backoffWindow(backoffParams(0, 1000), 10), 1000);
+    EXPECT_EQ(backoffWindow(backoffParams(0, 1000), 61), 1000);
+}
+
+TEST(BackoffWindow, HugeAttemptCountsDoNotOverflow)
+{
+    const auto p = backoffParams(0, INT32_MAX);
+    const int64_t w62 = backoffWindow(p, 62);
+    EXPECT_EQ(backoffWindow(p, 63), w62);
+    EXPECT_EQ(backoffWindow(p, 1000), w62);
+    EXPECT_GT(w62, 0);
+    EXPECT_EQ(w62, static_cast<int64_t>(INT32_MAX));
+}
+
+class BackoffLockstep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BackoffLockstep, OptimizedMatchesReferenceAcrossCaps)
+{
+    // A congested 4x4 mesh with a single buffer entry per router
+    // forces repeated drops, so retransmissions walk well into the
+    // exponential schedule; any divergence in window math or RNG draw
+    // order between the two implementations fails the diff.
+    check::StreamConfig sc;
+    sc.rate = 0.5;
+    sc.broadcastFraction = 0.2;
+    sc.cycles = 120;
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        auto p = backoffParams(/*base=*/2, GetParam());
+        p.meshWidth = 4;
+        p.meshHeight = 4;
+        p.routerBufferEntries = 1;
+        p.seed = seed;
+        sc.seed = seed;
+        const auto stream = check::makeStream(p, sc);
+        ASSERT_FALSE(stream.empty());
+        const auto result = check::runLockstep(p, stream, 60000);
+        EXPECT_TRUE(result.ok)
+            << "cap=" << GetParam() << " seed=" << seed << ": "
+            << result.message;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, BackoffLockstep,
+                         ::testing::Values(0, 1, 63, 64, 1000));
+
+TEST(BackoffLockstepExtra, BaseWithoutJitterStaysDeterministic)
+{
+    // backoffBase > 0 with cap = 0 must not consult the RNG: two runs
+    // and the reference must agree exactly.
+    auto p = backoffParams(/*base=*/5, /*cap=*/0);
+    p.meshWidth = 4;
+    p.meshHeight = 4;
+    p.routerBufferEntries = 1;
+    p.seed = 9;
+    check::StreamConfig sc;
+    sc.rate = 0.5;
+    sc.cycles = 100;
+    sc.seed = 9;
+    const auto stream = check::makeStream(p, sc);
+    const auto first = check::runLockstep(p, stream, 60000);
+    const auto second = check::runLockstep(p, stream, 60000);
+    EXPECT_TRUE(first.ok) << first.message;
+    EXPECT_EQ(first.ok, second.ok);
+    EXPECT_EQ(first.message, second.message);
+}
+
+} // namespace
+} // namespace phastlane::core

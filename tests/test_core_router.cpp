@@ -176,6 +176,136 @@ TEST(RouterBuffers, RotatingPointerGivesEveryQueueATurn)
     EXPECT_EQ(winners.size(), 5u);
 }
 
+TEST(RouterBuffers, RotationOrderIsPinned)
+{
+    // Regression pin for the rotating arbiter: priority starts at the
+    // North queue and advances exactly one queue per arbitration
+    // round, so with every queue holding a packet that wants the same
+    // output port the winners come out in queue-index order.
+    RouterBuffers rb(0, smallParams(4));
+    for (Port q : kAllPortList)
+        rb.push(q, mkPacket(static_cast<uint64_t>(portIndex(q)) + 1,
+                            5), 0);
+    for (Cycle c = 0; c < 5; ++c) {
+        auto launches = rb.arbitrate(c, [](const OpticalPacket &) {
+            return Port::East;
+        });
+        ASSERT_EQ(launches.size(), 1u);
+        EXPECT_EQ(launches[0].first->pkt.branchId, c + 1)
+            << "round " << c << " must be queue " << c << "'s turn";
+        rb.releaseLaunched(launches[0].first->pkt.branchId);
+    }
+}
+
+TEST(RouterBuffers, RotationAdvancesOnIdleRounds)
+{
+    // The pointer moves every round, launches or not: after one empty
+    // round the East queue (index 1) holds priority, so East beats
+    // North for a contested port even though North has a lower index.
+    RouterBuffers rb(0, smallParams(4));
+    auto empty = rb.arbitrate(0, [](const OpticalPacket &) {
+        return Port::East;
+    });
+    EXPECT_TRUE(empty.empty());
+    rb.push(Port::North, mkPacket(1, 5), 0);
+    rb.push(Port::East, mkPacket(2, 5), 0);
+    auto launches = rb.arbitrate(1, [](const OpticalPacket &) {
+        return Port::South;
+    });
+    ASSERT_EQ(launches.size(), 1u);
+    EXPECT_EQ(launches[0].first->pkt.branchId, 2u);
+}
+
+TEST(RouterBuffers, EmptiedQueueDoesNotSkipTheNextTurn)
+{
+    // Releasing the winner (emptying its queue) mid-rotation must not
+    // cost the following queue its turn: with North drained after
+    // round 0, round 1 belongs to East, round 2 to South.
+    RouterBuffers rb(0, smallParams(4));
+    rb.push(Port::North, mkPacket(1, 5), 0);
+    rb.push(Port::East, mkPacket(2, 5), 0);
+    rb.push(Port::South, mkPacket(3, 5), 0);
+    for (Cycle c = 0; c < 3; ++c) {
+        auto launches = rb.arbitrate(c, [](const OpticalPacket &) {
+            return Port::West;
+        });
+        ASSERT_EQ(launches.size(), 1u);
+        EXPECT_EQ(launches[0].first->pkt.branchId, c + 1);
+        rb.releaseLaunched(launches[0].first->pkt.branchId);
+    }
+}
+
+TEST(RouterBuffers, OldestFirstWinsAcrossQueues)
+{
+    // OldestFirst arbitration ranks by global insertion age, not
+    // queue index: a South-queue packet pushed first beats a younger
+    // North-queue packet for a contested port, round after round.
+    PhastlaneParams p = smallParams(4);
+    p.bufferArbitration = BufferArbitration::OldestFirst;
+    RouterBuffers rb(0, p);
+    rb.push(Port::South, mkPacket(1, 5), 0);
+    rb.push(Port::North, mkPacket(2, 5), 0);
+    auto launches = rb.arbitrate(0, [](const OpticalPacket &) {
+        return Port::East;
+    });
+    ASSERT_EQ(launches.size(), 1u);
+    EXPECT_EQ(launches[0].first->pkt.branchId, 1u);
+    // The loser is untouched and wins once the port frees up.
+    rb.releaseLaunched(1);
+    launches = rb.arbitrate(1, [](const OpticalPacket &) {
+        return Port::East;
+    });
+    ASSERT_EQ(launches.size(), 1u);
+    EXPECT_EQ(launches[0].first->pkt.branchId, 2u);
+}
+
+TEST(RouterBuffers, OldestFirstRespectsPortExclusivity)
+{
+    // When the two oldest entries contend for one port, the younger
+    // of them is skipped but a still-younger entry aimed at a free
+    // port launches in the same round.
+    PhastlaneParams p = smallParams(4);
+    p.bufferArbitration = BufferArbitration::OldestFirst;
+    RouterBuffers rb(0, p);
+    OpticalPacket a = mkPacket(1, 5);
+    a.base.tag = 0; // -> East
+    OpticalPacket b = mkPacket(2, 5);
+    b.base.tag = 0; // -> East (conflict with a)
+    OpticalPacket c = mkPacket(3, 5);
+    c.base.tag = 1; // -> West
+    rb.push(Port::North, a, 0);
+    rb.push(Port::South, b, 0);
+    rb.push(Port::Local, c, 0);
+    auto launches = rb.arbitrate(0, [](const OpticalPacket &pkt) {
+        return pkt.base.tag == 0 ? Port::East : Port::West;
+    });
+    ASSERT_EQ(launches.size(), 2u);
+    EXPECT_EQ(launches[0].first->pkt.branchId, 1u);
+    EXPECT_EQ(launches[1].first->pkt.branchId, 3u);
+    EXPECT_EQ(rb.findLaunched(2), nullptr);
+}
+
+TEST(RouterBuffers, OldestFirstHonorsEligibilityAndState)
+{
+    // A not-yet-eligible older entry must not block a younger
+    // eligible one, and Launched entries never re-launch.
+    PhastlaneParams p = smallParams(4);
+    p.bufferArbitration = BufferArbitration::OldestFirst;
+    RouterBuffers rb(0, p);
+    rb.push(Port::North, mkPacket(1, 5), 50); // oldest, not eligible
+    rb.push(Port::East, mkPacket(2, 5), 0);
+    auto launches = rb.arbitrate(0, [](const OpticalPacket &) {
+        return Port::South;
+    });
+    ASSERT_EQ(launches.size(), 1u);
+    EXPECT_EQ(launches[0].first->pkt.branchId, 2u);
+    // Entry 2 is now Launched; nothing is eligible at cycle 1.
+    launches = rb.arbitrate(1, [](const OpticalPacket &) {
+        return Port::South;
+    });
+    EXPECT_TRUE(launches.empty());
+}
+
 TEST(RouterBuffers, LaunchesPerQueueLimit)
 {
     PhastlaneParams p = smallParams(8);

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Observer-stack composition tests: the trace and metrics observers
+ * attach behind the invariant checker (and the differential oracle)
+ * through CheckedNetwork::addObserver, the run still validates, and
+ * every recorded total equals the network's own counters — the
+ * acceptance property that tracing agrees with the simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "check/checked_network.hpp"
+#include "check/differential.hpp"
+#include "core/observer.hpp"
+#include "obs/observe.hpp"
+
+namespace phastlane::check {
+namespace {
+
+/** Drive a CheckedNetwork through an explicit stream until the
+ *  primary network is fully quiescent (no in-flight, buffered, or
+ *  NIC-queued packets). */
+void
+driveStream(CheckedNetwork &net, const std::vector<Injection> &stream,
+            Cycle max_cycles)
+{
+    std::deque<Injection> pending(stream.begin(), stream.end());
+    for (Cycle guard = 0; guard < max_cycles; ++guard) {
+        for (auto it = pending.begin(); it != pending.end();) {
+            if (it->at <= net.now() &&
+                net.nicHasSpace(it->pkt.src) &&
+                net.inject(it->pkt)) {
+                it = pending.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        net.step();
+        if (pending.empty() && net.inFlight() == 0 &&
+            net.primary().bufferedPackets() == 0 &&
+            net.primary().nicQueuedPackets() == 0) {
+            return;
+        }
+    }
+    FAIL() << "network did not drain in " << max_cycles << " cycles";
+}
+
+TEST(ObsCompose, ObserversMatchCountersUnderChecking)
+{
+    core::PhastlaneParams p;
+    p.meshWidth = 4;
+    p.meshHeight = 4;
+    p.routerBufferEntries = 1; // contention => drops and blocking
+    p.seed = 11;
+    ASSERT_TRUE(ReferenceNetwork::supports(p));
+
+    StreamConfig sc;
+    sc.rate = 0.45;
+    sc.broadcastFraction = 0.2;
+    sc.cycles = 120;
+    sc.seed = 11;
+    const auto stream = makeStream(p, sc);
+    ASSERT_FALSE(stream.empty());
+
+    CheckedNetwork net(p);
+    ASSERT_TRUE(net.hasOracle());
+    obs::ObserveOptions opts;
+    opts.sampleInterval = 16;
+    opts.heatmapInterval = 32;
+    opts.traceCapacity = 1u << 16;
+    obs::MetricsRegistry registry;
+    obs::MetricsObserver metrics(net.primary(), registry, opts);
+    obs::TraceObserver trace(net.primary(), opts);
+    net.addObserver(&metrics);
+    net.addObserver(&trace);
+
+    driveStream(net, stream, 20000);
+    net.checkQuiescent();
+
+    const auto &c = net.counters();
+    const auto &pc = net.primary().phastlaneCounters();
+    const auto &ev = net.primary().events();
+    ASSERT_GT(c.deliveries, 0u);
+    EXPECT_GT(pc.drops, 0u) << "stream too gentle to exercise drops";
+
+    // Metrics totals must equal the network's own counters exactly.
+    EXPECT_EQ(registry.findCounter("net.accepts")->value(),
+              c.messagesAccepted);
+    EXPECT_EQ(registry.findCounter("net.deliveries")->value(),
+              c.deliveries);
+    EXPECT_EQ(registry.findCounter("optical.launches")->value(),
+              pc.launches);
+    EXPECT_EQ(
+        registry.findCounter("optical.retransmissions")->value(),
+        pc.retransmissions);
+    EXPECT_EQ(registry.findCounter("optical.drops")->value(),
+              pc.drops);
+    EXPECT_EQ(registry.findCounter("optical.taps")->value(),
+              ev.tapReceives);
+    EXPECT_EQ(registry.findCounter("optical.passes")->value(),
+              ev.passTraversals);
+    EXPECT_EQ(
+        registry.findCounter("buffer.blocked_receives")->value(),
+        pc.blockedBuffered);
+    EXPECT_EQ(
+        registry.findCounter("buffer.interim_accepts")->value(),
+        pc.interimAccepts);
+    EXPECT_EQ(
+        registry.findHistogram("latency.accept_to_deliver")->count(),
+        c.deliveries);
+
+    // The whole-run trace kind totals agree with the same counters
+    // even though the ring may have wrapped.
+    const auto &ring = trace.ring();
+    EXPECT_EQ(ring.kindCount(obs::TraceEvent::Deliver),
+              c.deliveries);
+    EXPECT_EQ(ring.kindCount(obs::TraceEvent::Drop), pc.drops);
+    EXPECT_EQ(ring.kindCount(obs::TraceEvent::DropSignal), pc.drops);
+    EXPECT_EQ(ring.kindCount(obs::TraceEvent::Inject),
+              c.messagesAccepted);
+    EXPECT_EQ(ring.kindCount(obs::TraceEvent::Launch) +
+                  ring.kindCount(obs::TraceEvent::Retransmit),
+              pc.launches);
+    EXPECT_EQ(ring.kindCount(obs::TraceEvent::Retransmit),
+              pc.retransmissions);
+
+    // Heatmap cumulative totals across routers match too.
+    const auto *hm = metrics.heatmap();
+    ASSERT_NE(hm, nullptr);
+    uint64_t hm_launches = 0, hm_drops = 0;
+    for (const auto &cell : hm->live()) {
+        hm_launches += cell.launches;
+        hm_drops += cell.drops;
+    }
+    EXPECT_EQ(hm_launches, pc.launches);
+    EXPECT_EQ(hm_drops, pc.drops);
+    EXPECT_FALSE(hm->snapshots().empty());
+
+    // The exported artifacts are non-trivial.
+    EXPECT_NE(registry.toJson().find("net.deliveries"),
+              std::string::npos);
+    EXPECT_GT(obs::toChromeTrace(ring, net.mesh()).size(), 1000u);
+}
+
+TEST(ObsCompose, ObserversDoNotPerturbCheckedExecution)
+{
+    // Identical stream with and without the observer stack must yield
+    // identical counters: observation is read-only.
+    core::PhastlaneParams p;
+    p.meshWidth = 4;
+    p.meshHeight = 4;
+    p.routerBufferEntries = 2;
+    p.exponentialBackoff = true;
+    p.seed = 23;
+    StreamConfig sc;
+    sc.rate = 0.35;
+    sc.cycles = 100;
+    sc.seed = 23;
+    const auto stream = makeStream(p, sc);
+
+    CheckedNetwork plain(p);
+    driveStream(plain, stream, 20000);
+    plain.checkQuiescent();
+
+    CheckedNetwork observed(p);
+    obs::MetricsRegistry registry;
+    obs::MetricsObserver metrics(observed.primary(), registry);
+    obs::TraceObserver trace(observed.primary());
+    observed.addObserver(&metrics);
+    observed.addObserver(&trace);
+    driveStream(observed, stream, 20000);
+    observed.checkQuiescent();
+
+    EXPECT_EQ(plain.counters().deliveries,
+              observed.counters().deliveries);
+    EXPECT_EQ(plain.counters().messagesAccepted,
+              observed.counters().messagesAccepted);
+    EXPECT_EQ(plain.primary().phastlaneCounters().drops,
+              observed.primary().phastlaneCounters().drops);
+    EXPECT_EQ(plain.primary().phastlaneCounters().retransmissions,
+              observed.primary().phastlaneCounters().retransmissions);
+    EXPECT_EQ(plain.now(), observed.now());
+}
+
+TEST(ObsCompose, ObserverMuxFansOutToAllChildren)
+{
+    obs::MetricsRegistry r1, r2;
+    core::PhastlaneParams p;
+    core::PhastlaneNetwork net(p);
+    obs::MetricsObserver m1(net, r1), m2(net, r2);
+    core::ObserverMux mux;
+    EXPECT_EQ(mux.size(), 0u);
+    mux.add(&m1);
+    mux.add(&m2);
+    mux.add(nullptr); // ignored
+    EXPECT_EQ(mux.size(), 2u);
+
+    Delivery d;
+    d.at = 10;
+    d.acceptedAt = 4;
+    d.injectedAt = 6;
+    mux.onDeliver(d);
+    EXPECT_EQ(r1.findCounter("net.deliveries")->value(), 1u);
+    EXPECT_EQ(r2.findCounter("net.deliveries")->value(), 1u);
+}
+
+} // namespace
+} // namespace phastlane::check

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Metrics registry unit tests: HDR histogram bucketing and bounded
+ * relative error, quantiles, merge commutativity, and the registry's
+ * deterministic shard merge (the property the parallel harnesses rely
+ * on for thread-count-independent results).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace phastlane::obs {
+namespace {
+
+TEST(HdrHistogram, SmallValuesAreExact)
+{
+    // Values below kSubBuckets land in their own bucket: recording v
+    // then asking for the max/quantile must give v back exactly.
+    for (uint64_t v = 0; v < HdrHistogram::kSubBuckets; ++v) {
+        HdrHistogram h;
+        h.record(v);
+        EXPECT_EQ(h.min(), v);
+        EXPECT_EQ(h.max(), v);
+        EXPECT_EQ(h.quantile(1.0), v);
+        EXPECT_EQ(HdrHistogram::bucketUpperEdge(
+                      HdrHistogram::bucketOf(v)),
+                  v);
+    }
+}
+
+TEST(HdrHistogram, BucketEdgesAreMonotonicAndCover)
+{
+    // Every bucket's upper edge maps back to the same bucket, and
+    // edges strictly increase, so the value axis is partitioned.
+    uint64_t prev = 0;
+    for (size_t b = 0; b < 16 * 20; ++b) {
+        const uint64_t edge = HdrHistogram::bucketUpperEdge(b);
+        EXPECT_EQ(HdrHistogram::bucketOf(edge), b);
+        if (b > 0) {
+            EXPECT_GT(edge, prev);
+            EXPECT_EQ(HdrHistogram::bucketOf(prev + 1), b)
+                << "value just past bucket " << b - 1
+                << " must land in bucket " << b;
+        }
+        prev = edge;
+    }
+}
+
+TEST(HdrHistogram, RelativeErrorIsBounded)
+{
+    // The upper edge of a value's bucket overestimates it by at most
+    // 1/kSubBuckets at any magnitude.
+    for (uint64_t v = 1; v < (uint64_t{1} << 40);
+         v = v * 3 / 2 + 1) {
+        const uint64_t edge =
+            HdrHistogram::bucketUpperEdge(HdrHistogram::bucketOf(v));
+        ASSERT_GE(edge, v);
+        EXPECT_LE(static_cast<double>(edge - v),
+                  static_cast<double>(v) /
+                      HdrHistogram::kSubBuckets);
+    }
+}
+
+TEST(HdrHistogram, MeanAndCountAreExact)
+{
+    HdrHistogram h;
+    uint64_t sum = 0;
+    for (uint64_t v = 0; v < 1000; ++v) {
+        h.record(v * 7);
+        sum += v * 7;
+    }
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(sum) / 1000.0);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 999u * 7);
+}
+
+TEST(HdrHistogram, QuantilesOfUniformRamp)
+{
+    HdrHistogram h;
+    for (uint64_t v = 1; v <= 10000; ++v)
+        h.record(v);
+    // Bucketed quantiles may overestimate by the bucket width
+    // (<= 1/16 relative); they must never underestimate.
+    const double qs[] = {0.5, 0.9, 0.99};
+    for (double q : qs) {
+        const uint64_t got = h.quantile(q);
+        const auto expected = static_cast<uint64_t>(q * 10000);
+        EXPECT_GE(got, expected);
+        EXPECT_LE(static_cast<double>(got),
+                  expected * (1.0 + 1.0 / 16.0) + 1.0);
+    }
+    // quantile is clamped to the observed max, not the bucket edge.
+    EXPECT_EQ(h.quantile(1.0), 10000u);
+    EXPECT_EQ(h.quantile(0.0), 1u);
+}
+
+TEST(HdrHistogram, MergeMatchesCombinedRecording)
+{
+    HdrHistogram a, b, combined;
+    for (uint64_t v = 0; v < 500; ++v) {
+        a.record(v * 3);
+        combined.record(v * 3);
+    }
+    for (uint64_t v = 0; v < 300; ++v) {
+        b.record(v * 11 + 1);
+        combined.record(v * 11 + 1);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+    EXPECT_EQ(a.buckets(), combined.buckets());
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossGrowth)
+{
+    MetricsRegistry r;
+    Counter &first = r.counter("first");
+    first.inc();
+    // Force growth: the original reference must stay valid.
+    for (int i = 0; i < 100; ++i)
+        r.counter("c" + std::to_string(i)).inc(i);
+    first.inc();
+    EXPECT_EQ(r.findCounter("first")->value(), 2u);
+    EXPECT_EQ(&first, r.findCounter("first"));
+}
+
+TEST(MetricsRegistry, MergeUnionsNamesAndSums)
+{
+    MetricsRegistry a, b;
+    a.counter("shared").inc(3);
+    a.counter("only_a").inc(1);
+    a.gauge("g").set(5);
+    a.histogram("h").record(10);
+
+    b.counter("shared").inc(4);
+    b.counter("only_b").inc(2);
+    b.gauge("g").set(2); // lower value, lower max
+    b.histogram("h").record(20);
+    b.histogram("only_b_h").record(7);
+
+    a.merge(b);
+    EXPECT_EQ(a.findCounter("shared")->value(), 7u);
+    EXPECT_EQ(a.findCounter("only_a")->value(), 1u);
+    EXPECT_EQ(a.findCounter("only_b")->value(), 2u);
+    EXPECT_EQ(a.findGauge("g")->max(), 5);
+    EXPECT_EQ(a.findHistogram("h")->count(), 2u);
+    EXPECT_EQ(a.findHistogram("h")->max(), 20u);
+    EXPECT_EQ(a.findHistogram("only_b_h")->count(), 1u);
+}
+
+TEST(MetricsRegistry, ShardMergeOrderIsDeterministic)
+{
+    // Merging the same shards in the same (index) order must be
+    // byte-identical no matter how the shards were produced; this is
+    // what makes sweep metrics thread-count independent.
+    const auto makeShard = [](uint64_t salt) {
+        MetricsRegistry r;
+        r.counter("events").inc(salt * 10);
+        r.gauge("depth").set(static_cast<int64_t>(salt));
+        for (uint64_t v = 0; v < salt * 5; ++v)
+            r.histogram("lat").record(v + salt);
+        return r;
+    };
+    MetricsRegistry once, twice;
+    for (uint64_t s = 1; s <= 4; ++s)
+        once.merge(makeShard(s));
+    for (uint64_t s = 1; s <= 4; ++s)
+        twice.merge(makeShard(s));
+    EXPECT_EQ(once.toJson(), twice.toJson());
+    EXPECT_EQ(once.toCsv(), twice.toCsv());
+    EXPECT_EQ(once.findCounter("events")->value(), 100u);
+    EXPECT_EQ(once.findGauge("depth")->max(), 4);
+}
+
+TEST(MetricsRegistry, JsonListsEveryMetric)
+{
+    MetricsRegistry r;
+    r.counter("net.accepts").inc(42);
+    r.gauge("net.in_flight").set(9);
+    r.histogram("latency").record(100);
+    const std::string json = r.toJson();
+    EXPECT_NE(json.find("\"net.accepts\""), std::string::npos);
+    EXPECT_NE(json.find("42"), std::string::npos);
+    EXPECT_NE(json.find("\"net.in_flight\""), std::string::npos);
+    EXPECT_NE(json.find("\"latency\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+} // namespace
+} // namespace phastlane::obs

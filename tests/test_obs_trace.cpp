@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Trace ring and exporter tests: wrap/shed accounting, per-kind
+ * whole-run totals that survive overflow, Chrome trace_event JSON
+ * structure, and the heatmap recorder's snapshot/CSV output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/geometry.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/trace.hpp"
+
+namespace phastlane::obs {
+namespace {
+
+TraceRecord
+rec(Cycle cycle, TraceEvent kind, PacketId pkt = 1, NodeId node = 0,
+    uint64_t branch = 0)
+{
+    TraceRecord r;
+    r.cycle = cycle;
+    r.kind = kind;
+    r.packet = pkt;
+    r.node = node;
+    r.branch = branch;
+    return r;
+}
+
+TEST(TraceRing, FillsThenWrapsOldestFirst)
+{
+    TraceRing ring(4);
+    for (Cycle c = 0; c < 6; ++c)
+        ring.push(rec(c, TraceEvent::Pass));
+    EXPECT_EQ(ring.capacity(), 4u);
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.shedRecords(), 2u);
+    const auto snap = ring.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    // The two oldest records (cycles 0, 1) were overwritten.
+    for (size_t i = 0; i < snap.size(); ++i)
+        EXPECT_EQ(snap[i].cycle, static_cast<Cycle>(i + 2));
+}
+
+TEST(TraceRing, KindCountsSurviveOverflow)
+{
+    TraceRing ring(8);
+    for (int i = 0; i < 100; ++i)
+        ring.push(rec(i, TraceEvent::Deliver));
+    for (int i = 0; i < 37; ++i)
+        ring.push(rec(i, TraceEvent::Drop));
+    EXPECT_EQ(ring.kindCount(TraceEvent::Deliver), 100u);
+    EXPECT_EQ(ring.kindCount(TraceEvent::Drop), 37u);
+    EXPECT_EQ(ring.kindCount(TraceEvent::Launch), 0u);
+    EXPECT_EQ(ring.size(), 8u);
+    EXPECT_EQ(ring.shedRecords(), 129u);
+}
+
+TEST(TraceRing, EveryKindHasAName)
+{
+    for (int k = 0; k < kTraceEventKinds; ++k) {
+        const char *name =
+            traceEventName(static_cast<TraceEvent>(k));
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::string(name).size(), 0u);
+    }
+}
+
+/** Minimal structural JSON scan: balanced braces/brackets outside
+ *  strings, and no trailing comma before a closer. */
+void
+expectWellFormedJson(const std::string &json)
+{
+    int depth = 0;
+    bool in_string = false;
+    bool escape = false;
+    char last_significant = '\0';
+    for (char c : json) {
+        if (in_string) {
+            if (escape)
+                escape = false;
+            else if (c == '\\')
+                escape = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"') {
+            in_string = true;
+            last_significant = c;
+            continue;
+        }
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']') {
+            --depth;
+            ASSERT_GE(depth, 0);
+            EXPECT_NE(last_significant, ',')
+                << "trailing comma before closer";
+        }
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            last_significant = c;
+    }
+    EXPECT_FALSE(in_string);
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(ChromeTrace, EmitsLoadableStructure)
+{
+    const MeshTopology mesh(2, 2);
+    TraceRing ring(64);
+    ring.push(rec(1, TraceEvent::Inject, 7, 0));
+    ring.push(rec(2, TraceEvent::Launch, 7, 0, 42));
+    ring.push(rec(3, TraceEvent::Pass, 7, 1, 42));
+    ring.push(rec(4, TraceEvent::Tap, 7, 1, 42));
+    {
+        TraceRecord d = rec(5, TraceEvent::Deliver, 7, 3);
+        d.aux = 4; // latency
+        ring.push(d);
+    }
+    ring.push(rec(5, TraceEvent::BranchFinal, 7, 3, 42));
+    {
+        TraceRecord s = rec(6, TraceEvent::Sample);
+        s.packet = 3; // in-flight
+        s.branch = 1; // buffered
+        ring.push(s);
+    }
+
+    const std::string json = toChromeTrace(ring, mesh);
+    expectWellFormedJson(json);
+    EXPECT_EQ(json.find("{"), 0u);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // Router rows are labelled with coordinates for the viewer.
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("router 3 (1,1)"), std::string::npos);
+    // The branch flight is a nestable async span keyed by branch id.
+    EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+    // Counter samples and the delivery instant are present.
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"latency\":4"), std::string::npos);
+    EXPECT_NE(json.find("shed_records"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyRingStillValid)
+{
+    const MeshTopology mesh(2, 2);
+    TraceRing ring(4);
+    const std::string json = toChromeTrace(ring, mesh);
+    expectWellFormedJson(json);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(Heatmap, AccumulatesAndSnapshots)
+{
+    const MeshTopology mesh(2, 2);
+    HeatmapRecorder hm(mesh);
+    hm.addLaunch(0);
+    hm.addLaunch(0);
+    hm.addDrop(3);
+    hm.addTurnLost(1);
+    hm.addInterim(2);
+    hm.snapshot(100, [](NodeId n) { return n == 1 ? 5 : 0; });
+    hm.addLaunch(0);
+    hm.snapshot(200, [](NodeId) { return 0; });
+
+    ASSERT_EQ(hm.snapshots().size(), 2u);
+    const auto &s0 = hm.snapshots()[0];
+    EXPECT_EQ(s0.cycle, 100u);
+    ASSERT_EQ(s0.cells.size(), 4u);
+    EXPECT_EQ(s0.cells[0].launches, 2u);
+    EXPECT_EQ(s0.cells[1].bufferDepth, 5u);
+    EXPECT_EQ(s0.cells[1].turnsLost, 1u);
+    EXPECT_EQ(s0.cells[2].interimAccepts, 1u);
+    EXPECT_EQ(s0.cells[3].drops, 1u);
+    // Counters are cumulative across snapshots.
+    EXPECT_EQ(hm.snapshots()[1].cells[0].launches, 3u);
+
+    const std::string csv = hm.toCsv();
+    EXPECT_EQ(csv.find("cycle,router,x,y,depth,drops,turns_lost,"
+                       "interim,launches"),
+              0u);
+    EXPECT_NE(csv.find("\n100,1,1,0,5,0,1,0,0"), std::string::npos);
+    expectWellFormedJson(hm.toJson());
+}
+
+} // namespace
+} // namespace phastlane::obs
