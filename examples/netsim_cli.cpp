@@ -26,8 +26,10 @@
 #include "common/log.hpp"
 #include "core/network.hpp"
 #include "core/observer.hpp"
+#include "core/reliability.hpp"
 #include "obs/observe.hpp"
 #include "sim/configs.hpp"
+#include "sim/fault_sweep.hpp"
 #include "sim/metrics.hpp"
 #include "sim/report.hpp"
 #include "traffic/coherence.hpp"
@@ -130,12 +132,73 @@ printCommonReports(const Config &args, const sim::NetConfig &cfg,
     }
 }
 
+/**
+ * Network adapter over core::ReliableNic so the existing drivers can
+ * run with end-to-end reliability enabled (--reliable): inject() goes
+ * through send(), step() runs the retransmit timers, deliveries() is
+ * the deduplicated exactly-once stream.
+ */
+class ReliableNetwork : public Network
+{
+  public:
+    explicit ReliableNetwork(Network &inner,
+                             const core::ReliableNicOptions &opts = {})
+        : inner_(inner), rnic_(inner, opts)
+    {
+    }
+
+    int nodeCount() const override { return inner_.nodeCount(); }
+    const MeshTopology &mesh() const override { return inner_.mesh(); }
+    Cycle now() const override { return inner_.now(); }
+    bool nicHasSpace(NodeId n) const override
+    {
+        return inner_.nicHasSpace(n);
+    }
+    bool inject(const Packet &pkt) override { return rnic_.send(pkt); }
+    void step() override { rnic_.step(); }
+    const std::vector<Delivery> &deliveries() const override
+    {
+        return rnic_.deliveries();
+    }
+    uint64_t inFlight() const override { return rnic_.inFlight(); }
+    const NetworkCounters &counters() const override
+    {
+        return inner_.counters();
+    }
+
+    core::ReliableNic &nic() { return rnic_; }
+    Network &inner() { return inner_; }
+
+  private:
+    Network &inner_;
+    core::ReliableNic rnic_;
+};
+
+std::vector<std::string>
+knownFlags()
+{
+    std::vector<std::string> flags = {
+        "help",        "config",          "workload",
+        "rate",        "bcast",           "warmup",
+        "measure",     "txns",            "seed",
+        "metrics",     "power",           "heatmap",
+        "trace",       "trace-cap",       "metrics-out",
+        "heatmap-csv", "heatmap-interval", "check",
+        "reliable",    "fault-sweep-out", "fault-field",
+        "fault-max",   "fault-steps",     "threads",
+    };
+    for (const auto &f : sim::faultFlagNames())
+        flags.push_back(f);
+    return flags;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Config args = Config::fromArgs(argc, argv);
+    args.requireKnown(knownFlags());
     if (args.getBool("help", false)) {
         std::printf(
             "usage: netsim_cli --config <name> --workload "
@@ -159,6 +222,14 @@ main(int argc, char **argv)
             "and, where supported,\n"
             "            in lockstep with the reference oracle; "
             "aborts on divergence)\n"
+            "  fault injection (optical configs; DESIGN.md §10):\n"
+            "    --fault-mis-turn R --fault-missed-receive R\n"
+            "    --fault-signal-loss R --fault-corrupt R\n"
+            "    --fault-router-fail R --fault-seed S\n"
+            "    --reliable        end-to-end retransmission layer\n"
+            "  fault sweep (writes JSON and exits):\n"
+            "    --fault-sweep-out F.json [--fault-field NAME]\n"
+            "    [--fault-max R --fault-steps N] [--threads N]\n"
             "  configs: Optical4/5/8, Optical4B32/B64/IB, "
             "Electrical2/3\n");
         return 0;
@@ -172,7 +243,85 @@ main(int argc, char **argv)
         static_cast<uint64_t>(args.getInt("seed", 42));
 
     const sim::NetConfig cfg = sim::makeConfig(config_name);
+
+    // Fault-sweep campaign mode: run the fault-rate sweep and exit.
+    const std::string fault_sweep_path =
+        args.getString("fault-sweep-out", "");
+    if (!fault_sweep_path.empty()) {
+        auto probe = cfg.make(seed);
+        auto *pl =
+            dynamic_cast<core::PhastlaneNetwork *>(probe.get());
+        if (!pl)
+            panic("--fault-sweep-out supports optical (Phastlane) "
+                  "configurations only");
+        sim::FaultSweepConfig fs;
+        fs.params = pl->params();
+        probe.reset();
+        sim::applyFaultFlags(args, fs.params.faults);
+        fs.sweepField =
+            args.getString("fault-field", "dropSignalLossRate");
+        if (args.has("fault-max") || args.has("fault-steps")) {
+            const double max = args.getDouble("fault-max", 0.5);
+            const int steps =
+                static_cast<int>(args.getInt("fault-steps", 7));
+            if (max < 0.0 || max > 1.0 || steps < 1)
+                fatal("--fault-max must be in [0, 1] and "
+                      "--fault-steps >= 1");
+            fs.rates.push_back(0.0);
+            for (int i = 1; i <= steps; ++i)
+                fs.rates.push_back(max * i / steps);
+        } else {
+            fs.rates = sim::defaultFaultGrid();
+        }
+        fs.injectionRate = args.getDouble("rate", 0.05);
+        fs.broadcastFraction = args.getDouble("bcast", 0.1);
+        fs.measureCycles =
+            static_cast<Cycle>(args.getInt("measure", 2000));
+        fs.seed = seed;
+        fs.threads = static_cast<int>(args.getInt("threads", 0));
+        fs.reliable = args.getBool("reliable", true);
+        const auto points = sim::runFaultSweep(fs);
+        for (const auto &p : points) {
+            std::printf(
+                "fault %.4f: offered=%llu delivered=%llu/%llu "
+                "lost=%llu retx(optical)=%llu retx(e2e)=%llu "
+                "dup=%llu%s\n",
+                p.faultRate,
+                static_cast<unsigned long long>(p.messagesOffered),
+                static_cast<unsigned long long>(p.unitsDelivered),
+                static_cast<unsigned long long>(p.unitsExpected),
+                static_cast<unsigned long long>(p.events.lostUnits),
+                static_cast<unsigned long long>(p.retransmissions),
+                static_cast<unsigned long long>(p.e2e.retransmits),
+                static_cast<unsigned long long>(
+                    p.events.duplicatesSuppressed),
+                p.drained ? "" : " [not drained]");
+        }
+        sim::writeFaultSweepJson(fs, points, fault_sweep_path);
+        std::printf("fault sweep: wrote %s\n",
+                    fault_sweep_path.c_str());
+        return 0;
+    }
+
     auto net = cfg.make(seed);
+
+    // Fault flags rebuild the optical network with the requested
+    // injection rates before any checker/observer attaches.
+    {
+        auto *pl = dynamic_cast<core::PhastlaneNetwork *>(net.get());
+        core::PhastlaneParams::FaultInjection faults =
+            pl ? pl->params().faults
+               : core::PhastlaneParams::FaultInjection{};
+        if (sim::applyFaultFlags(args, faults)) {
+            if (!pl)
+                panic("fault injection supports optical (Phastlane) "
+                      "configurations only");
+            core::PhastlaneParams p = pl->params();
+            p.faults = faults;
+            net = std::make_unique<core::PhastlaneNetwork>(p);
+        }
+    }
+
     std::unique_ptr<check::CheckedNetwork> checked;
     if (args.getBool("check", false)) {
         auto *pl = dynamic_cast<core::PhastlaneNetwork *>(net.get());
@@ -189,8 +338,12 @@ main(int argc, char **argv)
     Network &report =
         checked ? static_cast<Network &>(checked->primary()) : *net;
     sim::LatencyCollector metrics(report.mesh());
-    CollectingNetwork drive(
-        checked ? static_cast<Network &>(*checked) : *net, metrics);
+    Network &driven =
+        checked ? static_cast<Network &>(*checked) : *net;
+    std::unique_ptr<ReliableNetwork> reliable;
+    if (args.getBool("reliable", false))
+        reliable = std::make_unique<ReliableNetwork>(driven);
+    CollectingNetwork drive(reliable ? *reliable : driven, metrics);
 
     // Observability (src/obs/): per-packet trace ring, metrics
     // registry, and per-router heatmap, composed with the invariant
@@ -294,6 +447,28 @@ main(int argc, char **argv)
                     result.avgLatency, result.p99Latency,
                     result.saturated ? " [saturated]" : "");
         printCommonReports(args, cfg, report, drive.now(), &metrics);
+    }
+
+    if (reliable) {
+        // Run the retransmit timers until every tracked message
+        // completes or exhausts its retries.
+        for (int i = 0;
+             i < 200000 &&
+             !(reliable->nic().idle() && driven.inFlight() == 0);
+             ++i)
+            drive.step();
+        const auto &st = reliable->nic().stats();
+        std::printf(
+            "reliable: sends=%llu completed=%llu expired=%llu "
+            "retransmits=%llu duplicates=%llu late=%llu "
+            "lost_units=%llu\n",
+            static_cast<unsigned long long>(st.sends),
+            static_cast<unsigned long long>(st.completed),
+            static_cast<unsigned long long>(st.expired),
+            static_cast<unsigned long long>(st.retransmits),
+            static_cast<unsigned long long>(st.duplicates),
+            static_cast<unsigned long long>(st.late),
+            static_cast<unsigned long long>(st.lostUnits));
     }
 
     if (checked) {

@@ -20,6 +20,7 @@
 #include "common/config.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "sim/fault_sweep.hpp"
 #include "sim/parallel.hpp"
 #include "sim/sweep.hpp"
 
@@ -30,6 +31,16 @@ int
 main(int argc, char **argv)
 {
     const Config args = Config::fromArgs(argc, argv);
+    {
+        std::vector<std::string> flags = {
+            "config", "pattern", "max-rate", "steps",
+            "warmup", "measure", "seed",     "threads",
+            "check",  "csv",     "metrics-out",
+        };
+        for (const auto &f : faultFlagNames())
+            flags.push_back(f);
+        args.requireKnown(flags);
+    }
     const std::string config_name =
         args.getString("config", "Optical4");
     const traffic::Pattern pattern = traffic::parsePattern(
@@ -57,6 +68,30 @@ main(int argc, char **argv)
                 max_rate, resolveThreadCount(sc.threads));
 
     NetConfig cfg = makeConfig(config_name);
+
+    // --fault-* flags rebuild each sweep point's optical network with
+    // the requested injection rates (applied before the --check
+    // wrapper so the checker's networks inherit them too).
+    {
+        core::PhastlaneParams::FaultInjection faults;
+        if (applyFaultFlags(args, faults)) {
+            const auto inner = cfg.make;
+            cfg.make =
+                [inner,
+                 faults](uint64_t seed) -> std::unique_ptr<Network> {
+                auto net = inner(seed);
+                auto *pl =
+                    dynamic_cast<core::PhastlaneNetwork *>(net.get());
+                if (!pl)
+                    panic("fault injection supports optical "
+                          "(Phastlane) configurations only");
+                core::PhastlaneParams p = pl->params();
+                p.faults = faults;
+                return std::make_unique<core::PhastlaneNetwork>(p);
+            };
+        }
+    }
+
     if (args.getBool("check", false)) {
         const auto inner = cfg.make;
         cfg.make = [inner](uint64_t seed) -> std::unique_ptr<Network> {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iomanip>
 #include <memory>
 #include <sstream>
 #include <tuple>
@@ -128,6 +129,16 @@ diffNetworks(const core::PhastlaneNetwork &optimized,
         {"bufferWrites", oe.bufferWrites, re.bufferWrites},
         {"bufferReads", oe.bufferReads, re.bufferReads},
         {"dropSignalHops", oe.dropSignalHops, re.dropSignalHops},
+        {"lostUnits", oe.lostUnits, re.lostUnits},
+        {"dropSignalsLost", oe.dropSignalsLost, re.dropSignalsLost},
+        {"faultMisTurns", oe.faultMisTurns, re.faultMisTurns},
+        {"faultMissedReceives", oe.faultMissedReceives,
+         re.faultMissedReceives},
+        {"faultCorruptions", oe.faultCorruptions, re.faultCorruptions},
+        {"faultDeadArrivals", oe.faultDeadArrivals,
+         re.faultDeadArrivals},
+        {"duplicatesSuppressed", oe.duplicatesSuppressed,
+         re.duplicatesSuppressed},
         {"inFlight", optimized.inFlight(), reference.inFlight()},
         {"bufferedPackets", optimized.bufferedPackets(),
          reference.bufferedPackets()},
@@ -335,8 +346,28 @@ reproTestCase(const core::PhastlaneParams &params,
         os << "    p.opticalArbitration = "
               "phastlane::core::OpticalArbitration::RoundRobin;\n";
     }
-    if (params.faults.invertStraightPriority)
-        os << "    p.faults.invertStraightPriority = true;\n";
+    // Every FaultInjection field is emitted via the X-macro lists in
+    // params.hpp, so a knob added there cannot silently desynchronize
+    // emitted repros. (An earlier version hand-listed only
+    // invertStraightPriority.)
+#define PL_EMIT_FAULT_BOOL(field)                                      \
+    if (params.faults.field)                                           \
+        os << "    p.faults." #field " = true;\n";
+    PL_FAULT_BOOL_FIELDS(PL_EMIT_FAULT_BOOL)
+#undef PL_EMIT_FAULT_BOOL
+#define PL_EMIT_FAULT_RATE(field)                                      \
+    if (params.faults.field != 0.0) {                                  \
+        os << "    p.faults." #field " = "                             \
+           << std::setprecision(17) << params.faults.field << ";\n";   \
+    }
+    PL_FAULT_RATE_FIELDS(PL_EMIT_FAULT_RATE)
+#undef PL_EMIT_FAULT_RATE
+#define PL_EMIT_FAULT_SEED(field)                                      \
+    if (params.faults.field != 0)                                      \
+        os << "    p.faults." #field " = " << params.faults.field      \
+           << "u;\n";
+    PL_FAULT_SEED_FIELDS(PL_EMIT_FAULT_SEED)
+#undef PL_EMIT_FAULT_SEED
 
     os << "    std::vector<phastlane::check::Injection> stream;\n"
           "    const auto inj = [&](phastlane::Cycle at,\n"
@@ -427,6 +458,46 @@ defaultCampaign(int seeds_per_cell, Cycle cycles)
         0.40, 0.10, [](core::PhastlaneParams &p) {
             p.exponentialBackoff = true;
             p.backoffBase = 1;
+        });
+
+    // Fault-injection cells (DESIGN.md §10): every stochastic fault
+    // knob exercised under the lockstep oracle, which mirrors each
+    // stateless draw, and under the invariant checker's
+    // exactly-once-or-accounted-lost ledger. Shallow buffers force
+    // the drop traffic the drop-signal faults need.
+    add("fault-sigloss-4x4-d2", 4, 4, 4, 2, Pattern::UniformRandom,
+        0.35, 0.10, [](core::PhastlaneParams &p) {
+            p.faults.dropSignalLossRate = 0.25;
+            p.faults.faultSeed = 7;
+        });
+    add("fault-misturn-4x4", 4, 4, 4, 10, Pattern::UniformRandom,
+        0.25, 0.10, [](core::PhastlaneParams &p) {
+            p.faults.misTurnRate = 0.05;
+            p.faults.faultSeed = 11;
+        });
+    add("fault-missrecv-4x4", 4, 4, 4, 10, Pattern::UniformRandom,
+        0.25, 0.20, [](core::PhastlaneParams &p) {
+            p.faults.missedReceiveRate = 0.05;
+            p.faults.faultSeed = 13;
+        });
+    add("fault-corrupt-4x4-d1", 4, 4, 4, 1, Pattern::UniformRandom,
+        0.30, 0.30, [](core::PhastlaneParams &p) {
+            p.faults.dropperIdCorruptRate = 0.50;
+            p.faults.faultSeed = 17;
+        });
+    add("fault-routerfail-4x4", 4, 4, 4, 10, Pattern::UniformRandom,
+        0.20, 0.10, [](core::PhastlaneParams &p) {
+            p.faults.routerFailRate = 0.08;
+            p.faults.faultSeed = 19;
+        });
+    add("fault-combined-4x4-d2", 4, 4, 4, 2, Pattern::UniformRandom,
+        0.30, 0.15, [](core::PhastlaneParams &p) {
+            p.faults.misTurnRate = 0.02;
+            p.faults.missedReceiveRate = 0.02;
+            p.faults.dropSignalLossRate = 0.10;
+            p.faults.dropperIdCorruptRate = 0.20;
+            p.faults.routerFailRate = 0.05;
+            p.faults.faultSeed = 23;
         });
     return cells;
 }

@@ -32,8 +32,10 @@ InvariantChecker::onCycleBegin(Cycle cycle)
 {
     cycle_ = cycle;
     // Successes recorded in earlier cycles have had their holder
-    // buffer slots released by this cycle's outcome resolution.
-    successesResolved_ = finals_ + bufferReceives_;
+    // buffer slots released by this cycle's outcome resolution. Lost
+    // drop signals and dead-router black holes release slots the same
+    // way (the holder never learns anything went wrong).
+    successesResolved_ = finals_ + bufferReceives_ + resolvedNoRetry_;
     hopsThisCycle_.clear();
 }
 
@@ -44,12 +46,17 @@ InvariantChecker::onAccept(const Packet &pkt, int branches,
     ++acceptedMessages_;
     acceptedBranches_ += static_cast<uint64_t>(branches);
     acceptedUnits_ += static_cast<uint64_t>(delivery_units);
-    if (branches < 1 || delivery_units < branches) {
+    // A dead source accepts the message without enqueuing any branch
+    // (all units are accounted lost immediately); otherwise at least
+    // one branch must exist.
+    const bool dead_source =
+        branches == 0 && net_.routerFailed(pkt.src);
+    if ((branches < 1 && !dead_source) || delivery_units < branches) {
         violation("message %" PRIu64
                   " accepted with %d branches for %d delivery units",
                   pkt.id, branches, delivery_units);
     }
-    perMessage_[pkt.id].first +=
+    perMessage_[pkt.id].addressed +=
         static_cast<uint64_t>(delivery_units);
 }
 
@@ -97,11 +104,11 @@ InvariantChecker::onDeliver(const Delivery &d)
                   d.packet.id, d.node);
     }
     auto &pm = perMessage_[d.packet.id];
-    ++pm.second;
-    if (pm.second > pm.first) {
-        violation("message %" PRIu64 " delivered %" PRIu64
-                  " times for %" PRIu64 " addressed units",
-                  d.packet.id, pm.second, pm.first);
+    ++pm.delivered;
+    if (pm.delivered + pm.lost > pm.addressed) {
+        violation("message %" PRIu64 " delivered %" PRIu64 " + lost %"
+                  PRIu64 " for %" PRIu64 " addressed units",
+                  d.packet.id, pm.delivered, pm.lost, pm.addressed);
     }
 }
 
@@ -144,11 +151,24 @@ InvariantChecker::onBufferReceive(const core::OpticalPacket &pkt,
 
 void
 InvariantChecker::onDrop(const core::OpticalPacket &pkt, NodeId router,
-                         NodeId launch_router, int signal_hops)
+                         NodeId launch_router, int signal_hops,
+                         bool signal_lost)
 {
     (void)launch_router;
     ++drops_;
     dropSignalHops_ += static_cast<uint64_t>(signal_hops);
+    if (signal_lost) {
+        // The return signal was eaten by an injected fault: it covers
+        // no links and the holder's slot frees as if it succeeded.
+        ++dropSignalsLost_;
+        ++resolvedNoRetry_;
+        if (signal_hops != 0) {
+            violation("branch %" PRIu64 " dropped at node %d with a "
+                      "lost signal reporting %d hops",
+                      pkt.branchId, router, signal_hops);
+        }
+        return;
+    }
     const auto it = hopsThisCycle_.find(pkt.branchId);
     const int hops =
         it == hopsThisCycle_.end() ? 0 : it->second;
@@ -158,6 +178,49 @@ InvariantChecker::onDrop(const core::OpticalPacket &pkt, NodeId router,
         violation("branch %" PRIu64 " dropped at node %d: signal "
                   "travels %d hops, packet traveled %d",
                   pkt.branchId, router, signal_hops, hops);
+    }
+}
+
+void
+InvariantChecker::onLost(const Packet &pkt, uint64_t branch_id,
+                         NodeId router, int units,
+                         core::LostCause cause)
+{
+    (void)branch_id;
+    (void)router;
+    if (units < 0) {
+        violation("message %" PRIu64 " lost a negative unit count %d",
+                  pkt.id, units);
+        return;
+    }
+    lostUnits_ += static_cast<uint64_t>(units);
+    auto &pm = perMessage_[pkt.id];
+    pm.lost += static_cast<uint64_t>(units);
+    if (pm.delivered + pm.lost > pm.addressed) {
+        violation("message %" PRIu64 " delivered %" PRIu64 " + lost %"
+                  PRIu64 " for %" PRIu64 " addressed units",
+                  pkt.id, pm.delivered, pm.lost, pm.addressed);
+    }
+    // A dead-router black hole frees the holder's slot without any
+    // final or buffer receive; the other causes either have no slot
+    // (dead source), keep the flight going (missed receive), or are
+    // already counted through onDrop (lost signal).
+    if (cause == core::LostCause::DeadRouter)
+        ++resolvedNoRetry_;
+}
+
+void
+InvariantChecker::onDuplicate(const core::OpticalPacket &pkt,
+                              NodeId router)
+{
+    (void)router;
+    ++duplicatesSuppressed_;
+    // Suppression requires a corruption-replay watermark; a duplicate
+    // on a packet without one is a protocol bug.
+    if (pkt.dedupBelow == 0) {
+        violation("branch %" PRIu64 " suppressed a duplicate without "
+                  "a dedup watermark",
+                  pkt.branchId);
     }
 }
 
@@ -172,11 +235,14 @@ InvariantChecker::onCycleEnd(Cycle cycle)
     const auto &pc = net_.phastlaneCounters();
     const auto &ev = net_.events();
 
-    // Unit conservation: accepted == delivered + in flight.
-    if (acceptedUnits_ != deliveredUnits_ + net_.inFlight()) {
+    // Unit conservation: accepted == delivered + lost + in flight.
+    if (acceptedUnits_ !=
+        deliveredUnits_ + lostUnits_ + net_.inFlight()) {
         violation("unit conservation broken: accepted %" PRIu64
-                  " != delivered %" PRIu64 " + in-flight %" PRIu64,
-                  acceptedUnits_, deliveredUnits_, net_.inFlight());
+                  " != delivered %" PRIu64 " + lost %" PRIu64
+                  " + in-flight %" PRIu64,
+                  acceptedUnits_, deliveredUnits_, lostUnits_,
+                  net_.inFlight());
     }
 
     // Buffer-slot conservation. Entries are created by NIC-to-local
@@ -251,12 +317,23 @@ InvariantChecker::onCycleEnd(Cycle cycle)
                   " != ledger %" PRIu64,
                   pc.interimAccepts, pc.blockedBuffered,
                   bufferReceives_);
+    if (ev.lostUnits != lostUnits_)
+        violation("lost-unit counter %" PRIu64 " != ledger %" PRIu64,
+                  ev.lostUnits, lostUnits_);
+    if (ev.dropSignalsLost != dropSignalsLost_)
+        violation("lost-signal counter %" PRIu64 " != ledger %" PRIu64,
+                  ev.dropSignalsLost, dropSignalsLost_);
+    if (ev.duplicatesSuppressed != duplicatesSuppressed_)
+        violation("duplicate counter %" PRIu64 " != ledger %" PRIu64,
+                  ev.duplicatesSuppressed, duplicatesSuppressed_);
 
-    // Every drop is eventually retransmitted, never more than once
-    // per drop: retransmissions can lag drops but not exceed them.
-    if (retransmissions_ > drops_)
-        violation("%" PRIu64 " retransmissions for %" PRIu64 " drops",
-                  retransmissions_, drops_);
+    // Every drop whose signal returned is eventually retransmitted,
+    // never more than once per drop: retransmissions can lag drops
+    // but not exceed them (lost signals never retransmit).
+    if (retransmissions_ + dropSignalsLost_ > drops_)
+        violation("%" PRIu64 " retransmissions + %" PRIu64
+                  " lost signals for %" PRIu64 " drops",
+                  retransmissions_, dropSignalsLost_, drops_);
 }
 
 void
@@ -270,15 +347,26 @@ InvariantChecker::checkQuiescent()
                   net_.nicQueuedPackets());
         return;
     }
-    if (deliveredUnits_ != acceptedUnits_) {
-        violation("quiescent with %" PRIu64 " of %" PRIu64
-                  " units delivered",
-                  deliveredUnits_, acceptedUnits_);
+    if (deliveredUnits_ + lostUnits_ != acceptedUnits_) {
+        violation("quiescent with %" PRIu64 " delivered + %" PRIu64
+                  " lost of %" PRIu64 " units",
+                  deliveredUnits_, lostUnits_, acceptedUnits_);
     }
-    if (drops_ != retransmissions_) {
+    if (drops_ != retransmissions_ + dropSignalsLost_) {
         violation("quiescent with %" PRIu64 " drops but %" PRIu64
-                  " retransmissions",
-                  drops_, retransmissions_);
+                  " retransmissions + %" PRIu64 " lost signals",
+                  drops_, retransmissions_, dropSignalsLost_);
+    }
+    // Exactly once or accounted lost, per message: every addressed
+    // unit either arrived (once; delivered_ catches duplicates) or
+    // was reported lost.
+    for (const auto &[id, pm] : perMessage_) {
+        if (pm.delivered + pm.lost != pm.addressed) {
+            violation("quiescent message %" PRIu64 ": %" PRIu64
+                      " delivered + %" PRIu64 " lost != %" PRIu64
+                      " addressed",
+                      id, pm.delivered, pm.lost, pm.addressed);
+        }
     }
 }
 

@@ -70,13 +70,20 @@ class InvariantChecker : public core::StepObserver
     void onBufferReceive(const core::OpticalPacket &pkt, NodeId router,
                          Port queue, bool interim) override;
     void onDrop(const core::OpticalPacket &pkt, NodeId router,
-                NodeId launch_router, int signal_hops) override;
+                NodeId launch_router, int signal_hops,
+                bool signal_lost) override;
+    void onLost(const Packet &pkt, uint64_t branch_id, NodeId router,
+                int units, core::LostCause cause) override;
+    void onDuplicate(const core::OpticalPacket &pkt,
+                     NodeId router) override;
     void onCycleEnd(Cycle cycle) override;
 
     /**
      * Final checks once the caller believes the network has drained
      * (no in-flight, buffered or NIC-queued packets): every accepted
-     * unit delivered, every drop matched by a retransmission.
+     * unit delivered exactly once or accounted as lost (per message,
+     * delivered + lost == addressed), and every drop whose signal
+     * returned matched by a retransmission.
      */
     void checkQuiescent();
 
@@ -107,8 +114,17 @@ class InvariantChecker : public core::StepObserver
     uint64_t drops_ = 0;
     uint64_t dropSignalHops_ = 0;
 
-    /** finals_ + bufferReceives_ snapshotted at cycle begin: the
-     *  successes whose holder slots have been released by cycle end. */
+    // Fault ledger (all zero in fault-free runs).
+    uint64_t lostUnits_ = 0;
+    uint64_t dropSignalsLost_ = 0;
+    uint64_t duplicatesSuppressed_ = 0;
+    /** Holder slots released without a final or buffer receive: drops
+     *  whose return signal was lost, and dead-router black holes. */
+    uint64_t resolvedNoRetry_ = 0;
+
+    /** finals_ + bufferReceives_ + resolvedNoRetry_ snapshotted at
+     *  cycle begin: the successes (from the holder's point of view)
+     *  whose buffer slots have been released by cycle end. */
     uint64_t successesResolved_ = 0;
 
     /** Routers crossed per branch within the current cycle. */
@@ -116,9 +132,13 @@ class InvariantChecker : public core::StepObserver
 
     /** Every (message id, node) delivered so far. */
     std::set<std::pair<PacketId, NodeId>> delivered_;
-    /** Addressed vs completed delivery units per message. */
-    std::unordered_map<PacketId, std::pair<uint64_t, uint64_t>>
-        perMessage_;
+    /** Per-message delivery accounting. */
+    struct PerMessage {
+        uint64_t addressed = 0;
+        uint64_t delivered = 0;
+        uint64_t lost = 0;
+    };
+    std::unordered_map<PacketId, PerMessage> perMessage_;
 
     std::vector<std::string> violations_;
     Cycle cycle_ = 0;

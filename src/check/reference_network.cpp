@@ -65,6 +65,15 @@ ReferenceNetwork::ReferenceNetwork(const core::PhastlaneParams &params)
               "(GlobalPriority wavefront or invalid hop limit)");
     nics_.resize(static_cast<size_t>(mesh_.nodeCount()));
     routers_.resize(static_cast<size_t>(mesh_.nodeCount()));
+    failed_.assign(static_cast<size_t>(mesh_.nodeCount()), 0);
+    for (NodeId n = 0; n < mesh_.nodeCount(); ++n) {
+        if (core::faultRoll(params_.faults,
+                            params_.faults.routerFailRate,
+                            core::FaultKind::RouterFail,
+                            static_cast<uint64_t>(n), 0, 0)) {
+            failed_[static_cast<size_t>(n)] = 1;
+        }
+    }
 }
 
 bool
@@ -86,10 +95,21 @@ ReferenceNetwork::inject(const Packet &pkt)
     const size_t capacity =
         static_cast<size_t>(params_.nicQueueEntries);
 
+    // Dead source: accepted but never transmitted; all units lost
+    // immediately (mirror of PhastlaneNetwork::inject).
+    const auto acceptLost = [&]() {
+        ++counters_.messagesAccepted;
+        events_.lostUnits += static_cast<uint64_t>(
+            pkt.deliveryCount(mesh_.nodeCount()));
+        return true;
+    };
+
     if (pkt.broadcast) {
         auto branches = referenceBroadcastBranches(mesh_, pkt.src);
         if (nic.size() + branches.size() > capacity)
             return false;
+        if (failed_[static_cast<size_t>(pkt.src)] != 0)
+            return acceptLost();
         for (auto &targets : branches) {
             RefPacket rp;
             rp.base = pkt;
@@ -105,6 +125,8 @@ ReferenceNetwork::inject(const Packet &pkt)
                   "invalid unicast destination");
         if (nic.size() + 1 > capacity)
             return false;
+        if (failed_[static_cast<size_t>(pkt.src)] != 0)
+            return acceptLost();
         RefPacket rp;
         rp.base = pkt;
         rp.branchId = nextBranchId_++;
@@ -230,7 +252,27 @@ ReferenceNetwork::resolveOutcomes()
             for (auto it = queue.begin(); it != queue.end(); ++it) {
                 if (!it->launched || it->pkt.branchId != o.branchId)
                     continue;
-                if (o.dropped) {
+                if (o.dropped &&
+                    o.updated.multicast &&
+                    core::faultRoll(
+                        params_.faults,
+                        params_.faults.dropperIdCorruptRate,
+                        core::FaultKind::DropperIdCorrupt,
+                        o.updated.branchId,
+                        static_cast<uint64_t>(cycle_), 0)) {
+                    // Corrupted dropper Node ID: keep the stored
+                    // pre-launch branch state (the holder cannot
+                    // clear the served Multicast bits) and record the
+                    // taps the failed attempt served for duplicate
+                    // suppression. The retry cycle draws exactly as
+                    // in the clean path (RNG lockstep).
+                    ++events_.faultCorruptions;
+                    it->pkt.dedupBelow = std::max(
+                        it->pkt.dedupBelow, o.updated.tapIndex);
+                    it->eligibleAt = dropRetryCycle(it->attempts + 1);
+                    it->launched = false;
+                    ++it->attempts;
+                } else if (o.dropped) {
                     // Restore in place: the entry keeps its queue
                     // position and age; the retransmission carries the
                     // tap-reduced state (served taps stay served).
@@ -359,19 +401,76 @@ ReferenceNetwork::launchPhase()
     return flights;
 }
 
+int
+ReferenceNetwork::unitsOutstanding(const RefPacket &pkt) const
+{
+    if (!pkt.multicast)
+        return 1;
+    // Remaining taps minus those the dedup watermark will suppress:
+    // identical to the optimized network's
+    // total - max(tapCursor, dedupBelow).
+    const uint32_t suppressed =
+        pkt.dedupBelow > pkt.tapIndex ? pkt.dedupBelow - pkt.tapIndex
+                                      : 0;
+    const uint32_t remaining = static_cast<uint32_t>(pkt.taps.size());
+    return suppressed >= remaining
+               ? 0
+               : static_cast<int>(remaining - suppressed);
+}
+
+void
+ReferenceNetwork::loseUnits(int units)
+{
+    if (units <= 0)
+        return;
+    events_.lostUnits += static_cast<uint64_t>(units);
+    PL_ASSERT(outstanding_ >= static_cast<uint64_t>(units),
+              "reference: lost more units than outstanding");
+    outstanding_ -= static_cast<uint64_t>(units);
+}
+
 bool
 ReferenceNetwork::handleArrival(RefFlight &f)
 {
     const NodeId here = f.path[f.idx];
 
+    if (failed_[static_cast<size_t>(here)] != 0) {
+        // Hard-failed router: the packet black-holes and the holder's
+        // slot frees as a success (no drop signal ever returns).
+        ++events_.faultDeadArrivals;
+        loseUnits(unitsOutstanding(f.pkt));
+        pendingOutcomes_.push_back(
+            RefOutcome{f.launchRouter, f.pkt.branchId, false, {}});
+        return true;
+    }
+
     if (f.pkt.multicast && !f.pkt.taps.empty() &&
         f.pkt.taps.front() == here) {
         // Broadcast tap: a copy splits off to this node (2.1.4). The
         // tap happens on arrival, before any blocking downstream, and
-        // stays served across a later drop of this branch.
-        deliver(f.pkt, here);
-        f.pkt.taps.pop_front();
-        ++events_.tapReceives;
+        // stays served across a later drop of this branch. It may be
+        // suppressed as a duplicate (dropper-ID corruption replay) or
+        // lost to a missed-receive fault.
+        if (f.pkt.tapIndex < f.pkt.dedupBelow) {
+            f.pkt.taps.pop_front();
+            ++f.pkt.tapIndex;
+            ++events_.duplicatesSuppressed;
+        } else if (core::faultRoll(
+                       params_.faults,
+                       params_.faults.missedReceiveRate,
+                       core::FaultKind::MissedReceive,
+                       f.pkt.branchId, static_cast<uint64_t>(cycle_),
+                       static_cast<uint64_t>(here))) {
+            f.pkt.taps.pop_front();
+            ++f.pkt.tapIndex;
+            ++events_.faultMissedReceives;
+            loseUnits(1);
+        } else {
+            deliver(f.pkt, here);
+            f.pkt.taps.pop_front();
+            ++f.pkt.tapIndex;
+            ++events_.tapReceives;
+        }
     }
 
     if (f.idx != f.stopIdx)
@@ -383,7 +482,17 @@ ReferenceNetwork::handleArrival(RefFlight &f)
         if (!f.pkt.multicast) {
             PL_ASSERT(here == f.pkt.finalDst,
                       "reference: unicast final at wrong node");
-            deliver(f.pkt, here);
+            if (core::faultRoll(params_.faults,
+                                params_.faults.missedReceiveRate,
+                                core::FaultKind::MissedReceive,
+                                f.pkt.branchId,
+                                static_cast<uint64_t>(cycle_),
+                                static_cast<uint64_t>(here))) {
+                ++events_.faultMissedReceives;
+                loseUnits(1);
+            } else {
+                deliver(f.pkt, here);
+            }
         }
         ++events_.receives;
         pendingOutcomes_.push_back(
@@ -408,6 +517,21 @@ ReferenceNetwork::receiveOrDrop(RefFlight &f, bool interim)
         else
             ++pl_.blockedBuffered;
         pushEntry(here, in, f.pkt, cycle_ + 1);
+        pendingOutcomes_.push_back(
+            RefOutcome{f.launchRouter, f.pkt.branchId, false, {}});
+    } else if (core::faultRoll(params_.faults,
+                               params_.faults.dropSignalLossRate,
+                               core::FaultKind::DropSignalLoss,
+                               f.pkt.branchId,
+                               static_cast<uint64_t>(cycle_),
+                               static_cast<uint64_t>(here))) {
+        // Drop with the return signal lost: no reverse links latch,
+        // the holder frees the slot as a success, and the packet's
+        // undelivered units are lost.
+        ++events_.drops;
+        ++pl_.drops;
+        ++events_.dropSignalsLost;
+        loseUnits(unitsOutstanding(f.pkt));
         pendingOutcomes_.push_back(
             RefOutcome{f.launchRouter, f.pkt.branchId, false, {}});
     } else {
@@ -455,6 +579,18 @@ ReferenceNetwork::propagate(std::vector<RefFlight> flights)
             RefFlight &f = flights[i];
             if (handleArrival(f))
                 continue;
+            if (core::faultRoll(params_.faults,
+                                params_.faults.misTurnRate,
+                                core::FaultKind::MisTurn,
+                                f.pkt.branchId,
+                                static_cast<uint64_t>(cycle_),
+                                static_cast<uint64_t>(f.path[f.idx]))) {
+                // Mis-tuned pass resonator: the packet diverts into
+                // this router's buffer (or drops) instead of passing.
+                ++events_.faultMisTurns;
+                receiveOrDrop(f, false);
+                continue;
+            }
             const NodeId router = f.path[f.idx];
             const Port out = f.dirs[f.idx + 1];
             groups[{router, portIndex(out)}].push_back(

@@ -104,6 +104,14 @@ class ReferenceNetwork : public Network
         /** Unserved multicast targets in path order (the last one is
          *  finalDst until served). */
         std::deque<NodeId> taps;
+        /** Absolute index (in the branch's original tap list) of
+         *  taps.front(); advanced on every pop so fault draws and the
+         *  dedupBelow watermark use the same indices as the optimized
+         *  network's tap cursor. */
+        uint32_t tapIndex = 0;
+        /** Duplicate-suppression watermark (dropper-ID corruption);
+         *  taps with absolute index below it were already served. */
+        uint32_t dedupBelow = 0;
         Cycle acceptedAt = 0;
         Cycle firstInjectedAt = kNeverCycle;
     };
@@ -169,6 +177,12 @@ class ReferenceNetwork : public Network
     void receiveOrDrop(RefFlight &f, bool interim);
     void deliver(const RefPacket &pkt, NodeId node);
 
+    /** Delivery units of @p pkt not yet delivered (mirror of the
+     *  optimized network's accounting). */
+    int unitsOutstanding(const RefPacket &pkt) const;
+    /** Account @p units permanently lost to an injected fault. */
+    void loseUnits(int units);
+
     bool claimed(NodeId router, Port out) const;
     void claim(NodeId router, Port out);
 
@@ -179,6 +193,9 @@ class ReferenceNetwork : public Network
 
     std::vector<std::deque<RefPacket>> nics_;
     std::vector<RefRouter> routers_;
+    /** Hard-failed routers, drawn at construction exactly as in
+     *  PhastlaneNetwork (same faultRoll keying). */
+    std::vector<uint8_t> failed_;
     std::vector<RefOutcome> pendingOutcomes_;
     std::vector<Delivery> deliveries_;
 

@@ -108,4 +108,37 @@ Config::keys() const
     return out;
 }
 
+std::vector<std::string>
+Config::unknownKeys(const std::vector<std::string> &allowed) const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : values_) {
+        bool known = false;
+        for (const auto &a : allowed) {
+            if (kv.first == a) {
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            out.push_back(kv.first);
+    }
+    return out;
+}
+
+void
+Config::requireKnown(const std::vector<std::string> &allowed) const
+{
+    const auto unknown = unknownKeys(allowed);
+    if (unknown.empty())
+        return;
+    std::string list;
+    for (const auto &k : unknown) {
+        if (!list.empty())
+            list += ", ";
+        list += "--" + k;
+    }
+    fatal("unknown flag(s): %s", list.c_str());
+}
+
 } // namespace phastlane

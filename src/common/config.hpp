@@ -45,6 +45,17 @@ class Config
     /** All keys, sorted. */
     std::vector<std::string> keys() const;
 
+    /** Keys present here but not in @p allowed, sorted. */
+    std::vector<std::string>
+    unknownKeys(const std::vector<std::string> &allowed) const;
+
+    /**
+     * fatal() (non-zero exit) listing every key not in @p allowed;
+     * no-op when all keys are known. CLIs use this so a mistyped flag
+     * fails loudly instead of being silently ignored.
+     */
+    void requireKnown(const std::vector<std::string> &allowed) const;
+
   private:
     std::map<std::string, std::string> values_;
 };

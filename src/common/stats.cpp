@@ -71,11 +71,21 @@ Histogram::add(double x)
     ++total_;
     if (x < 0.0)
         x = 0.0;
-    const auto idx = static_cast<size_t>(x / binWidth_);
-    if (idx >= bins_.size())
+    // Route NaN, +inf, and values at or above the top edge to the
+    // overflow bin BEFORE the float->size_t cast: converting a value
+    // outside size_t's range (or NaN) is undefined behavior, not
+    // merely a large index.
+    const double top = binWidth_ * static_cast<double>(bins_.size());
+    if (!(x < top)) {
         ++overflow_;
-    else
-        ++bins_[idx];
+        return;
+    }
+    auto idx = static_cast<size_t>(x / binWidth_);
+    // x < top does not guarantee x / binWidth_ < size() after
+    // rounding; clamp the last representable bin.
+    if (idx >= bins_.size())
+        idx = bins_.size() - 1;
+    ++bins_[idx];
 }
 
 void

@@ -43,6 +43,31 @@ struct OpticalEvents {
 
     /** Router-cycles elapsed (for static/leakage power). */
     uint64_t routerCycles = 0;
+
+    // --- Fault accounting (DESIGN.md §10). All zero when every fault
+    // rate is zero.
+
+    /** Delivery units permanently lost to injected faults (missed
+     *  receives, lost drop signals, dead routers/sources). */
+    uint64_t lostUnits = 0;
+
+    /** Packet-Dropped return signals lost in flight. */
+    uint64_t dropSignalsLost = 0;
+
+    /** Pass resonator mis-turns (packet diverted into the buffer). */
+    uint64_t faultMisTurns = 0;
+
+    /** Receive/tap resonator failures (delivery unit lost). */
+    uint64_t faultMissedReceives = 0;
+
+    /** Drop signals whose dropper Node ID arrived corrupted. */
+    uint64_t faultCorruptions = 0;
+
+    /** Arrivals black-holed at hard-failed routers. */
+    uint64_t faultDeadArrivals = 0;
+
+    /** Tap deliveries suppressed as duplicates (dedupBelow). */
+    uint64_t duplicatesSuppressed = 0;
 };
 
 } // namespace phastlane::core

@@ -18,9 +18,18 @@ PhastlaneNetwork::PhastlaneNetwork(const PhastlaneParams &params)
         fatal("maxHopsPerCycle must be at least 1");
     nics_.reserve(static_cast<size_t>(mesh_.nodeCount()));
     routers_.reserve(static_cast<size_t>(mesh_.nodeCount()));
+    failedRouters_.assign(static_cast<size_t>(mesh_.nodeCount()), 0);
     for (NodeId n = 0; n < mesh_.nodeCount(); ++n) {
         nics_.emplace_back(n, params_, mesh_);
         routers_.emplace_back(n, params_);
+        // Hard router failures are drawn once, at construction, so the
+        // failure set is a pure function of (faultSeed, routerFailRate)
+        // and identical in the ReferenceNetwork oracle.
+        if (faultRoll(params_.faults, params_.faults.routerFailRate,
+                      FaultKind::RouterFail,
+                      static_cast<uint64_t>(n), 0, 0)) {
+            failedRouters_[static_cast<size_t>(n)] = 1;
+        }
     }
     const size_t flat_ports =
         static_cast<size_t>(mesh_.nodeCount()) * kMeshPorts;
@@ -50,6 +59,21 @@ PhastlaneNetwork::inject(const Packet &pkt)
     auto &nic = nics_[static_cast<size_t>(pkt.src)];
     if (!nic.hasSpaceFor(pkt))
         return false;
+    if (routerFailed(pkt.src)) {
+        // Dead source: the message is accepted (the node's software
+        // has no way to know its router died) but nothing is ever
+        // transmitted; every delivery unit is accounted lost
+        // immediately so the network still quiesces.
+        ++counters_.messagesAccepted;
+        const int units = pkt.deliveryCount(mesh_.nodeCount());
+        events_.lostUnits += static_cast<uint64_t>(units);
+        if (observer_) {
+            observer_->onAccept(pkt, 0, units);
+            observer_->onLost(pkt, 0, pkt.src, units,
+                              LostCause::DeadSource);
+        }
+        return true;
+    }
     const size_t nic_before = nic.occupancy();
     nic.accept(pkt, cycle_, nextBranchId_);
     ++counters_.messagesAccepted;
@@ -156,8 +180,30 @@ PhastlaneNetwork::resolveOutcomes()
         if (o.dropped) {
             BufferEntry *e = rb.findLaunched(o.ref.packet);
             PL_ASSERT(e, "dropped launch lost its buffer entry");
-            rb.restoreDropped(o.ref.packet, std::move(o.updated),
-                              dropRetryCycle(e->attempts + 1));
+            if (o.updated.multicast &&
+                faultRoll(params_.faults,
+                          params_.faults.dropperIdCorruptRate,
+                          FaultKind::DropperIdCorrupt,
+                          o.updated.branchId,
+                          static_cast<uint64_t>(cycle_), 0)) {
+                // The dropper's Node ID arrived corrupted: the holder
+                // cannot clear the Multicast bits its dropped attempt
+                // already served, so it keeps its stored (pre-launch)
+                // branch state and retransmits it whole. Taps the
+                // failed attempt did serve are recorded in dedupBelow
+                // for receiver-side duplicate suppression. The retry
+                // cycle is drawn exactly as in the clean path so the
+                // backoff RNG stays in lockstep with the oracle.
+                ++events_.faultCorruptions;
+                e->pkt.dedupBelow = std::max(e->pkt.dedupBelow,
+                                             o.updated.tapCursor);
+                e->state = EntryState::Waiting;
+                e->eligibleAt = dropRetryCycle(e->attempts + 1);
+                ++e->attempts;
+            } else {
+                rb.restoreDropped(o.ref.packet, std::move(o.updated),
+                                  dropRetryCycle(e->attempts + 1));
+            }
         } else {
             rb.releaseLaunched(o.ref.packet);
         }
@@ -223,6 +269,79 @@ PhastlaneNetwork::launchPhase()
     }
 }
 
+void
+PhastlaneNetwork::serveTapAt(Flight &f)
+{
+    // Broadcast tap: a fraction of the optical power is received and
+    // a copy delivered to this node — unless the tap was already
+    // served by a pre-corruption attempt (duplicate suppression) or
+    // the receive resonator missed the capture (injected fault).
+    PL_ASSERT(!f.pkt.tapsDone() && f.pkt.nextTap() == f.at,
+              "tap bookkeeping out of sync at node %d", f.at);
+    if (f.pkt.tapCursor < f.pkt.dedupBelow) {
+        f.pkt.serveTap();
+        ++events_.duplicatesSuppressed;
+        if (observer_)
+            observer_->onDuplicate(f.pkt, f.at);
+        return;
+    }
+    if (faultRoll(params_.faults, params_.faults.missedReceiveRate,
+                  FaultKind::MissedReceive, f.pkt.branchId,
+                  static_cast<uint64_t>(cycle_),
+                  static_cast<uint64_t>(f.at))) {
+        f.pkt.serveTap();
+        ++events_.faultMissedReceives;
+        loseUnits(f.pkt, f.at, 1, LostCause::MissedReceive);
+        return;
+    }
+    deliver(f.pkt, f.at);
+    f.pkt.serveTap();
+    ++events_.tapReceives;
+    if (observer_)
+        observer_->onTap(f.pkt, f.at);
+}
+
+int
+PhastlaneNetwork::unitsOutstanding(const OpticalPacket &pkt) const
+{
+    if (!pkt.multicast)
+        return 1;
+    const uint32_t served = std::max(pkt.tapCursor, pkt.dedupBelow);
+    const uint32_t total = static_cast<uint32_t>(pkt.taps.size());
+    return served >= total ? 0 : static_cast<int>(total - served);
+}
+
+void
+PhastlaneNetwork::loseUnits(const OpticalPacket &pkt, NodeId router,
+                            int units, LostCause cause)
+{
+    if (units > 0) {
+        events_.lostUnits += static_cast<uint64_t>(units);
+        PL_ASSERT(outstanding_ >= static_cast<uint64_t>(units),
+                  "lost more units than outstanding");
+        outstanding_ -= static_cast<uint64_t>(units);
+    }
+    // The observer fires even for a zero-unit loss: checkers track
+    // the buffer-slot release that accompanies the event.
+    if (observer_)
+        observer_->onLost(pkt.base, pkt.branchId, router, units,
+                          cause);
+}
+
+void
+PhastlaneNetwork::deadRouterArrival(Flight &f)
+{
+    // Hard-failed router: the packet is absorbed and never forwarded,
+    // no drop signal returns, and the holder's "no signal means
+    // success" rule frees the buffer slot next cycle. Every remaining
+    // delivery unit of the branch is lost.
+    ++events_.faultDeadArrivals;
+    loseUnits(f.pkt, f.at, unitsOutstanding(f.pkt),
+              LostCause::DeadRouter);
+    pendingOutcomes_.push_back(LaunchOutcome{f.holder, false, {}});
+    f.active = false;
+}
+
 bool
 PhastlaneNetwork::handleArrival(Flight &f)
 {
@@ -230,17 +349,13 @@ PhastlaneNetwork::handleArrival(Flight &f)
     PL_ASSERT(f.hops <= params_.maxHopsPerCycle,
               "flight exceeded the per-cycle hop limit");
 
-    if (g.multicast) {
-        // Broadcast tap: a fraction of the optical power is received
-        // and a copy delivered to this node.
-        PL_ASSERT(!f.pkt.tapsDone() && f.pkt.nextTap() == f.at,
-                  "tap bookkeeping out of sync at node %d", f.at);
-        deliver(f.pkt, f.at);
-        f.pkt.serveTap();
-        ++events_.tapReceives;
-        if (observer_)
-            observer_->onTap(f.pkt, f.at);
+    if (failedRouters_[static_cast<size_t>(f.at)] != 0) {
+        deadRouterArrival(f);
+        return true;
     }
+
+    if (g.multicast)
+        serveTapAt(f);
 
     if (g.local) {
         f.prog.translate();
@@ -252,7 +367,18 @@ PhastlaneNetwork::handleArrival(Flight &f)
                 // delivered by the tap above).
                 PL_ASSERT(f.at == f.pkt.finalDst,
                           "unicast final at wrong node");
-                deliver(f.pkt, f.at);
+                if (faultRoll(params_.faults,
+                              params_.faults.missedReceiveRate,
+                              FaultKind::MissedReceive,
+                              f.pkt.branchId,
+                              static_cast<uint64_t>(cycle_),
+                              static_cast<uint64_t>(f.at))) {
+                    ++events_.faultMissedReceives;
+                    loseUnits(f.pkt, f.at, 1,
+                              LostCause::MissedReceive);
+                } else {
+                    deliver(f.pkt, f.at);
+                }
             }
             ++events_.receives;
             pendingOutcomes_.push_back(
@@ -285,6 +411,26 @@ PhastlaneNetwork::receiveOrDrop(Flight &f, bool interim)
         pendingOutcomes_.push_back(LaunchOutcome{f.holder, false, {}});
         if (observer_)
             observer_->onBufferReceive(f.pkt, f.at, f.inPort, interim);
+    } else if (faultRoll(params_.faults,
+                         params_.faults.dropSignalLossRate,
+                         FaultKind::DropSignalLoss, f.pkt.branchId,
+                         static_cast<uint64_t>(cycle_),
+                         static_cast<uint64_t>(f.at))) {
+        // Dropped, but the Packet-Dropped return signal is lost in
+        // flight: no reverse links latch, the holder sees silence and
+        // frees the slot under the "no signal means success" rule, and
+        // the packet's undelivered units are permanently lost (the
+        // base protocol has no end-to-end ack; see ReliableNic for
+        // the recovery layer).
+        ++events_.drops;
+        ++pl_.drops;
+        ++events_.dropSignalsLost;
+        pendingOutcomes_.push_back(LaunchOutcome{f.holder, false, {}});
+        if (observer_) {
+            observer_->onDrop(f.pkt, f.at, f.holder.router, 0, true);
+        }
+        loseUnits(f.pkt, f.at, unitsOutstanding(f.pkt),
+                  LostCause::SignalLost);
     } else {
         // Dropped: the return path carries the Packet Dropped signal
         // and this router's Node ID back to the holder next cycle,
@@ -297,7 +443,7 @@ PhastlaneNetwork::receiveOrDrop(Flight &f, bool interim)
             LaunchOutcome{f.holder, true, f.pkt});
         if (observer_) {
             observer_->onDrop(f.pkt, f.at, f.holder.router,
-                              signal_hops);
+                              signal_hops, false);
         }
     }
     f.active = false;
@@ -324,6 +470,17 @@ PhastlaneNetwork::propagateSubstepFcfs(std::vector<Flight> &flights)
             Flight &f = flights[i];
             if (handleArrival(f))
                 continue;
+            if (faultRoll(params_.faults, params_.faults.misTurnRate,
+                          FaultKind::MisTurn, f.pkt.branchId,
+                          static_cast<uint64_t>(cycle_),
+                          static_cast<uint64_t>(f.at))) {
+                // Pass resonator mis-tuned: instead of transiting, the
+                // packet diverts into this router's electrical buffer
+                // (or is dropped if it is full) and retries from here.
+                ++events_.faultMisTurns;
+                receiveOrDrop(f, false);
+                continue;
+            }
             const ControlGroup g = f.prog.front();
             PassRequest r;
             r.flight = i;
@@ -532,24 +689,33 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
         for (size_t k = 0;; ++k) {
             PL_ASSERT(f.at == it.entered[k], "itinerary mismatch");
             if (k == stop_idx && blocked[i] != SIZE_MAX) {
+                if (failedRouters_[static_cast<size_t>(f.at)] != 0) {
+                    deadRouterArrival(f);
+                    break;
+                }
                 // Tap (if any) still happens on arrival, then the
                 // blocked packet is received or dropped.
-                const ControlGroup g = f.prog.front();
-                if (g.multicast) {
-                    PL_ASSERT(!f.pkt.tapsDone() &&
-                                  f.pkt.nextTap() == f.at,
-                              "tap bookkeeping out of sync");
-                    deliver(f.pkt, f.at);
-                    f.pkt.serveTap();
-                    ++events_.tapReceives;
-                    if (observer_)
-                        observer_->onTap(f.pkt, f.at);
-                }
+                const ControlGroup gb = f.prog.front();
+                if (gb.multicast)
+                    serveTapAt(f);
                 receiveOrDrop(f, false);
                 break;
             }
             if (handleArrival(f))
                 break;
+            if (faultRoll(params_.faults, params_.faults.misTurnRate,
+                          FaultKind::MisTurn, f.pkt.branchId,
+                          static_cast<uint64_t>(cycle_),
+                          static_cast<uint64_t>(f.at))) {
+                // Mis-tuned pass resonator (as in the FCFS model).
+                // The itinerary's downstream claims were already
+                // resolved as if the packet passed; leaving them
+                // claimed is conservative and this ablation model has
+                // no lockstep oracle to disagree with.
+                ++events_.faultMisTurns;
+                receiveOrDrop(f, false);
+                break;
+            }
             const ControlGroup g = f.prog.front();
             const Port out = applyTurn(f.inPort, g.turn());
             setClaim(f.at, out);

@@ -100,6 +100,17 @@ class PhastlaneNetwork : public Network
         return portClaimCounts_;
     }
 
+    /**
+     * True when router @p n was drawn as hard-failed at construction
+     * (faults.routerFailRate; DESIGN.md §10). Arrivals at a failed
+     * router black-hole; messages injected there are accepted and
+     * immediately accounted lost.
+     */
+    bool routerFailed(NodeId n) const
+    {
+        return failedRouters_[static_cast<size_t>(n)] != 0;
+    }
+
   private:
     /** A packet in optical transit within the current cycle. */
     struct Flight {
@@ -168,6 +179,22 @@ class PhastlaneNetwork : public Network
     void deliver(const OpticalPacket &pkt, NodeId node);
     Cycle dropRetryCycle(int attempts);
 
+    /** Serve the tap at f.at: duplicate-suppress, fault-miss, or
+     *  deliver; always advances the tap cursor. */
+    void serveTapAt(Flight &f);
+
+    /** Delivery units of @p pkt not yet delivered (1 for unicast;
+     *  unserved, non-suppressed taps for a multicast branch). */
+    int unitsOutstanding(const OpticalPacket &pkt) const;
+
+    /** Account @p units of @p pkt permanently lost to a fault. */
+    void loseUnits(const OpticalPacket &pkt, NodeId router, int units,
+                   LostCause cause);
+
+    /** Black-hole an arrival at hard-failed router f.at; terminates
+     *  the flight (holder slot frees as a success next cycle). */
+    void deadRouterArrival(Flight &f);
+
     bool claimed(NodeId router, Port out) const;
     void setClaim(NodeId router, Port out);
 
@@ -178,6 +205,7 @@ class PhastlaneNetwork : public Network
 
     std::vector<OpticalNic> nics_;
     std::vector<RouterBuffers> routers_;
+    std::vector<uint8_t> failedRouters_; ///< drawn once at construction
     ReturnPathRegistry returnPaths_;
     std::vector<uint8_t> claims_; ///< per (router, mesh port), per cycle
     std::vector<uint64_t> portClaimCounts_; ///< cumulative

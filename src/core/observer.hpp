@@ -27,6 +27,18 @@
 
 namespace phastlane::core {
 
+/** Why delivery units were permanently lost (DESIGN.md §10). */
+enum class LostCause : uint8_t {
+    /** Message injected at a hard-failed router; all units lost. */
+    DeadSource,
+    /** Packet arrived at a hard-failed router and black-holed. */
+    DeadRouter,
+    /** Receive/tap resonator missed the capture; one unit lost. */
+    MissedReceive,
+    /** Packet-Dropped return signal lost; remaining units lost. */
+    SignalLost,
+};
+
 /**
  * Interface for watching a PhastlaneNetwork cycle-by-cycle. All
  * methods default to no-ops so checkers implement only what they need.
@@ -117,14 +129,45 @@ class StepObserver
      * drop signal returns over @p signal_hops reverse links to the
      * holder at @p launch_router, which restores and later
      * retransmits. @p pkt carries the tap-reduced multicast state.
+     * When @p signal_lost, an injected fault ate the return signal:
+     * signal_hops is 0, the holder frees the slot under the "no signal
+     * means success" rule, and the packet's remaining units are lost
+     * (reported through onLost just after).
      */
     virtual void onDrop(const OpticalPacket &pkt, NodeId router,
-                        NodeId launch_router, int signal_hops)
+                        NodeId launch_router, int signal_hops,
+                        bool signal_lost)
     {
         (void)pkt;
         (void)router;
         (void)launch_router;
         (void)signal_hops;
+        (void)signal_lost;
+    }
+
+    /**
+     * Delivery units were permanently lost to an injected fault
+     * (DESIGN.md §10); the loss is final the cycle it is reported.
+     */
+    virtual void onLost(const Packet &pkt, uint64_t branch_id,
+                        NodeId router, int units, LostCause cause)
+    {
+        (void)pkt;
+        (void)branch_id;
+        (void)router;
+        (void)units;
+        (void)cause;
+    }
+
+    /**
+     * A tap delivery at @p router was suppressed as a duplicate: the
+     * tap sits below the packet's dedupBelow watermark, so an earlier
+     * attempt already served it.
+     */
+    virtual void onDuplicate(const OpticalPacket &pkt, NodeId router)
+    {
+        (void)pkt;
+        (void)router;
     }
 
     /**
@@ -197,10 +240,23 @@ class ObserverMux : public StepObserver
             o->onBufferReceive(pkt, router, queue, interim);
     }
     void onDrop(const OpticalPacket &pkt, NodeId router,
-                NodeId launch_router, int signal_hops) override
+                NodeId launch_router, int signal_hops,
+                bool signal_lost) override
     {
         for (auto *o : children_)
-            o->onDrop(pkt, router, launch_router, signal_hops);
+            o->onDrop(pkt, router, launch_router, signal_hops,
+                      signal_lost);
+    }
+    void onLost(const Packet &pkt, uint64_t branch_id, NodeId router,
+                int units, LostCause cause) override
+    {
+        for (auto *o : children_)
+            o->onLost(pkt, branch_id, router, units, cause);
+    }
+    void onDuplicate(const OpticalPacket &pkt, NodeId router) override
+    {
+        for (auto *o : children_)
+            o->onDuplicate(pkt, router);
     }
     void onCycleEnd(Cycle cycle) override
     {

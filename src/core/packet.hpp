@@ -44,6 +44,17 @@ struct OpticalPacket {
     /** Index of the first unserved tap in taps. */
     uint32_t tapCursor = 0;
 
+    /**
+     * Duplicate-suppression watermark (DESIGN.md §10). When a
+     * Packet-Dropped signal arrives with a corrupted dropper Node ID
+     * the source cannot clear the served Multicast bits, so the full
+     * branch is retransmitted; taps below this index were already
+     * served by an earlier attempt and receivers suppress them as
+     * duplicates instead of delivering twice. Always 0 when
+     * dropperIdCorruptRate == 0.
+     */
+    uint32_t dedupBelow = 0;
+
     /** True when every tap has been served. */
     bool tapsDone() const { return tapCursor >= taps.size(); }
 

@@ -115,21 +115,121 @@ struct PhastlaneParams {
     uint64_t seed = 1;
 
     /**
-     * Deliberate semantic mutations used ONLY to validate that the
-     * src/check/ verification subsystem actually catches bugs (a
-     * checker that never fires is untested). Never enable outside
-     * checker-validation tests.
+     * Fault injection (DESIGN.md §10).
+     *
+     * The boolean knobs are deliberate semantic mutations used ONLY to
+     * validate that the src/check/ verification subsystem actually
+     * catches bugs (a checker that never fires is untested). The rate
+     * knobs model stochastic device faults; every draw is a stateless
+     * hash of (faultSeed, fault kind, branch, cycle, node) — see
+     * faultRoll() — so runs are reproducible at any thread count, the
+     * ReferenceNetwork mirrors each draw exactly, and rates of 0
+     * consume no randomness at all (bit-identical to a fault-free
+     * build; the backoff RNG stream is untouched).
+     *
+     * The field lists are X-macros so the differential repro emitter
+     * (check/differential.cpp) and any other field-generic consumer
+     * iterate every knob by construction: a field added here cannot be
+     * silently dropped from emitted repros.
+     *
+     * Rate knob semantics:
+     *  - misTurnRate: a pass resonator mis-tunes and diverts the
+     *    packet into the router's electrical buffer (received as if
+     *    blocked; dropped if the buffer is full).
+     *  - missedReceiveRate: a receive/tap resonator fails to capture
+     *    the packet copy; the delivery unit is lost (the protocol has
+     *    no delivery ack, so nothing retransmits it).
+     *  - dropSignalLossRate: the Packet-Dropped return signal is lost;
+     *    the holder's "no signal means success" rule frees the buffer
+     *    slot and the packet's undelivered units are lost.
+     *  - dropperIdCorruptRate: the 6-bit dropper Node ID arrives
+     *    corrupted, so a multicast source cannot clear the served
+     *    Multicast bits and retransmits the full branch; receivers
+     *    suppress the re-served taps as duplicates (dedupBelow).
+     *  - routerFailRate: hard router failure, drawn once per node at
+     *    construction; arrivals black-hole (units lost), and packets
+     *    injected at a failed node are accepted and immediately
+     *    accounted lost.
      */
+#define PL_FAULT_BOOL_FIELDS(X) X(invertStraightPriority)
+#define PL_FAULT_RATE_FIELDS(X)                                        \
+    X(misTurnRate)                                                     \
+    X(missedReceiveRate)                                               \
+    X(dropSignalLossRate)                                              \
+    X(dropperIdCorruptRate)                                            \
+    X(routerFailRate)
+#define PL_FAULT_SEED_FIELDS(X) X(faultSeed)
     struct FaultInjection {
-        /** Invert the straight-over-turn optical priority (paper
-         *  Section 2.2): turning packets win contended ports. */
-        bool invertStraightPriority = false;
+#define PL_DECLARE_BOOL(name) bool name = false;
+#define PL_DECLARE_RATE(name) double name = 0.0;
+#define PL_DECLARE_SEED(name) uint64_t name = 0;
+        PL_FAULT_BOOL_FIELDS(PL_DECLARE_BOOL)
+        PL_FAULT_RATE_FIELDS(PL_DECLARE_RATE)
+        PL_FAULT_SEED_FIELDS(PL_DECLARE_SEED)
+#undef PL_DECLARE_BOOL
+#undef PL_DECLARE_RATE
+#undef PL_DECLARE_SEED
+
+        /** True when any stochastic fault rate is positive. */
+        bool anyRate() const
+        {
+#define PL_OR_RATE(name) || name > 0.0
+            return false PL_FAULT_RATE_FIELDS(PL_OR_RATE);
+#undef PL_OR_RATE
+        }
     };
     FaultInjection faults;
 
     bool infiniteBuffers() const { return routerBufferEntries <= 0; }
     int nodeCount() const { return meshWidth * meshHeight; }
 };
+
+/** Fault classes drawn through faultRoll (DESIGN.md §10). */
+enum class FaultKind : uint32_t {
+    MisTurn = 1,
+    MissedReceive = 2,
+    DropSignalLoss = 3,
+    DropperIdCorrupt = 4,
+    RouterFail = 5,
+};
+
+/** SplitMix64 finalizer: full-avalanche 64-bit mix. */
+inline uint64_t faultMix(uint64_t h)
+{
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return h;
+}
+
+/**
+ * Stateless fault draw: true with probability @p rate, as a pure
+ * function of (faultSeed, kind, a, b, c). The operands identify the
+ * event being rolled (typically branch id, cycle, node), so the same
+ * event gets the same verdict in the optimized network, in the
+ * ReferenceNetwork oracle, and at any thread count — no RNG state is
+ * consumed (a rate of 0 short-circuits before hashing, leaving
+ * fault-free runs bit-identical to builds without this feature).
+ */
+inline bool
+faultRoll(const PhastlaneParams::FaultInjection &fi, double rate,
+          FaultKind kind, uint64_t a, uint64_t b, uint64_t c)
+{
+    if (!(rate > 0.0)) {
+        return false;
+    }
+    uint64_t h = fi.faultSeed + 0x9e3779b97f4a7c15ull;
+    h = faultMix(h ^ (static_cast<uint64_t>(kind) *
+                      0x9e3779b97f4a7c15ull));
+    h = faultMix(h ^ (a * 0x9e3779b97f4a7c15ull));
+    h = faultMix(h ^ (b * 0x9e3779b97f4a7c15ull));
+    h = faultMix(h ^ (c * 0x9e3779b97f4a7c15ull));
+    const double u =
+        static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < rate;
+}
 
 /**
  * Exponential-backoff jitter window after @p attempts completed

@@ -1,0 +1,140 @@
+#include "core/reliability.hpp"
+
+#include "common/log.hpp"
+
+namespace phastlane::core {
+
+ReliableNic::ReliableNic(Network &net, const ReliableNicOptions &opts)
+    : net_(net), opts_(opts)
+{
+    if (opts_.baseTimeout < 1)
+        fatal("ReliableNic: baseTimeout must be >= 1");
+    if (opts_.maxRetries < 0 || opts_.backoffShiftCap < 0)
+        fatal("ReliableNic: negative retry/backoff configuration");
+}
+
+Cycle
+ReliableNic::timeoutFor(int attempt) const
+{
+    const int shift =
+        attempt < opts_.backoffShiftCap ? attempt
+                                        : opts_.backoffShiftCap;
+    return opts_.baseTimeout << shift;
+}
+
+bool
+ReliableNic::send(const Packet &pkt)
+{
+    if (isWireId(pkt.id))
+        fatal("ReliableNic::send: packet id %llu has the wire flag "
+              "bit set",
+              static_cast<unsigned long long>(pkt.id));
+    const uint64_t seq = nextSeq_;
+    Packet wire = pkt;
+    wire.id = wireId(seq, 0);
+    if (!net_.inject(wire))
+        return false;
+    ++nextSeq_;
+    ++stats_.sends;
+
+    Tracker t;
+    t.original = pkt;
+    t.sentAt = net_.now();
+    t.deadline = t.sentAt + timeoutFor(0);
+    t.attempt = 0;
+    t.expected = pkt.deliveryCount(net_.nodeCount());
+    trackers_.emplace(seq, std::move(t));
+    return true;
+}
+
+void
+ReliableNic::harvestDeliveries()
+{
+    for (const Delivery &d : net_.deliveries()) {
+        if (!isWireId(d.packet.id)) {
+            // Traffic injected around the reliability layer passes
+            // through untouched.
+            deliveries_.push_back(d);
+            continue;
+        }
+        const uint64_t seq = seqOf(d.packet.id);
+        auto it = trackers_.find(seq);
+        if (it == trackers_.end()) {
+            // The tracker already closed (completed or expired); a
+            // straggler flight from an earlier attempt landed late.
+            ++stats_.late;
+            continue;
+        }
+        Tracker &t = it->second;
+        if (!t.delivered.insert(d.node).second) {
+            ++stats_.duplicates;
+            continue;
+        }
+        Delivery out = d;
+        out.packet = t.original;
+        deliveries_.push_back(out);
+        if (static_cast<int>(t.delivered.size()) >= t.expected) {
+            ++stats_.completed;
+            trackers_.erase(it);
+        }
+    }
+}
+
+void
+ReliableNic::runTimers()
+{
+    const Cycle now = net_.now();
+    for (auto it = trackers_.begin(); it != trackers_.end();) {
+        Tracker &t = it->second;
+        if (now < t.deadline) {
+            ++it;
+            continue;
+        }
+        ++stats_.timeouts;
+        if (t.attempt >= opts_.maxRetries) {
+            ++stats_.expired;
+            stats_.lostUnits +=
+                static_cast<uint64_t>(t.expected)
+                - static_cast<uint64_t>(t.delivered.size());
+            it = trackers_.erase(it);
+            continue;
+        }
+        Packet wire = t.original;
+        wire.id = wireId(it->first, t.attempt + 1);
+        if (net_.inject(wire)) {
+            ++t.attempt;
+            ++stats_.retransmits;
+            t.sentAt = now;
+            t.deadline = now + timeoutFor(t.attempt);
+        } else {
+            // Source NIC full: retry the injection next cycle without
+            // burning an attempt. Deterministic — depends only on NIC
+            // occupancy, which is part of the simulated state.
+            t.deadline = now + 1;
+        }
+        ++it;
+    }
+}
+
+void
+ReliableNic::step()
+{
+    deliveries_.clear();
+    net_.step();
+    harvestDeliveries();
+    runTimers();
+}
+
+uint64_t
+ReliableNic::inFlight() const
+{
+    uint64_t units = 0;
+    for (const auto &[seq, t] : trackers_) {
+        (void)seq;
+        units += static_cast<uint64_t>(t.expected)
+                 - static_cast<uint64_t>(t.delivered.size());
+    }
+    return units;
+}
+
+} // namespace phastlane::core

@@ -83,13 +83,36 @@ TraceObserver::onBufferReceive(const core::OpticalPacket &pkt,
 
 void
 TraceObserver::onDrop(const core::OpticalPacket &pkt, NodeId router,
-                      NodeId launch_router, int signal_hops)
+                      NodeId launch_router, int signal_hops,
+                      bool signal_lost)
 {
     ring_.push(TraceRecord{net_.now(), pkt.base.id, pkt.branchId,
                            router, signal_hops, TraceEvent::Drop});
+    // A lost drop signal never reaches the holder, so no DropSignal
+    // record appears at the launch router.
+    if (!signal_lost)
+        ring_.push(TraceRecord{net_.now(), pkt.base.id, pkt.branchId,
+                               launch_router, signal_hops,
+                               TraceEvent::DropSignal});
+}
+
+void
+TraceObserver::onLost(const Packet &pkt, uint64_t branch_id,
+                      NodeId router, int units, core::LostCause cause)
+{
+    (void)cause;
+    if (units <= 0)
+        return;
+    ring_.push(TraceRecord{net_.now(), pkt.id, branch_id, router,
+                           units, TraceEvent::Lost});
+}
+
+void
+TraceObserver::onDuplicate(const core::OpticalPacket &pkt,
+                           NodeId router)
+{
     ring_.push(TraceRecord{net_.now(), pkt.base.id, pkt.branchId,
-                           launch_router, signal_hops,
-                           TraceEvent::DropSignal});
+                           router, 0, TraceEvent::Duplicate});
 }
 
 void
@@ -118,6 +141,9 @@ MetricsObserver::MetricsObserver(const core::PhastlaneNetwork &net,
       blocked_(registry.counter("buffer.blocked_receives")),
       interim_(registry.counter("buffer.interim_accepts")),
       dropSignalHops_(registry.counter("drop.signal_hops")),
+      lostUnits_(registry.counter("fault.lost_units")),
+      lostSignals_(registry.counter("fault.drop_signals_lost")),
+      duplicates_(registry.counter("fault.duplicates_suppressed")),
       inFlight_(registry.gauge("net.in_flight")),
       buffered_(registry.gauge("buffer.packets")),
       nicQueued_(registry.gauge("nic.queued")),
@@ -202,15 +228,41 @@ MetricsObserver::onBufferReceive(const core::OpticalPacket &pkt,
 
 void
 MetricsObserver::onDrop(const core::OpticalPacket &pkt, NodeId router,
-                        NodeId launch_router, int signal_hops)
+                        NodeId launch_router, int signal_hops,
+                        bool signal_lost)
 {
     (void)pkt;
     (void)launch_router;
     drops_.inc();
-    dropSignalHops_.inc(static_cast<uint64_t>(signal_hops));
-    signalHops_.record(static_cast<uint64_t>(signal_hops));
+    if (signal_lost) {
+        lostSignals_.inc();
+    } else {
+        dropSignalHops_.inc(static_cast<uint64_t>(signal_hops));
+        signalHops_.record(static_cast<uint64_t>(signal_hops));
+    }
     if (heatmap_)
         heatmap_->addDrop(router);
+}
+
+void
+MetricsObserver::onLost(const Packet &pkt, uint64_t branch_id,
+                        NodeId router, int units, core::LostCause cause)
+{
+    (void)pkt;
+    (void)branch_id;
+    (void)router;
+    (void)cause;
+    if (units > 0)
+        lostUnits_.inc(static_cast<uint64_t>(units));
+}
+
+void
+MetricsObserver::onDuplicate(const core::OpticalPacket &pkt,
+                             NodeId router)
+{
+    (void)pkt;
+    (void)router;
+    duplicates_.inc();
 }
 
 void

@@ -62,7 +62,12 @@ class TraceObserver : public core::StepObserver
     void onBufferReceive(const core::OpticalPacket &pkt, NodeId router,
                          Port queue, bool interim) override;
     void onDrop(const core::OpticalPacket &pkt, NodeId router,
-                NodeId launch_router, int signal_hops) override;
+                NodeId launch_router, int signal_hops,
+                bool signal_lost) override;
+    void onLost(const Packet &pkt, uint64_t branch_id, NodeId router,
+                int units, core::LostCause cause) override;
+    void onDuplicate(const core::OpticalPacket &pkt,
+                     NodeId router) override;
     void onCycleEnd(Cycle cycle) override;
 
   private:
@@ -99,7 +104,12 @@ class MetricsObserver : public core::StepObserver
     void onBufferReceive(const core::OpticalPacket &pkt, NodeId router,
                          Port queue, bool interim) override;
     void onDrop(const core::OpticalPacket &pkt, NodeId router,
-                NodeId launch_router, int signal_hops) override;
+                NodeId launch_router, int signal_hops,
+                bool signal_lost) override;
+    void onLost(const Packet &pkt, uint64_t branch_id, NodeId router,
+                int units, core::LostCause cause) override;
+    void onDuplicate(const core::OpticalPacket &pkt,
+                     NodeId router) override;
     void onCycleEnd(Cycle cycle) override;
 
   private:
@@ -119,6 +129,9 @@ class MetricsObserver : public core::StepObserver
     Counter &blocked_;
     Counter &interim_;
     Counter &dropSignalHops_;
+    Counter &lostUnits_;
+    Counter &lostSignals_;
+    Counter &duplicates_;
     Gauge &inFlight_;
     Gauge &buffered_;
     Gauge &nicQueued_;

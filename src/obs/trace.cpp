@@ -24,6 +24,8 @@ traceEventName(TraceEvent e)
       case TraceEvent::DropSignal: return "drop_signal";
       case TraceEvent::BranchFinal: return "final";
       case TraceEvent::Sample: return "sample";
+      case TraceEvent::Lost: return "lost";
+      case TraceEvent::Duplicate: return "duplicate";
     }
     return "?";
 }
@@ -135,6 +137,8 @@ toChromeTrace(const TraceRing &ring, const MeshTopology &mesh)
           case TraceEvent::InterimAccept:
           case TraceEvent::Drop:
           case TraceEvent::BranchFinal:
+          case TraceEvent::Lost:
+          case TraceEvent::Duplicate:
             beginEvent(out, name, "branch", "e", r.cycle, r.node);
             appendF(out,
                     ",\"id\":%" PRIu64 ",\"args\":{\"packet\":%" PRIu64

@@ -41,9 +41,11 @@ enum class TraceEvent : uint8_t {
     DropSignal,    ///< drop signal returned to the holder
     BranchFinal,   ///< branch terminated at its final router
     Sample,        ///< periodic in-flight/buffered counter sample
+    Lost,          ///< delivery units lost to an injected fault
+    Duplicate,     ///< tap suppressed as a duplicate (dedup watermark)
 };
 
-constexpr int kTraceEventKinds = 12;
+constexpr int kTraceEventKinds = 14;
 
 /** Name of a trace event kind (stable; used in the JSON export). */
 const char *traceEventName(TraceEvent e);

@@ -1,0 +1,279 @@
+#include "sim/fault_sweep.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <deque>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "core/network.hpp"
+#include "sim/parallel.hpp"
+
+namespace phastlane::sim {
+
+std::vector<std::string>
+faultRateFields()
+{
+    std::vector<std::string> names;
+#define PL_FAULT_NAME(name) names.push_back(#name);
+    PL_FAULT_RATE_FIELDS(PL_FAULT_NAME)
+#undef PL_FAULT_NAME
+    return names;
+}
+
+bool
+setFaultRate(core::PhastlaneParams::FaultInjection &fi,
+             const std::string &name, double value)
+{
+#define PL_FAULT_SET(field)                                            \
+    if (name == #field) {                                              \
+        fi.field = value;                                              \
+        return true;                                                   \
+    }
+    PL_FAULT_RATE_FIELDS(PL_FAULT_SET)
+#undef PL_FAULT_SET
+    return false;
+}
+
+bool
+applyFaultFlags(const Config &args,
+                core::PhastlaneParams::FaultInjection &faults)
+{
+    bool any = false;
+    const auto rate = [&](const char *key, double &field) {
+        if (!args.has(key))
+            return;
+        const double v = args.getDouble(key, 0.0);
+        if (v < 0.0 || v > 1.0)
+            fatal("--%s must be in [0, 1], got %g", key, v);
+        field = v;
+        any = true;
+    };
+    rate("fault-mis-turn", faults.misTurnRate);
+    rate("fault-missed-receive", faults.missedReceiveRate);
+    rate("fault-signal-loss", faults.dropSignalLossRate);
+    rate("fault-corrupt", faults.dropperIdCorruptRate);
+    rate("fault-router-fail", faults.routerFailRate);
+    if (args.has("fault-seed")) {
+        faults.faultSeed =
+            static_cast<uint64_t>(args.getInt("fault-seed", 0));
+        any = true;
+    }
+    return any;
+}
+
+std::vector<std::string>
+faultFlagNames()
+{
+    return {"fault-mis-turn",    "fault-missed-receive",
+            "fault-signal-loss", "fault-corrupt",
+            "fault-router-fail", "fault-seed"};
+}
+
+std::vector<double>
+defaultFaultGrid()
+{
+    // Integer-generated so the grid is exact: 0, then a coarse ramp
+    // covering the regimes where retransmission still wins, struggles,
+    // and finally loses messages outright.
+    std::vector<double> rates{0.0};
+    for (int m : {1, 2, 5, 10, 20, 35, 50})
+        rates.push_back(m / 100.0);
+    return rates;
+}
+
+namespace {
+
+/**
+ * Simulate one sweep point: Bernoulli traffic over its own network
+ * (and optional ReliableNic), entirely self-contained so points can
+ * run on any thread. Seeds derive from (cfg.seed, index).
+ */
+FaultSweepPoint
+runFaultPoint(const FaultSweepConfig &cfg, size_t index)
+{
+    core::PhastlaneParams params = cfg.params;
+    if (!setFaultRate(params.faults, cfg.sweepField, cfg.rates[index]))
+        fatal("fault sweep: unknown fault rate field '%s'",
+              cfg.sweepField.c_str());
+    const uint64_t pointSeed = derivePointSeed(cfg.seed, index);
+    params.faults.faultSeed = pointSeed;
+    params.seed = pointSeed;
+
+    core::PhastlaneNetwork net(params);
+    core::ReliableNic rnic(net, cfg.reliableOpts);
+    const int nodes = net.nodeCount();
+
+    FaultSweepPoint pt;
+    pt.faultRate = cfg.rates[index];
+
+    Rng traffic(derivePointSeed(pointSeed, 0x7261666654ull));
+    std::vector<std::deque<Packet>> sourceQueues(
+        static_cast<size_t>(nodes));
+    uint64_t nextId = 1;
+
+    auto pump = [&]() {
+        for (NodeId n = 0; n < nodes; ++n) {
+            auto &q = sourceQueues[static_cast<size_t>(n)];
+            while (!q.empty() && net.nicHasSpace(n)) {
+                const bool ok = cfg.reliable ? rnic.send(q.front())
+                                             : net.inject(q.front());
+                if (!ok)
+                    break;
+                pt.unitsExpected += static_cast<uint64_t>(
+                    q.front().deliveryCount(nodes));
+                q.pop_front();
+            }
+        }
+    };
+    auto harvest = [&]() {
+        const auto &ds =
+            cfg.reliable ? rnic.deliveries() : net.deliveries();
+        pt.unitsDelivered += ds.size();
+    };
+
+    Cycle cycle = 0;
+    for (; cycle < cfg.measureCycles; ++cycle) {
+        for (NodeId n = 0; n < nodes; ++n) {
+            if (!traffic.bernoulli(cfg.injectionRate))
+                continue;
+            Packet pkt;
+            pkt.id = nextId++;
+            pkt.src = n;
+            pkt.broadcast = traffic.bernoulli(cfg.broadcastFraction);
+            pkt.dst = pkt.broadcast
+                          ? kInvalidNode
+                          : static_cast<NodeId>(traffic.uniformInt(
+                                0, nodes - 1));
+            if (!pkt.broadcast && pkt.dst == n)
+                pkt.dst = static_cast<NodeId>((n + 1) % nodes);
+            pkt.createdAt = cycle;
+            sourceQueues[static_cast<size_t>(n)].push_back(pkt);
+            ++pt.messagesOffered;
+        }
+        pump();
+        if (cfg.reliable)
+            rnic.step();
+        else
+            net.step();
+        harvest();
+    }
+
+    auto quiescent = [&]() {
+        if (net.inFlight() != 0 || net.bufferedPackets() != 0
+            || net.nicQueuedPackets() != 0)
+            return false;
+        if (cfg.reliable && !rnic.idle())
+            return false;
+        for (const auto &q : sourceQueues)
+            if (!q.empty())
+                return false;
+        return true;
+    };
+    Cycle drained = 0;
+    for (; drained < cfg.maxDrainCycles && !quiescent(); ++drained) {
+        pump();
+        if (cfg.reliable)
+            rnic.step();
+        else
+            net.step();
+        harvest();
+    }
+    pt.drained = quiescent();
+    pt.cycles = cycle + drained;
+
+    pt.drops = net.phastlaneCounters().drops;
+    pt.retransmissions = net.phastlaneCounters().retransmissions;
+    pt.events = net.events();
+    if (cfg.reliable)
+        pt.e2e = rnic.stats();
+    return pt;
+}
+
+void
+appendF(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+} // namespace
+
+std::vector<FaultSweepPoint>
+runFaultSweep(const FaultSweepConfig &cfg)
+{
+    const size_t n = cfg.rates.size();
+    std::vector<FaultSweepPoint> points(n);
+    parallelFor(
+        n, [&](size_t i) { points[i] = runFaultPoint(cfg, i); },
+        cfg.threads);
+    return points;
+}
+
+std::string
+faultSweepToJson(const FaultSweepConfig &cfg,
+                 const std::vector<FaultSweepPoint> &pts)
+{
+    std::string out;
+    out.reserve(pts.size() * 512 + 512);
+    appendF(out,
+            "{\n\"sweep_field\": \"%s\",\n\"reliable\": %s,\n"
+            "\"injection_rate\": %.6f,\n\"broadcast_fraction\": %.6f,\n"
+            "\"seed\": %" PRIu64 ",\n\"points\": [\n",
+            cfg.sweepField.c_str(), cfg.reliable ? "true" : "false",
+            cfg.injectionRate, cfg.broadcastFraction, cfg.seed);
+    for (size_t i = 0; i < pts.size(); ++i) {
+        const FaultSweepPoint &p = pts[i];
+        appendF(out,
+                "{\"fault_rate\": %.6f, \"messages_offered\": %" PRIu64
+                ", \"units_expected\": %" PRIu64
+                ", \"units_delivered\": %" PRIu64
+                ", \"cycles\": %" PRIu64 ", \"drained\": %s,\n"
+                " \"drops\": %" PRIu64 ", \"retransmissions\": %" PRIu64
+                ", \"lost_units\": %" PRIu64
+                ", \"drop_signals_lost\": %" PRIu64
+                ", \"duplicates_suppressed\": %" PRIu64 ",\n"
+                " \"fault_mis_turns\": %" PRIu64
+                ", \"fault_missed_receives\": %" PRIu64
+                ", \"fault_corruptions\": %" PRIu64
+                ", \"fault_dead_arrivals\": %" PRIu64 ",\n"
+                " \"e2e\": {\"sends\": %" PRIu64
+                ", \"retransmits\": %" PRIu64 ", \"timeouts\": %" PRIu64
+                ", \"duplicates\": %" PRIu64 ", \"late\": %" PRIu64
+                ", \"completed\": %" PRIu64 ", \"expired\": %" PRIu64
+                ", \"lost_units\": %" PRIu64 "}}%s\n",
+                p.faultRate, p.messagesOffered, p.unitsExpected,
+                p.unitsDelivered, p.cycles,
+                p.drained ? "true" : "false", p.drops,
+                p.retransmissions, p.events.lostUnits,
+                p.events.dropSignalsLost,
+                p.events.duplicatesSuppressed, p.events.faultMisTurns,
+                p.events.faultMissedReceives, p.events.faultCorruptions,
+                p.events.faultDeadArrivals, p.e2e.sends,
+                p.e2e.retransmits, p.e2e.timeouts, p.e2e.duplicates,
+                p.e2e.late, p.e2e.completed, p.e2e.expired,
+                p.e2e.lostUnits, i + 1 < pts.size() ? "," : "");
+    }
+    out += "]\n}\n";
+    return out;
+}
+
+void
+writeFaultSweepJson(const FaultSweepConfig &cfg,
+                    const std::vector<FaultSweepPoint> &pts,
+                    const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write fault sweep to %s", path.c_str());
+    const std::string text = faultSweepToJson(cfg, pts);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+} // namespace phastlane::sim

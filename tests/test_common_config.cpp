@@ -96,5 +96,17 @@ TEST(ConfigTest, HexIntegers)
     EXPECT_EQ(c.getInt("mask", 0), 255);
 }
 
+TEST(ConfigTest, UnknownKeys)
+{
+    Config c = parse({"--rate", "0.1", "--oops", "--seed=3"});
+    EXPECT_TRUE(c.unknownKeys({"rate", "oops", "seed"}).empty());
+    const auto unknown = c.unknownKeys({"rate", "seed"});
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "oops");
+    // requireKnown is a no-op when everything is known; the fatal
+    // path (non-zero exit) is covered by the CLI smoke tests.
+    c.requireKnown({"rate", "oops", "seed"});
+}
+
 } // namespace
 } // namespace phastlane

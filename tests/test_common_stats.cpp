@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <gtest/gtest.h>
+#include <limits>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -122,6 +123,51 @@ TEST(HistogramTest, QuantileAllInOverflow)
     h.add(200.0);
     // Reported at the lower edge of the overflow region.
     EXPECT_DOUBLE_EQ(h.quantile(0.9), 10.0);
+}
+
+TEST(HistogramTest, NonFiniteInputsLandInOverflow)
+{
+    // NaN and +inf used to hit an unguarded float->size_t cast
+    // (undefined behavior); they must count in the overflow bin.
+    Histogram h(1.0, 10);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    h.add(std::numeric_limits<double>::infinity());
+    h.add(std::nextafter(1e300, 2e300));
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.overflow(), 3u);
+    for (size_t i = 0; i < h.binCount(); ++i)
+        EXPECT_EQ(h.binValue(i), 0u) << "bin " << i;
+}
+
+TEST(HistogramTest, TopEdgeGoesToOverflowNotLastBin)
+{
+    Histogram h(10.0, 5); // top edge 50
+    h.add(std::nextafter(50.0, 0.0)); // just below: last bin
+    h.add(50.0);                      // at the edge: overflow
+    h.add(std::nextafter(50.0, 100.0));
+    EXPECT_EQ(h.binValue(4), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(HistogramTest, QuantileZeroIsLowerEdgeOfFirstOccupiedBin)
+{
+    Histogram h(10.0, 5);
+    h.add(25.0);
+    h.add(27.0);
+    // q = 0 interpolates zero mass into bin 2, i.e. its lower edge.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 20.0);
+}
+
+TEST(HistogramTest, QuantileOneWithOverflowTarget)
+{
+    Histogram h(1.0, 4);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(99.0); // overflow holds the q = 1 target
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+    // But quantiles whose target lies inside regular bins still
+    // resolve there.
+    EXPECT_LT(h.quantile(0.3), 4.0);
 }
 
 TEST(CounterTest, IncrementAndReset)

@@ -316,8 +316,8 @@ TEST(PhastlaneNet, MulticastRetransmitAfterPartialDropIsExactlyOnce)
     // drop) — every addressed node once, no node twice.
     struct PartialDropSpy : StepObserver {
         int partialDrops = 0;
-        void onDrop(const OpticalPacket &pkt, NodeId, NodeId,
-                    int) override
+        void onDrop(const OpticalPacket &pkt, NodeId, NodeId, int,
+                    bool) override
         {
             if (pkt.multicast && pkt.tapCursor > 0)
                 ++partialDrops;

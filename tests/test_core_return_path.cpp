@@ -22,7 +22,7 @@ struct DropRecorder : StepObserver {
 
     void onCycleBegin(Cycle c) override { cycle = c; }
     void onDrop(const OpticalPacket &, NodeId, NodeId launch_router,
-                int) override
+                int, bool) override
     {
         ++byLaunchRouter[{cycle, launch_router}];
     }
