@@ -33,6 +33,7 @@ main(int argc, char **argv)
         for (double rate : {0.05, 0.15, 0.25}) {
             for (WavefrontModel model :
                  {WavefrontModel::SubstepFcfs,
+                  WavefrontModel::BitplaneFcfs,
                   WavefrontModel::GlobalPriority}) {
                 PhastlaneParams p;
                 p.wavefront = model;
@@ -48,6 +49,8 @@ main(int argc, char **argv)
                 t.addRow({TextTable::num(rate, 2),
                           model == WavefrontModel::SubstepFcfs
                               ? "substep-FCFS"
+                          : model == WavefrontModel::BitplaneFcfs
+                              ? "bitplane-FCFS"
                               : "global-priority",
                           TextTable::num(r.avgLatency, 2),
                           TextTable::num(static_cast<int64_t>(

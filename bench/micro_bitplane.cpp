@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the bit-plane wavefront kernels
+ * (DESIGN.md §11) against their scalar per-(router, port) reference
+ * loops: claim resolution (win = once & ~multi & ~claimed) and
+ * wavefront propagation (one-hop masked shift). Run over dense,
+ * sparse, and adversarial request patterns at two mesh sizes; the
+ * reported ns/op is one full resolution or one four-direction
+ * propagation sweep of the whole mesh.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/bitplane.hpp"
+
+namespace {
+
+using namespace phastlane;
+using namespace phastlane::core;
+
+enum Pattern : int {
+    /** Every (router, port) bit set: peak word-parallel advantage. */
+    Dense = 0,
+    /** ~5% of bits set: the typical low-load wavefront. */
+    Sparse = 1,
+    /** Alternating bits with heavy multi/claimed overlap: worst case
+     *  for branch prediction in the scalar loop, no shortcut for the
+     *  word-parallel one. */
+    Adversarial = 2,
+};
+
+const char *
+patternName(int p)
+{
+    switch (p) {
+    case Dense: return "dense";
+    case Sparse: return "sparse";
+    default: return "adversarial";
+    }
+}
+
+void
+fillPlanes(PortPlanes &planes, int nodes, int pattern, Rng &rng)
+{
+    planes.clear();
+    for (int n = 0; n < nodes; ++n) {
+        for (int pi = 0; pi < kMeshPorts; ++pi) {
+            bool set = false;
+            switch (pattern) {
+            case Dense: set = true; break;
+            case Sparse: set = rng.bernoulli(0.05); break;
+            default: set = ((n + pi) & 1) != 0; break;
+            }
+            if (set)
+                planes.set(static_cast<NodeId>(n),
+                           portFromIndex(pi));
+        }
+    }
+}
+
+/** Unpack one plane set into flat bool arrays for the scalar loop. */
+void
+unpack(const PortPlanes &planes, int nodes, std::vector<uint8_t> &out)
+{
+    out.assign(static_cast<size_t>(nodes) * kMeshPorts, 0);
+    for (int n = 0; n < nodes; ++n)
+        for (int pi = 0; pi < kMeshPorts; ++pi)
+            out[static_cast<size_t>(n) * kMeshPorts + pi] =
+                planes.test(static_cast<NodeId>(n),
+                            portFromIndex(pi));
+}
+
+/**
+ * Scalar claim resolution: the per-(router, port) loop the seed
+ * engine runs, over flat bool arrays.
+ */
+void
+BM_ClaimResolveScalar(benchmark::State &state)
+{
+    const int width = static_cast<int>(state.range(1));
+    const int nodes = width * width;
+    Rng rng(42);
+    PortPlanes once_p(nodes), multi_p(nodes), claimed_p(nodes);
+    fillPlanes(once_p, nodes, static_cast<int>(state.range(0)), rng);
+    fillPlanes(multi_p, nodes, static_cast<int>(state.range(0)), rng);
+    fillPlanes(claimed_p, nodes, static_cast<int>(state.range(0)),
+               rng);
+    std::vector<uint8_t> once, multi, claimed;
+    unpack(once_p, nodes, once);
+    unpack(multi_p, nodes, multi);
+    unpack(claimed_p, nodes, claimed);
+    std::vector<uint8_t> win(once.size());
+    for (auto _ : state) {
+        for (size_t i = 0; i < win.size(); ++i)
+            win[i] = once[i] && !multi[i] && !claimed[i];
+        benchmark::DoNotOptimize(win.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(win.size()));
+    state.SetLabel(patternName(static_cast<int>(state.range(0))));
+}
+
+/** Word-parallel claim resolution over the same bit content. */
+void
+BM_ClaimResolveBitplane(benchmark::State &state)
+{
+    const int width = static_cast<int>(state.range(1));
+    const int nodes = width * width;
+    Rng rng(42);
+    PortPlanes once(nodes), multi(nodes), claimed(nodes), win(nodes);
+    fillPlanes(once, nodes, static_cast<int>(state.range(0)), rng);
+    fillPlanes(multi, nodes, static_cast<int>(state.range(0)), rng);
+    fillPlanes(claimed, nodes, static_cast<int>(state.range(0)), rng);
+    const int words = win.words();
+    for (auto _ : state) {
+        for (int pi = 0; pi < kMeshPorts; ++pi) {
+            const Port p = portFromIndex(pi);
+            bitplane::andnot2(once.plane(p), multi.plane(p),
+                              claimed.plane(p), win.plane(p), words);
+        }
+        benchmark::DoNotOptimize(win.plane(Port::North));
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(nodes) * kMeshPorts);
+    state.SetLabel(patternName(static_cast<int>(state.range(0))));
+}
+
+/**
+ * Scalar propagation: move every set bit one hop in each direction
+ * with per-node coordinate arithmetic (the seed engine's inner loop).
+ */
+void
+BM_PropagateScalar(benchmark::State &state)
+{
+    const int width = static_cast<int>(state.range(1));
+    const int nodes = width * width;
+    Rng rng(43);
+    PortPlanes src_p(nodes);
+    fillPlanes(src_p, nodes, static_cast<int>(state.range(0)), rng);
+    std::vector<uint8_t> src;
+    unpack(src_p, nodes, src);
+    std::vector<uint8_t> dst(src.size());
+    for (auto _ : state) {
+        std::fill(dst.begin(), dst.end(), 0);
+        for (int n = 0; n < nodes; ++n) {
+            const int x = n % width, y = n / width;
+            for (int pi = 0; pi < kMeshPorts; ++pi) {
+                if (!src[static_cast<size_t>(n) * kMeshPorts + pi])
+                    continue;
+                int nx = x, ny = y;
+                switch (portFromIndex(pi)) {
+                case Port::North: ++ny; break;
+                case Port::South: --ny; break;
+                case Port::East: ++nx; break;
+                case Port::West: --nx; break;
+                default: break;
+                }
+                if (nx < 0 || nx >= width || ny < 0 || ny >= width)
+                    continue;
+                dst[static_cast<size_t>(ny * width + nx) * kMeshPorts +
+                    pi] = 1;
+            }
+        }
+        benchmark::DoNotOptimize(dst.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(nodes) * kMeshPorts);
+    state.SetLabel(patternName(static_cast<int>(state.range(0))));
+}
+
+/** Masked-shift propagation: four shiftToward sweeps per iteration. */
+void
+BM_PropagateBitplane(benchmark::State &state)
+{
+    const int width = static_cast<int>(state.range(1));
+    const int nodes = width * width;
+    Rng rng(43);
+    BitPlaneMesh mesh(width, width);
+    PortPlanes src(nodes), dst(nodes);
+    fillPlanes(src, nodes, static_cast<int>(state.range(0)), rng);
+    for (auto _ : state) {
+        for (int pi = 0; pi < kMeshPorts; ++pi) {
+            const Port p = portFromIndex(pi);
+            mesh.shiftToward(p, src.plane(p), dst.plane(p));
+        }
+        benchmark::DoNotOptimize(dst.plane(Port::North));
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(nodes) * kMeshPorts);
+    state.SetLabel(patternName(static_cast<int>(state.range(0))));
+}
+
+void
+allCases(benchmark::internal::Benchmark *b)
+{
+    for (int pattern : {Dense, Sparse, Adversarial})
+        for (int width : {8, 32}) // 1-word and 16-word planes
+            b->Args({pattern, width});
+}
+
+BENCHMARK(BM_ClaimResolveScalar)->Apply(allCases);
+BENCHMARK(BM_ClaimResolveBitplane)->Apply(allCases);
+BENCHMARK(BM_PropagateScalar)->Apply(allCases);
+BENCHMARK(BM_PropagateBitplane)->Apply(allCases);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -186,6 +186,7 @@ knownFlags()
         "heatmap-csv", "heatmap-interval", "check",
         "reliable",    "fault-sweep-out", "fault-field",
         "fault-max",   "fault-steps",     "threads",
+        "wavefront",
     };
     for (const auto &f : sim::faultFlagNames())
         flags.push_back(f);
@@ -218,6 +219,12 @@ main(int argc, char **argv)
             "CSV\n"
             "    --heatmap-interval N   cycles between snapshots "
             "(default 64)\n"
+            "  engine (optical configs): --wavefront "
+            "bitplane|fcfs|global\n"
+            "            (word-parallel bit-plane engine [default], "
+            "the scalar FCFS\n"
+            "            reference, or the eviction-priority "
+            "ablation)\n"
             "  checking: --check (run under the invariant checker "
             "and, where supported,\n"
             "            in lockstep with the reference oracle; "
@@ -304,6 +311,31 @@ main(int argc, char **argv)
     }
 
     auto net = cfg.make(seed);
+
+    // --wavefront selects the contention engine (DESIGN.md §11):
+    // bitplane (word-parallel FCFS, default), fcfs (the scalar
+    // reference), or global (the eviction-priority ablation).
+    if (args.has("wavefront")) {
+        const std::string name = args.getString("wavefront", "");
+        core::WavefrontModel model;
+        if (name == "bitplane")
+            model = core::WavefrontModel::BitplaneFcfs;
+        else if (name == "fcfs")
+            model = core::WavefrontModel::SubstepFcfs;
+        else if (name == "global")
+            model = core::WavefrontModel::GlobalPriority;
+        else
+            panic("--wavefront expects bitplane, fcfs or global "
+                  "(got '%s')",
+                  name.c_str());
+        auto *pl = dynamic_cast<core::PhastlaneNetwork *>(net.get());
+        if (!pl)
+            panic("--wavefront supports optical (Phastlane) "
+                  "configurations only");
+        core::PhastlaneParams p = pl->params();
+        p.wavefront = model;
+        net = std::make_unique<core::PhastlaneNetwork>(p);
+    }
 
     // Fault flags rebuild the optical network with the requested
     // injection rates before any checker/observer attaches.

@@ -49,9 +49,11 @@ bool
 ReferenceNetwork::supports(const core::PhastlaneParams &params)
 {
     // GlobalPriority is an idealized ablation with intentionally
-    // different intra-cycle semantics; only the default wavefront is
-    // given a reference model.
-    return params.wavefront == core::WavefrontModel::SubstepFcfs &&
+    // different intra-cycle semantics. SubstepFcfs and BitplaneFcfs
+    // share one semantics (the bit-plane engine must be bit-identical
+    // to the scalar one), so this single reference models both.
+    return (params.wavefront == core::WavefrontModel::SubstepFcfs ||
+            params.wavefront == core::WavefrontModel::BitplaneFcfs) &&
            params.maxHopsPerCycle >= 1;
 }
 

@@ -12,50 +12,6 @@ MeshTopology::MeshTopology(int width, int height)
               width, height);
 }
 
-Coord
-MeshTopology::coordOf(NodeId n) const
-{
-    PL_ASSERT(valid(n), "node %d out of range", n);
-    return Coord{static_cast<int>(n) % width_,
-                 static_cast<int>(n) / width_};
-}
-
-NodeId
-MeshTopology::nodeAt(Coord c) const
-{
-    PL_ASSERT(inside(c), "coord (%d,%d) out of range", c.x, c.y);
-    return static_cast<NodeId>(c.y * width_ + c.x);
-}
-
-bool
-MeshTopology::inside(Coord c) const
-{
-    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
-}
-
-NodeId
-MeshTopology::neighbor(NodeId n, Port dir) const
-{
-    Coord c = coordOf(n);
-    switch (dir) {
-      case Port::North: c.y += 1; break;
-      case Port::South: c.y -= 1; break;
-      case Port::East: c.x += 1; break;
-      case Port::West: c.x -= 1; break;
-      default:
-        panic("neighbor() called with non-mesh port");
-    }
-    return inside(c) ? nodeAt(c) : kInvalidNode;
-}
-
-int
-MeshTopology::hopDistance(NodeId a, NodeId b) const
-{
-    const Coord ca = coordOf(a);
-    const Coord cb = coordOf(b);
-    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
-}
-
 std::vector<Port>
 MeshTopology::xyRoute(NodeId src, NodeId dst) const
 {
@@ -87,22 +43,6 @@ MeshTopology::xyPath(NodeId src, NodeId dst) const
         path.push_back(at);
     }
     return path;
-}
-
-Port
-MeshTopology::xyFirstHop(NodeId at, NodeId dst) const
-{
-    const Coord a = coordOf(at);
-    const Coord d = coordOf(dst);
-    if (a.x < d.x)
-        return Port::East;
-    if (a.x > d.x)
-        return Port::West;
-    if (a.y < d.y)
-        return Port::North;
-    if (a.y > d.y)
-        return Port::South;
-    return Port::Local;
 }
 
 } // namespace phastlane

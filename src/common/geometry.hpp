@@ -12,8 +12,10 @@
 #ifndef PHASTLANE_COMMON_GEOMETRY_HPP
 #define PHASTLANE_COMMON_GEOMETRY_HPP
 
+#include <cstdlib>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/types.hpp"
 
 namespace phastlane {
@@ -48,23 +50,56 @@ class MeshTopology
     /** True when @p n is a valid node id. */
     bool valid(NodeId n) const { return n >= 0 && n < nodeCount(); }
 
+    // The per-hop lookups below are defined inline: the simulator's
+    // step() hot path calls them millions of times per second, and the
+    // out-of-line versions' call overhead dominated the profile.
+
     /** Coordinate of node @p n. */
-    Coord coordOf(NodeId n) const;
+    Coord coordOf(NodeId n) const
+    {
+        PL_ASSERT(valid(n), "node %d out of range", n);
+        return Coord{static_cast<int>(n) % width_,
+                     static_cast<int>(n) / width_};
+    }
 
     /** Node id at coordinate @p c (must be in range). */
-    NodeId nodeAt(Coord c) const;
+    NodeId nodeAt(Coord c) const
+    {
+        PL_ASSERT(inside(c), "coord (%d,%d) out of range", c.x, c.y);
+        return static_cast<NodeId>(c.y * width_ + c.x);
+    }
 
     /** True when @p c lies inside the mesh. */
-    bool inside(Coord c) const;
+    bool inside(Coord c) const
+    {
+        return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+    }
 
     /**
      * Neighbor of @p n in direction @p dir, or kInvalidNode at the
      * mesh edge. @p dir must be a mesh direction, not Local.
      */
-    NodeId neighbor(NodeId n, Port dir) const;
+    NodeId neighbor(NodeId n, Port dir) const
+    {
+        Coord c = coordOf(n);
+        switch (dir) {
+          case Port::North: c.y += 1; break;
+          case Port::South: c.y -= 1; break;
+          case Port::East: c.x += 1; break;
+          case Port::West: c.x -= 1; break;
+          default:
+            panic("neighbor() called with non-mesh port");
+        }
+        return inside(c) ? nodeAt(c) : kInvalidNode;
+    }
 
     /** Manhattan distance in hops between two nodes. */
-    int hopDistance(NodeId a, NodeId b) const;
+    int hopDistance(NodeId a, NodeId b) const
+    {
+        const Coord ca = coordOf(a);
+        const Coord cb = coordOf(b);
+        return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+    }
 
     /**
      * Dimension-order (X then Y) route from @p src to @p dst as the
@@ -83,7 +118,20 @@ class MeshTopology
      * First output direction on the XY route from @p at to @p dst;
      * Port::Local when already there.
      */
-    Port xyFirstHop(NodeId at, NodeId dst) const;
+    Port xyFirstHop(NodeId at, NodeId dst) const
+    {
+        const Coord a = coordOf(at);
+        const Coord d = coordOf(dst);
+        if (a.x < d.x)
+            return Port::East;
+        if (a.x > d.x)
+            return Port::West;
+        if (a.y < d.y)
+            return Port::North;
+        if (a.y > d.y)
+            return Port::South;
+        return Port::Local;
+    }
 
   private:
     int width_;

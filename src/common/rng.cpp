@@ -19,12 +19,6 @@ splitmix64(uint64_t &x)
     return z ^ (z >> 31);
 }
 
-uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(uint64_t seed)
@@ -38,54 +32,6 @@ Rng::Rng(uint64_t seed)
         state_[3] == 0) {
         state_[0] = 1;
     }
-}
-
-uint64_t
-Rng::next()
-{
-    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const uint64_t t = state_[1] << 17;
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 high bits -> double in [0, 1).
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-int64_t
-Rng::uniformInt(int64_t lo, int64_t hi)
-{
-    PL_ASSERT(lo <= hi, "uniformInt bounds inverted (%lld > %lld)",
-              static_cast<long long>(lo), static_cast<long long>(hi));
-    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
-    if (span == 0) // full 64-bit range
-        return static_cast<int64_t>(next());
-    // Rejection sampling to avoid modulo bias.
-    const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
-    uint64_t v;
-    do {
-        v = next();
-    } while (v >= limit);
-    return lo + static_cast<int64_t>(v % span);
-}
-
-bool
-Rng::bernoulli(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniform() < p;
 }
 
 double

@@ -15,11 +15,15 @@
 #include <array>
 #include <cstdint>
 
+#include "common/log.hpp"
+
 namespace phastlane {
 
 /**
  * xoshiro256** PRNG with SplitMix64 seeding and portable distribution
- * helpers.
+ * helpers. The core draws are inline: simulation hot loops draw per
+ * node per cycle, and the call overhead of out-of-line definitions was
+ * measurable in profiles.
  */
 class Rng
 {
@@ -28,16 +32,54 @@ class Rng
     explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
 
     /** Next raw 64-bit value. */
-    uint64_t next();
+    uint64_t next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform()
+    {
+        // 53 high bits -> double in [0, 1).
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform integer in [lo, hi] (inclusive); requires lo <= hi. */
-    int64_t uniformInt(int64_t lo, int64_t hi);
+    int64_t uniformInt(int64_t lo, int64_t hi)
+    {
+        PL_ASSERT(lo <= hi,
+                  "uniformInt bounds inverted (%lld > %lld)",
+                  static_cast<long long>(lo),
+                  static_cast<long long>(hi));
+        const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        if (span == 0) // full 64-bit range
+            return static_cast<int64_t>(next());
+        // Rejection sampling to avoid modulo bias.
+        const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+        uint64_t v;
+        do {
+            v = next();
+        } while (v >= limit);
+        return lo + static_cast<int64_t>(v % span);
+    }
 
     /** Bernoulli trial with probability @p p (clamped to [0,1]). */
-    bool bernoulli(double p);
+    bool bernoulli(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
 
     /** Exponentially distributed value with given mean (> 0). */
     double exponential(double mean);
@@ -52,6 +94,11 @@ class Rng
     Rng fork();
 
   private:
+    static uint64_t rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<uint64_t, 4> state_;
 };
 

@@ -1,0 +1,116 @@
+#include "core/bitplane.hpp"
+
+#include "common/log.hpp"
+
+namespace phastlane::core {
+
+BitPlaneMesh::BitPlaneMesh(int width, int height)
+    : width_(width), height_(height),
+      words_(bitplaneWords(width * height))
+{
+    PL_ASSERT(width > 0 && height > 0, "bad mesh dims %dx%d", width,
+              height);
+    valid_.assign(static_cast<size_t>(words_), 0);
+    for (auto &plane : interior_)
+        plane.assign(static_cast<size_t>(words_), 0);
+
+    const int n = nodeCount();
+    for (NodeId id = 0; id < n; ++id) {
+        const uint64_t m = uint64_t{1} << (id & 63);
+        const size_t w = static_cast<size_t>(id >> 6);
+        valid_[w] |= m;
+        const int x = static_cast<int>(id) % width_;
+        const int y = static_cast<int>(id) / width_;
+        // A bit may shift toward a direction iff the neighbor exists;
+        // masking BEFORE the shift is what keeps the east edge of row
+        // k from bleeding into the west edge of row k+1.
+        if (y + 1 < height_)
+            interior_[portIndex(Port::North)][w] |= m;
+        if (y > 0)
+            interior_[portIndex(Port::South)][w] |= m;
+        if (x + 1 < width_)
+            interior_[portIndex(Port::East)][w] |= m;
+        if (x > 0)
+            interior_[portIndex(Port::West)][w] |= m;
+    }
+}
+
+void
+BitPlaneMesh::shiftUp(const uint64_t *src, uint64_t *dst,
+                      int bits) const
+{
+    const int wshift = bits >> 6;
+    const int bshift = bits & 63;
+    for (int i = words_ - 1; i >= 0; --i) {
+        uint64_t v = 0;
+        const int j = i - wshift;
+        if (j >= 0) {
+            v = src[j] << bshift;
+            if (bshift != 0 && j > 0)
+                v |= src[j - 1] >> (64 - bshift);
+        }
+        dst[i] = v;
+    }
+}
+
+void
+BitPlaneMesh::shiftDown(const uint64_t *src, uint64_t *dst,
+                        int bits) const
+{
+    const int wshift = bits >> 6;
+    const int bshift = bits & 63;
+    for (int i = 0; i < words_; ++i) {
+        uint64_t v = 0;
+        const int j = i + wshift;
+        if (j < words_) {
+            v = src[j] >> bshift;
+            if (bshift != 0 && j + 1 < words_)
+                v |= src[j + 1] << (64 - bshift);
+        }
+        dst[i] = v;
+    }
+}
+
+void
+BitPlaneMesh::shiftToward(Port dir, const uint64_t *src,
+                          uint64_t *dst) const
+{
+    PL_ASSERT(dir != Port::Local, "shiftToward needs a mesh direction");
+    PL_ASSERT(src != dst, "shiftToward cannot operate in place");
+    // Mask to the bits that have a neighbor, then displace by the
+    // row-major id delta of that direction. The pre-mask guarantees no
+    // row/column wraparound; the post-mask drops any bit the shift
+    // pushed past the last partial word.
+    const uint64_t *inter = interiorMask(dir);
+    const int delta = (dir == Port::North || dir == Port::South)
+                          ? width_
+                          : 1;
+    // Masked copy into dst is not possible in place for the carry
+    // logic, so mask on the fly via a small stack buffer when the
+    // plane is one word (the 8x8 fast case), else a scratch walk.
+    if (words_ == 1) {
+        const uint64_t masked = src[0] & inter[0];
+        dst[0] = (dir == Port::North || dir == Port::East)
+                     ? (masked << delta)
+                     : (masked >> delta);
+        dst[0] &= valid_[0];
+        return;
+    }
+    // Multi-word: mask into dst first (dst != src), then shift dst
+    // through a second pass using the carry-aware word walk.
+    // shiftUp/shiftDown read src ahead of writes in their iteration
+    // order, so a masked temporary is required; reuse dst as the
+    // temporary by shifting out of it into itself is unsafe, hence
+    // the local scratch.
+    scratch_.resize(static_cast<size_t>(words_));
+    for (int i = 0; i < words_; ++i)
+        scratch_[i] = src[i] & inter[i];
+    if (dir == Port::North || dir == Port::East)
+        shiftUp(scratch_.data(), dst, delta);
+    else
+        shiftDown(scratch_.data(), dst, delta);
+    for (int i = 0; i < words_; ++i)
+        dst[i] &= valid_[i];
+}
+
+} // namespace phastlane::core

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Bit-plane arithmetic for the word-parallel wavefront engine
+ * (DESIGN.md §11).
+ *
+ * Per-(router, port) boolean state — claims, requests, grants — is
+ * packed into planes of 64-bit words, one bit per router (row-major,
+ * bit = y * width + x) and one plane per mesh port. On these planes:
+ *
+ *  - wavefront propagation is a shift/mask sweep: moving every packet
+ *    one hop east is a 1-bit shift of the plane with the east-edge
+ *    column masked out so no row bleeds into the next (shiftToward);
+ *  - straight-over-turn priority resolution is AND/OR/ANDNOT algebra:
+ *    a port grants in one word op per 64 routers when it has exactly
+ *    one requester and no standing claim
+ *    (grant = once & ~multi & ~claimed);
+ *  - drop/contention detection and iteration are popcount/ctz scans
+ *    in ascending router order, which is exactly the (router, port)
+ *    order the scalar reference resolves contested ports in.
+ *
+ * The helpers here are deliberately branch-light and allocation-free;
+ * PhastlaneNetwork's BitplaneFcfs engine composes them and must stay
+ * bit-identical to the scalar SubstepFcfs reference (§7 oracle +
+ * golden pins enforce this).
+ *
+ * The word-combining kernels have a portable scalar core and an AVX2
+ * path compiled in with -DPL_ENABLE_AVX2=ON (256-bit ops, 4 plane
+ * words per instruction); both produce identical planes, and the
+ * portable path stays the CI-tested default.
+ */
+
+#ifndef PHASTLANE_CORE_BITPLANE_HPP
+#define PHASTLANE_CORE_BITPLANE_HPP
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/types.hpp"
+
+#if defined(PL_HAVE_AVX2) && defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace phastlane::core {
+
+/** 64-bit words needed for one bit per node. */
+constexpr int
+bitplaneWords(int node_count)
+{
+    return (node_count + 63) / 64;
+}
+
+namespace bitplane {
+
+/** dst = a & ~b & ~c, @p words words (the grant formula). */
+inline void
+andnot2(const uint64_t *a, const uint64_t *b, const uint64_t *c,
+        uint64_t *dst, int words)
+{
+    int i = 0;
+#if defined(PL_HAVE_AVX2) && defined(__AVX2__)
+    for (; i + 4 <= words; i += 4) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        const __m256i vc = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(c + i));
+        // andnot(x, y) = ~x & y.
+        const __m256i r = _mm256_andnot_si256(
+            vc, _mm256_andnot_si256(vb, va));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i), r);
+    }
+#endif
+    for (; i < words; ++i)
+        dst[i] = a[i] & ~b[i] & ~c[i];
+}
+
+/** dst |= src, @p words words. */
+inline void
+orInto(const uint64_t *src, uint64_t *dst, int words)
+{
+    int i = 0;
+#if defined(PL_HAVE_AVX2) && defined(__AVX2__)
+    for (; i + 4 <= words; i += 4) {
+        const __m256i vs = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        const __m256i vd = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_or_si256(vs, vd));
+    }
+#endif
+    for (; i < words; ++i)
+        dst[i] |= src[i];
+}
+
+/** dst = a & b, @p words words. */
+inline void
+andInto(const uint64_t *a, const uint64_t *b, uint64_t *dst, int words)
+{
+    int i = 0;
+#if defined(PL_HAVE_AVX2) && defined(__AVX2__)
+    for (; i + 4 <= words; i += 4) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_and_si256(va, vb));
+    }
+#endif
+    for (; i < words; ++i)
+        dst[i] = a[i] & b[i];
+}
+
+/** True when any of the @p words words is nonzero. */
+inline bool
+anySet(const uint64_t *p, int words)
+{
+    uint64_t acc = 0;
+    for (int i = 0; i < words; ++i)
+        acc |= p[i];
+    return acc != 0;
+}
+
+/** Total set bits over @p words words. */
+inline int
+popcount(const uint64_t *p, int words)
+{
+    int total = 0;
+    for (int i = 0; i < words; ++i)
+        total += __builtin_popcountll(p[i]);
+    return total;
+}
+
+} // namespace bitplane
+
+/**
+ * Geometry of bit planes over a width x height mesh: the valid-bit
+ * mask, per-direction interior masks, and the masked-shift sweep that
+ * moves a whole plane of packets one hop without wrapping between
+ * rows or off the mesh.
+ */
+class BitPlaneMesh
+{
+  public:
+    BitPlaneMesh(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int nodeCount() const { return width_ * height_; }
+    int words() const { return words_; }
+
+    /** Bits < nodeCount(). */
+    const uint64_t *validMask() const { return valid_.data(); }
+
+    /** Bits whose neighbor in @p dir exists (edge column/row off). */
+    const uint64_t *interiorMask(Port dir) const
+    {
+        return interior_[portIndex(dir)].data();
+    }
+
+    /**
+     * dst[neighbor(n, dir)] = src[n] for every n with a neighbor in
+     * @p dir; source bits on the facing mesh edge are dropped, never
+     * wrapped into the adjacent row/column. src and dst must not
+     * alias. Each is words() long.
+     */
+    void shiftToward(Port dir, const uint64_t *src,
+                     uint64_t *dst) const;
+
+  private:
+    /** Left-shift @p src by @p bits into dst (toward higher ids). */
+    void shiftUp(const uint64_t *src, uint64_t *dst, int bits) const;
+    /** Right-shift @p src by @p bits into dst (toward lower ids). */
+    void shiftDown(const uint64_t *src, uint64_t *dst, int bits) const;
+
+    int width_;
+    int height_;
+    int words_;
+    std::vector<uint64_t> valid_;
+    std::array<std::vector<uint64_t>, kMeshPorts> interior_;
+    /** Reusable masked-copy buffer for multi-word shifts (sized once,
+     *  never shrunk, so steady-state sweeps allocate nothing). */
+    mutable std::vector<uint64_t> scratch_;
+};
+
+/**
+ * kMeshPorts bit planes over one mesh — the packed form of a
+ * per-(router, port) boolean table. Plane-major storage so one
+ * plane's words are contiguous for the word-parallel kernels.
+ */
+class PortPlanes
+{
+  public:
+    PortPlanes() = default;
+    explicit PortPlanes(int node_count)
+        : words_(bitplaneWords(node_count)),
+          bits_(static_cast<size_t>(words_) * kMeshPorts, 0)
+    {
+    }
+
+    int words() const { return words_; }
+
+    uint64_t *plane(Port p)
+    {
+        return bits_.data() +
+               static_cast<size_t>(portIndex(p)) * words_;
+    }
+    const uint64_t *plane(Port p) const
+    {
+        return bits_.data() +
+               static_cast<size_t>(portIndex(p)) * words_;
+    }
+
+    bool test(NodeId n, Port p) const
+    {
+        return (plane(p)[n >> 6] >> (n & 63)) & 1u;
+    }
+
+    void set(NodeId n, Port p)
+    {
+        plane(p)[n >> 6] |= uint64_t{1} << (n & 63);
+    }
+
+    /**
+     * Set bit (n, p); returns true when it was already set (the
+     * one-op duplicate probe behind the once/multi request planes).
+     */
+    bool testAndSet(NodeId n, Port p)
+    {
+        uint64_t &w = plane(p)[n >> 6];
+        const uint64_t m = uint64_t{1} << (n & 63);
+        const bool was = (w & m) != 0;
+        w |= m;
+        return was;
+    }
+
+    /** Zero every plane (a handful of words, not bytes-per-port). */
+    void clear() { std::memset(bits_.data(), 0, bits_.size() * 8); }
+
+    /** Set bits across all four planes. */
+    int popcount() const
+    {
+        return bitplane::popcount(bits_.data(),
+                                  static_cast<int>(bits_.size()));
+    }
+
+  private:
+    int words_ = 0;
+    std::vector<uint64_t> bits_;
+};
+
+} // namespace phastlane::core
+
+#endif // PHASTLANE_CORE_BITPLANE_HPP

@@ -54,38 +54,16 @@ ControlGroup::unpack(uint8_t bits)
 void
 ControlProgram::append(const ControlGroup &g)
 {
-    if (groups_.size() - cursor_ >= kMaxGroups)
+    if (size_ >= kMaxGroups)
         fatal("control program exceeds %d groups", kMaxGroups);
-    groups_.push_back(g);
-}
-
-const ControlGroup &
-ControlProgram::front() const
-{
-    PL_ASSERT(!empty(), "reading Group 1 of an empty control program");
-    return groups_[cursor_];
-}
-
-const ControlGroup &
-ControlProgram::group(size_t i) const
-{
-    PL_ASSERT(cursor_ + i < groups_.size(),
-              "control group index out of range");
-    return groups_[cursor_ + i];
-}
-
-void
-ControlProgram::translate()
-{
-    PL_ASSERT(!empty(), "translating an empty control program");
-    ++cursor_;
+    groups_[size_++] = g;
 }
 
 std::string
 ControlProgram::toString() const
 {
     std::string out;
-    for (size_t i = cursor_; i < groups_.size(); ++i) {
+    for (size_t i = cursor_; i < size_; ++i) {
         const ControlGroup &g = groups_[i];
         out += '[';
         if (g.straight)
@@ -106,41 +84,58 @@ ControlProgram::toString() const
 namespace {
 
 /**
- * Shared group construction over an explicit dimension-order path.
+ * Shared group construction over the dimension-order route from
+ * @p from to @p dst, walked incrementally — programs are rebuilt on
+ * every launch, so this path must not allocate (the explicit
+ * xyRoute()/xyPath() vectors it used to build were a top allocation
+ * site in the step() hot path).
  *
- * @param route Output directions taken at the source and each
- *        intermediate router.
- * @param nodes Routers entered (route applied), last = destination.
- * @param taps Nodes that must get their Multicast bit (path order).
+ * @param taps Nodes that must get their Multicast bit (path order;
+ *        every tap must lie on the route).
  */
 ControlProgram
-buildProgram(const std::vector<Port> &route,
-             const std::vector<NodeId> &nodes,
+buildProgram(const MeshTopology &mesh, NodeId from, NodeId dst,
              const std::vector<NodeId> &taps, int max_hops)
 {
-    PL_ASSERT(route.size() == nodes.size(), "route/path length mismatch");
-    PL_ASSERT(!nodes.empty(), "empty route");
+    PL_ASSERT(from != dst, "empty route");
     PL_ASSERT(max_hops >= 1, "hop limit must be at least 1");
+
+    const Coord d = mesh.coordOf(dst);
+    // Next XY-route step out of @p c (X first, then Y); must not be
+    // called at the destination.
+    const auto stepDir = [&d](const Coord &c) {
+        if (c.x < d.x)
+            return Port::East;
+        if (c.x > d.x)
+            return Port::West;
+        return c.y < d.y ? Port::North : Port::South;
+    };
 
     ControlProgram prog;
     size_t tap_idx = 0;
-    for (size_t i = 0; i < nodes.size(); ++i) {
+    Coord c = mesh.coordOf(from);
+    for (int i = 0; !(c == d); ++i) {
+        const Port dir = stepDir(c); // direction into node i
+        switch (dir) {
+          case Port::East: c.x += 1; break;
+          case Port::West: c.x -= 1; break;
+          case Port::North: c.y += 1; break;
+          default: c.y -= 1; break;
+        }
+        const NodeId node = mesh.nodeAt(c);
         ControlGroup g;
-        const Port in_port = opposite(route[i]);
-        if (i + 1 < nodes.size()) {
+        if (!(c == d)) {
             // Pass-through (possibly also an interim stop): the
             // direction bits select the output port and arm the
             // return path.
-            g.setTurn(turnBetween(in_port, route[i + 1]));
+            g.setTurn(turnBetween(opposite(dir), stepDir(c)));
             // Interim node every max_hops routers.
-            if (static_cast<int>((i + 1) % static_cast<size_t>(
-                                     max_hops)) == 0) {
+            if ((i + 1) % max_hops == 0)
                 g.local = true;
-            }
         } else {
             g.local = true;
         }
-        if (tap_idx < taps.size() && taps[tap_idx] == nodes[i]) {
+        if (tap_idx < taps.size() && taps[tap_idx] == node) {
             g.multicast = true;
             ++tap_idx;
         }
@@ -158,8 +153,7 @@ buildUnicastProgram(const MeshTopology &mesh, NodeId from, NodeId dst,
                     int max_hops)
 {
     PL_ASSERT(from != dst, "unicast to self");
-    return buildProgram(mesh.xyRoute(from, dst), mesh.xyPath(from, dst),
-                        {}, max_hops);
+    return buildProgram(mesh, from, dst, {}, max_hops);
 }
 
 ControlProgram
@@ -170,9 +164,7 @@ buildMulticastProgram(const MeshTopology &mesh, NodeId from,
     const NodeId final_dst = branch.finalDst();
     PL_ASSERT(from != final_dst || branch.taps.size() > 1,
               "multicast branch degenerates to self");
-    return buildProgram(mesh.xyRoute(from, final_dst),
-                        mesh.xyPath(from, final_dst), branch.taps,
-                        max_hops);
+    return buildProgram(mesh, from, final_dst, branch.taps, max_hops);
 }
 
 std::vector<MulticastBranch>

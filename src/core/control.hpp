@@ -25,11 +25,13 @@
 #ifndef PHASTLANE_CORE_CONTROL_HPP
 #define PHASTLANE_CORE_CONTROL_HPP
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/geometry.hpp"
+#include "common/log.hpp"
 #include "common/types.hpp"
 
 namespace phastlane::core {
@@ -62,6 +64,11 @@ struct ControlGroup {
 
 /**
  * The full route program of a packet: Group 1 first.
+ *
+ * Storage is inline (the hardware bound is 14 groups), so building,
+ * copying, and moving a program never touches the heap — programs are
+ * rebuilt on every optical launch, which made this a measurable
+ * allocation hot spot in PhastlaneNetwork::step().
  */
 class ControlProgram
 {
@@ -74,29 +81,47 @@ class ControlProgram
     /** Append a group; fatal() beyond kMaxGroups. */
     void append(const ControlGroup &g);
 
-    bool empty() const { return cursor_ >= groups_.size(); }
+    bool empty() const { return cursor_ >= size_; }
 
     /** Groups not yet consumed. */
-    size_t remaining() const { return groups_.size() - cursor_; }
+    size_t remaining() const { return size_ - cursor_; }
+
+    // front()/group()/translate() run once per router crossing in the
+    // wavefront hot path; inline definitions keep them call-free.
 
     /** Group 1: the group for the router being entered next. */
-    const ControlGroup &front() const;
+    const ControlGroup &front() const
+    {
+        PL_ASSERT(!empty(), "reading Group 1 of an empty control "
+                            "program");
+        return groups_[cursor_];
+    }
 
     /** Group @p i (0 = Group 1) among the remaining groups. */
-    const ControlGroup &group(size_t i) const;
+    const ControlGroup &group(size_t i) const
+    {
+        PL_ASSERT(cursor_ + i < size_,
+                  "control group index out of range");
+        return groups_[cursor_ + i];
+    }
 
     /**
      * Frequency translation + waveguide shift on router exit/receive:
      * consume Group 1, promoting Groups 2..n.
      */
-    void translate();
+    void translate()
+    {
+        PL_ASSERT(!empty(), "translating an empty control program");
+        ++cursor_;
+    }
 
     /** Debug rendering, e.g. "[E][S][S][L*]". */
     std::string toString() const;
 
   private:
-    std::vector<ControlGroup> groups_;
-    size_t cursor_ = 0;
+    std::array<ControlGroup, kMaxGroups> groups_{};
+    uint8_t size_ = 0;
+    uint8_t cursor_ = 0;
 };
 
 /**

@@ -12,7 +12,12 @@ PhastlaneNetwork::PhastlaneNetwork(const PhastlaneParams &params)
     : params_(params),
       mesh_(params.meshWidth, params.meshHeight),
       rng_(params.seed),
-      returnPaths_(mesh_.nodeCount())
+      returnPaths_(mesh_.nodeCount()),
+      bitMesh_(params.meshWidth, params.meshHeight),
+      claims_(mesh_.nodeCount()),
+      reqOnce_(mesh_.nodeCount()),
+      reqMulti_(mesh_.nodeCount()),
+      reqWin_(mesh_.nodeCount())
 {
     if (params_.maxHopsPerCycle < 1)
         fatal("maxHopsPerCycle must be at least 1");
@@ -33,11 +38,20 @@ PhastlaneNetwork::PhastlaneNetwork(const PhastlaneParams &params)
     }
     const size_t flat_ports =
         static_cast<size_t>(mesh_.nodeCount()) * kMeshPorts;
-    claims_.assign(flat_ports, 0);
     portClaimCounts_.assign(flat_ports, 0);
     bestRank_.assign(flat_ports, 0);
     bestFlight_.assign(flat_ports, 0);
     bestEpoch_.assign(flat_ports, 0);
+    reqHead_.assign(flat_ports, 0);
+    reqTail_.assign(flat_ports, 0);
+    reqEpoch_.assign(flat_ports, 0);
+    if (mesh_.nodeCount() <= 256) {
+        const size_t pairs =
+            static_cast<size_t>(mesh_.nodeCount()) *
+            static_cast<size_t>(mesh_.nodeCount());
+        unicastProgCache_.resize(pairs);
+        unicastProgValid_.assign(pairs, 0);
+    }
 }
 
 bool
@@ -123,6 +137,23 @@ PhastlaneNetwork::buildProgram(NodeId from, const OpticalPacket &pkt)
         return buildMulticastProgram(mesh_, from, branch,
                                      params_.maxHopsPerCycle);
     }
+    // A unicast program is a pure function of (launch router,
+    // destination): memoize it. Retransmissions and later packets on
+    // the same pair skip the XY route walk, which dominated the
+    // launch path. The table is n^2 programs, so it is only kept for
+    // small meshes; larger ones fall back to the direct walk.
+    if (!unicastProgCache_.empty()) {
+        const size_t key =
+            static_cast<size_t>(from) *
+                static_cast<size_t>(mesh_.nodeCount()) +
+            static_cast<size_t>(pkt.finalDst);
+        if (!unicastProgValid_[key]) {
+            unicastProgCache_[key] = buildUnicastProgram(
+                mesh_, from, pkt.finalDst, params_.maxHopsPerCycle);
+            unicastProgValid_[key] = 1;
+        }
+        return unicastProgCache_[key];
+    }
     return buildUnicastProgram(mesh_, from, pkt.finalDst,
                                params_.maxHopsPerCycle);
 }
@@ -142,17 +173,15 @@ PhastlaneNetwork::dropRetryCycle(int attempts)
 bool
 PhastlaneNetwork::claimed(NodeId router, Port out) const
 {
-    return claims_[static_cast<size_t>(router) * kMeshPorts +
-                   portIndex(out)] != 0;
+    return claims_.test(router, out);
 }
 
 void
 PhastlaneNetwork::setClaim(NodeId router, Port out)
 {
-    const size_t idx =
-        static_cast<size_t>(router) * kMeshPorts + portIndex(out);
-    claims_[idx] = 1;
-    ++portClaimCounts_[idx];
+    claims_.set(router, out);
+    ++portClaimCounts_[static_cast<size_t>(router) * kMeshPorts +
+                       portIndex(out)];
 }
 
 void
@@ -175,10 +204,20 @@ PhastlaneNetwork::deliver(const OpticalPacket &pkt, NodeId node)
 void
 PhastlaneNetwork::resolveOutcomes()
 {
-    for (auto &o : pendingOutcomes_) {
+    // Releases draw no randomness and touch only their own entry, so
+    // resolving them ahead of the drops (which keep their relative
+    // order, and with it the backoff RNG stream) is observably
+    // identical to the historical interleaved order.
+    for (const EntryRef &ref : pendingReleases_) {
+        routers_[static_cast<size_t>(ref.router)].releaseLaunched(
+            ref.queue, ref.packet);
+    }
+    pendingReleases_.clear();
+    for (auto &o : pendingDrops_) {
         auto &rb = routers_[static_cast<size_t>(o.ref.router)];
-        if (o.dropped) {
-            BufferEntry *e = rb.findLaunched(o.ref.packet);
+        {
+            BufferEntry *e = rb.findLaunchedIn(o.ref.queue,
+                                               o.ref.packet);
             PL_ASSERT(e, "dropped launch lost its buffer entry");
             if (o.updated.multicast &&
                 faultRoll(params_.faults,
@@ -200,15 +239,15 @@ PhastlaneNetwork::resolveOutcomes()
                 e->state = EntryState::Waiting;
                 e->eligibleAt = dropRetryCycle(e->attempts + 1);
                 ++e->attempts;
+                rb.noteEligible(e->eligibleAt);
             } else {
-                rb.restoreDropped(o.ref.packet, std::move(o.updated),
+                rb.restoreDropped(o.ref.queue, o.ref.packet,
+                                  std::move(o.updated),
                                   dropRetryCycle(e->attempts + 1));
             }
-        } else {
-            rb.releaseLaunched(o.ref.packet);
         }
     }
-    pendingOutcomes_.clear();
+    pendingDrops_.clear();
 }
 
 void
@@ -222,7 +261,8 @@ PhastlaneNetwork::nicToLocalQueues()
         for (int i = 0; i < params_.nicTransfersPerCycle &&
                         !nic.empty() && rb.hasSpace(Port::Local);
              ++i) {
-            rb.push(Port::Local, nic.popHead(), cycle_ + 1);
+            nic.popHeadInto(
+                rb.emplaceEntry(Port::Local, cycle_ + 1).pkt);
         }
     }
 }
@@ -234,12 +274,13 @@ PhastlaneNetwork::launchPhase()
     flights.clear();
     for (NodeId r = 0; r < mesh_.nodeCount(); ++r) {
         auto &rb = routers_[static_cast<size_t>(r)];
-        auto launches = rb.arbitrate(
+        rb.arbitrate(
             cycle_,
             [&](const OpticalPacket &pkt) {
                 return desiredPort(r, pkt);
-            });
-        for (auto &[entry, out] : launches) {
+            },
+            arbScratch_);
+        for (auto &[entry, out, queue] : arbScratch_.launches) {
             ++events_.launches;
             ++events_.bufferReads;
             ++pl_.launches;
@@ -252,7 +293,9 @@ PhastlaneNetwork::launchPhase()
                 ++counters_.packetsInjected;
             }
 
-            Flight f;
+            // Built in place: a Flight carries its inline program and
+            // return path, so a build-then-push would copy it whole.
+            Flight &f = flights.emplace_back();
             f.pkt = entry->pkt;
             f.prog = buildProgram(r, entry->pkt);
             f.launchRouter = r;
@@ -260,11 +303,10 @@ PhastlaneNetwork::launchPhase()
             PL_ASSERT(f.at != kInvalidNode, "launch off the mesh edge");
             f.inPort = opposite(out);
             f.hops = 1;
-            f.holder = EntryRef{r, Port::Local, entry->pkt.branchId};
+            f.holder = EntryRef{r, queue, entry->pkt.branchId};
             setClaim(r, out);
             if (observer_)
                 observer_->onLaunch(f.pkt, r, out, entry->attempts);
-            flights.push_back(std::move(f));
         }
     }
 }
@@ -338,7 +380,7 @@ PhastlaneNetwork::deadRouterArrival(Flight &f)
     ++events_.faultDeadArrivals;
     loseUnits(f.pkt, f.at, unitsOutstanding(f.pkt),
               LostCause::DeadRouter);
-    pendingOutcomes_.push_back(LaunchOutcome{f.holder, false, {}});
+    pendingReleases_.push_back(f.holder);
     f.active = false;
 }
 
@@ -381,8 +423,7 @@ PhastlaneNetwork::handleArrival(Flight &f)
                 }
             }
             ++events_.receives;
-            pendingOutcomes_.push_back(
-                LaunchOutcome{f.holder, false, {}});
+            pendingReleases_.push_back(f.holder);
             f.active = false;
             if (observer_)
                 observer_->onBranchFinal(f.pkt, f.at);
@@ -408,7 +449,7 @@ PhastlaneNetwork::receiveOrDrop(Flight &f, bool interim)
             ++pl_.blockedBuffered;
         // Re-launchable from the next cycle's arbitration.
         rb.push(f.inPort, f.pkt, cycle_ + 1);
-        pendingOutcomes_.push_back(LaunchOutcome{f.holder, false, {}});
+        pendingReleases_.push_back(f.holder);
         if (observer_)
             observer_->onBufferReceive(f.pkt, f.at, f.inPort, interim);
     } else if (faultRoll(params_.faults,
@@ -425,7 +466,7 @@ PhastlaneNetwork::receiveOrDrop(Flight &f, bool interim)
         ++events_.drops;
         ++pl_.drops;
         ++events_.dropSignalsLost;
-        pendingOutcomes_.push_back(LaunchOutcome{f.holder, false, {}});
+        pendingReleases_.push_back(f.holder);
         if (observer_) {
             observer_->onDrop(f.pkt, f.at, f.holder.router, 0, true);
         }
@@ -437,16 +478,71 @@ PhastlaneNetwork::receiveOrDrop(Flight &f, bool interim)
         // over the reverse connections latched behind the packet.
         ++events_.drops;
         ++pl_.drops;
-        const int signal_hops = returnPaths_.signalDrop(f.path);
+        const int signal_hops =
+            returnPaths_.signalDrop(f.path.data(), f.pathLen);
         events_.dropSignalHops += static_cast<uint64_t>(signal_hops);
-        pendingOutcomes_.push_back(
-            LaunchOutcome{f.holder, true, f.pkt});
+        pendingDrops_.push_back(LaunchOutcome{f.holder, f.pkt});
         if (observer_) {
             observer_->onDrop(f.pkt, f.at, f.holder.router,
                               signal_hops, false);
         }
     }
     f.active = false;
+}
+
+void
+PhastlaneNetwork::collectPassRequests(
+    std::vector<Flight> &flights, const std::vector<size_t> &active,
+    std::vector<PassRequest> &requests)
+{
+    // Arrival-side actions; collect pass requests. Iteration order is
+    // part of the model's contract: it fixes the order of deferred
+    // outcomes (and thus next cycle's backoff RNG draws), so both
+    // FCFS engines share this exact loop.
+    for (size_t i : active) {
+        Flight &f = flights[i];
+        if (handleArrival(f))
+            continue;
+        if (faultRoll(params_.faults, params_.faults.misTurnRate,
+                      FaultKind::MisTurn, f.pkt.branchId,
+                      static_cast<uint64_t>(cycle_),
+                      static_cast<uint64_t>(f.at))) {
+            // Pass resonator mis-tuned: instead of transiting, the
+            // packet diverts into this router's electrical buffer
+            // (or is dropped if it is full) and retries from here.
+            ++events_.faultMisTurns;
+            receiveOrDrop(f, false);
+            continue;
+        }
+        const ControlGroup g = f.prog.front();
+        PassRequest r;
+        r.flight = i;
+        r.router = f.at;
+        const Turn t = g.turn();
+        r.out = applyTurn(f.inPort, t);
+        r.straight = (t == Turn::Straight);
+        requests.push_back(r);
+    }
+}
+
+void
+PhastlaneNetwork::applyPassWin(std::vector<Flight> &flights,
+                               size_t flight_idx, NodeId router,
+                               Port out, std::vector<size_t> &next)
+{
+    Flight &f = flights[flight_idx];
+    setClaim(router, out);
+    ++events_.passTraversals;
+    if (observer_)
+        observer_->onPass(f.pkt, router);
+    returnPaths_.registerHop(router, f.inPort, out);
+    f.recordHop(ReturnHop{router, f.inPort, out});
+    f.prog.translate();
+    f.at = mesh_.neighbor(router, out);
+    PL_ASSERT(f.at != kInvalidNode, "route left the mesh");
+    f.inPort = opposite(out);
+    ++f.hops;
+    next.push_back(flight_idx);
 }
 
 void
@@ -464,32 +560,7 @@ PhastlaneNetwork::propagateSubstepFcfs(std::vector<Flight> &flights)
     while (!active.empty()) {
         requests.clear();
         next.clear();
-
-        // Arrival-side actions; collect pass requests.
-        for (size_t i : active) {
-            Flight &f = flights[i];
-            if (handleArrival(f))
-                continue;
-            if (faultRoll(params_.faults, params_.faults.misTurnRate,
-                          FaultKind::MisTurn, f.pkt.branchId,
-                          static_cast<uint64_t>(cycle_),
-                          static_cast<uint64_t>(f.at))) {
-                // Pass resonator mis-tuned: instead of transiting, the
-                // packet diverts into this router's electrical buffer
-                // (or is dropped if it is full) and retries from here.
-                ++events_.faultMisTurns;
-                receiveOrDrop(f, false);
-                continue;
-            }
-            const ControlGroup g = f.prog.front();
-            PassRequest r;
-            r.flight = i;
-            r.router = f.at;
-            const Turn t = g.turn();
-            r.out = applyTurn(f.inPort, t);
-            r.straight = (t == Turn::Straight);
-            requests.push_back(r);
-        }
+        collectPassRequests(flights, active, requests);
 
         // Resolve claims per (router, output port): group the
         // requests by flat port index. The stable sort reproduces the
@@ -549,27 +620,168 @@ PhastlaneNetwork::propagateSubstepFcfs(std::vector<Flight> &flights)
             }
             for (size_t k = g0; k < g1; ++k) {
                 const size_t ri = order[k];
-                Flight &f = flights[requests[ri].flight];
                 if (ri == winner) {
-                    setClaim(router, out);
-                    ++events_.passTraversals;
-                    if (observer_)
-                        observer_->onPass(f.pkt, router);
-                    returnPaths_.registerHop(router, f.inPort, out);
-                    f.path.push_back(
-                        ReturnHop{router, f.inPort, out});
-                    f.prog.translate();
-                    f.at = mesh_.neighbor(router, out);
-                    PL_ASSERT(f.at != kInvalidNode,
-                              "route left the mesh");
-                    f.inPort = opposite(out);
-                    ++f.hops;
-                    next.push_back(requests[ri].flight);
+                    applyPassWin(flights, requests[ri].flight, router,
+                                 out, next);
                 } else {
-                    receiveOrDrop(f, false);
+                    receiveOrDrop(flights[requests[ri].flight], false);
                 }
             }
             g0 = g1;
+        }
+        std::swap(active, next);
+    }
+}
+
+void
+PhastlaneNetwork::propagateBitplane(std::vector<Flight> &flights)
+{
+    // Word-parallel FCFS wavefront (DESIGN.md §11). Phase A (arrival
+    // handling, request collection) is shared verbatim with the scalar
+    // engine; phase B replaces its sort-and-group claim resolution:
+    //
+    //  - one bit per router, one plane per output port, records which
+    //    (router, port) pairs are requested (reqOnce_) and which are
+    //    requested more than once (reqMulti_);
+    //  - uncontested grants fall out of plane algebra, 64 routers per
+    //    word op: win = once & ~multi & ~claimed;
+    //  - the sweep visits requested routers via ctz scans of the OR of
+    //    the request planes — ascending router id, then ascending port
+    //    index, which is exactly the scalar engine's flat-key order —
+    //    so contested ports (the rare case) walk their arrival-ordered
+    //    request chain with the same straight-over-turn rank logic.
+    //
+    // Every observable effect (claims, return-path latches, deferred
+    // outcomes, RNG draws, deliveries) is applied in the scalar order;
+    // the differential oracle and golden pins hold the two engines to
+    // bit-identical results.
+    std::vector<size_t> &active = scratchActive_;
+    std::vector<size_t> &next = scratchNext_;
+    std::vector<PassRequest> &requests = scratchRequests_;
+
+    active.clear();
+    for (size_t i = 0; i < flights.size(); ++i)
+        active.push_back(i);
+
+    const int words = bitMesh_.words();
+    const bool fixed_priority = params_.opticalArbitration ==
+                                OpticalArbitration::FixedPriority;
+    const bool invert = params_.faults.invertStraightPriority;
+
+    while (!active.empty()) {
+        requests.clear();
+        next.clear();
+        collectPassRequests(flights, active, requests);
+
+        // Build the request planes and, per requested port, the
+        // arrival-ordered request chain (epoch-tagged so the flat
+        // head/tail tables never need clearing).
+        reqOnce_.clear();
+        reqMulti_.clear();
+        reqNext_.resize(requests.size());
+        ++reqEpochCur_;
+        for (uint32_t ri = 0;
+             ri < static_cast<uint32_t>(requests.size()); ++ri) {
+            const PassRequest &r = requests[ri];
+            const size_t key =
+                static_cast<size_t>(r.router) * kMeshPorts +
+                portIndex(r.out);
+            reqNext_[ri] = UINT32_MAX;
+            if (reqEpoch_[key] != reqEpochCur_) {
+                reqEpoch_[key] = reqEpochCur_;
+                reqHead_[key] = ri;
+                reqTail_[key] = ri;
+                reqOnce_.set(r.router, r.out);
+            } else {
+                reqNext_[reqTail_[key]] = ri;
+                reqTail_[key] = ri;
+                reqMulti_.set(r.router, r.out);
+            }
+        }
+
+        // Uncontested-grant planes: win = once & ~multi & ~claimed.
+        for (int pi = 0; pi < kMeshPorts; ++pi) {
+            const Port p = portFromIndex(pi);
+            bitplane::andnot2(reqOnce_.plane(p), reqMulti_.plane(p),
+                              claims_.plane(p), reqWin_.plane(p),
+                              words);
+        }
+
+        for (int w = 0; w < words; ++w) {
+            uint64_t any = reqOnce_.plane(Port::North)[w] |
+                           reqOnce_.plane(Port::East)[w] |
+                           reqOnce_.plane(Port::South)[w] |
+                           reqOnce_.plane(Port::West)[w];
+            while (any != 0) {
+                const int bit = __builtin_ctzll(any);
+                any &= any - 1;
+                const NodeId router =
+                    static_cast<NodeId>(w * 64 + bit);
+                const uint64_t m = uint64_t{1} << bit;
+                for (int pi = 0; pi < kMeshPorts; ++pi) {
+                    const Port out = portFromIndex(pi);
+                    if ((reqOnce_.plane(out)[w] & m) == 0)
+                        continue;
+                    const size_t key =
+                        static_cast<size_t>(router) * kMeshPorts +
+                        static_cast<size_t>(pi);
+                    if ((reqWin_.plane(out)[w] & m) != 0) {
+                        // Single requester, port free: grant without
+                        // touching the rank logic.
+                        applyPassWin(flights,
+                                     requests[reqHead_[key]].flight,
+                                     router, out, next);
+                        continue;
+                    }
+                    // Contested port, or one pre-claimed in the
+                    // launch phase (then every requester loses).
+                    uint32_t winner = UINT32_MAX;
+                    if (!claimed(router, out)) {
+                        winner = reqHead_[key];
+                        if (fixed_priority) {
+                            const auto rank = [&](uint32_t ri) {
+                                const PassRequest &r = requests[ri];
+                                return std::make_pair(
+                                    r.straight != invert ? 0 : 1,
+                                    portIndex(
+                                        flights[r.flight].inPort));
+                            };
+                            for (uint32_t ri = reqNext_[winner];
+                                 ri != UINT32_MAX; ri = reqNext_[ri]) {
+                                if (rank(ri) < rank(winner))
+                                    winner = ri;
+                            }
+                        } else {
+                            // Rotating priority over input ports
+                            // (ablation).
+                            const int start =
+                                static_cast<int>(cycle_ % kMeshPorts);
+                            const auto rrRank = [&](uint32_t ri) {
+                                const int p = portIndex(
+                                    flights[requests[ri].flight]
+                                        .inPort);
+                                return (p - start + kMeshPorts) %
+                                       kMeshPorts;
+                            };
+                            for (uint32_t ri = reqNext_[winner];
+                                 ri != UINT32_MAX; ri = reqNext_[ri]) {
+                                if (rrRank(ri) < rrRank(winner))
+                                    winner = ri;
+                            }
+                        }
+                    }
+                    for (uint32_t ri = reqHead_[key];
+                         ri != UINT32_MAX; ri = reqNext_[ri]) {
+                        if (ri == winner) {
+                            applyPassWin(flights, requests[ri].flight,
+                                         router, out, next);
+                        } else {
+                            receiveOrDrop(
+                                flights[requests[ri].flight], false);
+                        }
+                    }
+                }
+            }
         }
         std::swap(active, next);
     }
@@ -723,7 +935,7 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
             if (observer_)
                 observer_->onPass(f.pkt, f.at);
             returnPaths_.registerHop(f.at, f.inPort, out);
-            f.path.push_back(ReturnHop{f.at, f.inPort, out});
+            f.recordHop(ReturnHop{f.at, f.inPort, out});
             f.prog.translate();
             f.at = mesh_.neighbor(f.at, out);
             f.inPort = opposite(out);
@@ -738,16 +950,23 @@ PhastlaneNetwork::step()
     if (observer_)
         observer_->onCycleBegin(cycle_);
     deliveries_.clear();
-    std::fill(claims_.begin(), claims_.end(), 0);
+    claims_.clear();
     returnPaths_.beginCycle();
 
     resolveOutcomes();
     nicToLocalQueues();
     launchPhase();
-    if (params_.wavefront == WavefrontModel::SubstepFcfs)
+    switch (params_.wavefront) {
+      case WavefrontModel::SubstepFcfs:
         propagateSubstepFcfs(flights_);
-    else
+        break;
+      case WavefrontModel::BitplaneFcfs:
+        propagateBitplane(flights_);
+        break;
+      case WavefrontModel::GlobalPriority:
         propagateGlobalPriority(flights_);
+        break;
+    }
 
     events_.routerCycles += static_cast<uint64_t>(mesh_.nodeCount());
     if (observer_)

@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "common/geometry.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
+#include "core/bitplane.hpp"
 #include "core/control.hpp"
 #include "core/events.hpp"
 #include "core/nic.hpp"
@@ -122,16 +124,29 @@ class PhastlaneNetwork : public Network
         NodeId launchRouter = kInvalidNode;
         EntryRef holder;         ///< buffer entry responsible for it
         /** Reverse connections latched behind the packet, for the
-         *  drop-signal return path (Section 2.1.2). */
-        std::vector<ReturnHop> path;
+         *  drop-signal return path (Section 2.1.2). Inline: a flight
+         *  crosses at most one router per control group, so the path
+         *  cannot outgrow the program, and flights are rebuilt every
+         *  cycle — heap-backed paths dominated step()'s allocations. */
+        std::array<ReturnHop, ControlProgram::kMaxGroups> path;
+        uint8_t pathLen = 0;
         bool active = true;
+
+        void recordHop(const ReturnHop &h)
+        {
+            PL_ASSERT(pathLen < ControlProgram::kMaxGroups,
+                      "return path outgrew the control program");
+            path[pathLen++] = h;
+        }
     };
 
-    /** Deferred resolution of a launch (applied next cycle). */
+    /** Deferred resolution of a dropped launch (applied next cycle).
+     *  Successes need only the EntryRef and live in their own list:
+     *  nearly every launch succeeds, and carrying an OpticalPacket
+     *  per success was a measurable share of the step() hot path. */
     struct LaunchOutcome {
         EntryRef ref;
-        bool dropped = false;
-        OpticalPacket updated; ///< tap-reduced state when dropped
+        OpticalPacket updated; ///< tap-reduced state at the dropper
     };
 
     /** A pass-through port request during one wavefront sub-step. */
@@ -166,7 +181,20 @@ class PhastlaneNetwork : public Network
     void nicToLocalQueues();
     void launchPhase();
     void propagateSubstepFcfs(std::vector<Flight> &flights);
+    void propagateBitplane(std::vector<Flight> &flights);
     void propagateGlobalPriority(std::vector<Flight> &flights);
+
+    /** Arrival handling + pass-request collection shared by the FCFS
+     *  engines: one wavefront sub-step's phase A. */
+    void collectPassRequests(std::vector<Flight> &flights,
+                             const std::vector<size_t> &active,
+                             std::vector<PassRequest> &requests);
+
+    /** Apply a pass-claim win: latch the return hop, advance the
+     *  flight one router, and queue it for the next sub-step. */
+    void applyPassWin(std::vector<Flight> &flights, size_t flight_idx,
+                      NodeId router, Port out,
+                      std::vector<size_t> &next);
 
     /** Handle arrival-side actions; returns true when the flight
      *  terminated at this router (delivered/buffered/dropped). */
@@ -207,10 +235,25 @@ class PhastlaneNetwork : public Network
     std::vector<RouterBuffers> routers_;
     std::vector<uint8_t> failedRouters_; ///< drawn once at construction
     ReturnPathRegistry returnPaths_;
-    std::vector<uint8_t> claims_; ///< per (router, mesh port), per cycle
+    /** Bit-plane mesh geometry for the word-parallel engine. */
+    BitPlaneMesh bitMesh_;
+    /** Per-cycle (router, mesh port) claim bits, one plane per port —
+     *  shared by every wavefront model (clearing is a few words of
+     *  memset instead of a byte-per-port fill). */
+    PortPlanes claims_;
     std::vector<uint64_t> portClaimCounts_; ///< cumulative
 
-    std::vector<LaunchOutcome> pendingOutcomes_;
+    /** Lazily-filled (launch router, destination) -> unicast control
+     *  program memo (empty on meshes too large for an n^2 table); see
+     *  buildProgram(). */
+    mutable std::vector<ControlProgram> unicastProgCache_;
+    mutable std::vector<uint8_t> unicastProgValid_;
+
+    /** Launches whose drop-signal window passed clean: the holder
+     *  frees the slot next cycle. Releases draw no randomness, so
+     *  resolving them before the drops preserves the RNG stream. */
+    std::vector<EntryRef> pendingReleases_;
+    std::vector<LaunchOutcome> pendingDrops_;
     std::vector<Delivery> deliveries_;
 
     // Reusable per-cycle scratch for the step() hot path: the flight
@@ -225,10 +268,24 @@ class PhastlaneNetwork : public Network
     std::vector<uint32_t> scratchOrder_;
     std::vector<Itinerary> scratchIts_;
     std::vector<size_t> scratchBlocked_;
+    ArbitrationScratch arbScratch_;
     std::vector<uint64_t> bestRank_;   ///< per router * kMeshPorts
     std::vector<uint32_t> bestFlight_; ///< winner per flat port index
     std::vector<uint64_t> bestEpoch_;  ///< validity tag for the above
     uint64_t resolveEpoch_ = 0;
+
+    // Bit-plane engine state (DESIGN.md §11): request presence and
+    // multiplicity planes, the uncontested-grant plane, and the
+    // epoch-tagged per-(router, port) request chains that preserve
+    // arrival order for contested ports.
+    PortPlanes reqOnce_;
+    PortPlanes reqMulti_;
+    PortPlanes reqWin_;
+    std::vector<uint32_t> reqHead_;  ///< first request per flat port
+    std::vector<uint32_t> reqTail_;  ///< last request per flat port
+    std::vector<uint64_t> reqEpoch_; ///< validity tag for head/tail
+    std::vector<uint32_t> reqNext_;  ///< chain link per request index
+    uint64_t reqEpochCur_ = 0;
 
     NetworkCounters counters_;
     PhastlaneCounters pl_;

@@ -8,17 +8,9 @@ OpticalNic::OpticalNic(NodeId self, const PhastlaneParams &params,
                        const MeshTopology &mesh)
     : self_(self),
       capacity_(static_cast<size_t>(params.nicQueueEntries)),
+      broadcastBranches_(splitBroadcast(mesh, self).size()),
       mesh_(mesh)
 {
-}
-
-bool
-OpticalNic::hasSpaceFor(const Packet &pkt) const
-{
-    size_t needed = 1;
-    if (pkt.broadcast)
-        needed = splitBroadcast(mesh_, self_).size();
-    return queue_.size() + needed <= capacity_;
 }
 
 void
@@ -67,6 +59,14 @@ OpticalNic::popHead()
     OpticalPacket p = std::move(queue_.front());
     queue_.pop_front();
     return p;
+}
+
+void
+OpticalNic::popHeadInto(OpticalPacket &dst)
+{
+    PL_ASSERT(!queue_.empty(), "popping empty NIC queue");
+    dst = std::move(queue_.front());
+    queue_.pop_front();
 }
 
 } // namespace phastlane::core

@@ -28,8 +28,16 @@ class OpticalNic
 
     NodeId self() const { return self_; }
 
-    /** True when @p pkt (all branches of a broadcast) fits now. */
-    bool hasSpaceFor(const Packet &pkt) const;
+    /** True when @p pkt (all branches of a broadcast) fits now.
+     *  Inline with a precomputed branch count: sim drivers probe this
+     *  per node per cycle, and re-deriving the broadcast split (with
+     *  its per-branch tap vectors) on every probe dominated the
+     *  injection path. */
+    bool hasSpaceFor(const Packet &pkt) const
+    {
+        const size_t needed = pkt.broadcast ? broadcastBranches_ : 1;
+        return queue_.size() + needed <= capacity_;
+    }
 
     /**
      * Accept a message: expand and enqueue its branch packets, drawing
@@ -45,9 +53,15 @@ class OpticalNic
     const OpticalPacket &head() const;
     OpticalPacket popHead();
 
+    /** Move the head packet into @p dst and pop it (the allocation-
+     *  light form of popHead() for the per-cycle transfer loop). */
+    void popHeadInto(OpticalPacket &dst);
+
   private:
     NodeId self_;
     size_t capacity_;
+    /** Branch count of a broadcast from this node (geometry-fixed). */
+    size_t broadcastBranches_;
     const MeshTopology &mesh_;
     std::deque<OpticalPacket> queue_;
 };

@@ -18,12 +18,17 @@ namespace phastlane::core {
  */
 enum class WavefrontModel : uint8_t {
     /** Port claims are final once granted; priority applies among
-     *  packets reaching a router in the same sub-step. Default. */
+     *  packets reaching a router in the same sub-step. The scalar
+     *  flat-array engine: the lockstep reference semantics. */
     SubstepFcfs,
     /** Idealized straight priority: a straight packet evicts a
      *  turning packet's claim regardless of arrival order, resolved
      *  by monotone fixed point (ablation). */
     GlobalPriority,
+    /** SubstepFcfs semantics on the word-parallel bit-plane engine
+     *  (DESIGN.md §11): bit-identical results, resolved via plane
+     *  algebra instead of per-request sorting. Default. */
+    BitplaneFcfs,
 };
 
 /**
@@ -95,7 +100,7 @@ struct PhastlaneParams {
     /** Cap on the exponential backoff window (cycles). */
     int backoffCap = 64;
 
-    WavefrontModel wavefront = WavefrontModel::SubstepFcfs;
+    WavefrontModel wavefront = WavefrontModel::BitplaneFcfs;
     OpticalArbitration opticalArbitration =
         OpticalArbitration::FixedPriority;
     BufferArbitration bufferArbitration =

@@ -23,8 +23,9 @@ ReturnPathRegistry::index(NodeId router, Port out) const
 void
 ReturnPathRegistry::beginCycle()
 {
-    std::fill(latch_.begin(), latch_.end(), 0);
-    std::fill(used_.begin(), used_.end(), 0);
+    // Stale epochs make every latch/claim entry read as empty; no
+    // table fill needed.
+    ++epoch_;
     claimed_ = 0;
     latched_ = 0;
 }
@@ -33,35 +34,38 @@ void
 ReturnPathRegistry::registerHop(NodeId router, Port in, Port out)
 {
     PL_ASSERT(out != Port::Local, "return path needs a mesh exit port");
-    uint8_t &slot = latch_[index(router, out)];
+    uint64_t &slot = latch_[index(router, out)];
     // An output port carries one packet per cycle, so at most one
     // reverse connection can be latched per (router, out).
-    PL_ASSERT(slot == 0,
+    PL_ASSERT((slot >> 3) != epoch_,
               "two packets latched the same return connection at "
               "router %d port %s", router, portName(out));
-    slot = static_cast<uint8_t>(portIndex(in) + 1);
+    slot = (epoch_ << 3) |
+           static_cast<uint64_t>(portIndex(in) + 1);
     ++latched_;
 }
 
 int
-ReturnPathRegistry::signalDrop(const std::vector<ReturnHop> &path)
+ReturnPathRegistry::signalDrop(const ReturnHop *hops_arr, size_t count)
 {
     // The signal flows from the dropping router back toward the
     // source, traversing each latched connection in reverse order.
     int hops = 0;
-    for (auto it = path.rbegin(); it != path.rend(); ++it) {
-        const size_t idx = index(it->router, it->packetOut);
+    for (size_t i = count; i-- > 0;) {
+        const ReturnHop &h = hops_arr[i];
+        const size_t idx = index(h.router, h.packetOut);
         PL_ASSERT(latch_[idx] ==
-                      static_cast<uint8_t>(portIndex(it->packetIn) + 1),
+                      ((epoch_ << 3) | static_cast<uint64_t>(
+                                           portIndex(h.packetIn) + 1)),
                   "drop signal found an unlatched return connection "
-                  "at router %d", it->router);
+                  "at router %d", h.router);
         // Footnote 4: return paths of distinct packets cannot overlap
         // within a cycle.
-        if (used_[idx] != 0) {
+        if (used_[idx] == epoch_) {
             panic("overlapping drop-signal return paths at router %d "
-                  "port %s", it->router, portName(it->packetOut));
+                  "port %s", h.router, portName(h.packetOut));
         }
-        used_[idx] = 1;
+        used_[idx] = epoch_;
         ++claimed_;
         ++hops;
     }

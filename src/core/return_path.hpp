@@ -61,15 +61,20 @@ class ReturnPathRegistry
     void registerHop(NodeId router, Port in, Port out);
 
     /**
-     * Signal a drop back along @p path (the hops the packet took this
-     * cycle, in traversal order; the drop happened at the router after
-     * the last hop). Claims every reverse link; panics if any was
-     * already claimed by another packet's drop signal this cycle
-     * (footnote 4 guarantees this cannot happen).
+     * Signal a drop back along the @p hops the packet took this cycle,
+     * in traversal order (the drop happened at the router after the
+     * last hop). Claims every reverse link; panics if any was already
+     * claimed by another packet's drop signal this cycle (footnote 4
+     * guarantees this cannot happen).
      *
      * @return the number of hops the 7-bit signal travels.
      */
-    int signalDrop(const std::vector<ReturnHop> &path);
+    int signalDrop(const ReturnHop *hops, size_t count);
+
+    int signalDrop(const std::vector<ReturnHop> &path)
+    {
+        return signalDrop(path.data(), path.size());
+    }
 
     /** Reverse links claimed by drop signals this cycle. */
     uint64_t claimedLinks() const { return claimed_; }
@@ -81,11 +86,17 @@ class ReturnPathRegistry
     size_t index(NodeId router, Port out) const;
 
     int nodeCount_;
-    /** Latched reverse connection per (router, packet-out port):
-     *  encodes packetIn + 1, 0 = none. */
-    std::vector<uint8_t> latch_;
-    /** Drop-signal claim per (router, packet-out port). */
-    std::vector<uint8_t> used_;
+    /**
+     * Latched reverse connection per (router, packet-out port):
+     * (epoch << 3) | (packetIn + 1). Entries from earlier cycles have
+     * a stale epoch and read as unlatched, so beginCycle() is a
+     * counter bump instead of a full-table fill (which showed up in
+     * the step() hot path on large meshes).
+     */
+    std::vector<uint64_t> latch_;
+    /** Epoch of the drop-signal claim per (router, packet-out port). */
+    std::vector<uint64_t> used_;
+    uint64_t epoch_ = 1;
     uint64_t claimed_ = 0;
     uint64_t latched_ = 0;
 };

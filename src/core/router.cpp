@@ -16,20 +16,9 @@ RouterBuffers::RouterBuffers(NodeId self, const PhastlaneParams &params)
 {
 }
 
-bool
-RouterBuffers::hasSpace(Port q) const
-{
-    return freeSlots(q) > 0;
-}
-
 int
-RouterBuffers::freeSlots(Port q) const
+RouterBuffers::sharedPoolFreeSlots(int occ) const
 {
-    if (capacity_ <= 0)
-        return INT_MAX;
-    const int occ = static_cast<int>(queues_[portIndex(q)].size());
-    if (!sharedPool_)
-        return capacity_ - occ;
     // DAMQ with reserved slots: each queue is guaranteed half of its
     // partition; the remaining halves form a shared pool any queue
     // may borrow from.
@@ -45,21 +34,6 @@ RouterBuffers::freeSlots(Port q) const
     return own_reserved + std::max(0, shared_size - shared_used);
 }
 
-size_t
-RouterBuffers::occupancy(Port q) const
-{
-    return queues_[portIndex(q)].size();
-}
-
-size_t
-RouterBuffers::totalOccupancy() const
-{
-    size_t total = 0;
-    for (const auto &q : queues_)
-        total += q.size();
-    return total;
-}
-
 void
 RouterBuffers::push(Port q, OpticalPacket pkt, Cycle eligible_at)
 {
@@ -70,6 +44,33 @@ RouterBuffers::push(Port q, OpticalPacket pkt, Cycle eligible_at)
     e.eligibleAt = eligible_at;
     e.seq = nextSeq_++;
     queues_[portIndex(q)].push_back(std::move(e));
+    ++total_;
+    noteEligible(eligible_at);
+}
+
+BufferEntry &
+RouterBuffers::emplaceEntry(Port q, Cycle eligible_at)
+{
+    PL_ASSERT(hasSpace(q), "pushing into a full router buffer");
+    BufferEntry &e = queues_[portIndex(q)].emplace_back();
+    e.state = EntryState::Waiting;
+    e.eligibleAt = eligible_at;
+    e.seq = nextSeq_++;
+    ++total_;
+    noteEligible(eligible_at);
+    return e;
+}
+
+BufferEntry *
+RouterBuffers::findLaunchedIn(Port q, PacketId id)
+{
+    for (auto &entry : queues_[portIndex(q)]) {
+        if (entry.state == EntryState::Launched &&
+            entry.pkt.branchId == id) {
+            return &entry;
+        }
+    }
+    return nullptr;
 }
 
 BufferEntry *
@@ -89,6 +90,22 @@ RouterBuffers::findLaunched(PacketId id, Port *queue_out)
 }
 
 void
+RouterBuffers::releaseLaunched(Port q, PacketId id)
+{
+    auto &queue = queues_[portIndex(q)];
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (it->state == EntryState::Launched &&
+            it->pkt.branchId == id) {
+            queue.erase(it);
+            --total_;
+            return;
+        }
+    }
+    panic("releaseLaunched: packet %llu not in queue %d at router %d",
+          static_cast<unsigned long long>(id), portIndex(q), self_);
+}
+
+void
 RouterBuffers::releaseLaunched(PacketId id)
 {
     for (auto &queue : queues_) {
@@ -96,6 +113,7 @@ RouterBuffers::releaseLaunched(PacketId id)
             if (it->state == EntryState::Launched &&
                 it->pkt.branchId == id) {
                 queue.erase(it);
+                --total_;
                 return;
             }
         }
@@ -116,6 +134,24 @@ RouterBuffers::restoreDropped(PacketId id, OpticalPacket updated,
     entry->state = EntryState::Waiting;
     entry->eligibleAt = eligible_at;
     ++entry->attempts;
+    noteEligible(eligible_at);
+}
+
+void
+RouterBuffers::restoreDropped(Port q, PacketId id,
+                              OpticalPacket updated, Cycle eligible_at)
+{
+    BufferEntry *entry = findLaunchedIn(q, id);
+    if (!entry)
+        panic("restoreDropped: packet %llu not in queue %d at router "
+              "%d",
+              static_cast<unsigned long long>(id), portIndex(q),
+              self_);
+    entry->pkt = std::move(updated);
+    entry->state = EntryState::Waiting;
+    entry->eligibleAt = eligible_at;
+    ++entry->attempts;
+    noteEligible(eligible_at);
 }
 
 } // namespace phastlane::core

@@ -10,10 +10,13 @@
 #define PHASTLANE_CORE_ROUTER_HPP
 
 #include <algorithm>
+#include <climits>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/control.hpp"
 #include "core/packet.hpp"
 #include "core/params.hpp"
 
@@ -41,6 +44,13 @@ struct BufferEntry {
 
     /** Insertion order (age) for oldest-first arbitration. */
     uint64_t seq = 0;
+
+    /** Memoized desired output port. A buffered packet's residence
+     *  router and destination never change, so the XY first hop is
+     *  computed once on first arbitration instead of on every rescan
+     *  while the entry waits out contention or backoff. Local is the
+     *  "unset" sentinel: no buffered packet wants the local port. */
+    Port desired = Port::Local;
 };
 
 /** Identifies a buffer entry for launch-outcome resolution. */
@@ -48,6 +58,26 @@ struct EntryRef {
     NodeId router = kInvalidNode;
     Port queue = Port::Local;
     PacketId packet = 0;
+};
+
+/** One arbitration winner: the entry, its output port, and the input
+ *  queue it sits in (so launch-outcome resolution can go straight to
+ *  that queue instead of scanning all five). */
+struct LaunchPick {
+    BufferEntry *entry;
+    Port out;
+    Port queue;
+};
+
+/**
+ * Caller-owned arbitration scratch: the launch list plus the
+ * oldest-first candidate buffer, reused across routers and cycles so
+ * the per-router arbitrate() call allocates nothing in steady state.
+ */
+struct ArbitrationScratch {
+    std::vector<LaunchPick> launches;
+    std::vector<std::pair<uint64_t, std::pair<BufferEntry *, Port>>>
+        candidates;
 };
 
 /**
@@ -60,17 +90,29 @@ class RouterBuffers
 
     NodeId self() const { return self_; }
 
-    /** True when queue @p q can accept another packet. */
-    bool hasSpace(Port q) const;
+    /** True when queue @p q can accept another packet (inline: this
+     *  runs per arrival in the wavefront hot path). */
+    bool hasSpace(Port q) const { return freeSlots(q) > 0; }
 
     /** Free slots in queue @p q (INT_MAX when infinite). */
-    int freeSlots(Port q) const;
+    int freeSlots(Port q) const
+    {
+        if (capacity_ <= 0)
+            return INT_MAX;
+        const int occ = static_cast<int>(queues_[portIndex(q)].size());
+        if (!sharedPool_)
+            return capacity_ - occ;
+        return sharedPoolFreeSlots(occ);
+    }
 
     /** Current occupancy of queue @p q. */
-    size_t occupancy(Port q) const;
+    size_t occupancy(Port q) const
+    {
+        return queues_[portIndex(q)].size();
+    }
 
     /** Total occupancy across all five queues. */
-    size_t totalOccupancy() const;
+    size_t totalOccupancy() const { return total_; }
 
     /**
      * Insert a received packet into queue @p q; the caller must have
@@ -78,6 +120,14 @@ class RouterBuffers
      * arbiter may re-launch it.
      */
     void push(Port q, OpticalPacket pkt, Cycle eligible_at);
+
+    /**
+     * Allocate an empty entry at the tail of queue @p q (same
+     * bookkeeping as push()) and return it for the caller to fill its
+     * pkt in place — the NIC-transfer path moves one packet instead
+     * of a packet plus a whole BufferEntry.
+     */
+    BufferEntry &emplaceEntry(Port q, Cycle eligible_at);
 
     /**
      * Launch arbitration: pick up to four launch candidates for
@@ -94,8 +144,32 @@ class RouterBuffers
     std::vector<std::pair<BufferEntry *, Port>>
     arbitrate(Cycle now, DesiredPortFn &&desired_port);
 
+    /**
+     * Allocation-free arbitrate: results land in
+     * @p scratch.launches (cleared first). Empty routers return
+     * immediately after advancing the rotating pointer, so a
+     * mostly-idle mesh pays O(1) per router.
+     */
+    template <typename DesiredPortFn>
+    void arbitrate(Cycle now, DesiredPortFn &&desired_port,
+                   ArbitrationScratch &scratch);
+
+    /** True when no queue holds any entry (O(1)). */
+    bool empty() const { return total_ == 0; }
+
+  private:
+    /** DAMQ shared-pool slot accounting (the uncommon configuration;
+     *  kept out of line). */
+    int sharedPoolFreeSlots(int occ) const;
+
+  public:
+
     /** Resolve a prior launch: release the entry on success. */
     void releaseLaunched(PacketId id);
+
+    /** Queue-targeted release: the caller learned the source queue at
+     *  launch time, so only that deque is searched. */
+    void releaseLaunched(Port q, PacketId id);
 
     /**
      * Resolve a prior launch that was dropped downstream: restore the
@@ -105,8 +179,23 @@ class RouterBuffers
     void restoreDropped(PacketId id, OpticalPacket updated,
                         Cycle eligible_at);
 
+    /** Queue-targeted variant of restoreDropped(). */
+    void restoreDropped(Port q, PacketId id, OpticalPacket updated,
+                        Cycle eligible_at);
+
     /** Find the queue holding the Launched entry for @p id. */
     BufferEntry *findLaunched(PacketId id, Port *queue_out = nullptr);
+
+    /** Find the Launched entry for @p id within queue @p q only. */
+    BufferEntry *findLaunchedIn(Port q, PacketId id);
+
+    /** Record that a Waiting entry may become launchable at @p c;
+     *  keeps the arbitration skip horizon conservative when a caller
+     *  rewrites eligibleAt directly through a findLaunched pointer. */
+    void noteEligible(Cycle c)
+    {
+        nextEligible_ = std::min(nextEligible_, c);
+    }
 
   private:
     NodeId self_;
@@ -117,39 +206,69 @@ class RouterBuffers
     std::array<std::deque<BufferEntry>, kAllPorts> queues_;
     int rotate_ = 0;
     uint64_t nextSeq_ = 0;
+    size_t total_ = 0;
+    /** Lower bound on the earliest eligibleAt among Waiting entries;
+     *  kNeverCycle when every entry is Launched (or none exist). Lets
+     *  arbitrate() skip the queue scan while all buffered packets sit
+     *  in backoff or in flight. */
+    Cycle nextEligible_ = 0;
 };
 
 template <typename DesiredPortFn>
-std::vector<std::pair<BufferEntry *, Port>>
-RouterBuffers::arbitrate(Cycle now, DesiredPortFn &&desired_port)
+void
+RouterBuffers::arbitrate(Cycle now, DesiredPortFn &&desired_port,
+                         ArbitrationScratch &scratch)
 {
-    std::vector<std::pair<BufferEntry *, Port>> launches;
+    auto &launches = scratch.launches;
+    launches.clear();
+    // Advance the rotating pointer even when skipping an empty router
+    // (or one whose entries are all Launched or still in backoff): its
+    // future priority order must not depend on whether earlier cycles
+    // had launchable traffic.
+    if (total_ == 0 || now < nextEligible_) {
+        if (policy_ != BufferArbitration::OldestFirst)
+            rotate_ = (rotate_ + 1) % kAllPorts;
+        return;
+    }
     bool port_taken[kMeshPorts] = {false, false, false, false};
+    Cycle next_eligible = kNeverCycle;
 
-    auto try_launch = [&](BufferEntry &entry, int &queue_budget) {
-        if (queue_budget <= 0)
-            return;
-        if (entry.state != EntryState::Waiting ||
-            entry.eligibleAt > now) {
-            return;
+    auto try_launch = [&](BufferEntry &entry, Port q,
+                          int &queue_budget) {
+        if (queue_budget > 0 &&
+            entry.state == EntryState::Waiting &&
+            entry.eligibleAt <= now) {
+            if (entry.desired == Port::Local)
+                entry.desired = desired_port(entry.pkt);
+            const Port out = entry.desired;
+            if (out != Port::Local && !port_taken[portIndex(out)]) {
+                port_taken[portIndex(out)] = true;
+                entry.state = EntryState::Launched;
+                launches.push_back(LaunchPick{&entry, out, q});
+                --queue_budget;
+            }
         }
-        const Port out = desired_port(entry.pkt);
-        if (out == Port::Local || port_taken[portIndex(out)])
-            return;
-        port_taken[portIndex(out)] = true;
-        entry.state = EntryState::Launched;
-        launches.emplace_back(&entry, out);
-        --queue_budget;
+        // Whatever is still Waiting after this decision bounds the
+        // next cycle's skip horizon.
+        if (entry.state == EntryState::Waiting)
+            next_eligible = std::min(next_eligible, entry.eligibleAt);
     };
 
     if (policy_ == BufferArbitration::OldestFirst) {
         // Globally oldest eligible entry first (extension).
-        std::vector<std::pair<uint64_t, BufferEntry *>> candidates;
-        for (auto &queue : queues_) {
-            for (auto &entry : queue) {
-                if (entry.state == EntryState::Waiting &&
-                    entry.eligibleAt <= now) {
-                    candidates.emplace_back(entry.seq, &entry);
+        auto &candidates = scratch.candidates;
+        candidates.clear();
+        for (int qi = 0; qi < kAllPorts; ++qi) {
+            const Port q = portFromIndex(qi);
+            for (auto &entry : queues_[qi]) {
+                if (entry.state != EntryState::Waiting)
+                    continue;
+                if (entry.eligibleAt <= now) {
+                    candidates.emplace_back(
+                        entry.seq, std::make_pair(&entry, q));
+                } else {
+                    next_eligible =
+                        std::min(next_eligible, entry.eligibleAt);
                 }
             }
         }
@@ -158,8 +277,8 @@ RouterBuffers::arbitrate(Cycle now, DesiredPortFn &&desired_port)
                       return a.first < b.first;
                   });
         int budget = 4; // one launch per output port at most
-        for (auto &[seq, entry] : candidates)
-            try_launch(*entry, budget);
+        for (auto &[seq, cand] : candidates)
+            try_launch(*cand.first, cand.second, budget);
     } else {
         // Rotating pointer over the five queues; within a queue,
         // oldest-first; at most launchesPerQueue_ per queue.
@@ -167,11 +286,24 @@ RouterBuffers::arbitrate(Cycle now, DesiredPortFn &&desired_port)
             const Port q = portFromIndex((rotate_ + qi) % kAllPorts);
             int queue_budget = launchesPerQueue_;
             for (auto &entry : queues_[portIndex(q)])
-                try_launch(entry, queue_budget);
+                try_launch(entry, q, queue_budget);
         }
         rotate_ = (rotate_ + 1) % kAllPorts;
     }
-    return launches;
+    nextEligible_ = next_eligible;
+}
+
+template <typename DesiredPortFn>
+std::vector<std::pair<BufferEntry *, Port>>
+RouterBuffers::arbitrate(Cycle now, DesiredPortFn &&desired_port)
+{
+    ArbitrationScratch scratch;
+    arbitrate(now, std::forward<DesiredPortFn>(desired_port), scratch);
+    std::vector<std::pair<BufferEntry *, Port>> out;
+    out.reserve(scratch.launches.size());
+    for (const auto &pick : scratch.launches)
+        out.emplace_back(pick.entry, pick.out);
+    return out;
 }
 
 } // namespace phastlane::core

@@ -263,6 +263,7 @@ TEST_P(WavefrontModes, HeavyTrafficStillDeliversEverything)
 INSTANTIATE_TEST_SUITE_P(Modes, WavefrontModes,
                          ::testing::Values(
                              WavefrontModel::SubstepFcfs,
+                             WavefrontModel::BitplaneFcfs,
                              WavefrontModel::GlobalPriority));
 
 TEST(PhastlaneNet, RoundRobinArbitrationDeliversEverything)

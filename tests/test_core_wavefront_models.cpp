@@ -74,9 +74,19 @@ TEST(WavefrontModelsDiff, GlobalPriorityEvictsTheTurn)
     EXPECT_GT(delivered.at(1), 1u);
 }
 
+TEST(WavefrontModelsDiff, BitplaneMatchesFcfsOnTheScenario)
+{
+    // The bit-plane engine is an execution strategy for the FCFS
+    // semantics, not a third model: same winners, same cycles.
+    const auto delivered = runScenario(WavefrontModel::BitplaneFcfs);
+    EXPECT_EQ(delivered.at(1), 1u);
+    EXPECT_EQ(delivered.at(2), 2u);
+}
+
 TEST(WavefrontModelsDiff, ModelsAgreeWithoutContention)
 {
     for (auto model : {WavefrontModel::SubstepFcfs,
+                       WavefrontModel::BitplaneFcfs,
                        WavefrontModel::GlobalPriority}) {
         PhastlaneParams p;
         p.wavefront = model;
@@ -181,6 +191,16 @@ TEST(WavefrontGolden, FcfsMatchesSeedImplementation)
                      2207, 2090});
 }
 
+TEST(WavefrontGolden, BitplaneMatchesFcfsGoldenExactly)
+{
+    // Same golden as the scalar FCFS run: the word-parallel engine
+    // must be bit-identical, not merely statistically equivalent.
+    expectGolden(
+        runRandomizedWorkload(WavefrontModel::BitplaneFcfs),
+        GoldenEvents{7918, 6, 7097, 5922, 7091, 12254, 6, 1624,
+                     2207, 2090});
+}
+
 TEST(WavefrontGolden, GlobalPriorityMatchesSeedImplementation)
 {
     expectGolden(
@@ -192,6 +212,7 @@ TEST(WavefrontGolden, GlobalPriorityMatchesSeedImplementation)
 TEST(WavefrontModelsDiff, BothModelsConserveUnderLoad)
 {
     for (auto model : {WavefrontModel::SubstepFcfs,
+                       WavefrontModel::BitplaneFcfs,
                        WavefrontModel::GlobalPriority}) {
         PhastlaneParams p;
         p.wavefront = model;
