@@ -16,6 +16,11 @@
  *      the 1-thread run and its parallel efficiency, normalized by
  *      the attainable speedup min(threads, hardware_concurrency) so a
  *      2-core CI box is not asked to show an 8x speedup.
+ *   3. 32x32 mega-mesh step() wall-clock throughput, scalar versus the
+ *      4x4-sharded topology-parallel engine at 1/2/4/8 worker threads
+ *      (DESIGN.md §12). Recorded in the JSON for trend tracking, not
+ *      gated: shard scaling is a property of the measuring machine's
+ *      core count.
  *
  * Emits BENCH_perf.json (override with --out <path>) so the perf
  * trajectory is tracked across PRs; --quick shrinks the workload for
@@ -81,15 +86,29 @@ cpuSeconds()
     return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
 }
 
-/** step() CPU-time throughput under Bernoulli uniform-random load. */
 double
-stepThroughput(uint64_t cycles, double rate)
+wallSeconds()
 {
-    core::PhastlaneParams params;
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Bernoulli uniform-random step() workload on an arbitrary mesh/shard
+ * configuration, timed with the supplied clock. The sharded points use
+ * wall-clock (the whole point is that CPU time is spread over several
+ * cores); the scalar 32x32 reference uses the same clock so the
+ * speedup ratio compares like with like.
+ */
+double
+stepThroughputWith(const core::PhastlaneParams &params, uint64_t cycles,
+                   double rate, double (*clock_fn)())
+{
     core::PhastlaneNetwork net(params);
     Rng rng(7);
     PacketId id = 1;
-    const double start = cpuSeconds();
+    const double start = clock_fn();
     for (uint64_t c = 0; c < cycles; ++c) {
         for (NodeId n = 0; n < net.nodeCount(); ++n) {
             if (rng.bernoulli(rate)) {
@@ -105,8 +124,16 @@ stepThroughput(uint64_t cycles, double rate)
         }
         net.step();
     }
-    const double secs = cpuSeconds() - start;
+    const double secs = clock_fn() - start;
     return secs > 0.0 ? static_cast<double>(cycles) / secs : 0.0;
+}
+
+/** step() CPU-time throughput under Bernoulli uniform-random load. */
+double
+stepThroughput(uint64_t cycles, double rate)
+{
+    core::PhastlaneParams params;
+    return stepThroughputWith(params, cycles, rate, cpuSeconds);
 }
 
 /** Wall-clock of one fixed-size sweep at the given thread count. */
@@ -227,6 +254,50 @@ main(int argc, char **argv)
                     pt.expectedSpeedup);
     }
 
+    // 3. Mega-mesh sharded step(): 32x32 mesh, 4x4 shard grid,
+    // wall-clock throughput versus the unsharded scalar engine on the
+    // same topology. Informational (recorded, not gated): shard
+    // scaling depends on the core count of the measuring machine.
+    const uint64_t mega_cycles = opts.quick ? 200 : 1500;
+    core::PhastlaneParams mega;
+    mega.meshWidth = 32;
+    mega.meshHeight = 32;
+    stepThroughputWith(mega, opts.quick ? 50 : 200, rate,
+                       wallSeconds); // warm
+    const double mega_scalar =
+        stepThroughputWith(mega, mega_cycles, rate, wallSeconds);
+    std::printf("32x32 scalar step(): %.0f cycles/sec "
+                "(%.2fM node-cycles/sec, wall clock)\n",
+                mega_scalar, mega_scalar * 1024 / 1e6);
+    std::vector<ScalePoint> mega_sweep;
+    double mega_best_eff = 0.0;
+    for (int t : thread_counts) {
+        core::PhastlaneParams sp = mega;
+        sp.shardCols = 4;
+        sp.shardRows = 4;
+        sp.shardThreads = t;
+        ScalePoint pt;
+        pt.threads = t;
+        const double rate_sharded =
+            stepThroughputWith(sp, mega_cycles, rate, wallSeconds);
+        pt.seconds = rate_sharded > 0.0
+                         ? static_cast<double>(mega_cycles) /
+                               rate_sharded
+                         : 0.0;
+        pt.speedup =
+            mega_scalar > 0.0 ? rate_sharded / mega_scalar : 0.0;
+        pt.expectedSpeedup = static_cast<double>(
+            std::min<unsigned>(static_cast<unsigned>(t), hw));
+        pt.efficiency = pt.speedup / pt.expectedSpeedup;
+        mega_best_eff = std::max(mega_best_eff, pt.efficiency);
+        mega_sweep.push_back(pt);
+        std::printf("32x32 sharded 4x4 @ %2d threads: %7.0f "
+                    "cycles/sec (speedup %.2fx, efficiency %.2f of "
+                    "%.0fx attainable)\n",
+                    t, rate_sharded, pt.speedup, pt.efficiency,
+                    pt.expectedSpeedup);
+    }
+
     // Gate before writing: a failing run must not refresh the
     // baseline it just failed against.
     const std::string baseline = opts.raw.getString("baseline", "");
@@ -310,7 +381,35 @@ main(int argc, char **argv)
                 pt.expectedSpeedup, pt.efficiency,
                 i + 1 < sweep.size() ? "," : "");
         }
-        std::fprintf(f, "  ]\n}\n");
+        std::fprintf(f, "  ],\n");
+        // Informational 32x32 sharded-step record (schema 2 addition;
+        // readBaselineKey skips unknown keys, so old gates still read
+        // this file).
+        std::fprintf(f, "  \"mega_mesh\": {\n");
+        std::fprintf(f, "    \"width\": 32, \"height\": 32, "
+                        "\"shard_cols\": 4, \"shard_rows\": 4,\n");
+        std::fprintf(f,
+                     "    \"scalar_cycles_per_sec\": %.1f,\n",
+                     mega_scalar);
+        std::fprintf(f,
+                     "    \"best_sharded_efficiency\": %.3f,\n",
+                     mega_best_eff);
+        std::fprintf(f, "    \"sharded\": [\n");
+        for (size_t i = 0; i < mega_sweep.size(); ++i) {
+            const ScalePoint &pt = mega_sweep[i];
+            std::fprintf(
+                f,
+                "      {\"threads\": %d, \"cycles_per_sec\": %.1f, "
+                "\"speedup\": %.3f, \"expected_speedup\": %.0f, "
+                "\"efficiency\": %.3f}%s\n",
+                pt.threads,
+                pt.seconds > 0.0
+                    ? static_cast<double>(mega_cycles) / pt.seconds
+                    : 0.0,
+                pt.speedup, pt.expectedSpeedup, pt.efficiency,
+                i + 1 < mega_sweep.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  }\n}\n");
         std::fclose(f);
         std::printf("[perf json written to %s]\n", path.c_str());
         return true;

@@ -18,6 +18,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -186,7 +187,7 @@ knownFlags()
         "heatmap-csv", "heatmap-interval", "check",
         "reliable",    "fault-sweep-out", "fault-field",
         "fault-max",   "fault-steps",     "threads",
-        "wavefront",
+        "wavefront",   "mesh",            "shards",
     };
     for (const auto &f : sim::faultFlagNames())
         flags.push_back(f);
@@ -225,6 +226,13 @@ main(int argc, char **argv)
             "the scalar FCFS\n"
             "            reference, or the eviction-priority "
             "ablation)\n"
+            "    --mesh WxH        override the mesh dimensions "
+            "(e.g. 32x32, 9x7)\n"
+            "    --shards N|CxR    shard the step() spatially and "
+            "run shard-parallel\n"
+            "            (bit-identical to --shards 1; DESIGN.md "
+            "§12). --threads caps\n"
+            "            the worker count.\n"
             "  checking: --check (run under the invariant checker "
             "and, where supported,\n"
             "            in lockstep with the reference oracle; "
@@ -334,6 +342,63 @@ main(int argc, char **argv)
                   "configurations only");
         core::PhastlaneParams p = pl->params();
         p.wavefront = model;
+        net = std::make_unique<core::PhastlaneNetwork>(p);
+    }
+
+    // --mesh WxH resizes the router grid; --shards N (auto-factored)
+    // or CxR turns on the topology-parallel sharded step() (DESIGN.md
+    // §12). Both rebuild the network before any observer attaches.
+    if (args.has("mesh") || args.has("shards")) {
+        auto *pl = dynamic_cast<core::PhastlaneNetwork *>(net.get());
+        if (!pl)
+            panic("--mesh/--shards support optical (Phastlane) "
+                  "configurations only");
+        core::PhastlaneParams p = pl->params();
+        if (args.has("mesh")) {
+            const std::string spec = args.getString("mesh", "");
+            const size_t x = spec.find('x');
+            int w = 0;
+            int h = 0;
+            if (x != std::string::npos) {
+                w = std::atoi(spec.substr(0, x).c_str());
+                h = std::atoi(spec.substr(x + 1).c_str());
+            }
+            if (w < 1 || h < 1)
+                panic("--mesh expects WxH with positive dimensions "
+                      "(got '%s')",
+                      spec.c_str());
+            p.meshWidth = w;
+            p.meshHeight = h;
+        }
+        if (args.has("shards")) {
+            const std::string spec = args.getString("shards", "");
+            const size_t x = spec.find('x');
+            int cols = 0;
+            int rows = 0;
+            if (x != std::string::npos) {
+                cols = std::atoi(spec.substr(0, x).c_str());
+                rows = std::atoi(spec.substr(x + 1).c_str());
+            } else {
+                // --shards N: factor into the most square CxR grid.
+                const int n = std::atoi(spec.c_str());
+                if (n >= 1) {
+                    for (int c = 1; c * c <= n; ++c) {
+                        if (n % c == 0) {
+                            cols = c;
+                            rows = n / c;
+                        }
+                    }
+                }
+            }
+            if (cols < 1 || rows < 1)
+                panic("--shards expects a positive count N or CxR "
+                      "(got '%s')",
+                      spec.c_str());
+            p.shardCols = cols;
+            p.shardRows = rows;
+            p.shardThreads =
+                static_cast<int>(args.getInt("threads", 0));
+        }
         net = std::make_unique<core::PhastlaneNetwork>(p);
     }
 

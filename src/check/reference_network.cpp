@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "core/control.hpp"
 
 namespace phastlane::check {
 
@@ -391,11 +392,11 @@ ReferenceNetwork::launchPhase()
                       "reference: route disagrees with launch port");
             f.idx = 0;
             // Stop at the next interim node (every maxHopsPerCycle
-            // routers, Section 2.1.3) or at the final router.
-            f.stopIdx =
-                std::min(f.path.size(), static_cast<size_t>(
-                                            params_.maxHopsPerCycle)) -
-                1;
+            // routers, Section 2.1.3; capped by the control-program
+            // group budget on long routes) or at the final router.
+            f.stopIdx = core::programStopHops(
+                            f.path.size(), params_.maxHopsPerCycle) -
+                        1;
             claim(r, out);
             flights.push_back(std::move(f));
         }

@@ -1,9 +1,9 @@
-#include "sim/parallel.hpp"
+#include "common/parallel.hpp"
 
 #include <algorithm>
 #include <cstdlib>
 
-namespace phastlane::sim {
+namespace phastlane {
 
 int
 resolveThreadCount(int requested)
@@ -186,4 +186,4 @@ parallelFor(size_t n, const std::function<void(size_t)> &body,
     pool.run(n, body);
 }
 
-} // namespace phastlane::sim
+} // namespace phastlane

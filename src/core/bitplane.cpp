@@ -90,7 +90,12 @@ BitPlaneMesh::shiftToward(Port dir, const uint64_t *src,
     // plane is one word (the 8x8 fast case), else a scratch walk.
     if (words_ == 1) {
         const uint64_t masked = src[0] & inter[0];
-        dst[0] = (dir == Port::North || dir == Port::East)
+        // A 64-wide single-row mesh has delta == 64: every bit either
+        // leaves the plane (N/S, where the interior mask is already
+        // zero) or the shift would be undefined — handle it as the
+        // all-dropped case instead of shifting by the word width.
+        dst[0] = delta >= 64 ? 0
+                 : (dir == Port::North || dir == Port::East)
                      ? (masked << delta)
                      : (masked >> delta);
         dst[0] &= valid_[0];

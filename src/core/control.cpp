@@ -111,6 +111,21 @@ buildProgram(const MeshTopology &mesh, NodeId from, NodeId dst,
         return c.y < d.y ? Port::North : Port::South;
     };
 
+    // Routes longer than the C0+C1 budget cannot carry a group per
+    // router: the program is truncated at kMaxGroups groups with an
+    // interim stop forced no later than the last-but-one group (the
+    // last group must stay, or the interim's Local bit would read as
+    // a final destination). The packet re-launches from that interim
+    // with a fresh program, so truncation costs extra segments, never
+    // correctness; see programStopHops() for the oracle-shared rule.
+    const size_t route_hops =
+        static_cast<size_t>(mesh.hopDistance(from, dst));
+    const bool truncated =
+        route_hops > static_cast<size_t>(ControlProgram::kMaxGroups);
+    const int spacing =
+        truncated ? std::min(max_hops, ControlProgram::kMaxGroups - 1)
+                  : max_hops;
+
     ControlProgram prog;
     size_t tap_idx = 0;
     Coord c = mesh.coordOf(from);
@@ -129,8 +144,8 @@ buildProgram(const MeshTopology &mesh, NodeId from, NodeId dst,
             // direction bits select the output port and arm the
             // return path.
             g.setTurn(turnBetween(opposite(dir), stepDir(c)));
-            // Interim node every max_hops routers.
-            if ((i + 1) % max_hops == 0)
+            // Interim node every spacing routers.
+            if ((i + 1) % spacing == 0)
                 g.local = true;
         } else {
             g.local = true;
@@ -140,8 +155,10 @@ buildProgram(const MeshTopology &mesh, NodeId from, NodeId dst,
             ++tap_idx;
         }
         prog.append(g);
+        if (truncated && i + 1 == ControlProgram::kMaxGroups)
+            break;
     }
-    PL_ASSERT(tap_idx == taps.size(),
+    PL_ASSERT(truncated || tap_idx == taps.size(),
               "multicast tap not on the dimension-order route");
     return prog;
 }

@@ -125,6 +125,30 @@ class ControlProgram
 };
 
 /**
+ * Hops a freshly launched packet covers before its first stop (interim
+ * or final) on a route of @p route_hops routers under the @p max_hops
+ * per-cycle limit and the kMaxGroups program budget.
+ *
+ * Routes that fit the budget behave exactly as in the paper: a stop
+ * every max_hops routers, or at the destination. A longer route's
+ * program is truncated at kMaxGroups groups with a forced interim stop
+ * on its last-but-one group, so the stop spacing is additionally
+ * capped at kMaxGroups - 1 (the final group must remain, or the
+ * interim would be mistaken for a destination). The ReferenceNetwork
+ * oracle uses this same function to stay in lockstep.
+ */
+constexpr size_t
+programStopHops(size_t route_hops, int max_hops)
+{
+    const size_t mh = static_cast<size_t>(max_hops);
+    if (route_hops <= static_cast<size_t>(ControlProgram::kMaxGroups))
+        return route_hops < mh ? route_hops : mh;
+    const size_t cap =
+        static_cast<size_t>(ControlProgram::kMaxGroups - 1);
+    return mh < cap ? mh : cap;
+}
+
+/**
  * One branch of a broadcast: the nodes that must receive a copy, in
  * path order. The last tap is the branch's final destination.
  */

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Sink-parameterized arrival-side logic of PhastlaneNetwork, shared
+ * verbatim by the scalar engines (DirectSink: effects applied in
+ * place, observer callbacks live) and the sharded engine (ShardSink:
+ * per-shard counter deltas plus merge-keyed effect streams). Included
+ * only by network.cpp and network_sharded.cpp.
+ *
+ * Everything order-sensitive flows through the sink: deliveries, the
+ * deferred release/drop outcomes (whose order drives next cycle's
+ * backoff RNG draws), and the loss accounting. Router-buffer state,
+ * the return-path registry and the fault hashes are touched directly —
+ * they are element-disjoint per router / per (router, port) under the
+ * shard partition, or stateless.
+ */
+
+#ifndef PHASTLANE_CORE_NETWORK_IMPL_HPP
+#define PHASTLANE_CORE_NETWORK_IMPL_HPP
+
+#include "core/network.hpp"
+
+namespace phastlane::core {
+
+template <typename Sink>
+void
+PhastlaneNetwork::serveTapAtT(Flight &f, Sink &sink)
+{
+    // Broadcast tap: a fraction of the optical power is received and
+    // a copy delivered to this node — unless the tap was already
+    // served by a pre-corruption attempt (duplicate suppression) or
+    // the receive resonator missed the capture (injected fault).
+    PL_ASSERT(!f.pkt.tapsDone() && f.pkt.nextTap() == f.at,
+              "tap bookkeeping out of sync at node %d", f.at);
+    if (f.pkt.tapCursor < f.pkt.dedupBelow) {
+        f.pkt.serveTap();
+        ++sink.events().duplicatesSuppressed;
+        sink.onDuplicate(f.pkt, f.at);
+        return;
+    }
+    if (faultRoll(params_.faults, params_.faults.missedReceiveRate,
+                  FaultKind::MissedReceive, f.pkt.branchId,
+                  static_cast<uint64_t>(cycle_),
+                  static_cast<uint64_t>(f.at))) {
+        f.pkt.serveTap();
+        ++sink.events().faultMissedReceives;
+        sink.noteLost(f.pkt, f.at, 1, LostCause::MissedReceive);
+        return;
+    }
+    sink.deliver(f.pkt, f.at);
+    f.pkt.serveTap();
+    ++sink.events().tapReceives;
+    sink.onTap(f.pkt, f.at);
+}
+
+template <typename Sink>
+void
+PhastlaneNetwork::deadRouterArrivalT(Flight &f, Sink &sink)
+{
+    // Hard-failed router: the packet is absorbed and never forwarded,
+    // no drop signal returns, and the holder's "no signal means
+    // success" rule frees the buffer slot next cycle. Every remaining
+    // delivery unit of the branch is lost.
+    ++sink.events().faultDeadArrivals;
+    sink.noteLost(f.pkt, f.at, unitsOutstanding(f.pkt),
+                  LostCause::DeadRouter);
+    sink.release(f.holder);
+    f.active = false;
+}
+
+template <typename Sink>
+bool
+PhastlaneNetwork::handleArrivalT(Flight &f, Sink &sink)
+{
+    const ControlGroup g = f.prog.front();
+    PL_ASSERT(f.hops <= params_.maxHopsPerCycle,
+              "flight exceeded the per-cycle hop limit");
+
+    if (failedRouters_[static_cast<size_t>(f.at)] != 0) {
+        deadRouterArrivalT(f, sink);
+        return true;
+    }
+
+    if (g.multicast)
+        serveTapAtT(f, sink);
+
+    if (g.local) {
+        f.prog.translate();
+        if (f.prog.empty()) {
+            // Final router of this packet/branch.
+            if (!g.multicast) {
+                // Unicast destination: deliver through the local
+                // receive resonators (multicast finals were already
+                // delivered by the tap above).
+                PL_ASSERT(f.at == f.pkt.finalDst,
+                          "unicast final at wrong node");
+                if (faultRoll(params_.faults,
+                              params_.faults.missedReceiveRate,
+                              FaultKind::MissedReceive,
+                              f.pkt.branchId,
+                              static_cast<uint64_t>(cycle_),
+                              static_cast<uint64_t>(f.at))) {
+                    ++sink.events().faultMissedReceives;
+                    sink.noteLost(f.pkt, f.at, 1,
+                                  LostCause::MissedReceive);
+                } else {
+                    sink.deliver(f.pkt, f.at);
+                }
+            }
+            ++sink.events().receives;
+            sink.release(f.holder);
+            f.active = false;
+            sink.onBranchFinal(f.pkt, f.at);
+        } else {
+            // Interim node: buffer and assume responsibility.
+            receiveOrDropT(f, true, sink);
+        }
+        return true;
+    }
+    return false;
+}
+
+template <typename Sink>
+void
+PhastlaneNetwork::receiveOrDropT(Flight &f, bool interim, Sink &sink)
+{
+    auto &rb = routers_[static_cast<size_t>(f.at)];
+    if (rb.hasSpace(f.inPort)) {
+        ++sink.events().receives;
+        ++sink.events().bufferWrites;
+        if (interim)
+            ++sink.pl().interimAccepts;
+        else
+            ++sink.pl().blockedBuffered;
+        // Re-launchable from the next cycle's arbitration.
+        rb.push(f.inPort, f.pkt, cycle_ + 1);
+        sink.release(f.holder);
+        sink.onBufferReceive(f.pkt, f.at, f.inPort, interim);
+    } else if (faultRoll(params_.faults,
+                         params_.faults.dropSignalLossRate,
+                         FaultKind::DropSignalLoss, f.pkt.branchId,
+                         static_cast<uint64_t>(cycle_),
+                         static_cast<uint64_t>(f.at))) {
+        // Dropped, but the Packet-Dropped return signal is lost in
+        // flight: no reverse links latch, the holder sees silence and
+        // frees the slot under the "no signal means success" rule, and
+        // the packet's undelivered units are permanently lost (the
+        // base protocol has no end-to-end ack; see ReliableNic for
+        // the recovery layer).
+        ++sink.events().drops;
+        ++sink.pl().drops;
+        ++sink.events().dropSignalsLost;
+        sink.release(f.holder);
+        sink.onDrop(f.pkt, f.at, f.holder.router, 0, true);
+        sink.noteLost(f.pkt, f.at, unitsOutstanding(f.pkt),
+                      LostCause::SignalLost);
+    } else {
+        // Dropped: the return path carries the Packet Dropped signal
+        // and this router's Node ID back to the holder next cycle,
+        // over the reverse connections latched behind the packet.
+        ++sink.events().drops;
+        ++sink.pl().drops;
+        const int signal_hops =
+            returnPaths_.signalDrop(f.path.data(), f.pathLen);
+        sink.events().dropSignalHops +=
+            static_cast<uint64_t>(signal_hops);
+        sink.dropOutcome(f.holder, f.pkt);
+        sink.onDrop(f.pkt, f.at, f.holder.router, signal_hops, false);
+    }
+    f.active = false;
+}
+
+} // namespace phastlane::core
+
+#endif // PHASTLANE_CORE_NETWORK_IMPL_HPP

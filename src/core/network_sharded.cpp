@@ -1,0 +1,549 @@
+/**
+ * @file
+ * The spatially sharded step() (DESIGN.md §12): the router grid is
+ * partitioned into rectangular shards, each with its own claim
+ * planes, request chains and effect buffers, and the NIC-transfer,
+ * launch and wavefront phases run shard-parallel on a ThreadPool.
+ *
+ * Determinism: results are bit-identical to the scalar engines at any
+ * shard/thread count. The argument, per phase:
+ *
+ *  - resolveOutcomes() stays serial — it is the only consumer of the
+ *    backoff RNG, and its inputs (the pendingReleases_/pendingDrops_
+ *    lists) were merged into exact scalar order at the end of the
+ *    previous cycle.
+ *  - NIC transfer and launch arbitration touch only per-router state;
+ *    each shard walks its own routers in ascending global id, and
+ *    mergeShardLaunches() interleaves the per-shard flight lists by
+ *    launch router, reproducing the scalar flight order.
+ *  - Within a wavefront sub-step, phase A (arrival handling) only
+ *    touches the router the flight is at — owned exclusively by one
+ *    shard — and phase B consumes only requests targeting that same
+ *    router, so the two phases run back-to-back per shard with no
+ *    intra-sub-step barrier. Flights enter another shard's territory
+ *    only across the sub-step barrier (mergeShardNext()).
+ *  - Everything order-sensitive (deliveries, deferred release/drop
+ *    outcomes) is emitted through ShardSink with a merge key encoding
+ *    (sub-step, phase, scalar within-phase position); the cycle-end
+ *    k-way merge replays the scalar order exactly, so next cycle's
+ *    RNG draws see identical inputs.
+ *  - Counters are commutative sums, accumulated as per-shard deltas;
+ *    return-path latches are element-disjoint per (router, out port)
+ *    within a cycle (paper footnote 4), with the two tallies relaxed
+ *    atomics; fault draws are stateless hashes.
+ */
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/log.hpp"
+#include "core/network_impl.hpp"
+
+namespace phastlane::core {
+
+namespace {
+
+/**
+ * K-way merge of per-shard (key, effect) lists — each already in
+ * ascending key order — into @p out in global key order. Keys are
+ * unique across shards (they encode the scalar engine's position),
+ * so ties cannot occur.
+ */
+template <typename T>
+void
+mergeKeyed(const std::vector<std::vector<std::pair<uint64_t, T>> *>
+               &lists,
+           std::vector<uint32_t> &cursor, std::vector<T> &out)
+{
+    cursor.assign(lists.size(), 0);
+    size_t total = 0;
+    for (const auto *l : lists)
+        total += l->size();
+    out.reserve(out.size() + total);
+    for (size_t done = 0; done < total; ++done) {
+        int best = -1;
+        uint64_t best_key = 0;
+        for (size_t s = 0; s < lists.size(); ++s) {
+            const auto &l = *lists[s];
+            const uint32_t c = cursor[s];
+            if (c >= l.size())
+                continue;
+            if (best < 0 || l[c].first < best_key) {
+                best = static_cast<int>(s);
+                best_key = l[c].first;
+            }
+        }
+        PL_ASSERT(best >= 0, "keyed merge ran dry");
+        auto &l = *lists[static_cast<size_t>(best)];
+        out.push_back(std::move(l[cursor[best]].second));
+        ++cursor[best];
+    }
+}
+
+} // namespace
+
+bool
+PhastlaneNetwork::useShardedStep() const
+{
+    return !shards_.empty() && observer_ == nullptr &&
+           params_.wavefront != WavefrontModel::GlobalPriority;
+}
+
+void
+PhastlaneNetwork::setupShards()
+{
+    if (params_.shardCount() <= 1)
+        return;
+    auto grid = std::make_unique<ShardGrid>(mesh_, params_.shardCols,
+                                            params_.shardRows);
+    if (grid->count() <= 1)
+        return; // grid clamped down to one shard: plain scalar path
+    shardGrid_ = std::move(grid);
+    shards_.reserve(static_cast<size_t>(shardGrid_->count()));
+    for (int s = 0; s < shardGrid_->count(); ++s)
+        shards_.emplace_back(s, shardGrid_->rect(s));
+    const int threads =
+        std::min(resolveThreadCount(params_.shardThreads),
+                 shardGrid_->count());
+    pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void
+PhastlaneNetwork::shardNicToLocal(Shard &sh)
+{
+    const ShardGrid::Rect &r = sh.rect;
+    for (int y = r.y0; y < r.y0 + r.height; ++y) {
+        for (int x = r.x0; x < r.x0 + r.width; ++x) {
+            const NodeId n = mesh_.nodeAt({x, y});
+            auto &nic = nics_[static_cast<size_t>(n)];
+            auto &rb = routers_[static_cast<size_t>(n)];
+            for (int i = 0; i < params_.nicTransfersPerCycle &&
+                            !nic.empty() && rb.hasSpace(Port::Local);
+                 ++i) {
+                nic.popHeadInto(
+                    rb.emplaceEntry(Port::Local, cycle_ + 1).pkt);
+            }
+        }
+    }
+}
+
+void
+PhastlaneNetwork::shardLaunchPhase(Shard &sh)
+{
+    // The scalar launch loop over this shard's routers (ascending
+    // global id: row-major over the rect), claiming into the local
+    // planes. Port-claim tallies and buffer-entry updates are
+    // element-disjoint under the shard partition.
+    const ShardGrid::Rect &rect = sh.rect;
+    for (int ly = 0; ly < rect.height; ++ly) {
+        for (int lx = 0; lx < rect.width; ++lx) {
+            const NodeId r =
+                mesh_.nodeAt({rect.x0 + lx, rect.y0 + ly});
+            const NodeId lr =
+                static_cast<NodeId>(ly * rect.width + lx);
+            auto &rb = routers_[static_cast<size_t>(r)];
+            rb.arbitrate(
+                cycle_,
+                [&](const OpticalPacket &pkt) {
+                    return desiredPort(r, pkt);
+                },
+                sh.arb);
+            for (auto &[entry, out, queue] : sh.arb.launches) {
+                ++sh.fx.events.launches;
+                ++sh.fx.events.bufferReads;
+                ++sh.fx.pl.launches;
+                if (entry->attempts > 0) {
+                    ++sh.fx.events.retransmissions;
+                    ++sh.fx.pl.retransmissions;
+                }
+                if (entry->pkt.firstInjectedAt == kNeverCycle) {
+                    entry->pkt.firstInjectedAt = cycle_;
+                    ++sh.fx.counters.packetsInjected;
+                }
+                Flight &f = sh.launches.emplace_back();
+                f.pkt = entry->pkt;
+                f.prog = buildProgram(r, entry->pkt);
+                f.launchRouter = r;
+                f.at = mesh_.neighbor(r, out);
+                PL_ASSERT(f.at != kInvalidNode,
+                          "launch off the mesh edge");
+                f.inPort = opposite(out);
+                f.hops = 1;
+                f.holder = EntryRef{r, queue, entry->pkt.branchId};
+                sh.claims.set(lr, out);
+                ++portClaimCounts_[static_cast<size_t>(r) *
+                                       kMeshPorts +
+                                   portIndex(out)];
+            }
+        }
+    }
+}
+
+void
+PhastlaneNetwork::applyShardPassWin(Shard &sh, size_t flight_idx,
+                                    NodeId router, int local_router,
+                                    Port out)
+{
+    Flight &f = flights_[flight_idx];
+    sh.claims.set(static_cast<NodeId>(local_router), out);
+    ++portClaimCounts_[static_cast<size_t>(router) * kMeshPorts +
+                       portIndex(out)];
+    ++sh.fx.events.passTraversals;
+    returnPaths_.registerHop(router, f.inPort, out);
+    f.recordHop(ReturnHop{router, f.inPort, out});
+    f.prog.translate();
+    f.at = mesh_.neighbor(router, out);
+    PL_ASSERT(f.at != kInvalidNode, "route left the mesh");
+    f.inPort = opposite(out);
+    ++f.hops;
+    sh.next.emplace_back(static_cast<uint64_t>(router) * kMeshPorts +
+                             portIndex(out),
+                         static_cast<uint32_t>(flight_idx));
+}
+
+void
+PhastlaneNetwork::shardSubstep(Shard &sh, uint64_t substep)
+{
+    ShardSink sink{*this, sh.fx};
+    std::vector<PassRequest> &requests = sh.requests;
+    requests.clear();
+    sh.next.clear();
+
+    // Phase A: arrival-side actions for the flights at this shard's
+    // routers, in global active-list order (the merge key records the
+    // global position, so cross-shard effect order is restored at the
+    // cycle-end merge).
+    for (const auto &[ai, fi] : sh.activeLocal) {
+        Flight &f = flights_[fi];
+        sink.key = effectKey(substep, 0, ai);
+        if (handleArrivalT(f, sink))
+            continue;
+        if (faultRoll(params_.faults, params_.faults.misTurnRate,
+                      FaultKind::MisTurn, f.pkt.branchId,
+                      static_cast<uint64_t>(cycle_),
+                      static_cast<uint64_t>(f.at))) {
+            // Mis-tuned pass resonator (as in the scalar engines).
+            ++sink.events().faultMisTurns;
+            receiveOrDropT(f, false, sink);
+            continue;
+        }
+        const ControlGroup g = f.prog.front();
+        PassRequest r;
+        r.flight = fi;
+        r.router = f.at;
+        const Turn t = g.turn();
+        r.out = applyTurn(f.inPort, t);
+        r.straight = (t == Turn::Straight);
+        requests.push_back(r);
+    }
+
+    // Phase B: claim resolution on the shard-local planes — the
+    // bit-plane algebra of propagateBitplane() over the shard's
+    // rectangle. A pass request always targets the router the flight
+    // arrived at, which this shard owns, so phase B consumes only this
+    // shard's own phase A requests: no intra-sub-step barrier.
+    sh.reqOnce.clear();
+    sh.reqMulti.clear();
+    sh.reqNext.resize(requests.size());
+    ++sh.reqEpochCur;
+    const ShardGrid &grid = *shardGrid_;
+    for (uint32_t ri = 0; ri < static_cast<uint32_t>(requests.size());
+         ++ri) {
+        const PassRequest &r = requests[ri];
+        const NodeId lr = static_cast<NodeId>(
+            grid.localId(r.router, mesh_));
+        const size_t key =
+            static_cast<size_t>(lr) * kMeshPorts + portIndex(r.out);
+        sh.reqNext[ri] = UINT32_MAX;
+        if (sh.reqEpoch[key] != sh.reqEpochCur) {
+            sh.reqEpoch[key] = sh.reqEpochCur;
+            sh.reqHead[key] = ri;
+            sh.reqTail[key] = ri;
+            sh.reqOnce.set(lr, r.out);
+        } else {
+            sh.reqNext[sh.reqTail[key]] = ri;
+            sh.reqTail[key] = ri;
+            sh.reqMulti.set(lr, r.out);
+        }
+    }
+
+    const int words = sh.claims.words();
+    for (int pi = 0; pi < kMeshPorts; ++pi) {
+        const Port p = portFromIndex(pi);
+        bitplane::andnot2(sh.reqOnce.plane(p), sh.reqMulti.plane(p),
+                          sh.claims.plane(p), sh.reqWin.plane(p),
+                          words);
+    }
+
+    const bool fixed_priority = params_.opticalArbitration ==
+                                OpticalArbitration::FixedPriority;
+    const bool invert = params_.faults.invertStraightPriority;
+    // Ascending local id is ascending global id within the rect (both
+    // are row-major in y, then x), so this sweep visits requested
+    // ports in the scalar engine's flat-key order.
+    for (int w = 0; w < words; ++w) {
+        uint64_t any = sh.reqOnce.plane(Port::North)[w] |
+                       sh.reqOnce.plane(Port::East)[w] |
+                       sh.reqOnce.plane(Port::South)[w] |
+                       sh.reqOnce.plane(Port::West)[w];
+        while (any != 0) {
+            const int bit = __builtin_ctzll(any);
+            any &= any - 1;
+            const int lr = w * 64 + bit;
+            const NodeId router = mesh_.nodeAt(
+                {sh.rect.x0 + lr % sh.rect.width,
+                 sh.rect.y0 + lr / sh.rect.width});
+            const uint64_t m = uint64_t{1} << bit;
+            for (int pi = 0; pi < kMeshPorts; ++pi) {
+                const Port out = portFromIndex(pi);
+                if ((sh.reqOnce.plane(out)[w] & m) == 0)
+                    continue;
+                const size_t key =
+                    static_cast<size_t>(lr) * kMeshPorts +
+                    static_cast<size_t>(pi);
+                const uint64_t flat =
+                    static_cast<uint64_t>(router) * kMeshPorts +
+                    static_cast<uint64_t>(pi);
+                if ((sh.reqWin.plane(out)[w] & m) != 0) {
+                    // Single requester, port free: grant.
+                    applyShardPassWin(
+                        sh, requests[sh.reqHead[key]].flight, router,
+                        lr, out);
+                    continue;
+                }
+                // Contested port, or one pre-claimed in the launch
+                // phase (then every requester loses).
+                uint32_t winner = UINT32_MAX;
+                if (!sh.claims.test(static_cast<NodeId>(lr), out)) {
+                    winner = sh.reqHead[key];
+                    if (fixed_priority) {
+                        const auto rank = [&](uint32_t ri) {
+                            const PassRequest &r = requests[ri];
+                            return std::make_pair(
+                                r.straight != invert ? 0 : 1,
+                                portIndex(
+                                    flights_[r.flight].inPort));
+                        };
+                        for (uint32_t ri = sh.reqNext[winner];
+                             ri != UINT32_MAX; ri = sh.reqNext[ri]) {
+                            if (rank(ri) < rank(winner))
+                                winner = ri;
+                        }
+                    } else {
+                        // Rotating priority over input ports.
+                        const int start =
+                            static_cast<int>(cycle_ % kMeshPorts);
+                        const auto rrRank = [&](uint32_t ri) {
+                            const int p = portIndex(
+                                flights_[requests[ri].flight]
+                                    .inPort);
+                            return (p - start + kMeshPorts) %
+                                   kMeshPorts;
+                        };
+                        for (uint32_t ri = sh.reqNext[winner];
+                             ri != UINT32_MAX; ri = sh.reqNext[ri]) {
+                            if (rrRank(ri) < rrRank(winner))
+                                winner = ri;
+                        }
+                    }
+                }
+                uint64_t pos = 0;
+                for (uint32_t ri = sh.reqHead[key]; ri != UINT32_MAX;
+                     ri = sh.reqNext[ri], ++pos) {
+                    if (ri == winner) {
+                        applyShardPassWin(sh, requests[ri].flight,
+                                          router, lr, out);
+                    } else {
+                        // Loser key: the scalar engine resolves ports
+                        // in flat-key order, chains in arrival order.
+                        sink.key = effectKey(substep, 1,
+                                             (flat << 24) | pos);
+                        receiveOrDropT(flights_[requests[ri].flight],
+                                       false, sink);
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+PhastlaneNetwork::mergeShardLaunches()
+{
+    // Interleave the per-shard flight lists by launch router. Shards
+    // own disjoint router sets and each list is router-ascending, so
+    // the merge reproduces the scalar launch order (a router's own
+    // launches stay consecutive and in arbitration order).
+    flights_.clear();
+    size_t total = 0;
+    for (const Shard &sh : shards_)
+        total += sh.launches.size();
+    flights_.reserve(total);
+    mergeCursor_.assign(shards_.size(), 0);
+    while (flights_.size() < total) {
+        int best = -1;
+        NodeId best_router = 0;
+        for (size_t s = 0; s < shards_.size(); ++s) {
+            const auto &l = shards_[s].launches;
+            const uint32_t c = mergeCursor_[s];
+            if (c >= l.size())
+                continue;
+            if (best < 0 || l[c].launchRouter < best_router) {
+                best = static_cast<int>(s);
+                best_router = l[c].launchRouter;
+            }
+        }
+        PL_ASSERT(best >= 0, "launch merge ran dry");
+        auto &l = shards_[static_cast<size_t>(best)].launches;
+        flights_.push_back(std::move(l[mergeCursor_[best]]));
+        ++mergeCursor_[best];
+    }
+}
+
+void
+PhastlaneNetwork::mergeShardNext()
+{
+    // One winner per (router, out port): keys are unique, and each
+    // shard's list is already ascending, so a k-way walk restores the
+    // scalar engine's next-sub-step active order.
+    nextShardGlobal_.clear();
+    mergeCursor_.assign(shards_.size(), 0);
+    size_t total = 0;
+    for (const Shard &sh : shards_)
+        total += sh.next.size();
+    nextShardGlobal_.reserve(total);
+    while (nextShardGlobal_.size() < total) {
+        int best = -1;
+        uint64_t best_key = 0;
+        for (size_t s = 0; s < shards_.size(); ++s) {
+            const auto &l = shards_[s].next;
+            const uint32_t c = mergeCursor_[s];
+            if (c >= l.size())
+                continue;
+            if (best < 0 || l[c].first < best_key) {
+                best = static_cast<int>(s);
+                best_key = l[c].first;
+            }
+        }
+        PL_ASSERT(best >= 0, "sub-step merge ran dry");
+        nextShardGlobal_.push_back(
+            shards_[static_cast<size_t>(best)]
+                .next[mergeCursor_[best]]
+                .second);
+        ++mergeCursor_[best];
+    }
+    std::swap(activeShardGlobal_, nextShardGlobal_);
+}
+
+void
+PhastlaneNetwork::mergeShardEffects()
+{
+    for (const Shard &sh : shards_) {
+        const OpticalEvents &e = sh.fx.events;
+        events_.launches += e.launches;
+        events_.passTraversals += e.passTraversals;
+        events_.receives += e.receives;
+        events_.tapReceives += e.tapReceives;
+        events_.bufferWrites += e.bufferWrites;
+        events_.bufferReads += e.bufferReads;
+        events_.drops += e.drops;
+        events_.dropSignalHops += e.dropSignalHops;
+        events_.retransmissions += e.retransmissions;
+        events_.routerCycles += e.routerCycles;
+        events_.lostUnits += e.lostUnits;
+        events_.dropSignalsLost += e.dropSignalsLost;
+        events_.faultMisTurns += e.faultMisTurns;
+        events_.faultMissedReceives += e.faultMissedReceives;
+        events_.faultCorruptions += e.faultCorruptions;
+        events_.faultDeadArrivals += e.faultDeadArrivals;
+        events_.duplicatesSuppressed += e.duplicatesSuppressed;
+        const PhastlaneCounters &p = sh.fx.pl;
+        pl_.drops += p.drops;
+        pl_.retransmissions += p.retransmissions;
+        pl_.blockedBuffered += p.blockedBuffered;
+        pl_.interimAccepts += p.interimAccepts;
+        pl_.launches += p.launches;
+        const NetworkCounters &c = sh.fx.counters;
+        counters_.messagesAccepted += c.messagesAccepted;
+        counters_.packetsInjected += c.packetsInjected;
+        counters_.deliveries += c.deliveries;
+        const int64_t d = sh.fx.outstandingDelta;
+        if (d < 0) {
+            PL_ASSERT(outstanding_ >= static_cast<uint64_t>(-d),
+                      "lost/delivered more units than outstanding");
+            outstanding_ -= static_cast<uint64_t>(-d);
+        } else {
+            outstanding_ += static_cast<uint64_t>(d);
+        }
+    }
+
+    std::vector<std::vector<std::pair<uint64_t, Delivery>> *> dlists;
+    std::vector<std::vector<std::pair<uint64_t, EntryRef>> *> rlists;
+    std::vector<std::vector<std::pair<uint64_t, LaunchOutcome>> *>
+        olists;
+    dlists.reserve(shards_.size());
+    rlists.reserve(shards_.size());
+    olists.reserve(shards_.size());
+    for (Shard &sh : shards_) {
+        dlists.push_back(&sh.fx.deliveries);
+        rlists.push_back(&sh.fx.releases);
+        olists.push_back(&sh.fx.drops);
+    }
+    mergeKeyed(dlists, mergeCursor_, deliveries_);
+    mergeKeyed(rlists, mergeCursor_, pendingReleases_);
+    mergeKeyed(olists, mergeCursor_, pendingDrops_);
+}
+
+void
+PhastlaneNetwork::stepSharded()
+{
+    deliveries_.clear();
+    returnPaths_.beginCycle();
+    // Serial: the only consumer of the backoff RNG; its inputs were
+    // merged into exact scalar order at the end of the last cycle.
+    resolveOutcomes();
+
+    ThreadPool &pool = *pool_;
+    const size_t nshards = shards_.size();
+    pool.run(nshards, [&](size_t si) {
+        Shard &sh = shards_[si];
+        sh.fx.clear();
+        sh.claims.clear();
+        sh.launches.clear();
+        shardNicToLocal(sh);
+        shardLaunchPhase(sh);
+    });
+    mergeShardLaunches();
+
+    activeShardGlobal_.resize(flights_.size());
+    for (uint32_t i = 0;
+         i < static_cast<uint32_t>(activeShardGlobal_.size()); ++i)
+        activeShardGlobal_[i] = i;
+
+    uint64_t substep = 0;
+    while (!activeShardGlobal_.empty()) {
+        // Deal the active flights to their owner shards, keeping the
+        // global order (and index, for the phase A merge keys).
+        for (Shard &sh : shards_)
+            sh.activeLocal.clear();
+        for (uint32_t ai = 0;
+             ai < static_cast<uint32_t>(activeShardGlobal_.size());
+             ++ai) {
+            const uint32_t fi = activeShardGlobal_[ai];
+            const int s = shardGrid_->shardOf(flights_[fi].at);
+            shards_[static_cast<size_t>(s)].activeLocal.emplace_back(
+                ai, fi);
+        }
+        pool.run(nshards, [&](size_t si) {
+            shardSubstep(shards_[si], substep);
+        });
+        mergeShardNext();
+        ++substep;
+    }
+
+    mergeShardEffects();
+    events_.routerCycles += static_cast<uint64_t>(mesh_.nodeCount());
+    ++cycle_;
+}
+
+} // namespace phastlane::core

@@ -1,120 +1,22 @@
 /**
  * @file
- * Parallel simulation dispatch: a small work-stealing thread pool and
- * a parallelFor helper used to spread independent simulation points
- * (sweep rates, experiment cells, benchmark grids) across cores.
- *
- * Determinism contract: every task owns its slot in a pre-sized result
- * vector and its own network/driver/RNG, so results are bit-identical
- * to serial execution regardless of the thread count or the order in
- * which indices happen to run. Nothing here introduces shared mutable
- * simulation state.
- *
- * Thread-count resolution (resolveThreadCount): an explicit request
- * wins; otherwise the PL_THREADS environment variable; otherwise the
- * hardware concurrency.
+ * Compatibility alias: the thread pool moved to common/parallel.hpp so
+ * the core simulator (plcore, which cannot depend on plsim) can run
+ * its sharded step() on it. Existing sim-layer code keeps using the
+ * phastlane::sim names.
  */
 
 #ifndef PHASTLANE_SIM_PARALLEL_HPP
 #define PHASTLANE_SIM_PARALLEL_HPP
 
-#include <atomic>
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
-#include <functional>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "common/parallel.hpp"
 
 namespace phastlane::sim {
 
-/**
- * A work-stealing thread pool for index-space parallelism.
- *
- * run(n, body) partitions [0, n) into chunks, deals them round-robin
- * to per-worker deques, and lets idle workers steal from the back of
- * busy ones. The calling thread participates as worker 0, so a pool
- * of size T uses T-1 background threads.
- */
-class ThreadPool
-{
-  public:
-    /** @param threads Total workers including the caller; <= 0 picks
-     *  resolveThreadCount(0). */
-    explicit ThreadPool(int threads = 0);
-    ~ThreadPool();
-
-    ThreadPool(const ThreadPool &) = delete;
-    ThreadPool &operator=(const ThreadPool &) = delete;
-
-    /** Total worker count (background threads + the caller). */
-    int size() const { return workerCount_; }
-
-    /**
-     * Invoke body(i) exactly once for every i in [0, n), across the
-     * pool, returning when all indices completed. Exceptions thrown
-     * by @p body are captured and the first one rethrown here. Must
-     * not be called concurrently from multiple threads.
-     */
-    void run(size_t n, const std::function<void(size_t)> &body);
-
-  private:
-    /** A contiguous slice of the index space. */
-    struct Chunk {
-        size_t begin = 0;
-        size_t end = 0;
-    };
-
-    /** One worker's deque; owner pops the front, thieves the back. */
-    struct WorkerQueue {
-        std::mutex mu;
-        std::deque<Chunk> chunks;
-    };
-
-    void workerLoop(int self);
-    bool popOrSteal(int self, Chunk &out);
-    void runChunks(int self);
-
-    int workerCount_;
-    std::vector<std::unique_ptr<WorkerQueue>> queues_;
-    std::vector<std::thread> threads_;
-
-    std::mutex mu_;
-    std::condition_variable wake_;
-    std::condition_variable done_;
-    const std::function<void(size_t)> *body_ = nullptr;
-    std::atomic<size_t> remaining_{0};
-    uint64_t generation_ = 0;
-    bool stopping_ = false;
-
-    std::mutex errorMu_;
-    std::exception_ptr firstError_;
-};
-
-/**
- * Resolve an effective simulation thread count: @p requested when
- * positive, else the PL_THREADS environment variable when set to a
- * positive integer, else std::thread::hardware_concurrency() (at
- * least 1).
- */
-int resolveThreadCount(int requested);
-
-/**
- * One-shot parallel loop: body(i) for i in [0, n) over @p threads
- * workers (resolved via resolveThreadCount). threads == 1 (or n <= 1)
- * runs inline with no thread machinery at all.
- */
-void parallelFor(size_t n, const std::function<void(size_t)> &body,
-                 int threads = 0);
-
-/**
- * Deterministic per-point seed derivation (SplitMix64 over the pair):
- * statistically independent streams for distinct indices, identical
- * on every platform and thread count.
- */
-uint64_t derivePointSeed(uint64_t base, uint64_t index);
+using phastlane::ThreadPool;
+using phastlane::derivePointSeed;
+using phastlane::parallelFor;
+using phastlane::resolveThreadCount;
 
 } // namespace phastlane::sim
 

@@ -198,6 +198,81 @@ TEST(BitPlaneMeshShift, EdgeColumnsDropWithoutBleedingIntoNextRow)
     }
 }
 
+TEST(BitPlaneMeshShift, DegenerateRowAndColumnShapes)
+{
+    // Single-row and single-column meshes stress the shift extremes:
+    // a 64x1 mesh has a N/S id delta of exactly the word width (a
+    // shift amount that is undefined behavior unless guarded), and a
+    // 1x64 mesh has no E/W interior at all. Both must come out as
+    // all-dropped or plain row shifts, never wraparound garbage.
+    Rng rng(41);
+    const std::pair<int, int> shapes[] = {
+        {64, 1}, {1, 64}, {65, 1}, {128, 1}, {1, 100}, {63, 2}};
+    for (const auto &[w, h] : shapes) {
+        BitPlaneMesh mesh(w, h);
+        for (int trial = 0; trial < 10; ++trial) {
+            std::vector<uint64_t> src(mesh.words());
+            for (int i = 0; i < mesh.words(); ++i)
+                src[i] = rng.next() & mesh.validMask()[i];
+            for (Port dir :
+                 {Port::North, Port::South, Port::East, Port::West}) {
+                std::vector<uint64_t> dst(mesh.words(), ~uint64_t{0});
+                mesh.shiftToward(dir, src.data(), dst.data());
+                const auto want = shiftReference(mesh, dir, src);
+                for (int i = 0; i < mesh.words(); ++i)
+                    ASSERT_EQ(dst[i], want[i])
+                        << w << "x" << h << " dir "
+                        << portIndex(dir) << " word " << i;
+            }
+        }
+    }
+    // A fully-set 64x1 plane must vanish entirely under N/S (height 1:
+    // nothing has a vertical neighbor).
+    BitPlaneMesh row(64, 1);
+    std::vector<uint64_t> all(row.words()), out(row.words());
+    all[0] = ~uint64_t{0};
+    for (Port dir : {Port::North, Port::South}) {
+        row.shiftToward(dir, all.data(), out.data());
+        EXPECT_FALSE(bitplane::anySet(out.data(), row.words()));
+    }
+}
+
+TEST(BitPlaneMeshShift, TailWordBitsNeverEscapeThePlane)
+{
+    // nodeCount % 64 != 0: the last word is partial. Shifting the
+    // topmost row north (or the highest ids east) must not park bits
+    // in the padding region above nodeCount(), and padding must never
+    // feed back into valid bits on a downward shift.
+    const std::pair<int, int> shapes[] = {{9, 13}, {5, 13}, {11, 6}};
+    for (const auto &[w, h] : shapes) {
+        BitPlaneMesh mesh(w, h);
+        ASSERT_NE(mesh.nodeCount() % 64, 0);
+        std::vector<uint64_t> src(mesh.words(), 0), dst(mesh.words());
+        // Fill the top row: every bit leaves the mesh going north.
+        for (int x = 0; x < w; ++x) {
+            const int n = (h - 1) * w + x;
+            src[n >> 6] |= uint64_t{1} << (n & 63);
+        }
+        mesh.shiftToward(Port::North, src.data(), dst.data());
+        EXPECT_FALSE(bitplane::anySet(dst.data(), mesh.words()))
+            << w << "x" << h;
+        // Whatever the shift produces stays inside validMask().
+        Rng rng(43);
+        for (int trial = 0; trial < 10; ++trial) {
+            for (int i = 0; i < mesh.words(); ++i)
+                src[i] = rng.next() & mesh.validMask()[i];
+            for (Port dir :
+                 {Port::North, Port::South, Port::East, Port::West}) {
+                mesh.shiftToward(dir, src.data(), dst.data());
+                for (int i = 0; i < mesh.words(); ++i)
+                    EXPECT_EQ(dst[i] & ~mesh.validMask()[i],
+                              uint64_t{0})
+                        << w << "x" << h << " dir " << portIndex(dir);
+            }
+        }
+    }
+}
+
 TEST(BitPlaneMeshShift, PopcountAccountsForEdgeDrops)
 {
     // popcount(src) - popcount(shift(src)) == bits on the facing

@@ -104,6 +104,87 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{0, 1, 4}, std::tuple{7, 56, 4},
                       std::tuple{27, 36, 5}, std::tuple{12, 52, 1}));
 
+/**
+ * Routes longer than the kMaxGroups control budget (possible only on
+ * meshes larger than 8x8) truncate: the program carries exactly
+ * kMaxGroups groups, an interim Local stop lands no later than group
+ * kMaxGroups - 1, and the last group is never a bare final (the
+ * packet re-launches from the interim with a fresh program).
+ */
+TEST(ControlBudget, LongRoutesTruncateWithForcedInterim)
+{
+    MeshTopology mesh(32, 32);
+    const NodeId src = 0;
+    const NodeId dst = mesh.nodeAt({31, 31}); // 62 hops
+    for (int hops : {1, 4, 5, 8, 14, 20}) {
+        ControlProgram p = buildUnicastProgram(mesh, src, dst, hops);
+        ASSERT_EQ(p.remaining(),
+                  static_cast<size_t>(ControlProgram::kMaxGroups))
+            << "hops " << hops;
+        // First Local stop within the truncated spacing, and before
+        // the last group.
+        size_t first_local = p.remaining();
+        for (size_t i = 0; i < p.remaining(); ++i) {
+            if (p.group(i).local) {
+                first_local = i;
+                break;
+            }
+        }
+        const int spacing =
+            std::min(hops, ControlProgram::kMaxGroups - 1);
+        ASSERT_LT(first_local, p.remaining() - 1) << "hops " << hops;
+        EXPECT_EQ(first_local + 1, static_cast<size_t>(spacing))
+            << "hops " << hops;
+    }
+}
+
+TEST(ControlBudget, StopHopsMatchesProgramShape)
+{
+    MeshTopology mesh(32, 32);
+    const NodeId src = 0;
+    for (NodeId dst : {mesh.nodeAt({13, 0}), mesh.nodeAt({7, 7}),
+                       mesh.nodeAt({31, 31}), mesh.nodeAt({0, 15})}) {
+        const size_t route =
+            static_cast<size_t>(mesh.hopDistance(src, dst));
+        for (int hops : {1, 4, 5, 8, 14}) {
+            ControlProgram p =
+                buildUnicastProgram(mesh, src, dst, hops);
+            // programStopHops is the oracle-shared rule: index of the
+            // first Local group, + 1.
+            size_t first_local = 0;
+            for (size_t i = 0; i < p.remaining(); ++i) {
+                if (p.group(i).local) {
+                    first_local = i + 1;
+                    break;
+                }
+            }
+            EXPECT_EQ(first_local, programStopHops(route, hops))
+                << "dst " << dst << " hops " << hops;
+        }
+    }
+}
+
+TEST(ControlBudget, ShortRoutesKeepExactSpacing)
+{
+    // Routes within the budget are untouched by truncation: one group
+    // per router, interim stops exactly every max_hops (the 8x8
+    // latency-formula tests depend on this staying bit-identical).
+    MeshTopology mesh(32, 32);
+    const NodeId src = 0;
+    const NodeId dst = mesh.nodeAt({7, 7}); // 14 hops == kMaxGroups
+    for (int hops : {4, 5, 14}) {
+        ControlProgram p = buildUnicastProgram(mesh, src, dst, hops);
+        ASSERT_EQ(p.remaining(), static_cast<size_t>(14));
+        for (size_t i = 0; i + 1 < p.remaining(); ++i) {
+            EXPECT_EQ(p.group(i).local,
+                      (i + 1) % static_cast<size_t>(hops) == 0);
+        }
+        EXPECT_TRUE(p.group(p.remaining() - 1).local);
+        EXPECT_EQ(programStopHops(14, hops),
+                  static_cast<size_t>(std::min(hops, 14)));
+    }
+}
+
 TEST(Broadcast, InteriorSourceHas16Branches)
 {
     MeshTopology mesh(8, 8);

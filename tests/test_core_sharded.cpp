@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Scalar-vs-sharded differential campaign (DESIGN.md §12): the
+ * topology-parallel sharded step() must be bit-identical to the
+ * scalar engine — same per-packet delivery cycles, same event
+ * counters, same per-port claim tallies — across mesh shapes
+ * (square, non-square, non-power-of-two, multi-word), shard grids,
+ * thread counts, wavefront models, fault injection and exponential
+ * backoff. PL_CHECK_LONG=1 widens the campaign (more seeds and the
+ * 32x32 mega-mesh soak).
+ */
+
+#include <gtest/gtest.h>
+#include <cstdlib>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/network.hpp"
+#include "core/observer.hpp"
+
+namespace phastlane::core {
+namespace {
+
+bool
+longCampaign()
+{
+    const char *v = std::getenv("PL_CHECK_LONG");
+    return v && v[0] == '1';
+}
+
+/** Everything the campaign pins: per-(packet, node) delivery cycles,
+ *  the full counter set, and the cumulative port-claim tallies. */
+struct RunResult {
+    std::map<std::pair<PacketId, NodeId>, Cycle> delivered;
+    OpticalEvents events;
+    PhastlaneCounters pl;
+    NetworkCounters counters;
+    std::vector<uint64_t> portClaims;
+    uint64_t inFlight = 0;
+    bool drained = false;
+};
+
+/** Mixed unicast/broadcast workload, deterministic per (mesh, seed):
+ *  identical injection streams for every engine configuration. */
+RunResult
+runWorkload(const PhastlaneParams &p, int cycles, int seed,
+            StepObserver *observer = nullptr)
+{
+    PhastlaneNetwork net(p);
+    if (observer)
+        net.setObserver(observer);
+    Rng rng(500 + seed);
+    RunResult r;
+    PacketId id = 1;
+    auto collect = [&] {
+        for (const auto &d : net.deliveries())
+            r.delivered[{d.packet.id, d.node}] = d.at;
+    };
+    for (int cyc = 0; cyc < cycles; ++cyc) {
+        for (NodeId n = 0; n < net.nodeCount(); ++n) {
+            if (!rng.bernoulli(0.10))
+                continue;
+            Packet pkt;
+            pkt.id = id++;
+            pkt.src = n;
+            if (rng.bernoulli(0.06)) {
+                pkt.broadcast = true;
+            } else {
+                NodeId d = static_cast<NodeId>(
+                    rng.uniformInt(0, net.nodeCount() - 1));
+                pkt.dst = d == n ? (d + 1) % net.nodeCount() : d;
+            }
+            net.inject(pkt);
+        }
+        net.step();
+        collect();
+    }
+    int guard = 0;
+    while (net.inFlight() > 0 && guard++ < 200000) {
+        net.step();
+        collect();
+    }
+    r.events = net.events();
+    r.pl = net.phastlaneCounters();
+    r.counters = net.counters();
+    r.portClaims = net.portClaimCounts();
+    r.inFlight = net.inFlight();
+    r.drained = net.inFlight() == 0;
+    return r;
+}
+
+void
+expectIdentical(const RunResult &a, const RunResult &b,
+                const std::string &label)
+{
+    EXPECT_EQ(a.delivered, b.delivered) << label;
+    EXPECT_EQ(a.events.launches, b.events.launches) << label;
+    EXPECT_EQ(a.events.passTraversals, b.events.passTraversals)
+        << label;
+    EXPECT_EQ(a.events.receives, b.events.receives) << label;
+    EXPECT_EQ(a.events.tapReceives, b.events.tapReceives) << label;
+    EXPECT_EQ(a.events.bufferWrites, b.events.bufferWrites) << label;
+    EXPECT_EQ(a.events.bufferReads, b.events.bufferReads) << label;
+    EXPECT_EQ(a.events.drops, b.events.drops) << label;
+    EXPECT_EQ(a.events.dropSignalHops, b.events.dropSignalHops)
+        << label;
+    EXPECT_EQ(a.events.retransmissions, b.events.retransmissions)
+        << label;
+    EXPECT_EQ(a.events.routerCycles, b.events.routerCycles) << label;
+    EXPECT_EQ(a.events.lostUnits, b.events.lostUnits) << label;
+    EXPECT_EQ(a.events.dropSignalsLost, b.events.dropSignalsLost)
+        << label;
+    EXPECT_EQ(a.events.faultMisTurns, b.events.faultMisTurns)
+        << label;
+    EXPECT_EQ(a.events.faultMissedReceives,
+              b.events.faultMissedReceives)
+        << label;
+    EXPECT_EQ(a.events.faultCorruptions, b.events.faultCorruptions)
+        << label;
+    EXPECT_EQ(a.events.faultDeadArrivals, b.events.faultDeadArrivals)
+        << label;
+    EXPECT_EQ(a.events.duplicatesSuppressed,
+              b.events.duplicatesSuppressed)
+        << label;
+    EXPECT_EQ(a.pl.drops, b.pl.drops) << label;
+    EXPECT_EQ(a.pl.retransmissions, b.pl.retransmissions) << label;
+    EXPECT_EQ(a.pl.blockedBuffered, b.pl.blockedBuffered) << label;
+    EXPECT_EQ(a.pl.interimAccepts, b.pl.interimAccepts) << label;
+    EXPECT_EQ(a.pl.launches, b.pl.launches) << label;
+    EXPECT_EQ(a.counters.messagesAccepted, b.counters.messagesAccepted)
+        << label;
+    EXPECT_EQ(a.counters.packetsInjected, b.counters.packetsInjected)
+        << label;
+    EXPECT_EQ(a.counters.deliveries, b.counters.deliveries) << label;
+    EXPECT_EQ(a.portClaims, b.portClaims) << label;
+    EXPECT_EQ(a.inFlight, b.inFlight) << label;
+}
+
+struct ShardSpec {
+    int cols;
+    int rows;
+};
+
+/**
+ * The core campaign: for each mesh shape, pin the scalar result and
+ * require every shard grid to reproduce it bit-for-bit.
+ */
+TEST(ShardedDifferential, MatchesScalarAcrossMeshesAndGrids)
+{
+    struct MeshCase {
+        int w, h, cycles;
+    };
+    std::vector<MeshCase> meshes = {
+        {4, 4, 120}, {8, 8, 120}, {9, 7, 120}, {16, 16, 80}};
+    if (longCampaign())
+        meshes.push_back({32, 32, 60});
+    const ShardSpec grids[] = {{2, 1}, {2, 2}, {4, 4}};
+    const int seeds = longCampaign() ? 4 : 2;
+    for (const auto &mc : meshes) {
+        for (int seed = 1; seed <= seeds; ++seed) {
+            PhastlaneParams base;
+            base.meshWidth = mc.w;
+            base.meshHeight = mc.h;
+            base.routerBufferEntries = 4;
+            base.seed = 1000 + static_cast<uint64_t>(seed);
+            const RunResult scalar =
+                runWorkload(base, mc.cycles, seed);
+            EXPECT_TRUE(scalar.drained)
+                << mc.w << "x" << mc.h << " seed " << seed;
+            for (const ShardSpec &g : grids) {
+                PhastlaneParams p = base;
+                p.shardCols = g.cols;
+                p.shardRows = g.rows;
+                p.shardThreads = 4;
+                const RunResult sharded =
+                    runWorkload(p, mc.cycles, seed);
+                expectIdentical(
+                    scalar, sharded,
+                    std::to_string(mc.w) + "x" +
+                        std::to_string(mc.h) + " shards " +
+                        std::to_string(g.cols) + "x" +
+                        std::to_string(g.rows) + " seed " +
+                        std::to_string(seed));
+            }
+        }
+    }
+}
+
+/** The 32x32 mega-mesh always gets at least one short sharded pin
+ *  (the long campaign above runs the full grid sweep). */
+TEST(ShardedDifferential, MegaMesh32x32ShortPin)
+{
+    PhastlaneParams base;
+    base.meshWidth = 32;
+    base.meshHeight = 32;
+    base.routerBufferEntries = 4;
+    base.seed = 2024;
+    const RunResult scalar = runWorkload(base, 24, 9);
+    PhastlaneParams p = base;
+    p.shardCols = 4;
+    p.shardRows = 4;
+    p.shardThreads = 0; // PL_THREADS / hardware default
+    const RunResult sharded = runWorkload(p, 24, 9);
+    expectIdentical(scalar, sharded, "32x32 shards 4x4");
+}
+
+/** Worker-thread count must never affect results (only wall time). */
+TEST(ShardedDifferential, ThreadCountInvariance)
+{
+    PhastlaneParams base;
+    base.meshWidth = 8;
+    base.meshHeight = 8;
+    base.routerBufferEntries = 4;
+    base.seed = 77;
+    base.shardCols = 2;
+    base.shardRows = 2;
+    RunResult first;
+    bool have_first = false;
+    for (int threads : {1, 2, 8}) {
+        PhastlaneParams p = base;
+        p.shardThreads = threads;
+        const RunResult r = runWorkload(p, 100, 5);
+        if (!have_first) {
+            first = r;
+            have_first = true;
+            continue;
+        }
+        expectIdentical(first, r,
+                        "threads=" + std::to_string(threads));
+    }
+}
+
+/** Sharding composes with fault injection (stateless hashes) and
+ *  exponential backoff (RNG order pinned by the effect merge). */
+TEST(ShardedDifferential, FaultsAndBackoffStayInLockstep)
+{
+    PhastlaneParams base;
+    base.meshWidth = 9;
+    base.meshHeight = 7;
+    base.routerBufferEntries = 2; // force drops and retries
+    base.exponentialBackoff = true;
+    base.backoffBase = 1;
+    base.seed = 4242;
+    base.faults.misTurnRate = 0.02;
+    base.faults.missedReceiveRate = 0.01;
+    base.faults.dropSignalLossRate = 0.01;
+    base.faults.dropperIdCorruptRate = 0.05;
+    base.faults.routerFailRate = 0.02;
+    base.faults.faultSeed = 99;
+    const int seeds = longCampaign() ? 4 : 2;
+    for (int seed = 1; seed <= seeds; ++seed) {
+        PhastlaneParams b = base;
+        b.seed = 4242 + static_cast<uint64_t>(seed);
+        const RunResult scalar = runWorkload(b, 120, seed);
+        for (const ShardSpec &g : {ShardSpec{2, 2}, ShardSpec{3, 2}}) {
+            PhastlaneParams p = b;
+            p.shardCols = g.cols;
+            p.shardRows = g.rows;
+            p.shardThreads = 4;
+            const RunResult sharded = runWorkload(p, 120, seed);
+            expectIdentical(scalar, sharded,
+                            "faults shards " +
+                                std::to_string(g.cols) + "x" +
+                                std::to_string(g.rows) + " seed " +
+                                std::to_string(seed));
+        }
+    }
+}
+
+/** The scalar SubstepFcfs wavefront shares the sharded engine (the
+ *  two FCFS models are bit-identical by contract). */
+TEST(ShardedDifferential, SubstepFcfsWavefrontToo)
+{
+    PhastlaneParams base;
+    base.meshWidth = 8;
+    base.meshHeight = 8;
+    base.routerBufferEntries = 4;
+    base.wavefront = WavefrontModel::SubstepFcfs;
+    base.seed = 31;
+    const RunResult scalar = runWorkload(base, 100, 3);
+    PhastlaneParams p = base;
+    p.shardCols = 2;
+    p.shardRows = 2;
+    p.shardThreads = 2;
+    const RunResult sharded = runWorkload(p, 100, 3);
+    expectIdentical(scalar, sharded, "fcfs wavefront");
+}
+
+/** RoundRobin optical arbitration takes the rotating-priority branch
+ *  of the claim resolution; pin it through the sharded path too. */
+TEST(ShardedDifferential, RoundRobinArbitration)
+{
+    PhastlaneParams base;
+    base.meshWidth = 9;
+    base.meshHeight = 7;
+    base.routerBufferEntries = 4;
+    base.opticalArbitration = OpticalArbitration::RoundRobin;
+    base.seed = 55;
+    const RunResult scalar = runWorkload(base, 100, 6);
+    PhastlaneParams p = base;
+    p.shardCols = 3;
+    p.shardRows = 2;
+    p.shardThreads = 4;
+    const RunResult sharded = runWorkload(p, 100, 6);
+    expectIdentical(scalar, sharded, "round robin");
+}
+
+/** An attached observer falls back to the scalar engine — results
+ *  are unchanged and the observer sees the exact scalar stream. */
+TEST(ShardedDifferential, ObserverForcesScalarFallback)
+{
+    struct CountingObserver : StepObserver {
+        uint64_t cycles = 0;
+        uint64_t delivers = 0;
+        void onCycleBegin(Cycle) override { ++cycles; }
+        void onDeliver(const Delivery &) override { ++delivers; }
+    };
+    PhastlaneParams base;
+    base.meshWidth = 8;
+    base.meshHeight = 8;
+    base.routerBufferEntries = 4;
+    base.seed = 11;
+    const RunResult scalar = runWorkload(base, 80, 2);
+    PhastlaneParams p = base;
+    p.shardCols = 2;
+    p.shardRows = 2;
+    CountingObserver obs;
+    const RunResult observed = runWorkload(p, 80, 2, &obs);
+    expectIdentical(scalar, observed, "observer fallback");
+    EXPECT_GT(obs.cycles, 0u);
+    EXPECT_EQ(obs.delivers, observed.counters.deliveries);
+}
+
+/** Shard grids that clamp (more shards than rows/columns) and
+ *  single-router shards are legal and identical. */
+TEST(ShardedDifferential, DegenerateGridsClampSafely)
+{
+    PhastlaneParams base;
+    base.meshWidth = 5;
+    base.meshHeight = 3;
+    base.routerBufferEntries = 4;
+    base.seed = 808;
+    const RunResult scalar = runWorkload(base, 100, 4);
+    for (const ShardSpec &g :
+         {ShardSpec{5, 3}, ShardSpec{8, 8}, ShardSpec{1, 3}}) {
+        PhastlaneParams p = base;
+        p.shardCols = g.cols;
+        p.shardRows = g.rows;
+        p.shardThreads = 3;
+        const RunResult sharded = runWorkload(p, 100, 4);
+        expectIdentical(scalar, sharded,
+                        "degenerate " + std::to_string(g.cols) + "x" +
+                            std::to_string(g.rows));
+    }
+}
+
+} // namespace
+} // namespace phastlane::core
