@@ -64,13 +64,18 @@ ShardGrid::ShardGrid(const MeshTopology &mesh, int cols, int rows)
         }
     }
     shardOfNode_.resize(static_cast<size_t>(mesh.nodeCount()));
+    localIdOfNode_.resize(static_cast<size_t>(mesh.nodeCount()));
     for (int s = 0; s < count(); ++s) {
         const Rect &r = rects_[static_cast<size_t>(s)];
         PL_ASSERT(r.width > 0 && r.height > 0, "empty shard rect");
-        for (int y = r.y0; y < r.y0 + r.height; ++y)
-            for (int x = r.x0; x < r.x0 + r.width; ++x)
-                shardOfNode_[static_cast<size_t>(
-                    mesh.nodeAt({x, y}))] = s;
+        for (int y = r.y0; y < r.y0 + r.height; ++y) {
+            for (int x = r.x0; x < r.x0 + r.width; ++x) {
+                const size_t n =
+                    static_cast<size_t>(mesh.nodeAt({x, y}));
+                shardOfNode_[n] = s;
+                localIdOfNode_[n] = (y - r.y0) * r.width + (x - r.x0);
+            }
+        }
     }
 }
 

@@ -193,11 +193,9 @@ class ShardGrid
     }
 
     /** Local (within-rect, row-major) id of node @p n in its shard. */
-    int localId(NodeId n, const MeshTopology &mesh) const
+    int localId(NodeId n) const
     {
-        const Coord c = mesh.coordOf(n);
-        const Rect &r = rects_[static_cast<size_t>(shardOf(n))];
-        return (c.y - r.y0) * r.width + (c.x - r.x0);
+        return localIdOfNode_[static_cast<size_t>(n)];
     }
 
   private:
@@ -205,6 +203,7 @@ class ShardGrid
     int rows_;
     std::vector<Rect> rects_;
     std::vector<int32_t> shardOfNode_;
+    std::vector<int32_t> localIdOfNode_;
 };
 
 } // namespace phastlane

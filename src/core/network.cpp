@@ -9,16 +9,27 @@
 
 namespace phastlane::core {
 
+PhastlaneNetwork::StepScratch::StepScratch(int node_count)
+    : claims(node_count), reqOnce(node_count), reqMulti(node_count),
+      reqWin(node_count)
+{
+    const size_t flat_ports =
+        static_cast<size_t>(node_count) * kMeshPorts;
+    bestRank.assign(flat_ports, 0);
+    bestFlight.assign(flat_ports, 0);
+    bestEpoch.assign(flat_ports, 0);
+    reqHead.assign(flat_ports, 0);
+    reqTail.assign(flat_ports, 0);
+    reqEpoch.assign(flat_ports, 0);
+}
+
 PhastlaneNetwork::PhastlaneNetwork(const PhastlaneParams &params)
     : params_(params),
       mesh_(params.meshWidth, params.meshHeight),
       rng_(params.seed),
       returnPaths_(mesh_.nodeCount()),
       bitMesh_(params.meshWidth, params.meshHeight),
-      claims_(mesh_.nodeCount()),
-      reqOnce_(mesh_.nodeCount()),
-      reqMulti_(mesh_.nodeCount()),
-      reqWin_(mesh_.nodeCount())
+      ownScratch_(mesh_.nodeCount())
 {
     if (params_.maxHopsPerCycle < 1)
         fatal("maxHopsPerCycle must be at least 1");
@@ -40,12 +51,6 @@ PhastlaneNetwork::PhastlaneNetwork(const PhastlaneParams &params)
     const size_t flat_ports =
         static_cast<size_t>(mesh_.nodeCount()) * kMeshPorts;
     portClaimCounts_.assign(flat_ports, 0);
-    bestRank_.assign(flat_ports, 0);
-    bestFlight_.assign(flat_ports, 0);
-    bestEpoch_.assign(flat_ports, 0);
-    reqHead_.assign(flat_ports, 0);
-    reqTail_.assign(flat_ports, 0);
-    reqEpoch_.assign(flat_ports, 0);
     if (mesh_.nodeCount() <= 256) {
         const size_t pairs =
             static_cast<size_t>(mesh_.nodeCount()) *
@@ -92,6 +97,9 @@ PhastlaneNetwork::inject(const Packet &pkt)
     }
     const size_t nic_before = nic.occupancy();
     nic.accept(pkt, cycle_, nextBranchId_);
+    if (batchNicOcc_ != nullptr)
+        batchNicOcc_[static_cast<size_t>(pkt.src) >> 6] |=
+            uint64_t{1} << (static_cast<size_t>(pkt.src) & 63);
     ++counters_.messagesAccepted;
     outstanding_ +=
         static_cast<uint64_t>(pkt.deliveryCount(mesh_.nodeCount()));
@@ -175,13 +183,13 @@ PhastlaneNetwork::dropRetryCycle(int attempts)
 bool
 PhastlaneNetwork::claimed(NodeId router, Port out) const
 {
-    return claims_.test(router, out);
+    return scratch_->claims.test(router, out);
 }
 
 void
 PhastlaneNetwork::setClaim(NodeId router, Port out)
 {
-    claims_.set(router, out);
+    scratch_->claims.set(router, out);
     ++portClaimCounts_[static_cast<size_t>(router) * kMeshPorts +
                        portIndex(out)];
 }
@@ -272,17 +280,24 @@ PhastlaneNetwork::nicToLocalQueues()
 void
 PhastlaneNetwork::launchPhase()
 {
-    std::vector<Flight> &flights = flights_;
-    flights.clear();
-    for (NodeId r = 0; r < mesh_.nodeCount(); ++r) {
+    scratch_->flights.clear();
+    for (NodeId r = 0; r < mesh_.nodeCount(); ++r)
+        launchRouter(r);
+}
+
+void
+PhastlaneNetwork::launchRouter(NodeId r)
+{
+    std::vector<Flight> &flights = scratch_->flights;
+    {
         auto &rb = routers_[static_cast<size_t>(r)];
         rb.arbitrate(
             cycle_,
             [&](const OpticalPacket &pkt) {
                 return desiredPort(r, pkt);
             },
-            arbScratch_);
-        for (auto &[entry, out, queue] : arbScratch_.launches) {
+            scratch_->arb);
+        for (auto &[entry, out, queue] : scratch_->arb.launches) {
             ++events_.launches;
             ++events_.bufferReads;
             ++pl_.launches;
@@ -426,10 +441,10 @@ PhastlaneNetwork::applyPassWin(std::vector<Flight> &flights,
 void
 PhastlaneNetwork::propagateSubstepFcfs(std::vector<Flight> &flights)
 {
-    std::vector<size_t> &active = scratchActive_;
-    std::vector<size_t> &next = scratchNext_;
-    std::vector<PassRequest> &requests = scratchRequests_;
-    std::vector<uint32_t> &order = scratchOrder_;
+    std::vector<size_t> &active = scratch_->active;
+    std::vector<size_t> &next = scratch_->nextActive;
+    std::vector<PassRequest> &requests = scratch_->requests;
+    std::vector<uint32_t> &order = scratch_->order;
 
     active.clear();
     for (size_t i = 0; i < flights.size(); ++i)
@@ -519,8 +534,8 @@ PhastlaneNetwork::propagateBitplane(std::vector<Flight> &flights)
     // engine; phase B replaces its sort-and-group claim resolution:
     //
     //  - one bit per router, one plane per output port, records which
-    //    (router, port) pairs are requested (reqOnce_) and which are
-    //    requested more than once (reqMulti_);
+    //    (router, port) pairs are requested (scratch_->reqOnce) and which are
+    //    requested more than once (scratch_->reqMulti);
     //  - uncontested grants fall out of plane algebra, 64 routers per
     //    word op: win = once & ~multi & ~claimed;
     //  - the sweep visits requested routers via ctz scans of the OR of
@@ -533,9 +548,9 @@ PhastlaneNetwork::propagateBitplane(std::vector<Flight> &flights)
     // outcomes, RNG draws, deliveries) is applied in the scalar order;
     // the differential oracle and golden pins hold the two engines to
     // bit-identical results.
-    std::vector<size_t> &active = scratchActive_;
-    std::vector<size_t> &next = scratchNext_;
-    std::vector<PassRequest> &requests = scratchRequests_;
+    std::vector<size_t> &active = scratch_->active;
+    std::vector<size_t> &next = scratch_->nextActive;
+    std::vector<PassRequest> &requests = scratch_->requests;
 
     active.clear();
     for (size_t i = 0; i < flights.size(); ++i)
@@ -554,42 +569,42 @@ PhastlaneNetwork::propagateBitplane(std::vector<Flight> &flights)
         // Build the request planes and, per requested port, the
         // arrival-ordered request chain (epoch-tagged so the flat
         // head/tail tables never need clearing).
-        reqOnce_.clear();
-        reqMulti_.clear();
-        reqNext_.resize(requests.size());
-        ++reqEpochCur_;
+        scratch_->reqOnce.clear();
+        scratch_->reqMulti.clear();
+        scratch_->reqNext.resize(requests.size());
+        ++scratch_->reqEpochCur;
         for (uint32_t ri = 0;
              ri < static_cast<uint32_t>(requests.size()); ++ri) {
             const PassRequest &r = requests[ri];
             const size_t key =
                 static_cast<size_t>(r.router) * kMeshPorts +
                 portIndex(r.out);
-            reqNext_[ri] = UINT32_MAX;
-            if (reqEpoch_[key] != reqEpochCur_) {
-                reqEpoch_[key] = reqEpochCur_;
-                reqHead_[key] = ri;
-                reqTail_[key] = ri;
-                reqOnce_.set(r.router, r.out);
+            scratch_->reqNext[ri] = UINT32_MAX;
+            if (scratch_->reqEpoch[key] != scratch_->reqEpochCur) {
+                scratch_->reqEpoch[key] = scratch_->reqEpochCur;
+                scratch_->reqHead[key] = ri;
+                scratch_->reqTail[key] = ri;
+                scratch_->reqOnce.set(r.router, r.out);
             } else {
-                reqNext_[reqTail_[key]] = ri;
-                reqTail_[key] = ri;
-                reqMulti_.set(r.router, r.out);
+                scratch_->reqNext[scratch_->reqTail[key]] = ri;
+                scratch_->reqTail[key] = ri;
+                scratch_->reqMulti.set(r.router, r.out);
             }
         }
 
         // Uncontested-grant planes: win = once & ~multi & ~claimed.
         for (int pi = 0; pi < kMeshPorts; ++pi) {
             const Port p = portFromIndex(pi);
-            bitplane::andnot2(reqOnce_.plane(p), reqMulti_.plane(p),
-                              claims_.plane(p), reqWin_.plane(p),
+            bitplane::andnot2(scratch_->reqOnce.plane(p), scratch_->reqMulti.plane(p),
+                              scratch_->claims.plane(p), scratch_->reqWin.plane(p),
                               words);
         }
 
         for (int w = 0; w < words; ++w) {
-            uint64_t any = reqOnce_.plane(Port::North)[w] |
-                           reqOnce_.plane(Port::East)[w] |
-                           reqOnce_.plane(Port::South)[w] |
-                           reqOnce_.plane(Port::West)[w];
+            uint64_t any = scratch_->reqOnce.plane(Port::North)[w] |
+                           scratch_->reqOnce.plane(Port::East)[w] |
+                           scratch_->reqOnce.plane(Port::South)[w] |
+                           scratch_->reqOnce.plane(Port::West)[w];
             while (any != 0) {
                 const int bit = __builtin_ctzll(any);
                 any &= any - 1;
@@ -598,16 +613,16 @@ PhastlaneNetwork::propagateBitplane(std::vector<Flight> &flights)
                 const uint64_t m = uint64_t{1} << bit;
                 for (int pi = 0; pi < kMeshPorts; ++pi) {
                     const Port out = portFromIndex(pi);
-                    if ((reqOnce_.plane(out)[w] & m) == 0)
+                    if ((scratch_->reqOnce.plane(out)[w] & m) == 0)
                         continue;
                     const size_t key =
                         static_cast<size_t>(router) * kMeshPorts +
                         static_cast<size_t>(pi);
-                    if ((reqWin_.plane(out)[w] & m) != 0) {
+                    if ((scratch_->reqWin.plane(out)[w] & m) != 0) {
                         // Single requester, port free: grant without
                         // touching the rank logic.
                         applyPassWin(flights,
-                                     requests[reqHead_[key]].flight,
+                                     requests[scratch_->reqHead[key]].flight,
                                      router, out, next);
                         continue;
                     }
@@ -615,7 +630,7 @@ PhastlaneNetwork::propagateBitplane(std::vector<Flight> &flights)
                     // launch phase (then every requester loses).
                     uint32_t winner = UINT32_MAX;
                     if (!claimed(router, out)) {
-                        winner = reqHead_[key];
+                        winner = scratch_->reqHead[key];
                         if (fixed_priority) {
                             const auto rank = [&](uint32_t ri) {
                                 const PassRequest &r = requests[ri];
@@ -624,8 +639,8 @@ PhastlaneNetwork::propagateBitplane(std::vector<Flight> &flights)
                                     portIndex(
                                         flights[r.flight].inPort));
                             };
-                            for (uint32_t ri = reqNext_[winner];
-                                 ri != UINT32_MAX; ri = reqNext_[ri]) {
+                            for (uint32_t ri = scratch_->reqNext[winner];
+                                 ri != UINT32_MAX; ri = scratch_->reqNext[ri]) {
                                 if (rank(ri) < rank(winner))
                                     winner = ri;
                             }
@@ -641,15 +656,15 @@ PhastlaneNetwork::propagateBitplane(std::vector<Flight> &flights)
                                 return (p - start + kMeshPorts) %
                                        kMeshPorts;
                             };
-                            for (uint32_t ri = reqNext_[winner];
-                                 ri != UINT32_MAX; ri = reqNext_[ri]) {
+                            for (uint32_t ri = scratch_->reqNext[winner];
+                                 ri != UINT32_MAX; ri = scratch_->reqNext[ri]) {
                                 if (rrRank(ri) < rrRank(winner))
                                     winner = ri;
                             }
                         }
                     }
-                    for (uint32_t ri = reqHead_[key];
-                         ri != UINT32_MAX; ri = reqNext_[ri]) {
+                    for (uint32_t ri = scratch_->reqHead[key];
+                         ri != UINT32_MAX; ri = scratch_->reqNext[ri]) {
                         if (ri == winner) {
                             applyPassWin(flights, requests[ri].flight,
                                          router, out, next);
@@ -674,7 +689,7 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
     // blocked, which is conservative when its blocker is itself
     // blocked upstream.
     const size_t n = flights.size();
-    std::vector<Itinerary> &its = scratchIts_;
+    std::vector<Itinerary> &its = scratch_->its;
     its.resize(n);
     for (size_t i = 0; i < n; ++i) {
         its[i].claims.clear();
@@ -706,7 +721,7 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
     }
 
     // blocked[i] = index of the first losing claim (SIZE_MAX: none).
-    std::vector<size_t> &blocked = scratchBlocked_;
+    std::vector<size_t> &blocked = scratch_->blocked;
     blocked.assign(n, SIZE_MAX);
     // Rank per claim, lower wins: straight-ness, then input port,
     // then flight index -- packed into one word so the flat winner
@@ -725,9 +740,9 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
         // Winner per (router, port) among still-active claims;
         // launches (claim index 0 at the launch router) outrank
         // everything, then straight, then turn, then input port.
-        // bestEpoch_ tags which flat slots are live this round, so
+        // scratch_->bestEpoch tags which flat slots are live this round, so
         // the tables need no clearing between fixed-point rounds.
-        ++resolveEpoch_;
+        ++scratch_->resolveEpoch;
         for (size_t i = 0; i < n; ++i) {
             const auto &cl = its[i].claims;
             const size_t limit = std::min(blocked[i], cl.size());
@@ -741,11 +756,11 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
                     static_cast<size_t>(cl[k].router) * kMeshPorts +
                     portIndex(cl[k].out);
                 const uint64_t rank = packedRank(cl[k], i);
-                if (bestEpoch_[key] != resolveEpoch_ ||
-                    rank < bestRank_[key]) {
-                    bestEpoch_[key] = resolveEpoch_;
-                    bestRank_[key] = rank;
-                    bestFlight_[key] = static_cast<uint32_t>(i);
+                if (scratch_->bestEpoch[key] != scratch_->resolveEpoch ||
+                    rank < scratch_->bestRank[key]) {
+                    scratch_->bestEpoch[key] = scratch_->resolveEpoch;
+                    scratch_->bestRank[key] = rank;
+                    scratch_->bestFlight[key] = static_cast<uint32_t>(i);
                 }
             }
         }
@@ -758,7 +773,7 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
                     portIndex(cl[k].out);
                 const bool loses =
                     claimed(cl[k].router, cl[k].out) ||
-                    bestFlight_[key] != i;
+                    scratch_->bestFlight[key] != i;
                 if (loses) {
                     blocked[i] = k;
                     changed = true;
@@ -832,7 +847,7 @@ PhastlaneNetwork::step()
     if (observer_)
         observer_->onCycleBegin(cycle_);
     deliveries_.clear();
-    claims_.clear();
+    scratch_->claims.clear();
     returnPaths_.beginCycle();
 
     resolveOutcomes();
@@ -840,13 +855,13 @@ PhastlaneNetwork::step()
     launchPhase();
     switch (params_.wavefront) {
       case WavefrontModel::SubstepFcfs:
-        propagateSubstepFcfs(flights_);
+        propagateSubstepFcfs(scratch_->flights);
         break;
       case WavefrontModel::BitplaneFcfs:
-        propagateBitplane(flights_);
+        propagateBitplane(scratch_->flights);
         break;
       case WavefrontModel::GlobalPriority:
-        propagateGlobalPriority(flights_);
+        propagateGlobalPriority(scratch_->flights);
         break;
     }
 

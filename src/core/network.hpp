@@ -39,6 +39,8 @@
 
 namespace phastlane::core {
 
+class NetworkBatch;
+
 /** Phastlane-specific statistics beyond the common counters. */
 struct PhastlaneCounters {
     uint64_t drops = 0;
@@ -117,6 +119,10 @@ class PhastlaneNetwork : public Network
     }
 
   private:
+    /** NetworkBatch drives the per-phase internals directly to step a
+     *  gang of instances in lockstep (DESIGN.md §13). */
+    friend class NetworkBatch;
+
     /** A packet in optical transit within the current cycle. */
     struct Flight {
         OpticalPacket pkt;
@@ -362,6 +368,10 @@ class PhastlaneNetwork : public Network
     void resolveOutcomes();
     void nicToLocalQueues();
     void launchPhase();
+    /** One router's arbitration + launch bookkeeping: the body of
+     *  launchPhase(), also called per eligible router by the batch
+     *  engine (which skips routers via the launch board). */
+    void launchRouter(NodeId r);
     void propagateSubstepFcfs(std::vector<Flight> &flights);
     void propagateBitplane(std::vector<Flight> &flights);
     void propagateGlobalPriority(std::vector<Flight> &flights);
@@ -412,7 +422,7 @@ class PhastlaneNetwork : public Network
     void applyShardPassWin(Shard &sh, size_t flight_idx, NodeId router,
                            int local_router, Port out);
     void mergeShardLaunches();
-    void mergeShardNext();
+    size_t mergeShardNext();
     void mergeShardEffects();
 
     /** Merge key: sub-step, then phase (0 = arrival handling, 1 =
@@ -447,6 +457,51 @@ class PhastlaneNetwork : public Network
     bool claimed(NodeId router, Port out) const;
     void setClaim(NodeId router, Port out);
 
+    /**
+     * Per-cycle scratch for the step() hot path: the claim planes,
+     * flight list, sub-step work lists, and the flat (router, port)
+     * claim-resolution / request-chain tables of the bit-plane engine
+     * (DESIGN.md §11). Everything here is dead between cycles — it is
+     * either cleared at cycle start or guarded by an epoch tag — so a
+     * NetworkBatch gang of same-shape instances shares ONE StepScratch
+     * and each instance-step reuses hot cache lines instead of
+     * cold-touching its own copy. Epoch tags stay monotone across the
+     * gang (instances step serially and only test tags for equality
+     * against the current epoch), so sharing needs no resets.
+     */
+    struct StepScratch {
+        explicit StepScratch(int node_count);
+
+        /** Per-cycle (router, mesh port) claim bits, one plane per
+         *  port — shared by every wavefront model. */
+        PortPlanes claims;
+        std::vector<Flight> flights;
+        std::vector<size_t> active;
+        std::vector<size_t> nextActive;
+        std::vector<PassRequest> requests;
+        std::vector<uint32_t> order;
+        std::vector<Itinerary> its;
+        std::vector<size_t> blocked;
+        ArbitrationScratch arb;
+        std::vector<uint64_t> bestRank;   ///< per router * kMeshPorts
+        std::vector<uint32_t> bestFlight; ///< winner per flat port
+        std::vector<uint64_t> bestEpoch;  ///< validity tag
+        uint64_t resolveEpoch = 0;
+
+        // Bit-plane engine state (DESIGN.md §11): request presence and
+        // multiplicity planes, the uncontested-grant plane, and the
+        // epoch-tagged per-(router, port) request chains that preserve
+        // arrival order for contested ports.
+        PortPlanes reqOnce;
+        PortPlanes reqMulti;
+        PortPlanes reqWin;
+        std::vector<uint32_t> reqHead;  ///< first request per flat port
+        std::vector<uint32_t> reqTail;  ///< last request per flat port
+        std::vector<uint64_t> reqEpoch; ///< validity tag for head/tail
+        std::vector<uint32_t> reqNext;  ///< chain link per request
+        uint64_t reqEpochCur = 0;
+    };
+
     PhastlaneParams params_;
     MeshTopology mesh_;
     Rng rng_;
@@ -458,10 +513,6 @@ class PhastlaneNetwork : public Network
     ReturnPathRegistry returnPaths_;
     /** Bit-plane mesh geometry for the word-parallel engine. */
     BitPlaneMesh bitMesh_;
-    /** Per-cycle (router, mesh port) claim bits, one plane per port —
-     *  shared by every wavefront model (clearing is a few words of
-     *  memset instead of a byte-per-port fill). */
-    PortPlanes claims_;
     std::vector<uint64_t> portClaimCounts_; ///< cumulative
 
     /** Lazily-filled (launch router, destination) -> unicast control
@@ -477,49 +528,27 @@ class PhastlaneNetwork : public Network
     std::vector<LaunchOutcome> pendingDrops_;
     std::vector<Delivery> deliveries_;
 
-    // Reusable per-cycle scratch for the step() hot path: the flight
-    // list, the sub-step work lists, and the flat (router, port)
-    // claim-resolution tables that replaced per-cycle std::map
-    // allocations. All are cleared, never shrunk, so steady-state
-    // cycles allocate nothing.
-    std::vector<Flight> flights_;
-    std::vector<size_t> scratchActive_;
-    std::vector<size_t> scratchNext_;
-    std::vector<PassRequest> scratchRequests_;
-    std::vector<uint32_t> scratchOrder_;
-    std::vector<Itinerary> scratchIts_;
-    std::vector<size_t> scratchBlocked_;
-    ArbitrationScratch arbScratch_;
-    std::vector<uint64_t> bestRank_;   ///< per router * kMeshPorts
-    std::vector<uint32_t> bestFlight_; ///< winner per flat port index
-    std::vector<uint64_t> bestEpoch_;  ///< validity tag for the above
-    uint64_t resolveEpoch_ = 0;
-
-    // Bit-plane engine state (DESIGN.md §11): request presence and
-    // multiplicity planes, the uncontested-grant plane, and the
-    // epoch-tagged per-(router, port) request chains that preserve
-    // arrival order for contested ports.
-    PortPlanes reqOnce_;
-    PortPlanes reqMulti_;
-    PortPlanes reqWin_;
-    std::vector<uint32_t> reqHead_;  ///< first request per flat port
-    std::vector<uint32_t> reqTail_;  ///< last request per flat port
-    std::vector<uint64_t> reqEpoch_; ///< validity tag for head/tail
-    std::vector<uint32_t> reqNext_;  ///< chain link per request index
-    uint64_t reqEpochCur_ = 0;
+    // Per-cycle scratch (see StepScratch). scratch_ points at
+    // ownScratch_ outside a batch; a NetworkBatch re-targets it to the
+    // gang-shared scratch while attached. All scratch state is
+    // cleared, never shrunk, so steady-state cycles allocate nothing.
+    StepScratch ownScratch_;
+    StepScratch *scratch_ = &ownScratch_;
 
     // Sharded-engine state (DESIGN.md §12); unset when the params
     // request a single shard or the grid clamps down to one.
     std::unique_ptr<ShardGrid> shardGrid_;
     std::vector<Shard> shards_;
     std::unique_ptr<ThreadPool> pool_;
-    std::vector<uint32_t> activeShardGlobal_;
-    std::vector<uint32_t> nextShardGlobal_;
     std::vector<uint32_t> mergeCursor_;
 
     NetworkCounters counters_;
     PhastlaneCounters pl_;
     OpticalEvents events_;
+    /** Instance slot in a NetworkBatch NIC-occupancy bit plane, or
+     *  nullptr outside a batch; inject() sets the source node's bit
+     *  so the batch engine can skip empty NICs word-at-a-time. */
+    uint64_t *batchNicOcc_ = nullptr;
     StepObserver *observer_ = nullptr;
     uint64_t outstanding_ = 0;
     uint64_t nextBranchId_ = 1;

@@ -85,7 +85,13 @@ mergeKeyed(const std::vector<std::vector<std::pair<uint64_t, T>> *>
 bool
 PhastlaneNetwork::useShardedStep() const
 {
-    return !shards_.empty() && observer_ == nullptr &&
+    // With a single worker the sharded step is the scalar step plus
+    // merge overhead and nothing else (results are bit-identical by
+    // construction), so a one-thread pool — a one-core box, or an
+    // explicit shardThreads=1 — runs the scalar path instead of
+    // paying ~1.4x for no parallelism.
+    return !shards_.empty() && pool_->size() > 1 &&
+           observer_ == nullptr &&
            params_.wavefront != WavefrontModel::GlobalPriority;
 }
 
@@ -184,7 +190,7 @@ PhastlaneNetwork::applyShardPassWin(Shard &sh, size_t flight_idx,
                                     NodeId router, int local_router,
                                     Port out)
 {
-    Flight &f = flights_[flight_idx];
+    Flight &f = scratch_->flights[flight_idx];
     sh.claims.set(static_cast<NodeId>(local_router), out);
     ++portClaimCounts_[static_cast<size_t>(router) * kMeshPorts +
                        portIndex(out)];
@@ -214,7 +220,7 @@ PhastlaneNetwork::shardSubstep(Shard &sh, uint64_t substep)
     // global position, so cross-shard effect order is restored at the
     // cycle-end merge).
     for (const auto &[ai, fi] : sh.activeLocal) {
-        Flight &f = flights_[fi];
+        Flight &f = scratch_->flights[fi];
         sink.key = effectKey(substep, 0, ai);
         if (handleArrivalT(f, sink))
             continue;
@@ -250,8 +256,7 @@ PhastlaneNetwork::shardSubstep(Shard &sh, uint64_t substep)
     for (uint32_t ri = 0; ri < static_cast<uint32_t>(requests.size());
          ++ri) {
         const PassRequest &r = requests[ri];
-        const NodeId lr = static_cast<NodeId>(
-            grid.localId(r.router, mesh_));
+        const NodeId lr = static_cast<NodeId>(grid.localId(r.router));
         const size_t key =
             static_cast<size_t>(lr) * kMeshPorts + portIndex(r.out);
         sh.reqNext[ri] = UINT32_MAX;
@@ -322,7 +327,7 @@ PhastlaneNetwork::shardSubstep(Shard &sh, uint64_t substep)
                             return std::make_pair(
                                 r.straight != invert ? 0 : 1,
                                 portIndex(
-                                    flights_[r.flight].inPort));
+                                    scratch_->flights[r.flight].inPort));
                         };
                         for (uint32_t ri = sh.reqNext[winner];
                              ri != UINT32_MAX; ri = sh.reqNext[ri]) {
@@ -335,7 +340,7 @@ PhastlaneNetwork::shardSubstep(Shard &sh, uint64_t substep)
                             static_cast<int>(cycle_ % kMeshPorts);
                         const auto rrRank = [&](uint32_t ri) {
                             const int p = portIndex(
-                                flights_[requests[ri].flight]
+                                scratch_->flights[requests[ri].flight]
                                     .inPort);
                             return (p - start + kMeshPorts) %
                                    kMeshPorts;
@@ -358,7 +363,7 @@ PhastlaneNetwork::shardSubstep(Shard &sh, uint64_t substep)
                         // in flat-key order, chains in arrival order.
                         sink.key = effectKey(substep, 1,
                                              (flat << 24) | pos);
-                        receiveOrDropT(flights_[requests[ri].flight],
+                        receiveOrDropT(scratch_->flights[requests[ri].flight],
                                        false, sink);
                     }
                 }
@@ -374,13 +379,13 @@ PhastlaneNetwork::mergeShardLaunches()
     // own disjoint router sets and each list is router-ascending, so
     // the merge reproduces the scalar launch order (a router's own
     // launches stay consecutive and in arbitration order).
-    flights_.clear();
+    scratch_->flights.clear();
     size_t total = 0;
     for (const Shard &sh : shards_)
         total += sh.launches.size();
-    flights_.reserve(total);
+    scratch_->flights.reserve(total);
     mergeCursor_.assign(shards_.size(), 0);
-    while (flights_.size() < total) {
+    while (scratch_->flights.size() < total) {
         int best = -1;
         NodeId best_router = 0;
         for (size_t s = 0; s < shards_.size(); ++s) {
@@ -395,24 +400,28 @@ PhastlaneNetwork::mergeShardLaunches()
         }
         PL_ASSERT(best >= 0, "launch merge ran dry");
         auto &l = shards_[static_cast<size_t>(best)].launches;
-        flights_.push_back(std::move(l[mergeCursor_[best]]));
+        scratch_->flights.push_back(std::move(l[mergeCursor_[best]]));
         ++mergeCursor_[best];
     }
 }
 
-void
+size_t
 PhastlaneNetwork::mergeShardNext()
 {
     // One winner per (router, out port): keys are unique, and each
     // shard's list is already ascending, so a k-way walk restores the
-    // scalar engine's next-sub-step active order.
-    nextShardGlobal_.clear();
+    // scalar engine's next-sub-step active order. Each winner is dealt
+    // straight to the shard owning its new router — one keyed stable
+    // pass replaces the former merge-to-global-list plus per-sub-step
+    // re-deal, with the walk position travelling along as the global
+    // active index the phase A merge keys need.
+    for (Shard &sh : shards_)
+        sh.activeLocal.clear();
     mergeCursor_.assign(shards_.size(), 0);
     size_t total = 0;
     for (const Shard &sh : shards_)
         total += sh.next.size();
-    nextShardGlobal_.reserve(total);
-    while (nextShardGlobal_.size() < total) {
+    for (size_t pos = 0; pos < total; ++pos) {
         int best = -1;
         uint64_t best_key = 0;
         for (size_t s = 0; s < shards_.size(); ++s) {
@@ -426,13 +435,15 @@ PhastlaneNetwork::mergeShardNext()
             }
         }
         PL_ASSERT(best >= 0, "sub-step merge ran dry");
-        nextShardGlobal_.push_back(
-            shards_[static_cast<size_t>(best)]
-                .next[mergeCursor_[best]]
-                .second);
+        const uint32_t fi = shards_[static_cast<size_t>(best)]
+                                .next[mergeCursor_[best]]
+                                .second;
         ++mergeCursor_[best];
+        const int ds = shardGrid_->shardOf(scratch_->flights[fi].at);
+        shards_[static_cast<size_t>(ds)].activeLocal.emplace_back(
+            static_cast<uint32_t>(pos), fi);
     }
-    std::swap(activeShardGlobal_, nextShardGlobal_);
+    return total;
 }
 
 void
@@ -515,29 +526,25 @@ PhastlaneNetwork::stepSharded()
     });
     mergeShardLaunches();
 
-    activeShardGlobal_.resize(flights_.size());
-    for (uint32_t i = 0;
-         i < static_cast<uint32_t>(activeShardGlobal_.size()); ++i)
-        activeShardGlobal_[i] = i;
+    // Initial deal: every launched flight is active, in flight order
+    // (the global index doubles as the phase A merge-key position).
+    // Later sub-steps are dealt by mergeShardNext() as part of its
+    // merge pass.
+    for (Shard &sh : shards_)
+        sh.activeLocal.clear();
+    size_t active = scratch_->flights.size();
+    for (uint32_t fi = 0; fi < static_cast<uint32_t>(active); ++fi) {
+        const int s = shardGrid_->shardOf(scratch_->flights[fi].at);
+        shards_[static_cast<size_t>(s)].activeLocal.emplace_back(fi,
+                                                                 fi);
+    }
 
     uint64_t substep = 0;
-    while (!activeShardGlobal_.empty()) {
-        // Deal the active flights to their owner shards, keeping the
-        // global order (and index, for the phase A merge keys).
-        for (Shard &sh : shards_)
-            sh.activeLocal.clear();
-        for (uint32_t ai = 0;
-             ai < static_cast<uint32_t>(activeShardGlobal_.size());
-             ++ai) {
-            const uint32_t fi = activeShardGlobal_[ai];
-            const int s = shardGrid_->shardOf(flights_[fi].at);
-            shards_[static_cast<size_t>(s)].activeLocal.emplace_back(
-                ai, fi);
-        }
+    while (active > 0) {
         pool.run(nshards, [&](size_t si) {
             shardSubstep(shards_[si], substep);
         });
-        mergeShardNext();
+        active = mergeShardNext();
         ++substep;
     }
 

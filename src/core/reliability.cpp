@@ -119,8 +119,14 @@ ReliableNic::runTimers()
 void
 ReliableNic::step()
 {
-    deliveries_.clear();
     net_.step();
+    afterNetStep();
+}
+
+void
+ReliableNic::afterNetStep()
+{
+    deliveries_.clear();
     harvestDeliveries();
     runTimers();
 }

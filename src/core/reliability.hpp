@@ -82,6 +82,12 @@ class ReliableNic
      *  retransmit timers. */
     void step();
 
+    /** The non-network half of step(): harvest the cycle's deliveries
+     *  and run the retransmit timers. For callers (MultiSim) that
+     *  step the underlying network themselves; call once after every
+     *  network step. */
+    void afterNetStep();
+
     /** Deduplicated deliveries completed during the last step(),
      *  rewritten to the original packet ids. */
     const std::vector<Delivery> &deliveries() const

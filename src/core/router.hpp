@@ -195,6 +195,37 @@ class RouterBuffers
     void noteEligible(Cycle c)
     {
         nextEligible_ = std::min(nextEligible_, c);
+        if (board_ != nullptr && c < *board_)
+            *board_ = c;
+    }
+
+    /**
+     * Bind (or, with nullptr, unbind) this router's slot in a batch
+     * launch board (DESIGN.md §13). The slot mirrors the launch
+     * horizon: a lower bound on the earliest cycle arbitrate() could
+     * do work here, kNeverCycle while the router is empty. A batch
+     * engine may skip the arbitrate() call while the board value is
+     * in the future, provided it replays the skipped rotating-pointer
+     * advances with syncRotate() first.
+     */
+    void bindBoard(Cycle *slot)
+    {
+        board_ = slot;
+        if (board_ != nullptr)
+            *board_ = total_ == 0 ? kNeverCycle : nextEligible_;
+    }
+
+    /**
+     * Reconstruct the rotating pointer as if arbitrate() had run once
+     * per cycle since cycle 0 — which is exactly what the serial
+     * engine does, advancing rotate_ by one per call from 0. Called by
+     * the batch engine before a real arbitrate() to make board-driven
+     * skips invisible to the priority rotation.
+     */
+    void syncRotate(Cycle now)
+    {
+        if (policy_ != BufferArbitration::OldestFirst)
+            rotate_ = static_cast<int>(now % kAllPorts);
     }
 
   private:
@@ -212,6 +243,10 @@ class RouterBuffers
      *  arbitrate() skip the queue scan while all buffered packets sit
      *  in backoff or in flight. */
     Cycle nextEligible_ = 0;
+    /** Slot in a NetworkBatch launch board, or nullptr outside a
+     *  batch. Mirrors the launch horizon so the batch engine can skip
+     *  whole routers without touching their queues. */
+    Cycle *board_ = nullptr;
 };
 
 template <typename DesiredPortFn>
@@ -228,6 +263,11 @@ RouterBuffers::arbitrate(Cycle now, DesiredPortFn &&desired_port,
     if (total_ == 0 || now < nextEligible_) {
         if (policy_ != BufferArbitration::OldestFirst)
             rotate_ = (rotate_ + 1) % kAllPorts;
+        // Refresh a stale-low board slot so a wasted batch visit
+        // (e.g. after releaseLaunched() emptied the router) self-heals
+        // instead of recurring every cycle.
+        if (board_ != nullptr)
+            *board_ = total_ == 0 ? kNeverCycle : nextEligible_;
         return;
     }
     bool port_taken[kMeshPorts] = {false, false, false, false};
@@ -291,6 +331,8 @@ RouterBuffers::arbitrate(Cycle now, DesiredPortFn &&desired_port,
         rotate_ = (rotate_ + 1) % kAllPorts;
     }
     nextEligible_ = next_eligible;
+    if (board_ != nullptr)
+        *board_ = total_ == 0 ? kNeverCycle : next_eligible;
 }
 
 template <typename DesiredPortFn>

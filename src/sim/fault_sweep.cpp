@@ -4,10 +4,13 @@
 #include <cstdarg>
 #include <cstdio>
 #include <deque>
+#include <memory>
+#include <optional>
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "core/network.hpp"
+#include "sim/multisim.hpp"
 #include "sim/parallel.hpp"
 
 namespace phastlane::sim {
@@ -86,109 +89,166 @@ defaultFaultGrid()
 namespace {
 
 /**
- * Simulate one sweep point: Bernoulli traffic over its own network
- * (and optional ReliableNic), entirely self-contained so points can
- * run on any thread. Seeds derive from (cfg.seed, index).
+ * One sweep point as a step-wise job: Bernoulli traffic over its own
+ * network (and optional ReliableNic), entirely self-contained so
+ * points can run on any thread or under a NetworkBatch gang. Seeds
+ * derive from (cfg.seed, index); the cycle structure — generate,
+ * pump, step, harvest for measureCycles, then pump, step, harvest
+ * until quiescent or the drain budget runs out — matches the original
+ * serial loop exactly.
  */
-FaultSweepPoint
-runFaultPoint(const FaultSweepConfig &cfg, size_t index)
+class FaultPointJob final : public MultiSim::Job
 {
-    core::PhastlaneParams params = cfg.params;
-    if (!setFaultRate(params.faults, cfg.sweepField, cfg.rates[index]))
-        fatal("fault sweep: unknown fault rate field '%s'",
-              cfg.sweepField.c_str());
-    const uint64_t pointSeed = derivePointSeed(cfg.seed, index);
-    params.faults.faultSeed = pointSeed;
-    params.seed = pointSeed;
+  public:
+    FaultPointJob(const FaultSweepConfig &cfg, size_t index)
+        : cfg_(cfg)
+    {
+        core::PhastlaneParams params = cfg.params;
+        if (!setFaultRate(params.faults, cfg.sweepField,
+                          cfg.rates[index]))
+            fatal("fault sweep: unknown fault rate field '%s'",
+                  cfg.sweepField.c_str());
+        const uint64_t pointSeed = derivePointSeed(cfg.seed, index);
+        params.faults.faultSeed = pointSeed;
+        params.seed = pointSeed;
 
-    core::PhastlaneNetwork net(params);
-    core::ReliableNic rnic(net, cfg.reliableOpts);
-    const int nodes = net.nodeCount();
+        net_ = std::make_unique<core::PhastlaneNetwork>(params);
+        rnic_ = std::make_unique<core::ReliableNic>(*net_,
+                                                    cfg.reliableOpts);
+        traffic_.emplace(derivePointSeed(pointSeed, 0x7261666654ull));
+        sourceQueues_.resize(static_cast<size_t>(net_->nodeCount()));
+        pt_.faultRate = cfg.rates[index];
+        if (cfg_.measureCycles == 0)
+            measuring_ = false;
+    }
 
-    FaultSweepPoint pt;
-    pt.faultRate = cfg.rates[index];
+    core::PhastlaneNetwork &network() override { return *net_; }
 
-    Rng traffic(derivePointSeed(pointSeed, 0x7261666654ull));
-    std::vector<std::deque<Packet>> sourceQueues(
-        static_cast<size_t>(nodes));
-    uint64_t nextId = 1;
+    bool done() override
+    {
+        if (measuring_)
+            return false; // the transition runs in postStep()
+        return drainedCycles_ >= cfg_.maxDrainCycles || quiescent();
+    }
 
-    auto pump = [&]() {
+    void preStep() override
+    {
+        if (measuring_)
+            generate();
+        pump();
+    }
+
+    void postStep() override
+    {
+        if (cfg_.reliable)
+            rnic_->afterNetStep();
+        harvest();
+        if (measuring_) {
+            if (++cycle_ == cfg_.measureCycles)
+                measuring_ = false;
+        } else {
+            ++drainedCycles_;
+        }
+    }
+
+    FaultSweepPoint finishPoint()
+    {
+        pt_.drained = quiescent();
+        pt_.cycles = cycle_ + drainedCycles_;
+        pt_.drops = net_->phastlaneCounters().drops;
+        pt_.retransmissions =
+            net_->phastlaneCounters().retransmissions;
+        pt_.events = net_->events();
+        if (cfg_.reliable)
+            pt_.e2e = rnic_->stats();
+        return pt_;
+    }
+
+  private:
+    void generate()
+    {
+        const int nodes = net_->nodeCount();
         for (NodeId n = 0; n < nodes; ++n) {
-            auto &q = sourceQueues[static_cast<size_t>(n)];
-            while (!q.empty() && net.nicHasSpace(n)) {
-                const bool ok = cfg.reliable ? rnic.send(q.front())
-                                             : net.inject(q.front());
+            if (!traffic_->bernoulli(cfg_.injectionRate))
+                continue;
+            Packet pkt;
+            pkt.id = nextId_++;
+            pkt.src = n;
+            pkt.broadcast =
+                traffic_->bernoulli(cfg_.broadcastFraction);
+            pkt.dst = pkt.broadcast
+                          ? kInvalidNode
+                          : static_cast<NodeId>(traffic_->uniformInt(
+                                0, nodes - 1));
+            if (!pkt.broadcast && pkt.dst == n)
+                pkt.dst = static_cast<NodeId>((n + 1) % nodes);
+            pkt.createdAt = cycle_;
+            sourceQueues_[static_cast<size_t>(n)].push_back(pkt);
+            ++pt_.messagesOffered;
+        }
+    }
+
+    void pump()
+    {
+        const int nodes = net_->nodeCount();
+        for (NodeId n = 0; n < nodes; ++n) {
+            auto &q = sourceQueues_[static_cast<size_t>(n)];
+            while (!q.empty() && net_->nicHasSpace(n)) {
+                const bool ok = cfg_.reliable
+                                    ? rnic_->send(q.front())
+                                    : net_->inject(q.front());
                 if (!ok)
                     break;
-                pt.unitsExpected += static_cast<uint64_t>(
+                pt_.unitsExpected += static_cast<uint64_t>(
                     q.front().deliveryCount(nodes));
                 q.pop_front();
             }
         }
-    };
-    auto harvest = [&]() {
-        const auto &ds =
-            cfg.reliable ? rnic.deliveries() : net.deliveries();
-        pt.unitsDelivered += ds.size();
-    };
-
-    Cycle cycle = 0;
-    for (; cycle < cfg.measureCycles; ++cycle) {
-        for (NodeId n = 0; n < nodes; ++n) {
-            if (!traffic.bernoulli(cfg.injectionRate))
-                continue;
-            Packet pkt;
-            pkt.id = nextId++;
-            pkt.src = n;
-            pkt.broadcast = traffic.bernoulli(cfg.broadcastFraction);
-            pkt.dst = pkt.broadcast
-                          ? kInvalidNode
-                          : static_cast<NodeId>(traffic.uniformInt(
-                                0, nodes - 1));
-            if (!pkt.broadcast && pkt.dst == n)
-                pkt.dst = static_cast<NodeId>((n + 1) % nodes);
-            pkt.createdAt = cycle;
-            sourceQueues[static_cast<size_t>(n)].push_back(pkt);
-            ++pt.messagesOffered;
-        }
-        pump();
-        if (cfg.reliable)
-            rnic.step();
-        else
-            net.step();
-        harvest();
     }
 
-    auto quiescent = [&]() {
-        if (net.inFlight() != 0 || net.bufferedPackets() != 0
-            || net.nicQueuedPackets() != 0)
+    void harvest()
+    {
+        const auto &ds =
+            cfg_.reliable ? rnic_->deliveries() : net_->deliveries();
+        pt_.unitsDelivered += ds.size();
+    }
+
+    bool quiescent() const
+    {
+        if (net_->inFlight() != 0 || net_->bufferedPackets() != 0 ||
+            net_->nicQueuedPackets() != 0)
             return false;
-        if (cfg.reliable && !rnic.idle())
+        if (cfg_.reliable && !rnic_->idle())
             return false;
-        for (const auto &q : sourceQueues)
+        for (const auto &q : sourceQueues_)
             if (!q.empty())
                 return false;
         return true;
-    };
-    Cycle drained = 0;
-    for (; drained < cfg.maxDrainCycles && !quiescent(); ++drained) {
-        pump();
-        if (cfg.reliable)
-            rnic.step();
-        else
-            net.step();
-        harvest();
     }
-    pt.drained = quiescent();
-    pt.cycles = cycle + drained;
 
-    pt.drops = net.phastlaneCounters().drops;
-    pt.retransmissions = net.phastlaneCounters().retransmissions;
-    pt.events = net.events();
-    if (cfg.reliable)
-        pt.e2e = rnic.stats();
-    return pt;
+    const FaultSweepConfig &cfg_;
+    std::unique_ptr<core::PhastlaneNetwork> net_;
+    std::unique_ptr<core::ReliableNic> rnic_;
+    std::optional<Rng> traffic_;
+    std::vector<std::deque<Packet>> sourceQueues_;
+    FaultSweepPoint pt_;
+    uint64_t nextId_ = 1;
+    Cycle cycle_ = 0;
+    Cycle drainedCycles_ = 0;
+    bool measuring_ = true;
+};
+
+/** Simulate one sweep point serially (the parallel-path worker). */
+FaultSweepPoint
+runFaultPoint(const FaultSweepConfig &cfg, size_t index)
+{
+    FaultPointJob job(cfg, index);
+    while (!job.done()) {
+        job.preStep();
+        job.network().step();
+        job.postStep();
+    }
+    return job.finishPoint();
 }
 
 void
@@ -209,6 +269,31 @@ runFaultSweep(const FaultSweepConfig &cfg)
 {
     const size_t n = cfg.rates.size();
     std::vector<FaultSweepPoint> points(n);
+
+    // Serial sweep: gang the points' networks through the batched
+    // lockstep backend when the params allow it (bit-identical
+    // results; see DESIGN.md §13). Fault rates and seeds differ per
+    // point but never the mesh shape or engine configuration.
+    if (resolveThreadCount(cfg.threads) <= 1 && cfg.batch != 1 &&
+        n > 1) {
+        std::vector<std::unique_ptr<FaultPointJob>> jobs;
+        jobs.reserve(n);
+        bool all_eligible = true;
+        for (size_t i = 0; i < n && all_eligible; ++i) {
+            jobs.push_back(std::make_unique<FaultPointJob>(cfg, i));
+            all_eligible = batchable(jobs.back()->network());
+        }
+        if (all_eligible) {
+            MultiSim ms(cfg.batch);
+            for (auto &job : jobs)
+                ms.add(*job);
+            ms.runAll();
+            for (size_t i = 0; i < n; ++i)
+                points[i] = jobs[i]->finishPoint();
+            return points;
+        }
+    }
+
     parallelFor(
         n, [&](size_t i) { points[i] = runFaultPoint(cfg, i); },
         cfg.threads);

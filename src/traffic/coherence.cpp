@@ -30,151 +30,168 @@ CoherenceDriver::allDone() const
     return net_.inFlight() == 0;
 }
 
+void
+CoherenceDriver::begin(Cycle max_cycles)
+{
+    PL_ASSERT(!begun_, "begin() called twice");
+    begun_ = true;
+    start_ = net_.now();
+    deadline_ = start_ + max_cycles;
+}
+
+bool
+CoherenceDriver::done() const
+{
+    return net_.now() >= deadline_ || allDone();
+}
+
+void
+CoherenceDriver::preStep()
+{
+    const Cycle now = net_.now();
+
+    for (NodeId n = 0; n < net_.nodeCount(); ++n) {
+        NodeState &st = nodes_[static_cast<size_t>(n)];
+        const auto &stream = streams_[static_cast<size_t>(n)];
+
+        // Release matured responses into the send queue (they take
+        // priority over new transactions).
+        while (!st.responseQueue.empty() &&
+               st.responseQueue.front().first <= now) {
+            st.sendQueue.push_front(
+                std::move(st.responseQueue.front().second));
+            st.responseQueue.pop_front();
+        }
+
+        // Issue the next transaction when the node is ready.
+        if (st.next < stream.size() && now >= st.readyAt &&
+            st.sendQueue.size() < kSendQueueLimit) {
+            const Txn &t = stream[st.next];
+            const bool is_request = t.type == TxnType::Request;
+            if (!is_request || st.outstanding < mshrLimit_) {
+                Packet pkt;
+                pkt.id = nextPacketId_++;
+                pkt.src = n;
+                pkt.createdAt = now;
+                pkt.tag = nextTag_++;
+                switch (t.type) {
+                  case TxnType::Request:
+                    if (t.broadcastReq) {
+                        pkt.broadcast = true;
+                        ++res_.broadcasts;
+                    } else {
+                        pkt.dst = t.peer;
+                        ++res_.unicasts;
+                    }
+                    pkt.kind = MessageKind::Request;
+                    pending_[pkt.tag] = PendingRequest{
+                        n, t.peer, t.serviceLatency, now};
+                    ++st.outstanding;
+                    break;
+                  case TxnType::Invalidate:
+                    pkt.broadcast = true;
+                    pkt.kind = MessageKind::Invalidate;
+                    ++res_.broadcasts;
+                    break;
+                  case TxnType::Writeback:
+                    pkt.dst = t.peer;
+                    pkt.kind = MessageKind::Writeback;
+                    ++res_.unicasts;
+                    break;
+                }
+                st.sendQueue.push_back(std::move(pkt));
+                st.readyAt = now + t.thinkAfter;
+                ++st.next;
+                ++res_.transactions;
+            }
+        }
+
+        // Pump the send queue into the NIC.
+        while (!st.sendQueue.empty() &&
+               net_.inject(st.sendQueue.front())) {
+            const Packet &pkt = st.sendQueue.front();
+            openMsgs_[pkt.id] = MsgTrack{
+                pkt.deliveryCount(net_.nodeCount()),
+                pkt.createdAt};
+            st.sendQueue.pop_front();
+        }
+    }
+}
+
+void
+CoherenceDriver::postStep()
+{
+    for (const auto &d : net_.deliveries()) {
+        latency_.add(
+            static_cast<double>(d.at - d.packet.createdAt));
+        auto mt = openMsgs_.find(d.packet.id);
+        PL_ASSERT(mt != openMsgs_.end(),
+                  "delivery for untracked message");
+        if (--mt->second.remaining == 0) {
+            msgLatency_.add(static_cast<double>(
+                d.at - mt->second.createdAt));
+            openMsgs_.erase(mt);
+        }
+        if (d.packet.kind == MessageKind::Request) {
+            auto it = pending_.find(d.packet.tag);
+            if (it != pending_.end() &&
+                it->second.home == d.node) {
+                // The home schedules the data response after its
+                // service latency.
+                reqLatency_.add(static_cast<double>(
+                    d.at - it->second.createdAt));
+                Packet resp;
+                resp.id = nextPacketId_++;
+                resp.src = d.node;
+                resp.dst = it->second.requester;
+                resp.kind = MessageKind::Response;
+                resp.tag = d.packet.tag;
+                resp.createdAt = d.at;
+                nodes_[static_cast<size_t>(d.node)]
+                    .responseQueue.emplace_back(
+                        d.at + it->second.serviceLatency,
+                        std::move(resp));
+                ++res_.unicasts;
+            }
+        } else if (d.packet.kind == MessageKind::Response) {
+            auto it = pending_.find(d.packet.tag);
+            PL_ASSERT(it != pending_.end(),
+                      "response for unknown request");
+            PL_ASSERT(it->second.requester == d.node,
+                      "response delivered to the wrong node");
+            roundTrip_.add(static_cast<double>(
+                d.at - it->second.createdAt));
+            --nodes_[static_cast<size_t>(d.node)].outstanding;
+            pending_.erase(it);
+        }
+    }
+}
+
+CoherenceResult
+CoherenceDriver::finish()
+{
+    res_.completionCycles = net_.now() - start_;
+    res_.avgLatency = latency_.mean();
+    res_.avgMessageLatency = msgLatency_.mean();
+    res_.avgRequestLatency = reqLatency_.mean();
+    res_.avgRoundTrip = roundTrip_.mean();
+    res_.timedOut = !allDone();
+    if (res_.timedOut)
+        warn("coherence run timed out with %llu in flight",
+             static_cast<unsigned long long>(net_.inFlight()));
+    return res_;
+}
+
 CoherenceResult
 CoherenceDriver::run(Cycle max_cycles)
 {
-    CoherenceResult res;
-    RunningStat latency;
-    RunningStat msg_latency;
-    RunningStat req_latency;
-    RunningStat round_trip;
-    // Per-message completion tracking (message done at last delivery).
-    struct MsgTrack {
-        int remaining;
-        Cycle createdAt;
-    };
-    std::unordered_map<uint64_t, MsgTrack> open_msgs;
-    const Cycle start = net_.now();
-    const Cycle deadline = start + max_cycles;
-
-    while (net_.now() < deadline && !allDone()) {
-        const Cycle now = net_.now();
-
-        for (NodeId n = 0; n < net_.nodeCount(); ++n) {
-            NodeState &st = nodes_[static_cast<size_t>(n)];
-            const auto &stream = streams_[static_cast<size_t>(n)];
-
-            // Release matured responses into the send queue (they
-            // take priority over new transactions).
-            while (!st.responseQueue.empty() &&
-                   st.responseQueue.front().first <= now) {
-                st.sendQueue.push_front(
-                    std::move(st.responseQueue.front().second));
-                st.responseQueue.pop_front();
-            }
-
-            // Issue the next transaction when the node is ready.
-            if (st.next < stream.size() && now >= st.readyAt &&
-                st.sendQueue.size() < kSendQueueLimit) {
-                const Txn &t = stream[st.next];
-                const bool is_request = t.type == TxnType::Request;
-                if (!is_request || st.outstanding < mshrLimit_) {
-                    Packet pkt;
-                    pkt.id = nextPacketId_++;
-                    pkt.src = n;
-                    pkt.createdAt = now;
-                    pkt.tag = nextTag_++;
-                    switch (t.type) {
-                      case TxnType::Request:
-                        if (t.broadcastReq) {
-                            pkt.broadcast = true;
-                            ++res.broadcasts;
-                        } else {
-                            pkt.dst = t.peer;
-                            ++res.unicasts;
-                        }
-                        pkt.kind = MessageKind::Request;
-                        pending_[pkt.tag] = PendingRequest{
-                            n, t.peer, t.serviceLatency, now};
-                        ++st.outstanding;
-                        break;
-                      case TxnType::Invalidate:
-                        pkt.broadcast = true;
-                        pkt.kind = MessageKind::Invalidate;
-                        ++res.broadcasts;
-                        break;
-                      case TxnType::Writeback:
-                        pkt.dst = t.peer;
-                        pkt.kind = MessageKind::Writeback;
-                        ++res.unicasts;
-                        break;
-                    }
-                    st.sendQueue.push_back(std::move(pkt));
-                    st.readyAt = now + t.thinkAfter;
-                    ++st.next;
-                    ++res.transactions;
-                }
-            }
-
-            // Pump the send queue into the NIC.
-            while (!st.sendQueue.empty() &&
-                   net_.inject(st.sendQueue.front())) {
-                const Packet &pkt = st.sendQueue.front();
-                open_msgs[pkt.id] = MsgTrack{
-                    pkt.deliveryCount(net_.nodeCount()),
-                    pkt.createdAt};
-                st.sendQueue.pop_front();
-            }
-        }
-
+    begin(max_cycles);
+    while (!done()) {
+        preStep();
         net_.step();
-
-        for (const auto &d : net_.deliveries()) {
-            latency.add(
-                static_cast<double>(d.at - d.packet.createdAt));
-            auto mt = open_msgs.find(d.packet.id);
-            PL_ASSERT(mt != open_msgs.end(),
-                      "delivery for untracked message");
-            if (--mt->second.remaining == 0) {
-                msg_latency.add(static_cast<double>(
-                    d.at - mt->second.createdAt));
-                open_msgs.erase(mt);
-            }
-            if (d.packet.kind == MessageKind::Request) {
-                auto it = pending_.find(d.packet.tag);
-                if (it != pending_.end() &&
-                    it->second.home == d.node) {
-                    // The home schedules the data response after its
-                    // service latency.
-                    req_latency.add(static_cast<double>(
-                        d.at - it->second.createdAt));
-                    Packet resp;
-                    resp.id = nextPacketId_++;
-                    resp.src = d.node;
-                    resp.dst = it->second.requester;
-                    resp.kind = MessageKind::Response;
-                    resp.tag = d.packet.tag;
-                    resp.createdAt = d.at;
-                    nodes_[static_cast<size_t>(d.node)]
-                        .responseQueue.emplace_back(
-                            d.at + it->second.serviceLatency,
-                            std::move(resp));
-                    ++res.unicasts;
-                }
-            } else if (d.packet.kind == MessageKind::Response) {
-                auto it = pending_.find(d.packet.tag);
-                PL_ASSERT(it != pending_.end(),
-                          "response for unknown request");
-                PL_ASSERT(it->second.requester == d.node,
-                          "response delivered to the wrong node");
-                round_trip.add(static_cast<double>(
-                    d.at - it->second.createdAt));
-                --nodes_[static_cast<size_t>(d.node)].outstanding;
-                pending_.erase(it);
-            }
-        }
+        postStep();
     }
-
-    res.completionCycles = net_.now() - start;
-    res.avgLatency = latency.mean();
-    res.avgMessageLatency = msg_latency.mean();
-    res.avgRequestLatency = req_latency.mean();
-    res.avgRoundTrip = round_trip.mean();
-    res.timedOut = !allDone();
-    if (res.timedOut)
-        warn("coherence run timed out with %llu in flight",
-             static_cast<unsigned long long>(net_.inFlight()));
-    return res;
+    return finish();
 }
 
 } // namespace phastlane::traffic

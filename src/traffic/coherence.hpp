@@ -69,6 +69,28 @@ class CoherenceDriver
     /** Run to completion (or @p max_cycles). */
     CoherenceResult run(Cycle max_cycles = 20000000);
 
+    // Step-wise interface, equivalent to run() but with the
+    // net_.step() call in the caller's hands (MultiSim):
+    //   begin(max_cycles);
+    //   while (!done()) { preStep(); net.step(); postStep(); }
+    //   result = finish();
+
+    /** Arm the run deadline. Call once, before the first preStep(). */
+    void begin(Cycle max_cycles = 20000000);
+    /** True when every stream completed and drained, or the deadline
+     *  passed. */
+    bool done() const;
+    /** Issue side of one cycle: release matured responses, issue
+     *  transactions, pump send queues into the NIC. */
+    void preStep();
+    /** Harvest side of one cycle: process deliveries, schedule home
+     *  responses, retire round trips. */
+    void postStep();
+    /** Build the result (call once, after done() turns true). */
+    CoherenceResult finish();
+
+    Network &network() { return net_; }
+
   private:
     struct NodeState {
         size_t next = 0;        ///< next stream index
@@ -87,6 +109,12 @@ class CoherenceDriver
         Cycle createdAt = 0;
     };
 
+    /** Per-message completion tracking (done at last delivery). */
+    struct MsgTrack {
+        int remaining;
+        Cycle createdAt;
+    };
+
     bool allDone() const;
 
     Network &net_;
@@ -96,6 +124,17 @@ class CoherenceDriver
     std::unordered_map<uint64_t, PendingRequest> pending_;
     uint64_t nextTag_ = 1;
     uint64_t nextPacketId_ = 1;
+
+    // Run-scoped state for the step-wise interface.
+    CoherenceResult res_;
+    RunningStat latency_;
+    RunningStat msgLatency_;
+    RunningStat reqLatency_;
+    RunningStat roundTrip_;
+    std::unordered_map<uint64_t, MsgTrack> openMsgs_;
+    Cycle start_ = 0;
+    Cycle deadline_ = 0;
+    bool begun_ = false;
 
     /** Cap on queued-but-uninjected packets per node before issue
      *  stalls (models finite miss-queue depth beyond the NIC). */

@@ -71,50 +71,85 @@ SyntheticDriver::harvest(bool measuring)
     }
 }
 
-SyntheticResult
-SyntheticDriver::run()
+void
+SyntheticDriver::begin()
 {
-    const int nodes = net_.nodeCount();
+    PL_ASSERT(phase_ == Phase::Idle, "begin() called twice");
     measureStart_ = net_.now() + cfg_.warmupCycles;
     measureEnd_ = measureStart_ + cfg_.measureCycles;
+    backlogLimit_ = static_cast<uint64_t>(net_.nodeCount()) * 200;
+    phase_ = Phase::Measure;
+    if (net_.now() >= measureEnd_) {
+        // Degenerate zero-cycle window: straight to drain, as the
+        // serial loop's entry condition would do.
+        phase_ = Phase::Drain;
+        drainDeadline_ = net_.now() + cfg_.maxDrainCycles;
+    }
+}
 
-    bool saturated = false;
-    const uint64_t backlog_limit =
-        static_cast<uint64_t>(nodes) * 200;
+bool
+SyntheticDriver::drainIdle() const
+{
+    if (net_.inFlight() != 0)
+        return false;
+    for (const auto &q : sourceQueues_) {
+        if (!q.empty())
+            return false;
+    }
+    return true;
+}
 
-    // Warmup + measurement.
-    while (net_.now() < measureEnd_) {
+bool
+SyntheticDriver::done() const
+{
+    if (phase_ == Phase::Done)
+        return true;
+    if (phase_ == Phase::Drain)
+        return net_.now() >= drainDeadline_ || drainIdle();
+    return false;
+}
+
+void
+SyntheticDriver::preStep()
+{
+    if (phase_ == Phase::Measure)
         generate(net_.now());
-        pumpSourceQueues();
-        net_.step();
-        harvest(net_.now() - 1 >= measureStart_);
+    pumpSourceQueues();
+}
 
-        uint64_t backlog = 0;
-        for (const auto &q : sourceQueues_)
-            backlog += q.size();
-        if (backlog > backlog_limit) {
-            saturated = true;
-            break;
-        }
+void
+SyntheticDriver::postStep()
+{
+    harvest(phase_ == Phase::Measure
+                ? net_.now() - 1 >= measureStart_
+                : true);
+    if (phase_ != Phase::Measure)
+        return;
+    uint64_t backlog = 0;
+    for (const auto &q : sourceQueues_)
+        backlog += q.size();
+    if (backlog > backlogLimit_) {
+        // Source queues exploding: declare saturation and skip the
+        // drain entirely, as the serial loop does.
+        saturated_ = true;
+        phase_ = Phase::Done;
+        return;
     }
-
-    // Drain: stop generating, let in-flight traffic finish.
-    if (!saturated) {
-        const Cycle drain_deadline = net_.now() + cfg_.maxDrainCycles;
-        while (net_.now() < drain_deadline) {
-            bool idle = net_.inFlight() == 0;
-            for (const auto &q : sourceQueues_)
-                idle = idle && q.empty();
-            if (idle)
-                break;
-            pumpSourceQueues();
-            net_.step();
-            harvest(true);
-        }
-        if (net_.inFlight() > 0)
-            saturated = true;
+    if (net_.now() >= measureEnd_) {
+        phase_ = Phase::Drain;
+        drainDeadline_ = net_.now() + cfg_.maxDrainCycles;
     }
+}
 
+SyntheticResult
+SyntheticDriver::finish()
+{
+    // Drain that ended with traffic still in flight hit the deadline.
+    if (phase_ == Phase::Drain && net_.inFlight() > 0)
+        saturated_ = true;
+    phase_ = Phase::Done;
+
+    const int nodes = net_.nodeCount();
     SyntheticResult r;
     r.offeredRate = static_cast<double>(offeredMeasured_) /
                     (static_cast<double>(nodes) *
@@ -126,8 +161,20 @@ SyntheticDriver::run()
     r.avgNetLatency = netLatency_.mean();
     r.p99Latency = latencyHist_.quantile(0.99);
     r.measuredPackets = measuredDeliveries_;
-    r.saturated = saturated || latency_.mean() > kSaturationLatency;
+    r.saturated = saturated_ || latency_.mean() > kSaturationLatency;
     return r;
+}
+
+SyntheticResult
+SyntheticDriver::run()
+{
+    begin();
+    while (!done()) {
+        preStep();
+        net_.step();
+        postStep();
+    }
+    return finish();
 }
 
 } // namespace phastlane::traffic

@@ -63,13 +63,40 @@ class SyntheticDriver
     /** Run warmup + measurement + drain; returns the results. */
     SyntheticResult run();
 
+    // Step-wise interface, equivalent to run() but with the
+    // net_.step() call in the caller's hands so a MultiSim can
+    // interleave many drivers' cycles:
+    //   begin();
+    //   while (!done()) { preStep(); net.step(); postStep(); }
+    //   result = finish();
+
+    /** Arm the warmup/measurement window at the network's current
+     *  cycle. Call exactly once, before the first preStep(). */
+    void begin();
+    /** True when the run needs no more cycles (measurement finished
+     *  and the drain completed, timed out, or was skipped). */
+    bool done() const;
+    /** Injection side of one cycle: generate (measure phase only)
+     *  and pump the source queues. */
+    void preStep();
+    /** Harvest side of one cycle: collect deliveries, check the
+     *  backlog saturation bail-out, advance the phase. */
+    void postStep();
+    /** Build the result (call once, after done() turns true). */
+    SyntheticResult finish();
+
+    Network &network() { return net_; }
+
     /** Latency threshold (cycles) above which we declare saturation. */
     static constexpr double kSaturationLatency = 500.0;
 
   private:
+    enum class Phase : uint8_t { Idle, Measure, Drain, Done };
+
     void generate(Cycle now);
     void pumpSourceQueues();
     void harvest(bool measuring);
+    bool drainIdle() const;
 
     Network &net_;
     SyntheticConfig cfg_;
@@ -77,8 +104,12 @@ class SyntheticDriver
     std::vector<std::deque<Packet>> sourceQueues_;
     uint64_t nextPacketId_ = 1;
 
+    Phase phase_ = Phase::Idle;
+    bool saturated_ = false;
     Cycle measureStart_ = 0;
     Cycle measureEnd_ = 0;
+    Cycle drainDeadline_ = 0;
+    uint64_t backlogLimit_ = 0;
     RunningStat latency_;
     RunningStat netLatency_;
     Histogram latencyHist_{10.0, 500};

@@ -225,7 +225,7 @@ TEST_P(ShardGridShapes, LocalIdsAreDenseAndGloballyMonotone)
         for (NodeId n = 0; n < mesh.nodeCount(); ++n) {
             if (grid.shardOf(n) != s)
                 continue;
-            const int local = grid.localId(n, mesh);
+            const int local = grid.localId(n);
             ASSERT_GE(local, 0);
             ASSERT_LT(local, r.nodeCount());
             ++used[static_cast<size_t>(local)];
