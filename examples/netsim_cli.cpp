@@ -34,6 +34,7 @@
 #include "sim/metrics.hpp"
 #include "sim/multisim.hpp"
 #include "sim/report.hpp"
+#include "sim/sweep.hpp"
 #include "traffic/coherence.hpp"
 #include "traffic/splash.hpp"
 #include "traffic/synthetic.hpp"
@@ -51,8 +52,9 @@ namespace {
 class CollectingNetwork : public Network
 {
   public:
-    CollectingNetwork(Network &inner, sim::LatencyCollector &metrics)
-        : inner_(inner), metrics_(metrics)
+    CollectingNetwork(Network &inner, sim::LatencyCollector &metrics,
+                      sim::FairnessCollector *fairness = nullptr)
+        : inner_(inner), metrics_(metrics), fairness_(fairness)
     {
     }
 
@@ -71,6 +73,8 @@ class CollectingNetwork : public Network
     {
         inner_.step();
         metrics_.addAll(inner_.deliveries());
+        if (fairness_)
+            fairness_->addAll(inner_.deliveries());
     }
     const std::vector<Delivery> &deliveries() const override
     {
@@ -85,15 +89,35 @@ class CollectingNetwork : public Network
   private:
     Network &inner_;
     sim::LatencyCollector &metrics_;
+    sim::FairnessCollector *fairness_;
 };
+
+/** Per-source max-consecutive-losing-arbitrations, for the fairness
+ *  report/CSV; empty for non-Phastlane networks. */
+std::vector<uint64_t>
+starvationCounters(Network &net)
+{
+    auto *pl = dynamic_cast<core::PhastlaneNetwork *>(&net);
+    if (!pl)
+        return {};
+    std::vector<uint64_t> s;
+    s.reserve(static_cast<size_t>(pl->nodeCount()));
+    for (NodeId n = 0; n < pl->nodeCount(); ++n)
+        s.push_back(pl->sourceStarvation(n));
+    return s;
+}
 
 void
 printCommonReports(const Config &args, const sim::NetConfig &cfg,
                    Network &net, Cycle active_cycles,
-                   const sim::LatencyCollector *metrics)
+                   const sim::LatencyCollector *metrics,
+                   const sim::FairnessCollector *fairness = nullptr)
 {
     if (metrics && args.getBool("metrics", false))
         std::printf("\n%s", metrics->report().c_str());
+    if (fairness && args.getBool("metrics", false))
+        std::printf("%s",
+                    fairness->report(starvationCounters(net)).c_str());
 
     if (args.getBool("power", false)) {
         const auto p = cfg.power(net, active_cycles);
@@ -216,9 +240,13 @@ knownFlags()
         "reliable",    "fault-sweep-out", "fault-field",
         "fault-max",   "fault-steps",     "threads",
         "wavefront",   "mesh",            "shards",
-        "batch",
+        "batch",       "fairness-csv",
     };
     for (const auto &f : sim::faultFlagNames())
+        flags.push_back(f);
+    for (const auto &f : sim::admissionFlagNames())
+        flags.push_back(f);
+    for (const auto &f : sim::trafficFlagNames())
         flags.push_back(f);
     return flags;
 }
@@ -281,6 +309,19 @@ main(int argc, char **argv)
             "    --fault-signal-loss R --fault-corrupt R\n"
             "    --fault-router-fail R --fault-seed S\n"
             "    --reliable        end-to-end retransmission layer\n"
+            "  admission control (optical configs; DESIGN.md §14):\n"
+            "    --admission none|token|age\n"
+            "    --admission-burst N --admission-period N "
+            "(token bucket)\n"
+            "    --admission-age N (age-boost threshold, cycles)\n"
+            "  adversarial traffic (synthetic workloads):\n"
+            "    --hotspot-fraction F --hotspot-node N "
+            "(hotspot pattern)\n"
+            "    --mix none|elephant|tenant\n"
+            "    --elephant-fraction F --elephant-boost X\n"
+            "    --tenant-count N --tenant-boost X\n"
+            "    --fairness-csv F  per-source "
+            "delivered/latency/starvation CSV\n"
             "  fault sweep (writes JSON and exits):\n"
             "    --fault-sweep-out F.json [--fault-field NAME]\n"
             "    [--fault-max R --fault-steps N] [--threads N]\n"
@@ -326,6 +367,11 @@ main(int argc, char **argv)
                 fs.rates.push_back(max * i / steps);
         } else {
             fs.rates = sim::defaultFaultGrid();
+        }
+        sim::applyAdmissionFlags(args, fs.params);
+        {
+            traffic::PatternOptions ignored;
+            sim::applyTrafficFlags(args, ignored, fs.adversarial);
         }
         fs.injectionRate = args.getDouble("rate", 0.05);
         fs.broadcastFraction = args.getDouble("bcast", 0.1);
@@ -459,6 +505,20 @@ main(int argc, char **argv)
         }
     }
 
+    // Admission-control flags rebuild the optical network the same
+    // way (DESIGN.md §14), still before any checker/observer.
+    {
+        auto *pl = dynamic_cast<core::PhastlaneNetwork *>(net.get());
+        core::PhastlaneParams p =
+            pl ? pl->params() : core::PhastlaneParams{};
+        if (sim::applyAdmissionFlags(args, p)) {
+            if (!pl)
+                panic("--admission supports optical (Phastlane) "
+                      "configurations only");
+            net = std::make_unique<core::PhastlaneNetwork>(p);
+        }
+    }
+
     std::unique_ptr<check::CheckedNetwork> checked;
     if (args.getBool("check", false)) {
         auto *pl = dynamic_cast<core::PhastlaneNetwork *>(net.get());
@@ -475,12 +535,14 @@ main(int argc, char **argv)
     Network &report =
         checked ? static_cast<Network &>(checked->primary()) : *net;
     sim::LatencyCollector metrics(report.mesh());
+    sim::FairnessCollector fairness(report.nodeCount());
     Network &driven =
         checked ? static_cast<Network &>(*checked) : *net;
     std::unique_ptr<ReliableNetwork> reliable;
     if (args.getBool("reliable", false))
         reliable = std::make_unique<ReliableNetwork>(driven);
-    CollectingNetwork drive(reliable ? *reliable : driven, metrics);
+    CollectingNetwork drive(reliable ? *reliable : driven, metrics,
+                            &fairness);
 
     // Observability (src/obs/): per-packet trace ring, metrics
     // registry, and per-router heatmap, composed with the invariant
@@ -551,7 +613,7 @@ main(int argc, char **argv)
                         result.completionCycles),
                     result.avgMessageLatency, result.avgRoundTrip);
         printCommonReports(args, cfg, report, result.completionCycles,
-                           &metrics);
+                           &metrics, &fairness);
     } else if (workload.rfind("trace:", 0) == 0) {
         const auto records =
             traffic::readTrace(workload.substr(6));
@@ -565,10 +627,19 @@ main(int argc, char **argv)
                         result.completionCycle),
                     result.avgLatency);
         printCommonReports(args, cfg, report, result.completionCycle,
-                           &metrics);
+                           &metrics, &fairness);
     } else {
         traffic::SyntheticConfig sc;
         sc.pattern = traffic::parsePattern(workload);
+        // Validate the pattern/mesh combination upfront: a transpose
+        // on a non-square mesh (or a bit permutation on a
+        // non-power-of-two node count) used to abort mid-run via
+        // PL_ASSERT deep in the pattern code.
+        const std::string perr =
+            traffic::validatePattern(sc.pattern, drive.mesh());
+        if (!perr.empty())
+            panic("%s", perr.c_str());
+        sim::applyTrafficFlags(args, sc.patternOpts, sc.adversarial);
         sc.injectionRate = args.getDouble("rate", 0.05);
         sc.broadcastFraction = args.getDouble("bcast", 0.0);
         sc.warmupCycles =
@@ -648,7 +719,22 @@ main(int argc, char **argv)
                     result.offeredRate, result.acceptedRate,
                     result.avgLatency, result.p99Latency,
                     result.saturated ? " [saturated]" : "");
-        printCommonReports(args, cfg, report, drive.now(), &metrics);
+        printCommonReports(args, cfg, report, drive.now(), &metrics,
+                           &fairness);
+    }
+
+    const std::string fairness_path =
+        args.getString("fairness-csv", "");
+    if (!fairness_path.empty()) {
+        const std::string csv =
+            fairness.csv(starvationCounters(report));
+        std::FILE *f = std::fopen(fairness_path.c_str(), "w");
+        if (!f)
+            fatal("cannot write fairness CSV to %s",
+                  fairness_path.c_str());
+        std::fwrite(csv.data(), 1, csv.size(), f);
+        std::fclose(f);
+        std::printf("fairness: wrote %s\n", fairness_path.c_str());
     }
 
     if (reliable) {

@@ -39,6 +39,10 @@ main(int argc, char **argv)
         };
         for (const auto &f : faultFlagNames())
             flags.push_back(f);
+        for (const auto &f : admissionFlagNames())
+            flags.push_back(f);
+        for (const auto &f : trafficFlagNames())
+            flags.push_back(f);
         args.requireKnown(flags);
     }
     const std::string config_name =
@@ -64,6 +68,8 @@ main(int argc, char **argv)
     sc.collectMetrics = !metrics_path.empty();
     for (int i = 1; i <= steps; ++i)
         sc.rates.push_back(max_rate * i / steps);
+    // --hotspot-* / --mix flags shape every point's traffic.
+    applyTrafficFlags(args, sc.patternOpts, sc.adversarial);
 
     std::printf("sweeping %s on %s up to %.3f pkt/node/cycle "
                 "(%d threads)\n",
@@ -71,6 +77,41 @@ main(int argc, char **argv)
                 max_rate, resolveThreadCount(sc.threads));
 
     NetConfig cfg = makeConfig(config_name);
+
+    // Reject pattern/mesh mismatches up front with a clean error
+    // instead of an assert deep inside a sweep point.
+    {
+        const auto probe = cfg.make(sc.seed);
+        const std::string err =
+            traffic::validatePattern(pattern, probe->mesh());
+        if (!err.empty())
+            fatal("%s", err.c_str());
+    }
+
+    // --admission* flags rebuild each sweep point's optical network
+    // with the requested admission policy (applied before the
+    // --check wrapper so the checker's networks inherit it too).
+    {
+        core::PhastlaneParams adm;
+        if (applyAdmissionFlags(args, adm)) {
+            const auto inner = cfg.make;
+            cfg.make =
+                [inner, adm](uint64_t seed) -> std::unique_ptr<Network> {
+                auto net = inner(seed);
+                auto *pl =
+                    dynamic_cast<core::PhastlaneNetwork *>(net.get());
+                if (!pl)
+                    panic("admission control supports optical "
+                          "(Phastlane) configurations only");
+                core::PhastlaneParams p = pl->params();
+                p.admission = adm.admission;
+                p.admissionBurst = adm.admissionBurst;
+                p.admissionPeriod = adm.admissionPeriod;
+                p.admissionAgeThreshold = adm.admissionAgeThreshold;
+                return std::make_unique<core::PhastlaneNetwork>(p);
+            };
+        }
+    }
 
     // --fault-* flags rebuild each sweep point's optical network with
     // the requested injection rates (applied before the --check

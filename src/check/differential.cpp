@@ -55,7 +55,12 @@ makeStream(const core::PhastlaneParams &params,
     PacketId next_id = 1;
     for (Cycle c = 0; c < cfg.cycles; ++c) {
         for (NodeId n = 0; n < mesh.nodeCount(); ++n) {
-            if (!rng.bernoulli(cfg.rate))
+            // One bernoulli per node regardless of the adversarial
+            // mix (None keeps legacy streams bit-identical).
+            const double rate = std::min(
+                1.0, cfg.rate * traffic::rateScale(cfg.adversarial, n,
+                                                   mesh.nodeCount()));
+            if (!rng.bernoulli(rate))
                 continue;
             Injection inj;
             inj.at = c;
@@ -66,8 +71,13 @@ makeStream(const core::PhastlaneParams &params,
             if (rng.bernoulli(cfg.broadcastFraction)) {
                 inj.pkt.broadcast = true;
             } else {
+                const NodeId pinned = traffic::mixDestination(
+                    cfg.adversarial, n, mesh);
                 inj.pkt.dst =
-                    traffic::destination(cfg.pattern, n, mesh, rng);
+                    pinned != kInvalidNode
+                        ? pinned
+                        : traffic::destination(cfg.pattern, n, mesh,
+                                               rng, cfg.patternOpts);
             }
             stream.push_back(std::move(inj));
         }
@@ -346,6 +356,22 @@ reproTestCase(const core::PhastlaneParams &params,
         os << "    p.opticalArbitration = "
               "phastlane::core::OpticalArbitration::RoundRobin;\n";
     }
+    // Admission knobs are hand-emitted (no X-macro list for general
+    // params); emit all of them whenever a policy is active so the
+    // repro never depends on the defaults staying put.
+    if (params.admission != core::AdmissionPolicy::None) {
+        os << "    p.admission = phastlane::core::AdmissionPolicy::"
+           << (params.admission == core::AdmissionPolicy::TokenBucket
+                   ? "TokenBucket"
+                   : "AgeBoost")
+           << ";\n";
+        os << "    p.admissionBurst = " << params.admissionBurst
+           << ";\n";
+        os << "    p.admissionPeriod = " << params.admissionPeriod
+           << ";\n";
+        os << "    p.admissionAgeThreshold = "
+           << params.admissionAgeThreshold << ";\n";
+    }
     // Every FaultInjection field is emitted via the X-macro lists in
     // params.hpp, so a knob added there cannot silently desynchronize
     // emitted repros. (An earlier version hand-listed only
@@ -401,10 +427,11 @@ defaultCampaign(int seeds_per_cell, Cycle cycles)
 {
     std::vector<CampaignCell> cells;
     uint64_t seed = 1000;
-    const auto add = [&](const std::string &name, int w, int h,
-                         int hops, int depth, traffic::Pattern pat,
-                         double rate, double bcast,
-                         const auto &tweak) {
+    const auto addMix = [&](const std::string &name, int w, int h,
+                            int hops, int depth, traffic::Pattern pat,
+                            double rate, double bcast,
+                            const auto &tweak,
+                            const auto &stream_tweak) {
         for (int s = 0; s < seeds_per_cell; ++s) {
             CampaignCell cell;
             cell.name = name + "/s" + std::to_string(s);
@@ -419,8 +446,17 @@ defaultCampaign(int seeds_per_cell, Cycle cycles)
             cell.stream.cycles = cycles;
             cell.stream.seed = seed++;
             cell.params.seed = cell.stream.seed;
+            stream_tweak(cell.stream);
             cells.push_back(std::move(cell));
         }
+    };
+    const auto streamNoop = [](StreamConfig &) {};
+    const auto add = [&](const std::string &name, int w, int h,
+                         int hops, int depth, traffic::Pattern pat,
+                         double rate, double bcast,
+                         const auto &tweak) {
+        addMix(name, w, h, hops, depth, pat, rate, bcast, tweak,
+               streamNoop);
     };
     const auto noop = [](core::PhastlaneParams &) {};
     using traffic::Pattern;
@@ -499,6 +535,94 @@ defaultCampaign(int seeds_per_cell, Cycle cycles)
             p.faults.routerFailRate = 0.05;
             p.faults.faultSeed = 23;
         });
+
+    // Admission-control cells (DESIGN.md §14): both policies under
+    // the oracle, on turn-heavy patterns where the boost/throttle
+    // actually changes behavior, plus combinations with adversarial
+    // mixes and injected faults.
+    add("admit-token-4x4-transpose", 4, 4, 4, 2, Pattern::Transpose,
+        0.40, 0.00, [](core::PhastlaneParams &p) {
+            p.admission = core::AdmissionPolicy::TokenBucket;
+            p.admissionBurst = 2;
+            p.admissionPeriod = 3;
+        });
+    add("admit-token-8x8-uniform", 8, 8, 5, 10,
+        Pattern::UniformRandom, 0.25, 0.10,
+        [](core::PhastlaneParams &p) {
+            p.admission = core::AdmissionPolicy::TokenBucket;
+            p.admissionBurst = 4;
+            p.admissionPeriod = 2;
+        });
+    add("admit-age-4x4-tornado", 4, 4, 4, 2, Pattern::Tornado, 0.40,
+        0.05, [](core::PhastlaneParams &p) {
+            p.admission = core::AdmissionPolicy::AgeBoost;
+            p.admissionAgeThreshold = 8;
+        });
+    add("admit-age-8x8-oldest", 8, 8, 4, 10, Pattern::UniformRandom,
+        0.25, 0.10, [](core::PhastlaneParams &p) {
+            p.admission = core::AdmissionPolicy::AgeBoost;
+            p.admissionAgeThreshold = 16;
+            p.bufferArbitration = core::BufferArbitration::OldestFirst;
+        });
+    add("admit-age-4x4-rr", 4, 4, 4, 2, Pattern::Transpose, 0.40,
+        0.00, [](core::PhastlaneParams &p) {
+            p.admission = core::AdmissionPolicy::AgeBoost;
+            p.admissionAgeThreshold = 4;
+            p.opticalArbitration = core::OpticalArbitration::RoundRobin;
+        });
+
+    // Adversarial-traffic cells: configurable hotspot, elephants,
+    // tenants — alone and combined with admission and faults.
+    addMix("adv-hotspot-8x8-corner", 8, 8, 4, 2, Pattern::Hotspot,
+           0.15, 0.10, noop, [](StreamConfig &s) {
+               s.patternOpts.hotspotFraction = 0.4;
+               s.patternOpts.hotspotNode = 0;
+           });
+    addMix("adv-elephant-4x4-token", 4, 4, 4, 2,
+           Pattern::UniformRandom, 0.20, 0.05,
+           [](core::PhastlaneParams &p) {
+               p.admission = core::AdmissionPolicy::TokenBucket;
+               p.admissionBurst = 3;
+               p.admissionPeriod = 2;
+           },
+           [](StreamConfig &s) {
+               s.adversarial.mix = traffic::AdversarialMix::ElephantMice;
+           });
+    addMix("adv-tenant-8x4-age", 8, 4, 5, 2, Pattern::UniformRandom,
+           0.20, 0.00,
+           [](core::PhastlaneParams &p) {
+               p.admission = core::AdmissionPolicy::AgeBoost;
+               p.admissionAgeThreshold = 8;
+           },
+           [](StreamConfig &s) {
+               s.adversarial.mix = traffic::AdversarialMix::Tenants;
+               s.adversarial.tenantCount = 4;
+           });
+    addMix("adv-elephant-fault-4x4", 4, 4, 4, 2,
+           Pattern::UniformRandom, 0.25, 0.10,
+           [](core::PhastlaneParams &p) {
+               p.admission = core::AdmissionPolicy::TokenBucket;
+               p.admissionBurst = 2;
+               p.admissionPeriod = 2;
+               p.faults.dropSignalLossRate = 0.10;
+               p.faults.faultSeed = 29;
+           },
+           [](StreamConfig &s) {
+               s.adversarial.mix = traffic::AdversarialMix::ElephantMice;
+               s.adversarial.elephantBoost = 3.0;
+           });
+    addMix("adv-hotspot-fault-4x4", 4, 4, 4, 2, Pattern::Hotspot,
+           0.25, 0.10,
+           [](core::PhastlaneParams &p) {
+               p.admission = core::AdmissionPolicy::AgeBoost;
+               p.admissionAgeThreshold = 6;
+               p.faults.misTurnRate = 0.02;
+               p.faults.dropperIdCorruptRate = 0.20;
+               p.faults.faultSeed = 31;
+           },
+           [](StreamConfig &s) {
+               s.patternOpts.hotspotFraction = 0.5;
+           });
     return cells;
 }
 

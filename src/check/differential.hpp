@@ -25,6 +25,7 @@
 #include "check/reference_network.hpp"
 #include "core/network.hpp"
 #include "core/params.hpp"
+#include "traffic/adversarial.hpp"
 #include "traffic/patterns.hpp"
 
 namespace phastlane::check {
@@ -39,6 +40,11 @@ struct Injection {
 /** Recipe for a reproducible random injection stream. */
 struct StreamConfig {
     traffic::Pattern pattern = traffic::Pattern::UniformRandom;
+    /** Hotspot tunables (fraction, hot node). */
+    traffic::PatternOptions patternOpts;
+    /** Adversarial source mix; None draws identically to a stream
+     *  generated before this knob existed. */
+    traffic::AdversarialConfig adversarial;
     /** Injection probability per node per cycle. */
     double rate = 0.2;
     /** Fraction of injected messages that are broadcasts. */

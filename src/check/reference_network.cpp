@@ -68,6 +68,13 @@ ReferenceNetwork::ReferenceNetwork(const core::PhastlaneParams &params)
               "(GlobalPriority wavefront or invalid hop limit)");
     nics_.resize(static_cast<size_t>(mesh_.nodeCount()));
     routers_.resize(static_cast<size_t>(mesh_.nodeCount()));
+    if (params_.admission == core::AdmissionPolicy::TokenBucket) {
+        // Same starting state as the optimized RouterBuffers ctor:
+        // a full bucket with the first refill due one period out.
+        for (auto &rt : routers_)
+            rt.bucket.reset(params_.admissionBurst,
+                            params_.admissionPeriod, 0);
+    }
     failed_.assign(static_cast<size_t>(mesh_.nodeCount()), 0);
     for (NodeId n = 0; n < mesh_.nodeCount(); ++n) {
         if (core::faultRoll(params_.faults,
@@ -196,6 +203,7 @@ ReferenceNetwork::pushEntry(NodeId router, Port q, RefPacket pkt,
     RefEntry e;
     e.pkt = std::move(pkt);
     e.eligibleAt = eligible_at;
+    e.enqueuedAt = eligible_at;
     e.seq = rt.nextSeq++;
     rt.queues[static_cast<size_t>(portIndex(q))].push_back(
         std::move(e));
@@ -325,7 +333,7 @@ ReferenceNetwork::launchPhase()
         // the waiting eligible entries (Section 2.1.1).
         std::vector<std::pair<RefEntry *, Port>> launches;
         bool port_taken[kMeshPorts] = {false, false, false, false};
-        auto try_launch = [&](RefEntry &e, int &budget) {
+        auto try_launch = [&](RefEntry &e, Port q, int &budget) {
             if (budget <= 0 || e.launched || e.eligibleAt > cycle_)
                 return;
             PL_ASSERT(e.pkt.finalDst != r,
@@ -333,6 +341,17 @@ ReferenceNetwork::launchPhase()
                       "destination");
             const Port out = mesh_.xyFirstHop(r, e.pkt.finalDst);
             if (out == Port::Local || port_taken[portIndex(out)])
+                return;
+            // Admission gate (DESIGN.md §14): source-originated
+            // launches take a token, consumed last so a blocked port
+            // never drains the bucket. Same check order as the
+            // optimized arbiter — the consume() sequence must match
+            // token for token.
+            if (params_.admission ==
+                    core::AdmissionPolicy::TokenBucket &&
+                q == Port::Local &&
+                !rt.bucket.consume(params_.admissionBurst,
+                                   params_.admissionPeriod, cycle_))
                 return;
             port_taken[portIndex(out)] = true;
             e.launched = true;
@@ -342,11 +361,15 @@ ReferenceNetwork::launchPhase()
 
         if (params_.bufferArbitration ==
             core::BufferArbitration::OldestFirst) {
-            std::vector<std::pair<uint64_t, RefEntry *>> candidates;
-            for (auto &queue : rt.queues) {
-                for (auto &e : queue) {
+            std::vector<std::pair<uint64_t,
+                                  std::pair<RefEntry *, Port>>>
+                candidates;
+            for (int qi = 0; qi < kAllPorts; ++qi) {
+                const Port q = portFromIndex(qi);
+                for (auto &e : rt.queues[static_cast<size_t>(qi)]) {
                     if (!e.launched && e.eligibleAt <= cycle_)
-                        candidates.emplace_back(e.seq, &e);
+                        candidates.emplace_back(
+                            e.seq, std::make_pair(&e, q));
                 }
             }
             std::sort(candidates.begin(), candidates.end(),
@@ -354,18 +377,18 @@ ReferenceNetwork::launchPhase()
                           return a.first < b.first;
                       });
             int budget = kMeshPorts;
-            for (auto &[seq, e] : candidates)
-                try_launch(*e, budget);
+            for (auto &[seq, cand] : candidates)
+                try_launch(*cand.first, cand.second, budget);
         } else {
             // Rotating pointer over the five queues, oldest-first
             // within a queue, at most launchesPerQueue per queue.
             for (int qi = 0; qi < kAllPorts; ++qi) {
-                auto &queue =
-                    rt.queues[static_cast<size_t>(rt.rotate + qi) %
-                              kAllPorts];
+                const int idx = (rt.rotate + qi) % kAllPorts;
+                const Port q = portFromIndex(idx);
+                auto &queue = rt.queues[static_cast<size_t>(idx)];
                 int budget = params_.launchesPerQueue;
                 for (auto &e : queue)
-                    try_launch(e, budget);
+                    try_launch(e, q, budget);
             }
             rt.rotate = (rt.rotate + 1) % kAllPorts;
         }
@@ -385,6 +408,13 @@ ReferenceNetwork::launchPhase()
 
             RefFlight f;
             f.pkt = e->pkt;
+            // AgeBoost is recomputed at every launch from residence
+            // age (cycle the entry first became launchable), exactly
+            // as the optimized launch paths do.
+            f.pkt.boosted =
+                params_.admission == core::AdmissionPolicy::AgeBoost &&
+                cycle_ - e->enqueuedAt >=
+                    static_cast<Cycle>(params_.admissionAgeThreshold);
             f.launchRouter = r;
             f.path = mesh_.xyPath(r, e->pkt.finalDst);
             f.dirs = mesh_.xyRoute(r, e->pkt.finalDst);
@@ -572,6 +602,7 @@ ReferenceNetwork::propagate(std::vector<RefFlight> flights)
     struct Req {
         size_t flight = 0;
         bool straight = false;
+        bool boosted = false;
     };
 
     while (!active.empty()) {
@@ -597,7 +628,8 @@ ReferenceNetwork::propagate(std::vector<RefFlight> flights)
             const NodeId router = f.path[f.idx];
             const Port out = f.dirs[f.idx + 1];
             groups[{router, portIndex(out)}].push_back(
-                Req{i, f.dirs[f.idx + 1] == f.dirs[f.idx]});
+                Req{i, f.dirs[f.idx + 1] == f.dirs[f.idx],
+                    f.pkt.boosted});
         }
 
         // Resolve each contested (router, output port) in ascending
@@ -615,8 +647,11 @@ ReferenceNetwork::propagate(std::vector<RefFlight> flights)
                     if (params_.opticalArbitration ==
                         core::OpticalArbitration::FixedPriority) {
                         // Straight beats turns; ties by port order.
-                        return std::make_pair(r.straight ? 0 : 1,
-                                              portIndex(in));
+                        // An AgeBoost-promoted packet ranks as
+                        // straight (DESIGN.md §14).
+                        return std::make_pair(
+                            r.straight || r.boosted ? 0 : 1,
+                            portIndex(in));
                     }
                     // Rotating input-port priority (ablation).
                     const int start =

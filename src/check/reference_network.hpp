@@ -112,6 +112,9 @@ class ReferenceNetwork : public Network
         /** Duplicate-suppression watermark (dropper-ID corruption);
          *  taps with absolute index below it were already served. */
         uint32_t dedupBelow = 0;
+        /** AgeBoost promotion, recomputed at every launch from the
+         *  entry's residence age; ranks as straight in propagate(). */
+        bool boosted = false;
         Cycle acceptedAt = 0;
         Cycle firstInjectedAt = kNeverCycle;
     };
@@ -121,6 +124,9 @@ class ReferenceNetwork : public Network
         RefPacket pkt;
         bool launched = false; ///< slot held awaiting drop resolution
         Cycle eligibleAt = 0;
+        /** Cycle the packet first became launchable here; preserved
+         *  across drop/retry so AgeBoost sees total residence. */
+        Cycle enqueuedAt = 0;
         int attempts = 0;
         uint64_t seq = 0; ///< router-local insertion order (age)
     };
@@ -130,6 +136,10 @@ class ReferenceNetwork : public Network
         std::array<std::vector<RefEntry>, kAllPorts> queues;
         int rotate = 0;
         uint64_t nextSeq = 0;
+        /** Per-source admission bucket (TokenBucket policy); consumed
+         *  for local-queue launches only, in scan order — the exact
+         *  sequence the optimized RouterBuffers consumes. */
+        core::AdmissionBucket bucket;
     };
 
     /** A packet in optical transit this cycle. */

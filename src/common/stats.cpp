@@ -71,6 +71,8 @@ Histogram::add(double x)
     ++total_;
     if (x < 0.0)
         x = 0.0;
+    if (std::isfinite(x) && x > maxObserved_)
+        maxObserved_ = x;
     // Route NaN, +inf, and values at or above the top edge to the
     // overflow bin BEFORE the float->size_t cast: converting a value
     // outside size_t's range (or NaN) is undefined behavior, not
@@ -94,6 +96,7 @@ Histogram::reset()
     std::fill(bins_.begin(), bins_.end(), 0);
     overflow_ = 0;
     total_ = 0;
+    maxObserved_ = 0.0;
 }
 
 double
@@ -113,8 +116,18 @@ Histogram::quantile(double q) const
         }
         cum = next;
     }
-    // Target falls in the overflow bin; report its lower edge.
-    return binWidth_ * static_cast<double>(bins_.size());
+    // Target falls in the overflow bin. Interpolate between the top
+    // edge and the largest finite sample (non-finite samples count
+    // toward the overflow mass but cannot stretch the scale), so tail
+    // quantiles no longer collapse to the bin's lower edge.
+    const double top = binWidth_ * static_cast<double>(bins_.size());
+    const double hi = std::max(top, maxObserved_);
+    if (overflow_ == 0)
+        return hi;
+    const double frac =
+        std::clamp((target - cum) / static_cast<double>(overflow_),
+                   0.0, 1.0);
+    return top + frac * (hi - top);
 }
 
 } // namespace phastlane

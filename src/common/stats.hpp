@@ -68,9 +68,17 @@ class Histogram
     size_t binCount() const { return bins_.size(); }
     double binWidth() const { return binWidth_; }
 
+    /** Largest finite sample seen since construction/reset; 0 when
+     *  none. Overflow-bin quantiles interpolate toward this instead
+     *  of collapsing to the bin's lower edge. */
+    double maxObserved() const { return maxObserved_; }
+
     /**
      * Value below which fraction @p q of samples fall (linear
      * interpolation within a bin); q in [0, 1]. Returns 0 when empty.
+     * Quantiles that land in the overflow bin interpolate between the
+     * top edge and maxObserved() (they used to under-report at the
+     * bin's lower edge, hiding how bad the tail really was).
      */
     double quantile(double q) const;
 
@@ -79,6 +87,7 @@ class Histogram
     std::vector<uint64_t> bins_;
     uint64_t overflow_ = 0;
     uint64_t total_ = 0;
+    double maxObserved_ = 0.0;
 };
 
 /**

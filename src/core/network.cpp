@@ -33,6 +33,14 @@ PhastlaneNetwork::PhastlaneNetwork(const PhastlaneParams &params)
 {
     if (params_.maxHopsPerCycle < 1)
         fatal("maxHopsPerCycle must be at least 1");
+    if (params_.admission == AdmissionPolicy::TokenBucket &&
+        (params_.admissionBurst < 1 || params_.admissionPeriod < 1))
+        fatal("TokenBucket admission requires admissionBurst >= 1 "
+              "and admissionPeriod >= 1");
+    if (params_.admission == AdmissionPolicy::AgeBoost &&
+        params_.admissionAgeThreshold < 0)
+        fatal("AgeBoost admission requires admissionAgeThreshold "
+              ">= 0");
     nics_.reserve(static_cast<size_t>(mesh_.nodeCount()));
     routers_.reserve(static_cast<size_t>(mesh_.nodeCount()));
     failedRouters_.assign(static_cast<size_t>(mesh_.nodeCount()), 0);
@@ -314,6 +322,13 @@ PhastlaneNetwork::launchRouter(NodeId r)
             // return path, so a build-then-push would copy it whole.
             Flight &f = flights.emplace_back();
             f.pkt = entry->pkt;
+            // AgeBoost is recomputed at every launch from residence
+            // age, never persisted: a retransmission may gain (or, on
+            // re-buffering, lose) the promotion.
+            f.pkt.boosted =
+                params_.admission == AdmissionPolicy::AgeBoost &&
+                cycle_ - entry->enqueuedAt >=
+                    static_cast<Cycle>(params_.admissionAgeThreshold);
             f.prog = buildProgram(r, entry->pkt);
             f.launchRouter = r;
             f.at = mesh_.neighbor(r, out);
@@ -414,6 +429,7 @@ PhastlaneNetwork::collectPassRequests(
         const Turn t = g.turn();
         r.out = applyTurn(f.inPort, t);
         r.straight = (t == Turn::Straight);
+        r.boosted = f.pkt.boosted;
         requests.push_back(r);
     }
 }
@@ -489,7 +505,8 @@ PhastlaneNetwork::propagateSubstepFcfs(std::vector<Flight> &flights)
                     const auto rank = [&](size_t ri) {
                         const PassRequest &r = requests[ri];
                         return std::make_pair(
-                            r.straight != invert ? 0 : 1,
+                            (r.straight || r.boosted) != invert ? 0
+                                                                : 1,
                             portIndex(flights[r.flight].inPort));
                     };
                     for (size_t k = g0; k < g1; ++k) {
@@ -635,7 +652,10 @@ PhastlaneNetwork::propagateBitplane(std::vector<Flight> &flights)
                             const auto rank = [&](uint32_t ri) {
                                 const PassRequest &r = requests[ri];
                                 return std::make_pair(
-                                    r.straight != invert ? 0 : 1,
+                                    (r.straight || r.boosted) !=
+                                            invert
+                                        ? 0
+                                        : 1,
                                     portIndex(
                                         flights[r.flight].inPort));
                             };
@@ -712,7 +732,7 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
             it.claims.push_back(
                 ItineraryClaim{f.at, out,
                                g.turn() == Turn::Straight,
-                               f.inPort});
+                               f.pkt.boosted, f.inPort});
             f.prog.translate();
             f.at = mesh_.neighbor(f.at, out);
             PL_ASSERT(f.at != kInvalidNode, "route left the mesh");
@@ -729,7 +749,8 @@ PhastlaneNetwork::propagateGlobalPriority(std::vector<Flight> &flights)
     const bool invert = params_.faults.invertStraightPriority;
     const auto packedRank = [invert](const ItineraryClaim &c,
                                      size_t i) {
-        return (static_cast<uint64_t>(c.straight != invert ? 0 : 1)
+        return (static_cast<uint64_t>(
+                    (c.straight || c.boosted) != invert ? 0 : 1)
                 << 62) |
                (static_cast<uint64_t>(portIndex(c.inPort)) << 56) |
                static_cast<uint64_t>(i);

@@ -91,6 +91,24 @@ class PhastlaneNetwork : public Network
         return routers_[static_cast<size_t>(n)];
     }
 
+    /** Longest losing arbitration streak of source @p n's packets
+     *  (its router's local queue) — the per-source starvation counter
+     *  (DESIGN.md §14). */
+    uint64_t sourceStarvation(NodeId n) const
+    {
+        return routers_[static_cast<size_t>(n)]
+            .maxConsecutiveLossesLocal();
+    }
+
+    /** Longest losing streak on any queue of any router. */
+    uint64_t maxStarvation() const
+    {
+        uint64_t worst = 0;
+        for (const auto &rb : routers_)
+            worst = std::max(worst, rb.maxConsecutiveLosses());
+        return worst;
+    }
+
     /**
      * Attach (or detach with nullptr) a per-cycle observer. At most
      * one observer is supported; the caller keeps ownership and must
@@ -164,6 +182,8 @@ class PhastlaneNetwork : public Network
         NodeId router = kInvalidNode;
         Port out = Port::Local;
         bool straight = false;
+        /** AgeBoost promotion: ranks as straight (DESIGN.md §14). */
+        bool boosted = false;
     };
 
     /** One pass claim in a precomputed global-priority itinerary. */
@@ -171,6 +191,7 @@ class PhastlaneNetwork : public Network
         NodeId router;
         Port out;
         bool straight;
+        bool boosted;
         Port inPort;
     };
 

@@ -168,6 +168,12 @@ PhastlaneNetwork::shardLaunchPhase(Shard &sh)
                 }
                 Flight &f = sh.launches.emplace_back();
                 f.pkt = entry->pkt;
+                // AgeBoost recompute — mirrors launchRouter exactly.
+                f.pkt.boosted =
+                    params_.admission == AdmissionPolicy::AgeBoost &&
+                    cycle_ - entry->enqueuedAt >=
+                        static_cast<Cycle>(
+                            params_.admissionAgeThreshold);
                 f.prog = buildProgram(r, entry->pkt);
                 f.launchRouter = r;
                 f.at = mesh_.neighbor(r, out);
@@ -240,6 +246,7 @@ PhastlaneNetwork::shardSubstep(Shard &sh, uint64_t substep)
         const Turn t = g.turn();
         r.out = applyTurn(f.inPort, t);
         r.straight = (t == Turn::Straight);
+        r.boosted = f.pkt.boosted;
         requests.push_back(r);
     }
 
@@ -325,7 +332,9 @@ PhastlaneNetwork::shardSubstep(Shard &sh, uint64_t substep)
                         const auto rank = [&](uint32_t ri) {
                             const PassRequest &r = requests[ri];
                             return std::make_pair(
-                                r.straight != invert ? 0 : 1,
+                                (r.straight || r.boosted) != invert
+                                    ? 0
+                                    : 1,
                                 portIndex(
                                     scratch_->flights[r.flight].inPort));
                         };

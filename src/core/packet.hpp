@@ -71,6 +71,12 @@ struct OpticalPacket {
                                    taps.end());
     }
 
+    /** AgeBoost promotion (DESIGN.md §14): recomputed at every launch
+     *  from the buffer entry's residence age; while set, the wavefront
+     *  ranks this packet as if it were travelling straight, so starved
+     *  turning packets stop losing every optical arbitration. */
+    bool boosted = false;
+
     /** Cycle the message entered the source NIC queue. */
     Cycle acceptedAt = 0;
 

@@ -42,6 +42,28 @@ enum class BufferArbitration : uint8_t {
     OldestFirst,
 };
 
+/**
+ * Source admission control at NIC launch and buffered re-launch
+ * (DESIGN.md §14). Phastlane's fixed straight-over-turn priority
+ * starves turning flows at saturation; these policies trade a little
+ * peak throughput of the favoured flows for per-source fairness.
+ */
+enum class AdmissionPolicy : uint8_t {
+    /** No throttling. Default (paper). */
+    None,
+    /** Per-source token bucket: a router's local queue may launch
+     *  only while its bucket holds tokens (admissionBurst capacity,
+     *  one token every admissionPeriod cycles). Buffered transit
+     *  packets (N/E/S/W queues) are never throttled — the network
+     *  must drain. */
+    TokenBucket,
+    /** Age-threshold boost: a packet buffered for at least
+     *  admissionAgeThreshold cycles launches with its wavefront
+     *  priority promoted to straight-equivalent, so starved turning
+     *  packets stop losing every optical arbitration. */
+    AgeBoost,
+};
+
 /** Arbitration among same-sub-step optical arrivals (footnote 3). */
 enum class OpticalArbitration : uint8_t {
     /** Straight beats turns, ties by fixed port order. Default. */
@@ -124,6 +146,20 @@ struct PhastlaneParams {
         OpticalArbitration::FixedPriority;
     BufferArbitration bufferArbitration =
         BufferArbitration::RotatingPriority;
+
+    /** Admission policy consulted at NIC launch and buffered
+     *  re-launch (DESIGN.md §14). */
+    AdmissionPolicy admission = AdmissionPolicy::None;
+
+    /** TokenBucket: bucket capacity (tokens; also the initial fill). */
+    int admissionBurst = 4;
+
+    /** TokenBucket: cycles per token refill. */
+    int admissionPeriod = 2;
+
+    /** AgeBoost: buffered cycles before a packet's wavefront priority
+     *  is promoted to straight-equivalent. */
+    int admissionAgeThreshold = 32;
 
     /**
      * Extension (paper future work, Section 5): DAMQ-style buffer
@@ -280,6 +316,48 @@ backoffWindow(const PhastlaneParams &params, int attempts)
     return std::min<int64_t>((int64_t{1} << exp) - 1,
                              static_cast<int64_t>(params.backoffCap));
 }
+
+/**
+ * Deterministic per-source token bucket (AdmissionPolicy::TokenBucket).
+ * Integer accrual only — no floating point, no RNG — so the optimized
+ * engines and the ReferenceNetwork oracle stay in exact lockstep: the
+ * bucket is a pure function of its consume() call sequence. Like
+ * backoffWindow(), this lives here as the single source of truth for
+ * both sides of the differential oracle.
+ *
+ * The bucket starts full (burst tokens) with the first refill due one
+ * period after the start cycle; lazy catch-up accrual keeps the state
+ * O(1) regardless of idle gaps.
+ */
+struct AdmissionBucket {
+    int32_t tokens = 0;
+    uint64_t nextRefill = 0;
+
+    void reset(int burst, int period, uint64_t now)
+    {
+        tokens = static_cast<int32_t>(burst);
+        nextRefill = now + static_cast<uint64_t>(period);
+    }
+
+    /** Take one token at cycle @p now; false when empty (the launch
+     *  must wait — the caller leaves the packet eligible so the next
+     *  arbitration retries). */
+    bool consume(int burst, int period, uint64_t now)
+    {
+        if (nextRefill <= now) {
+            const uint64_t p = static_cast<uint64_t>(period);
+            const uint64_t earned = (now - nextRefill) / p + 1;
+            const uint64_t cap = static_cast<uint64_t>(burst);
+            const uint64_t have = static_cast<uint64_t>(tokens) + earned;
+            tokens = static_cast<int32_t>(have < cap ? have : cap);
+            nextRefill += earned * p;
+        }
+        if (tokens <= 0)
+            return false;
+        --tokens;
+        return true;
+    }
+};
 
 } // namespace phastlane::core
 

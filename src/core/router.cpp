@@ -12,8 +12,13 @@ RouterBuffers::RouterBuffers(NodeId self, const PhastlaneParams &params)
       capacity_(params.routerBufferEntries),
       launchesPerQueue_(params.launchesPerQueue),
       sharedPool_(params.sharedBufferPool),
-      policy_(params.bufferArbitration)
+      policy_(params.bufferArbitration),
+      admission_(params.admission),
+      admissionBurst_(params.admissionBurst),
+      admissionPeriod_(params.admissionPeriod)
 {
+    if (admission_ == AdmissionPolicy::TokenBucket)
+        bucket_.reset(admissionBurst_, admissionPeriod_, 0);
 }
 
 int
@@ -42,6 +47,7 @@ RouterBuffers::push(Port q, OpticalPacket pkt, Cycle eligible_at)
     e.pkt = std::move(pkt);
     e.state = EntryState::Waiting;
     e.eligibleAt = eligible_at;
+    e.enqueuedAt = eligible_at;
     e.seq = nextSeq_++;
     queues_[portIndex(q)].push_back(std::move(e));
     ++total_;
@@ -55,6 +61,7 @@ RouterBuffers::emplaceEntry(Port q, Cycle eligible_at)
     BufferEntry &e = queues_[portIndex(q)].emplace_back();
     e.state = EntryState::Waiting;
     e.eligibleAt = eligible_at;
+    e.enqueuedAt = eligible_at;
     e.seq = nextSeq_++;
     ++total_;
     noteEligible(eligible_at);
@@ -130,6 +137,8 @@ RouterBuffers::restoreDropped(PacketId id, OpticalPacket updated,
     if (!entry)
         panic("restoreDropped: packet %llu not found at router %d",
               static_cast<unsigned long long>(id), self_);
+    // enqueuedAt is deliberately untouched: residence age accumulates
+    // across drop/retry rounds so AgeBoost sees true starvation.
     entry->pkt = std::move(updated);
     entry->state = EntryState::Waiting;
     entry->eligibleAt = eligible_at;

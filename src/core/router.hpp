@@ -45,6 +45,15 @@ struct BufferEntry {
     /** Insertion order (age) for oldest-first arbitration. */
     uint64_t seq = 0;
 
+    /** Cycle the packet first became launchable from this buffer.
+     *  Survives restoreDropped(), so it measures total residence —
+     *  the age AdmissionPolicy::AgeBoost promotes on. */
+    Cycle enqueuedAt = 0;
+
+    /** Arbitration rounds this entry was eligible but not selected,
+     *  since its last launch (the starvation measure). */
+    uint32_t consecLosses = 0;
+
     /** Memoized desired output port. A buffered packet's residence
      *  router and destination never change, so the XY first hop is
      *  computed once on first arbitration instead of on every rescan
@@ -157,6 +166,17 @@ class RouterBuffers
     /** True when no queue holds any entry (O(1)). */
     bool empty() const { return total_ == 0; }
 
+    /** Largest consecLosses streak seen on any queue (starvation
+     *  indicator; DESIGN.md §14). */
+    uint64_t maxConsecutiveLosses() const { return maxConsecLossAll_; }
+
+    /** Largest streak on the local queue only — i.e. for packets
+     *  originated by this router's node (the per-source view). */
+    uint64_t maxConsecutiveLossesLocal() const
+    {
+        return maxConsecLossLocal_;
+    }
+
   private:
     /** DAMQ shared-pool slot accounting (the uncommon configuration;
      *  kept out of line). */
@@ -247,6 +267,30 @@ class RouterBuffers
      *  batch. Mirrors the launch horizon so the batch engine can skip
      *  whole routers without touching their queues. */
     Cycle *board_ = nullptr;
+
+    /** Admission policy (DESIGN.md §14): TokenBucket throttles
+     *  local-queue (source-originated) launches through bucket_;
+     *  transit queues are never throttled. Per-router state keeps the
+     *  sharded and batched engines race-free: the consume() sequence
+     *  is exactly the arbitration scan order. */
+    AdmissionPolicy admission_ = AdmissionPolicy::None;
+    int admissionBurst_ = 0;
+    int admissionPeriod_ = 1;
+    AdmissionBucket bucket_;
+
+    /** Starvation maxima (longest losing streak observed). */
+    uint64_t maxConsecLossLocal_ = 0;
+    uint64_t maxConsecLossAll_ = 0;
+
+    /** Record an eligible-but-unselected arbitration round. */
+    void noteLoss(BufferEntry &entry, Port q)
+    {
+        const uint64_t v = ++entry.consecLosses;
+        if (v > maxConsecLossAll_)
+            maxConsecLossAll_ = v;
+        if (q == Port::Local && v > maxConsecLossLocal_)
+            maxConsecLossLocal_ = v;
+    }
 };
 
 template <typename DesiredPortFn>
@@ -275,18 +319,34 @@ RouterBuffers::arbitrate(Cycle now, DesiredPortFn &&desired_port,
 
     auto try_launch = [&](BufferEntry &entry, Port q,
                           int &queue_budget) {
-        if (queue_budget > 0 &&
-            entry.state == EntryState::Waiting &&
+        if (entry.state == EntryState::Waiting &&
             entry.eligibleAt <= now) {
-            if (entry.desired == Port::Local)
-                entry.desired = desired_port(entry.pkt);
-            const Port out = entry.desired;
-            if (out != Port::Local && !port_taken[portIndex(out)]) {
-                port_taken[portIndex(out)] = true;
-                entry.state = EntryState::Launched;
-                launches.push_back(LaunchPick{&entry, out, q});
-                --queue_budget;
+            bool selected = false;
+            if (queue_budget > 0) {
+                if (entry.desired == Port::Local)
+                    entry.desired = desired_port(entry.pkt);
+                const Port out = entry.desired;
+                // The admission token is consumed last, only when the
+                // launch would otherwise proceed — a blocked port must
+                // not drain the bucket. The entry stays Waiting and
+                // eligible, so the skip horizon keeps the router hot
+                // and the next arbitration retries.
+                if (out != Port::Local &&
+                    !port_taken[portIndex(out)] &&
+                    (admission_ != AdmissionPolicy::TokenBucket ||
+                     q != Port::Local ||
+                     bucket_.consume(admissionBurst_, admissionPeriod_,
+                                     now))) {
+                    port_taken[portIndex(out)] = true;
+                    entry.state = EntryState::Launched;
+                    launches.push_back(LaunchPick{&entry, out, q});
+                    --queue_budget;
+                    entry.consecLosses = 0;
+                    selected = true;
+                }
             }
+            if (!selected)
+                noteLoss(entry, q);
         }
         // Whatever is still Waiting after this decision bounds the
         // next cycle's skip horizon.

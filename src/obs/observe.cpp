@@ -147,12 +147,23 @@ MetricsObserver::MetricsObserver(const core::PhastlaneNetwork &net,
       inFlight_(registry.gauge("net.in_flight")),
       buffered_(registry.gauge("buffer.packets")),
       nicQueued_(registry.gauge("nic.queued")),
+      fairnessJainPpm_(registry.gauge("fairness.jain_ppm")),
+      starvationMax_(registry.gauge("fairness.max_consec_losses")),
       latencyTotal_(registry.histogram("latency.accept_to_deliver")),
       latencyNetwork_(registry.histogram("latency.inject_to_deliver")),
       backoffAttempts_(registry.histogram("backoff.attempts")),
       occupancy_(registry.histogram("buffer.occupancy")),
       signalHops_(registry.histogram("drop.signal_hops"))
 {
+    perSourceDelivered_.assign(
+        static_cast<size_t>(net.nodeCount()), 0);
+    if (opts.perSourceCounters) {
+        perSourceCounters_.reserve(perSourceDelivered_.size());
+        for (NodeId n = 0; n < net.nodeCount(); ++n) {
+            perSourceCounters_.push_back(&registry.counter(
+                "fairness.src." + std::to_string(n) + ".delivered"));
+        }
+    }
     if (heatmapInterval_ > 0)
         heatmap_.emplace(net.mesh());
 }
@@ -198,6 +209,12 @@ MetricsObserver::onDeliver(const Delivery &d)
         d.at >= d.acceptedAt ? d.at - d.acceptedAt : 0);
     latencyNetwork_.record(
         d.at >= d.injectedAt ? d.at - d.injectedAt : 0);
+    const auto src = static_cast<size_t>(d.packet.src);
+    if (src < perSourceDelivered_.size()) {
+        ++perSourceDelivered_[src];
+        if (!perSourceCounters_.empty())
+            perSourceCounters_[src]->inc();
+    }
 }
 
 void
@@ -276,6 +293,25 @@ MetricsObserver::onCycleEnd(Cycle cycle)
             occupancy_.record(
                 net_.routerBuffers(n).totalOccupancy());
         }
+        // Jain index (sum x)^2 / (n * sum x^2) over per-source
+        // delivered counts, scaled to ppm for the integral gauge.
+        double sum = 0.0;
+        double sumsq = 0.0;
+        for (uint64_t c : perSourceDelivered_) {
+            const auto x = static_cast<double>(c);
+            sum += x;
+            sumsq += x * x;
+        }
+        const double jain =
+            sumsq == 0.0
+                ? 1.0
+                : sum * sum /
+                      (static_cast<double>(
+                           perSourceDelivered_.size()) *
+                       sumsq);
+        fairnessJainPpm_.set(static_cast<int64_t>(jain * 1e6));
+        starvationMax_.set(
+            static_cast<int64_t>(net_.maxStarvation()));
     }
     if (heatmap_ && cycle % heatmapInterval_ == 0) {
         heatmap_->snapshot(cycle, [this](NodeId n) {

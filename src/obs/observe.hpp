@@ -35,6 +35,11 @@ struct ObserveOptions {
 
     /** Trace ring capacity (records). */
     size_t traceCapacity = 1u << 20;
+
+    /** Register one fairness.src.<n>.delivered counter per node
+     *  (O(nodes) registry entries, so opt-in). The aggregate
+     *  fairness gauges are always maintained. */
+    bool perSourceCounters = false;
 };
 
 /**
@@ -118,6 +123,11 @@ class MetricsObserver : public core::StepObserver
     Cycle heatmapInterval_;
     std::optional<HeatmapRecorder> heatmap_;
 
+    /** Per-source delivered counts backing the Jain gauge; the
+     *  registry counters exist only with opts.perSourceCounters. */
+    std::vector<uint64_t> perSourceDelivered_;
+    std::vector<Counter *> perSourceCounters_;
+
     // Handles resolved once against the registry.
     Counter &accepts_;
     Counter &deliveries_;
@@ -135,6 +145,11 @@ class MetricsObserver : public core::StepObserver
     Gauge &inFlight_;
     Gauge &buffered_;
     Gauge &nicQueued_;
+    /** Jain index over per-source delivered counts, in parts per
+     *  million (gauges are integral). */
+    Gauge &fairnessJainPpm_;
+    /** Worst max-consecutive-losing-arbitrations across routers. */
+    Gauge &starvationMax_;
     HdrHistogram &latencyTotal_;
     HdrHistogram &latencyNetwork_;
     HdrHistogram &backoffAttempts_;

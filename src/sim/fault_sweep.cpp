@@ -1,5 +1,6 @@
 #include "sim/fault_sweep.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
@@ -169,17 +170,31 @@ class FaultPointJob final : public MultiSim::Job
     {
         const int nodes = net_->nodeCount();
         for (NodeId n = 0; n < nodes; ++n) {
-            if (!traffic_->bernoulli(cfg_.injectionRate))
+            // One bernoulli per node regardless of the mix, so
+            // AdversarialMix::None keeps the historical draw
+            // sequence bit-identical.
+            const double rate = std::min(
+                1.0, cfg_.injectionRate *
+                         traffic::rateScale(cfg_.adversarial, n,
+                                            nodes));
+            if (!traffic_->bernoulli(rate))
                 continue;
             Packet pkt;
             pkt.id = nextId_++;
             pkt.src = n;
             pkt.broadcast =
                 traffic_->bernoulli(cfg_.broadcastFraction);
-            pkt.dst = pkt.broadcast
-                          ? kInvalidNode
-                          : static_cast<NodeId>(traffic_->uniformInt(
-                                0, nodes - 1));
+            if (!pkt.broadcast) {
+                const NodeId pinned = traffic::mixDestination(
+                    cfg_.adversarial, n, net_->mesh());
+                pkt.dst = pinned != kInvalidNode
+                              ? pinned
+                              : static_cast<NodeId>(
+                                    traffic_->uniformInt(0,
+                                                         nodes - 1));
+            } else {
+                pkt.dst = kInvalidNode;
+            }
             if (!pkt.broadcast && pkt.dst == n)
                 pkt.dst = static_cast<NodeId>((n + 1) % nodes);
             pkt.createdAt = cycle_;

@@ -22,6 +22,7 @@
 #include "core/events.hpp"
 #include "core/params.hpp"
 #include "core/reliability.hpp"
+#include "traffic/adversarial.hpp"
 
 namespace phastlane::sim {
 
@@ -39,6 +40,11 @@ struct FaultSweepConfig {
 
     double injectionRate = 0.05;   ///< packets/node/cycle offered
     double broadcastFraction = 0.1;
+
+    /** Adversarial source mix for the generated traffic; None keeps
+     *  the historical draw sequence bit-identical. Admission control
+     *  rides along in params (params.admission et al.). */
+    traffic::AdversarialConfig adversarial;
     Cycle measureCycles = 2000;    ///< cycles of traffic generation
     Cycle maxDrainCycles = 20000;  ///< post-generation drain budget
     uint64_t seed = 42;

@@ -1,5 +1,6 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/log.hpp"
@@ -94,6 +95,125 @@ LatencyCollector::report() const
         out += buf;
     }
     out += '\n';
+    return out;
+}
+
+FairnessCollector::FairnessCollector(int node_count)
+    : bySource_(static_cast<size_t>(node_count)),
+      delivered_(static_cast<size_t>(node_count), 0)
+{
+    PL_ASSERT(node_count > 0, "node count must be positive");
+}
+
+void
+FairnessCollector::add(const Delivery &d)
+{
+    PL_ASSERT(d.packet.src >= 0 &&
+                  d.packet.src < static_cast<NodeId>(bySource_.size()),
+              "source out of range");
+    bySource_[static_cast<size_t>(d.packet.src)].add(d);
+    ++delivered_[static_cast<size_t>(d.packet.src)];
+}
+
+void
+FairnessCollector::addAll(const std::vector<Delivery> &deliveries)
+{
+    for (const auto &d : deliveries)
+        add(d);
+}
+
+uint64_t
+FairnessCollector::delivered(NodeId src) const
+{
+    return delivered_.at(static_cast<size_t>(src));
+}
+
+const LatencyBucket &
+FairnessCollector::bySource(NodeId src) const
+{
+    return bySource_.at(static_cast<size_t>(src));
+}
+
+double
+FairnessCollector::jain(const std::vector<double> &xs)
+{
+    double sum = 0.0;
+    double sumsq = 0.0;
+    for (double x : xs) {
+        sum += x;
+        sumsq += x * x;
+    }
+    if (sumsq == 0.0)
+        return 1.0;
+    return sum * sum /
+           (static_cast<double>(xs.size()) * sumsq);
+}
+
+double
+FairnessCollector::jainIndex() const
+{
+    std::vector<double> xs;
+    xs.reserve(delivered_.size());
+    for (uint64_t c : delivered_)
+        xs.push_back(static_cast<double>(c));
+    return jain(xs);
+}
+
+double
+FairnessCollector::worstP99() const
+{
+    double worst = 0.0;
+    for (const auto &b : bySource_) {
+        if (b.total.count() == 0)
+            continue;
+        worst = std::max(worst, b.hist.quantile(0.99));
+    }
+    return worst;
+}
+
+std::string
+FairnessCollector::report(
+    const std::vector<uint64_t> &starvation) const
+{
+    char buf[256];
+    std::string out;
+    uint64_t lo = UINT64_MAX;
+    uint64_t hi = 0;
+    uint64_t starveMax = 0;
+    for (size_t n = 0; n < delivered_.size(); ++n) {
+        lo = std::min(lo, delivered_[n]);
+        hi = std::max(hi, delivered_[n]);
+        if (n < starvation.size())
+            starveMax = std::max(starveMax, starvation[n]);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "fairness: jain %.3f  per-source delivered "
+                  "[%llu, %llu]  worst p99 %.1f  max consecutive "
+                  "losses %llu\n",
+                  jainIndex(), static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi), worstP99(),
+                  static_cast<unsigned long long>(starveMax));
+    out += buf;
+    return out;
+}
+
+std::string
+FairnessCollector::csv(const std::vector<uint64_t> &starvation) const
+{
+    char buf[128];
+    std::string out =
+        "src,delivered,mean_latency,p99_latency,starvation\n";
+    for (size_t n = 0; n < bySource_.size(); ++n) {
+        const LatencyBucket &b = bySource_[n];
+        const uint64_t starve =
+            n < starvation.size() ? starvation[n] : 0;
+        std::snprintf(buf, sizeof(buf),
+                      "%zu,%llu,%.2f,%.2f,%llu\n", n,
+                      static_cast<unsigned long long>(delivered_[n]),
+                      b.total.mean(), b.hist.quantile(0.99),
+                      static_cast<unsigned long long>(starve));
+        out += buf;
+    }
     return out;
 }
 

@@ -69,6 +69,62 @@ class LatencyCollector
     std::vector<LatencyBucket> byDistance_;
 };
 
+/**
+ * Per-source fairness statistics (DESIGN.md §14): delivered count and
+ * latency distribution per source node, summarized as the Jain
+ * fairness index and the worst per-source p99. Feed it the same
+ * Delivery stream as LatencyCollector; the starvation counters come
+ * from the network (PhastlaneNetwork::sourceStarvation) and are
+ * passed in at reporting time.
+ */
+class FairnessCollector
+{
+  public:
+    explicit FairnessCollector(int node_count);
+
+    void add(const Delivery &d);
+    void addAll(const std::vector<Delivery> &deliveries);
+
+    int nodeCount() const
+    {
+        return static_cast<int>(bySource_.size());
+    }
+    uint64_t delivered(NodeId src) const;
+    const LatencyBucket &bySource(NodeId src) const;
+
+    /**
+     * Jain fairness index (sum x)^2 / (n * sum x^2) over per-source
+     * delivered counts: 1.0 when every source gets equal service,
+     * 1/n when one source hogs everything. 1.0 when nothing was
+     * delivered.
+     */
+    double jainIndex() const;
+
+    /** Jain index of an arbitrary allocation vector (exposed so
+     *  harnesses can compute it over flow subsets, e.g. only the
+     *  turning flows). */
+    static double jain(const std::vector<double> &xs);
+
+    /** Largest per-source p99 latency (cycles); 0 when empty. */
+    double worstP99() const;
+
+    /**
+     * Text report: Jain index, worst per-source p99, and the
+     * most/least served sources. @p starvation, when non-empty, is
+     * the per-source max-consecutive-losing-arbitrations counter.
+     */
+    std::string report(
+        const std::vector<uint64_t> &starvation = {}) const;
+
+    /** CSV rows "src,delivered,mean_latency,p99_latency,starvation"
+     *  with a header; starvation column is 0 when not supplied. */
+    std::string csv(const std::vector<uint64_t> &starvation = {}) const;
+
+  private:
+    std::vector<LatencyBucket> bySource_;
+    std::vector<uint64_t> delivered_;
+};
+
 } // namespace phastlane::sim
 
 #endif // PHASTLANE_SIM_METRICS_HPP

@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/log.hpp"
 #include "core/network.hpp"
 #include "obs/observe.hpp"
 #include "sim/multisim.hpp"
@@ -25,6 +26,100 @@ defaultRateGrid()
     return rates;
 }
 
+bool
+applyAdmissionFlags(const Config &args, core::PhastlaneParams &params)
+{
+    bool any = false;
+    if (args.has("admission")) {
+        const std::string name = args.getString("admission", "none");
+        if (name == "none") {
+            params.admission = core::AdmissionPolicy::None;
+        } else if (name == "token") {
+            params.admission = core::AdmissionPolicy::TokenBucket;
+        } else if (name == "age") {
+            params.admission = core::AdmissionPolicy::AgeBoost;
+        } else {
+            fatal("--admission must be none|token|age, got '%s'",
+                  name.c_str());
+        }
+        any = true;
+    }
+    const auto intFlag = [&](const char *key, int &field, int lo) {
+        if (!args.has(key))
+            return;
+        const int v = static_cast<int>(args.getInt(key, 0));
+        if (v < lo)
+            fatal("--%s must be >= %d, got %d", key, lo, v);
+        field = v;
+        any = true;
+    };
+    intFlag("admission-burst", params.admissionBurst, 1);
+    intFlag("admission-period", params.admissionPeriod, 1);
+    intFlag("admission-age", params.admissionAgeThreshold, 0);
+    return any;
+}
+
+std::vector<std::string>
+admissionFlagNames()
+{
+    return {"admission", "admission-burst", "admission-period",
+            "admission-age"};
+}
+
+bool
+applyTrafficFlags(const Config &args, traffic::PatternOptions &opts,
+                  traffic::AdversarialConfig &adv)
+{
+    bool any = false;
+    const auto rate = [&](const char *key, double &field) {
+        if (!args.has(key))
+            return;
+        const double v = args.getDouble(key, 0.0);
+        if (v < 0.0 || v > 1.0)
+            fatal("--%s must be in [0, 1], got %g", key, v);
+        field = v;
+        any = true;
+    };
+    rate("hotspot-fraction", opts.hotspotFraction);
+    if (args.has("hotspot-node")) {
+        opts.hotspotNode =
+            static_cast<NodeId>(args.getInt("hotspot-node", 0));
+        any = true;
+    }
+    if (args.has("mix")) {
+        adv.mix = traffic::parseMix(args.getString("mix", "none"));
+        any = true;
+    }
+    rate("elephant-fraction", adv.elephantFraction);
+    const auto boost = [&](const char *key, double &field) {
+        if (!args.has(key))
+            return;
+        const double v = args.getDouble(key, 1.0);
+        if (v < 1.0)
+            fatal("--%s must be >= 1, got %g", key, v);
+        field = v;
+        any = true;
+    };
+    boost("elephant-boost", adv.elephantBoost);
+    boost("tenant-boost", adv.tenantBoost);
+    if (args.has("tenant-count")) {
+        const int v = static_cast<int>(args.getInt("tenant-count", 2));
+        if (v < 1)
+            fatal("--tenant-count must be >= 1, got %d", v);
+        adv.tenantCount = v;
+        any = true;
+    }
+    return any;
+}
+
+std::vector<std::string>
+trafficFlagNames()
+{
+    return {"hotspot-fraction", "hotspot-node",  "mix",
+            "elephant-fraction", "elephant-boost", "tenant-count",
+            "tenant-boost"};
+}
+
 namespace {
 
 /** Simulate one sweep point; self-contained and thread-safe (its own
@@ -36,6 +131,8 @@ runPoint(const NetConfig &config, const SweepConfig &sweep,
     auto net = config.make(sweep.seed);
     traffic::SyntheticConfig cfg;
     cfg.pattern = sweep.pattern;
+    cfg.patternOpts = sweep.patternOpts;
+    cfg.adversarial = sweep.adversarial;
     cfg.injectionRate = rate;
     cfg.warmupCycles = sweep.warmupCycles;
     cfg.measureCycles = sweep.measureCycles;
@@ -68,6 +165,8 @@ class SweepJob final : public MultiSim::Job
     {
         traffic::SyntheticConfig cfg;
         cfg.pattern = sweep.pattern;
+        cfg.patternOpts = sweep.patternOpts;
+        cfg.adversarial = sweep.adversarial;
         cfg.injectionRate = rate;
         cfg.warmupCycles = sweep.warmupCycles;
         cfg.measureCycles = sweep.measureCycles;

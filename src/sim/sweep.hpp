@@ -8,8 +8,11 @@
 #ifndef PHASTLANE_SIM_SWEEP_HPP
 #define PHASTLANE_SIM_SWEEP_HPP
 
+#include <string>
 #include <vector>
 
+#include "common/config.hpp"
+#include "core/params.hpp"
 #include "obs/metrics.hpp"
 #include "sim/configs.hpp"
 #include "traffic/synthetic.hpp"
@@ -30,6 +33,12 @@ struct SweepPoint {
 /** Sweep parameters. */
 struct SweepConfig {
     traffic::Pattern pattern = traffic::Pattern::UniformRandom;
+
+    /** Hotspot tunables and adversarial source mix, forwarded to
+     *  every point's SyntheticDriver. */
+    traffic::PatternOptions patternOpts;
+    traffic::AdversarialConfig adversarial;
+
     std::vector<double> rates;  ///< offered loads to test
     Cycle warmupCycles = 1000;
     Cycle measureCycles = 5000;
@@ -57,6 +66,32 @@ struct SweepConfig {
 
 /** Default Fig 9 rate grid (packets/node/cycle). */
 std::vector<double> defaultRateGrid();
+
+/**
+ * Apply the shared admission-control CLI flags (--admission
+ * none|token|age, --admission-burst, --admission-period,
+ * --admission-age) onto @p params. Returns true when any flag was
+ * present; fatal() on bad values. Mirrors sim::applyFaultFlags.
+ */
+bool applyAdmissionFlags(const Config &args,
+                         core::PhastlaneParams &params);
+
+/** The flag names applyAdmissionFlags() consumes (for requireKnown). */
+std::vector<std::string> admissionFlagNames();
+
+/**
+ * Apply the shared traffic-shaping CLI flags (--hotspot-fraction,
+ * --hotspot-node, --mix none|elephant|tenant, --elephant-fraction,
+ * --elephant-boost, --tenant-count, --tenant-boost) onto the pattern
+ * options and adversarial mix. Returns true when any flag was
+ * present; fatal() on bad values.
+ */
+bool applyTrafficFlags(const Config &args,
+                       traffic::PatternOptions &opts,
+                       traffic::AdversarialConfig &adv);
+
+/** The flag names applyTrafficFlags() consumes (for requireKnown). */
+std::vector<std::string> trafficFlagNames();
 
 /**
  * Run the sweep for one configuration. Points after saturation are

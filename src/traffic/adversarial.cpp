@@ -1,0 +1,104 @@
+#include "traffic/adversarial.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace phastlane::traffic {
+
+const char *
+mixName(AdversarialMix m)
+{
+    switch (m) {
+      case AdversarialMix::None: return "none";
+      case AdversarialMix::ElephantMice: return "elephant";
+      case AdversarialMix::Tenants: return "tenant";
+    }
+    return "?";
+}
+
+AdversarialMix
+parseMix(const std::string &name)
+{
+    for (AdversarialMix m :
+         {AdversarialMix::None, AdversarialMix::ElephantMice,
+          AdversarialMix::Tenants}) {
+        if (name == mixName(m))
+            return m;
+    }
+    fatal("unknown adversarial mix '%s'", name.c_str());
+}
+
+namespace {
+
+/** Elephants are every stride-th node, so they spread over the mesh
+ *  instead of clustering in one corner. */
+int
+elephantStride(const AdversarialConfig &cfg, int node_count)
+{
+    const int count = std::max(
+        1, static_cast<int>(cfg.elephantFraction *
+                            static_cast<double>(node_count)));
+    return std::max(1, node_count / count);
+}
+
+} // namespace
+
+bool
+isElephant(const AdversarialConfig &cfg, NodeId n, int node_count)
+{
+    if (cfg.mix != AdversarialMix::ElephantMice)
+        return false;
+    return n % elephantStride(cfg, node_count) == 0;
+}
+
+double
+rateScale(const AdversarialConfig &cfg, NodeId n, int node_count)
+{
+    switch (cfg.mix) {
+      case AdversarialMix::None:
+        return 1.0;
+      case AdversarialMix::ElephantMice:
+        return isElephant(cfg, n, node_count) ? cfg.elephantBoost
+                                              : 1.0;
+      case AdversarialMix::Tenants:
+        PL_ASSERT(cfg.tenantCount >= 1, "tenantCount must be >= 1");
+        return n % cfg.tenantCount == 0 ? cfg.tenantBoost : 1.0;
+    }
+    return 1.0;
+}
+
+NodeId
+mixDestination(const AdversarialConfig &cfg, NodeId src,
+               const MeshTopology &mesh)
+{
+    switch (cfg.mix) {
+      case AdversarialMix::None:
+        return kInvalidNode;
+      case AdversarialMix::ElephantMice: {
+        if (!isElephant(cfg, src, mesh.nodeCount()))
+            return kInvalidNode;
+        // Diagonally opposite corner-to-corner flow: maximal hop
+        // count and a guaranteed XY turn for off-axis sources.
+        const Coord c = mesh.coordOf(src);
+        const NodeId dst = mesh.nodeAt(
+            Coord{mesh.width() - 1 - c.x, mesh.height() - 1 - c.y});
+        // The exact center of an odd mesh maps to itself; let the
+        // pattern pick instead of self-addressing.
+        return dst == src ? kInvalidNode : dst;
+      }
+      case AdversarialMix::Tenants: {
+        PL_ASSERT(cfg.tenantCount >= 1, "tenantCount must be >= 1");
+        if (src % cfg.tenantCount != 0)
+            return kInvalidNode;
+        // The aggressive tenant floods its own first node: an
+        // intra-tenant hotspot the polite tenants must share links
+        // with.
+        const NodeId dst = 0;
+        return dst == src ? kInvalidNode : dst;
+      }
+    }
+    return kInvalidNode;
+}
+
+} // namespace phastlane::traffic

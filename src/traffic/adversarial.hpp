@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Adversarial source mixes layered on top of the synthetic patterns
+ * (DESIGN.md §14): a few sources hammer the network while the rest
+ * behave, which is exactly the load shape that starves turning
+ * packets under the straight-over-turn optical priority. Used by the
+ * fairness experiments to stress the admission-control policies.
+ *
+ * The mix modifies two things per source: its injection-rate scale
+ * and (optionally) its destination. Both are deterministic functions
+ * of the node id, so a mix adds no RNG draws of its own — with
+ * AdversarialMix::None the driver's draw sequence is bit-identical
+ * to a run without this layer, which keeps the pinned goldens and
+ * the differential oracle streams stable.
+ */
+
+#ifndef PHASTLANE_TRAFFIC_ADVERSARIAL_HPP
+#define PHASTLANE_TRAFFIC_ADVERSARIAL_HPP
+
+#include <string>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace phastlane::traffic {
+
+/** Adversarial source mix. */
+enum class AdversarialMix : uint8_t {
+    None,         ///< every source behaves identically
+    ElephantMice, ///< few high-rate fixed-destination elephants
+    Tenants,      ///< one aggressive tenant vs. polite co-tenants
+};
+
+/** Display name ("none", "elephant", "tenant"). */
+const char *mixName(AdversarialMix m);
+
+/** Parse a mix name; fatal() on unknown names. */
+AdversarialMix parseMix(const std::string &name);
+
+/** Configuration of one adversarial mix. */
+struct AdversarialConfig {
+    AdversarialMix mix = AdversarialMix::None;
+
+    /** ElephantMice: fraction of sources that are elephants. */
+    double elephantFraction = 0.125;
+
+    /** ElephantMice: elephants' injection-rate multiplier. */
+    double elephantBoost = 4.0;
+
+    /** Tenants: number of tenants; node n belongs to tenant
+     *  n % tenantCount. */
+    int tenantCount = 2;
+
+    /** Tenants: tenant 0's injection-rate multiplier (the aggressive
+     *  tenant; the others stay at the base rate). */
+    double tenantBoost = 4.0;
+};
+
+/** True when node @p n is an elephant under @p cfg (elephants are
+ *  spread across the mesh by striding, not clustered at node 0). */
+bool isElephant(const AdversarialConfig &cfg, NodeId n,
+                int node_count);
+
+/**
+ * Injection-rate multiplier for source @p n. 1.0 for every node when
+ * the mix is None; elephants / the aggressive tenant get their boost.
+ */
+double rateScale(const AdversarialConfig &cfg, NodeId n,
+                 int node_count);
+
+/**
+ * Destination override for source @p n, or kInvalidNode when the mix
+ * does not pin one (the caller falls through to the configured
+ * pattern). Draws no RNG values when returning kInvalidNode:
+ *  - ElephantMice: elephants target the node diagonally opposite
+ *    their own (long paths, many turns), mice fall through.
+ *  - Tenants: the aggressive tenant targets its tenant's first node
+ *    (an intra-tenant hotspot), the others fall through.
+ */
+NodeId mixDestination(const AdversarialConfig &cfg, NodeId src,
+                      const MeshTopology &mesh);
+
+} // namespace phastlane::traffic
+
+#endif // PHASTLANE_TRAFFIC_ADVERSARIAL_HPP

@@ -42,6 +42,24 @@ needsPowerOfTwo(Pattern p)
            p == Pattern::Shuffle;
 }
 
+std::string
+validatePattern(Pattern p, const MeshTopology &mesh)
+{
+    const int n = mesh.nodeCount();
+    if (needsPowerOfTwo(p) && (n <= 0 || (n & (n - 1)) != 0)) {
+        return std::string("pattern '") + patternName(p) +
+               "' requires a power-of-two node count (got " +
+               std::to_string(n) + ")";
+    }
+    if (p == Pattern::Transpose && mesh.width() != mesh.height()) {
+        return std::string("pattern 'transpose' requires a square "
+                           "mesh (got ") +
+               std::to_string(mesh.width()) + "x" +
+               std::to_string(mesh.height()) + ")";
+    }
+    return {};
+}
+
 namespace {
 
 int
@@ -55,7 +73,8 @@ log2Exact(int n)
 } // namespace
 
 NodeId
-destination(Pattern p, NodeId src, const MeshTopology &mesh, Rng &rng)
+destination(Pattern p, NodeId src, const MeshTopology &mesh, Rng &rng,
+            const PatternOptions &opts)
 {
     const int n = mesh.nodeCount();
     NodeId dst = src;
@@ -110,14 +129,21 @@ destination(Pattern p, NodeId src, const MeshTopology &mesh, Rng &rng)
         break;
       }
       case Pattern::Hotspot: {
-        // 20% of traffic to the center node, the rest uniform.
-        const NodeId hot = mesh.nodeAt(
-            Coord{mesh.width() / 2, mesh.height() / 2});
-        if (src != hot && rng.bernoulli(0.2))
+        // hotspotFraction of traffic to the hot node, the rest
+        // uniform over everyone else. The hot node is excluded from
+        // the uniform remainder: re-selecting it there inflated the
+        // realized hot fraction to f + (1-f)/(n-1).
+        NodeId hot = opts.hotspotNode;
+        if (hot == kInvalidNode)
+            hot = mesh.nodeAt(
+                Coord{mesh.width() / 2, mesh.height() / 2});
+        PL_ASSERT(mesh.valid(hot), "hotspot node %d out of range",
+                  hot);
+        if (src != hot && rng.bernoulli(opts.hotspotFraction))
             return hot;
         do {
             dst = static_cast<NodeId>(rng.uniformInt(0, n - 1));
-        } while (dst == src);
+        } while (dst == src || dst == hot);
         return dst;
       }
     }

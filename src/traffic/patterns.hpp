@@ -38,17 +38,45 @@ const char *patternName(Pattern p);
 Pattern parsePattern(const std::string &name);
 
 /**
+ * Tunables for the randomized patterns. Only Hotspot reads these
+ * today; the defaults reproduce the historical "20% to the mesh
+ * center" behavior (with the selection bias fixed, see below).
+ */
+struct PatternOptions {
+    /** Fraction of a non-hot source's packets aimed at the hot node. */
+    double hotspotFraction = 0.2;
+
+    /** The hot node; kInvalidNode selects the mesh center. */
+    NodeId hotspotNode = kInvalidNode;
+};
+
+/**
  * Stateless destination function for deterministic patterns; for
  * UniformRandom/Hotspot the RNG picks the destination. Self-addressed
  * results are remapped to (self+1) mod N for deterministic patterns
  * whose permutation maps a node to itself, and re-drawn for random
  * patterns.
+ *
+ * Hotspot: with probability hotspotFraction the destination is the
+ * hot node; otherwise it is uniform over the remaining nodes
+ * (excluding both the source and the hot node, so the realized hot
+ * fraction equals the nominal one — the uniform remainder used to be
+ * able to re-select the hot node, inflating it by (1-f)/(n-1)).
  */
 NodeId destination(Pattern p, NodeId src, const MeshTopology &mesh,
-                   Rng &rng);
+                   Rng &rng, const PatternOptions &opts = {});
 
 /** True when @p p needs a power-of-two node count. */
 bool needsPowerOfTwo(Pattern p);
+
+/**
+ * Validate a pattern/mesh combination upfront; returns a non-empty
+ * error message when the pattern cannot run on this mesh (transpose
+ * on a non-square mesh; bit-permutation patterns on a
+ * non-power-of-two node count). CLIs call this before running so a
+ * bad flag combination is a clean error, not a mid-run abort.
+ */
+std::string validatePattern(Pattern p, const MeshTopology &mesh);
 
 } // namespace phastlane::traffic
 

@@ -1,5 +1,7 @@
 #include "traffic/synthetic.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace phastlane::traffic {
@@ -13,6 +15,20 @@ SyntheticDriver::SyntheticDriver(Network &net,
 {
     if (cfg_.injectionRate < 0.0 || cfg_.injectionRate > 1.0)
         fatal("injection rate must be in [0, 1]");
+    if (cfg_.patternOpts.hotspotFraction < 0.0 ||
+        cfg_.patternOpts.hotspotFraction > 1.0)
+        fatal("hotspot fraction must be in [0, 1]");
+    if (cfg_.patternOpts.hotspotNode != kInvalidNode &&
+        !net.mesh().valid(cfg_.patternOpts.hotspotNode))
+        fatal("hotspot node %d out of range",
+              cfg_.patternOpts.hotspotNode);
+    if (cfg_.adversarial.mix == AdversarialMix::Tenants &&
+        cfg_.adversarial.tenantCount < 1)
+        fatal("tenant mix requires tenantCount >= 1");
+    if (cfg_.adversarial.mix == AdversarialMix::ElephantMice &&
+        (cfg_.adversarial.elephantFraction <= 0.0 ||
+         cfg_.adversarial.elephantFraction > 1.0))
+        fatal("elephant fraction must be in (0, 1]");
 }
 
 void
@@ -20,7 +36,13 @@ SyntheticDriver::generate(Cycle now)
 {
     const bool measuring = now >= measureStart_ && now < measureEnd_;
     for (NodeId n = 0; n < net_.nodeCount(); ++n) {
-        if (!rng_.bernoulli(cfg_.injectionRate))
+        // One bernoulli draw per node per cycle regardless of the
+        // mix, so AdversarialMix::None is draw-for-draw identical to
+        // a run without the adversarial layer.
+        const double rate = std::min(
+            1.0, cfg_.injectionRate *
+                     rateScale(cfg_.adversarial, n, net_.nodeCount()));
+        if (!rng_.bernoulli(rate))
             continue;
         Packet pkt;
         pkt.id = nextPacketId_++;
@@ -31,9 +53,14 @@ SyntheticDriver::generate(Cycle now)
             rng_.bernoulli(cfg_.broadcastFraction)) {
             pkt.broadcast = true;
         } else {
-            pkt.dst = destination(cfg_.pattern, n,
-                                  // Patterns only need geometry.
-                                  net_.mesh(), rng_);
+            const NodeId pinned =
+                mixDestination(cfg_.adversarial, n, net_.mesh());
+            pkt.dst = pinned != kInvalidNode
+                          ? pinned
+                          : destination(cfg_.pattern, n,
+                                        // Patterns only need geometry.
+                                        net_.mesh(), rng_,
+                                        cfg_.patternOpts);
         }
         sourceQueues_[static_cast<size_t>(n)].push_back(pkt);
         if (measuring)

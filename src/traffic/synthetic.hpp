@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "net/network.hpp"
+#include "traffic/adversarial.hpp"
 #include "traffic/patterns.hpp"
 
 namespace phastlane::traffic {
@@ -24,6 +25,13 @@ namespace phastlane::traffic {
 /** Configuration of one open-loop run. */
 struct SyntheticConfig {
     Pattern pattern = Pattern::UniformRandom;
+
+    /** Hotspot fraction / node (only Hotspot reads these). */
+    PatternOptions patternOpts;
+
+    /** Adversarial source mix layered on the pattern; None adds no
+     *  RNG draws, keeping legacy runs bit-identical. */
+    AdversarialConfig adversarial;
 
     /** Offered load, packets per node per cycle. */
     double injectionRate = 0.01;

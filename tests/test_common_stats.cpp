@@ -121,8 +121,12 @@ TEST(HistogramTest, QuantileAllInOverflow)
     Histogram h(1.0, 10);
     h.add(100.0);
     h.add(200.0);
-    // Reported at the lower edge of the overflow region.
-    EXPECT_DOUBLE_EQ(h.quantile(0.9), 10.0);
+    // Overflow quantiles interpolate between the top edge (10) and
+    // the largest observed sample (200) instead of collapsing to the
+    // overflow region's lower edge.
+    EXPECT_DOUBLE_EQ(h.quantile(0.9), 10.0 + 0.9 * (200.0 - 10.0));
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 200.0);
+    EXPECT_DOUBLE_EQ(h.maxObserved(), 200.0);
 }
 
 TEST(HistogramTest, NonFiniteInputsLandInOverflow)
@@ -164,10 +168,50 @@ TEST(HistogramTest, QuantileOneWithOverflowTarget)
     h.add(0.5);
     h.add(1.5);
     h.add(99.0); // overflow holds the q = 1 target
-    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+    // q = 1 lands at the end of the overflow mass: the max sample.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 99.0);
     // But quantiles whose target lies inside regular bins still
     // resolve there.
     EXPECT_LT(h.quantile(0.3), 4.0);
+}
+
+TEST(HistogramTest, OverflowQuantileClampsToMaxObserved)
+{
+    // Regression: p99 of a distribution whose tail spills past the
+    // top edge used to report the top edge itself, silently
+    // under-reporting tail latency. It must now land inside
+    // [top edge, max sample] and never exceed the max.
+    Histogram h(10.0, 10); // top edge 100
+    for (int i = 0; i < 98; ++i)
+        h.add(5.0);
+    h.add(350.0);
+    h.add(700.0);
+    const double p99 = h.quantile(0.99);
+    EXPECT_GT(p99, 100.0);
+    EXPECT_LE(p99, 700.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 700.0);
+    EXPECT_DOUBLE_EQ(h.maxObserved(), 700.0);
+}
+
+TEST(HistogramTest, NonFiniteOverflowDoesNotStretchScale)
+{
+    // +inf counts as overflow mass but must not become the
+    // interpolation endpoint; the largest finite sample bounds it.
+    Histogram h(1.0, 4);
+    h.add(std::numeric_limits<double>::infinity());
+    h.add(9.0);
+    EXPECT_DOUBLE_EQ(h.maxObserved(), 9.0);
+    EXPECT_LE(h.quantile(1.0), 9.0);
+}
+
+TEST(HistogramTest, ResetClearsMaxObserved)
+{
+    Histogram h(1.0, 4);
+    h.add(77.0);
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.maxObserved(), 0.0);
+    h.add(100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
 }
 
 TEST(CounterTest, IncrementAndReset)

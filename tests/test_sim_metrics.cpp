@@ -103,5 +103,60 @@ TEST(Metrics, DrivenByARealNetwork)
               c.byDistance(14).network.mean());
 }
 
+TEST(Fairness, JainIndexExtremes)
+{
+    // Equal allocation -> 1.0; one flow hogging everything -> 1/n.
+    EXPECT_DOUBLE_EQ(
+        FairnessCollector::jain({5.0, 5.0, 5.0, 5.0}), 1.0);
+    EXPECT_DOUBLE_EQ(
+        FairnessCollector::jain({10.0, 0.0, 0.0, 0.0}), 0.25);
+    EXPECT_DOUBLE_EQ(FairnessCollector::jain({}), 1.0);
+    EXPECT_DOUBLE_EQ(FairnessCollector::jain({0.0, 0.0}), 1.0);
+}
+
+TEST(Fairness, PerSourceAccounting)
+{
+    FairnessCollector fc(4);
+    fc.add(mkDelivery(0, 1, 0, 0, 10));
+    fc.add(mkDelivery(0, 2, 0, 0, 20));
+    fc.add(mkDelivery(1, 3, 0, 0, 30));
+    EXPECT_EQ(fc.delivered(0), 2u);
+    EXPECT_EQ(fc.delivered(1), 1u);
+    EXPECT_EQ(fc.delivered(2), 0u);
+    // Allocation (2, 1, 0, 0): Jain = 9 / (4 * 5) = 0.45.
+    EXPECT_DOUBLE_EQ(fc.jainIndex(), 0.45);
+    EXPECT_GE(fc.worstP99(), 30.0);
+    const std::string rep = fc.report({0, 0, 7, 0});
+    EXPECT_NE(rep.find("jain"), std::string::npos);
+    const std::string csv = fc.csv({0, 0, 7, 0});
+    EXPECT_NE(csv.find("src,delivered"), std::string::npos);
+    EXPECT_NE(csv.find("\n2,0,"), std::string::npos);
+}
+
+TEST(Fairness, DrivenByARealNetworkWithStarvationAccessors)
+{
+    core::PhastlaneParams p;
+    p.admission = core::AdmissionPolicy::AgeBoost;
+    p.admissionAgeThreshold = 4;
+    core::PhastlaneNetwork net(p);
+    FairnessCollector fc(net.nodeCount());
+    Packet pkt;
+    pkt.id = 1;
+    pkt.src = 3;
+    pkt.dst = 60;
+    ASSERT_TRUE(net.inject(pkt));
+    while (net.inFlight() > 0) {
+        net.step();
+        fc.addAll(net.deliveries());
+    }
+    EXPECT_EQ(fc.delivered(3), 1u);
+    EXPECT_DOUBLE_EQ(fc.jainIndex(),
+                     1.0 / static_cast<double>(net.nodeCount()));
+    // One uncontended packet never loses an arbitration.
+    EXPECT_EQ(net.maxStarvation(), 0u);
+    for (NodeId n = 0; n < net.nodeCount(); ++n)
+        EXPECT_EQ(net.sourceStarvation(n), 0u);
+}
+
 } // namespace
 } // namespace phastlane::sim

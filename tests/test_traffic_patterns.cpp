@@ -132,6 +132,69 @@ TEST(Patterns, HotspotConcentratesTraffic)
     EXPECT_GT(hits, n / 6);
 }
 
+TEST(Patterns, HotspotRealizesNominalFraction)
+{
+    // Regression: the uniform remainder used to include the hot node,
+    // so the realized hot fraction overshot the nominal one. The hot
+    // node is now excluded from the remainder, making the realized
+    // fraction match the knob.
+    MeshTopology mesh(8, 8);
+    Rng rng(11);
+    PatternOptions opts;
+    opts.hotspotFraction = 0.3;
+    const NodeId hot = mesh.nodeAt({4, 4});
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        if (destination(Pattern::Hotspot, 2, mesh, rng, opts) == hot)
+            ++hits;
+    }
+    const double realized = static_cast<double>(hits) / n;
+    // Binomial(50000, 0.3) has sigma ~ 0.002; allow 5 sigma.
+    EXPECT_NEAR(realized, 0.3, 0.011);
+}
+
+TEST(Patterns, HotspotCustomNodeAndRemainderExcludesHot)
+{
+    MeshTopology mesh(4, 4);
+    Rng rng(3);
+    PatternOptions opts;
+    opts.hotspotFraction = 0.5;
+    opts.hotspotNode = 0;
+    std::set<NodeId> seen;
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const NodeId d =
+            destination(Pattern::Hotspot, 5, mesh, rng, opts);
+        EXPECT_NE(d, 5);
+        seen.insert(d);
+        if (d == 0)
+            ++hits;
+    }
+    // All non-self nodes reachable, and the hot node only via the
+    // direct draw: realized fraction tracks the nominal 0.5.
+    EXPECT_EQ(seen.size(), 15u);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.5, 0.02);
+}
+
+TEST(Patterns, ValidatePatternRejectsMismatches)
+{
+    MeshTopology square_non_pow2(3, 3);
+    MeshTopology rect_pow2(8, 4);
+    MeshTopology rect_non_square(4, 2);
+    EXPECT_FALSE(
+        validatePattern(Pattern::BitComplement, square_non_pow2)
+            .empty());
+    EXPECT_TRUE(
+        validatePattern(Pattern::BitComplement, rect_pow2).empty());
+    EXPECT_FALSE(
+        validatePattern(Pattern::Transpose, rect_non_square).empty());
+    EXPECT_TRUE(
+        validatePattern(Pattern::UniformRandom, square_non_pow2)
+            .empty());
+}
+
 TEST(Patterns, ParseRoundTrip)
 {
     for (Pattern p : {Pattern::UniformRandom, Pattern::BitComplement,
