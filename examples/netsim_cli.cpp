@@ -33,12 +33,14 @@
 #include "sim/fault_sweep.hpp"
 #include "sim/metrics.hpp"
 #include "sim/multisim.hpp"
+#include "sim/replay.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "traffic/coherence.hpp"
 #include "traffic/splash.hpp"
 #include "traffic/synthetic.hpp"
 #include "traffic/trace.hpp"
+#include "traffic/trace_stream.hpp"
 
 using namespace phastlane;
 
@@ -240,7 +242,7 @@ knownFlags()
         "reliable",    "fault-sweep-out", "fault-field",
         "fault-max",   "fault-steps",     "threads",
         "wavefront",   "mesh",            "shards",
-        "batch",       "fairness-csv",
+        "batch",       "fairness-csv",    "max-cycles",
     };
     for (const auto &f : sim::faultFlagNames())
         flags.push_back(f);
@@ -264,6 +266,11 @@ main(int argc, char **argv)
             "<uniform|bitcomp|bitrev|shuffle|transpose|tornado|"
             "neighbor|hotspot|splash:<bench>|trace:<file>>\n"
             "  synthetic: --rate R --bcast F --warmup N --measure N\n"
+            "  trace: text or binary (.pltrace) format, sniffed by "
+            "magic; binary\n"
+            "            traces stream in O(chunk) memory. "
+            "--max-cycles N bounds the\n"
+            "            replay (default 10000000).\n"
             "  splash: --txns N --seed S\n"
             "  reports: --metrics --power --heatmap\n"
             "  observability (optical configs):\n"
@@ -615,9 +622,23 @@ main(int argc, char **argv)
         printCommonReports(args, cfg, report, result.completionCycles,
                            &metrics, &fairness);
     } else if (workload.rfind("trace:", 0) == 0) {
-        const auto records =
-            traffic::readTrace(workload.substr(6));
-        const auto result = traffic::replayTrace(drive, records);
+        const std::string tpath = workload.substr(6);
+        sim::ReplayOptions ropts;
+        ropts.maxCycles = static_cast<Cycle>(
+            args.getInt("max-cycles", 10000000));
+        sim::ReplayStats result;
+        if (traffic::isBinaryTraceFile(tpath)) {
+            // Binary traces stream one chunk at a time, so a
+            // multi-billion-record trace replays in O(chunk) memory.
+            traffic::TraceStreamReader src(tpath,
+                                           drive.nodeCount());
+            result = sim::replayTraceStream(drive, src, ropts);
+        } else {
+            const auto records =
+                traffic::readTrace(tpath, drive.nodeCount());
+            traffic::VectorTraceSource src(records);
+            result = sim::replayTraceStream(drive, src, ropts);
+        }
         std::printf("replayed %llu messages (%llu deliveries) in "
                     "%llu cycles, avg latency %.1f\n",
                     static_cast<unsigned long long>(result.messages),
@@ -626,6 +647,11 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         result.completionCycle),
                     result.avgLatency);
+        if (result.hitCycleLimit)
+            std::printf("cycle limit hit with %llu messages "
+                        "outstanding (raise --max-cycles)\n",
+                        static_cast<unsigned long long>(
+                            result.outstanding));
         printCommonReports(args, cfg, report, result.completionCycle,
                            &metrics, &fairness);
     } else {

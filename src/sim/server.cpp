@@ -1,0 +1,247 @@
+#include "sim/server.hpp"
+
+#include "common/log.hpp"
+
+namespace phastlane::sim {
+
+SimServer::SimServer(Network &net, const ServerOptions &opts)
+    : net_(net), opts_(opts), core_(net, opts.maxPending)
+{
+    PL_ASSERT(opts_.expectedSessions >= 1,
+              "server needs at least one session");
+    deadline_ = net_.now() + opts_.maxCycles;
+    nextSnapshot_ = opts_.snapshotInterval
+                        ? net_.now() + opts_.snapshotInterval
+                        : kNeverCycle;
+}
+
+std::string
+SimServer::openSession(uint64_t client_id)
+{
+    if (done_)
+        return "server already completed its round";
+    if (sessions_.count(client_id))
+        return detail::formatMsg("client id %llu already connected",
+                                 static_cast<unsigned long long>(
+                                     client_id));
+    if (sessions_.size() >= opts_.expectedSessions)
+        return detail::formatMsg(
+            "all %zu expected sessions already open",
+            opts_.expectedSessions);
+    sessions_[client_id];
+    return "";
+}
+
+std::string
+SimServer::submit(uint64_t client_id, uint64_t seq,
+                  const std::vector<traffic::TraceRecord> &records)
+{
+    auto it = sessions_.find(client_id);
+    if (it == sessions_.end())
+        return "unknown client id";
+    Session &s = it->second;
+    if (seq <= s.lastSeq) {
+        // Retransmit of an already-accepted chunk (our ack was lost
+        // or is being withheld): never re-inject (at-most-once). If
+        // the ack is deferred for backpressure, stay silent -- it
+        // will go out when the inbox drains; re-acking here would
+        // bypass the cap.
+        bool deferred = false;
+        for (uint64_t d : s.deferredAcks)
+            deferred |= d == seq;
+        if (!deferred)
+            readyAcks_.push_back(Ack{client_id, seq, true});
+        return "";
+    }
+    if (s.finished)
+        return "submit after finish";
+    if (seq != s.lastSeq + 1)
+        return detail::formatMsg(
+            "sequence gap: got %llu, expected %llu",
+            static_cast<unsigned long long>(seq),
+            static_cast<unsigned long long>(s.lastSeq + 1));
+    if (records.empty())
+        return "empty chunk";
+    Cycle prev = s.watermark;
+    for (size_t i = 0; i < records.size(); ++i) {
+        if (records[i].cycle < prev)
+            return detail::formatMsg(
+                "record %zu out of order (cycle %llu after %llu)", i,
+                static_cast<unsigned long long>(records[i].cycle),
+                static_cast<unsigned long long>(prev));
+        prev = records[i].cycle;
+        const std::string err =
+            traffic::validateTraceRecord(records[i],
+                                         net_.nodeCount());
+        if (!err.empty())
+            return detail::formatMsg("record %zu invalid: %s", i,
+                                     err.c_str());
+    }
+    s.lastSeq = seq;
+    s.watermark = prev;
+    s.accepted += records.size();
+    s.inbox.insert(s.inbox.end(), records.begin(), records.end());
+    if (s.inbox.size() > opts_.inboxSoftCap)
+        s.deferredAcks.push_back(seq);
+    else
+        readyAcks_.push_back(Ack{client_id, seq, false});
+    return "";
+}
+
+std::string
+SimServer::finish(uint64_t client_id, uint64_t seq)
+{
+    auto it = sessions_.find(client_id);
+    if (it == sessions_.end())
+        return "unknown client id";
+    Session &s = it->second;
+    if (seq <= s.lastSeq) {
+        readyAcks_.push_back(Ack{client_id, seq, true});
+        return "";
+    }
+    if (seq != s.lastSeq + 1)
+        return detail::formatMsg(
+            "sequence gap on finish: got %llu, expected %llu",
+            static_cast<unsigned long long>(seq),
+            static_cast<unsigned long long>(s.lastSeq + 1));
+    s.lastSeq = seq;
+    s.finished = true;
+    // End-of-stream lifts the session's watermark constraint; the
+    // ack is never withheld (no records ride on it).
+    readyAcks_.push_back(Ack{client_id, seq, false});
+    return "";
+}
+
+bool
+SimServer::allFinished() const
+{
+    if (!allSessionsOpen())
+        return false;
+    for (const auto &[id, s] : sessions_)
+        if (!s.finished)
+            return false;
+    return true;
+}
+
+Cycle
+SimServer::safeHorizon() const
+{
+    Cycle h = kNeverCycle;
+    for (const auto &[id, s] : sessions_)
+        if (!s.finished && s.watermark < h)
+            h = s.watermark;
+    return h;
+}
+
+void
+SimServer::releaseDue()
+{
+    // K-way merge by (cycle, client id): always release the smallest
+    // due head first -- the exact order `netsim_serve --merge` writes,
+    // so offline replay of the merged trace injects identically.
+    for (;;) {
+        if (!core_.windowHasSpace())
+            return;
+        Session *best = nullptr;
+        for (auto &[id, s] : sessions_) {
+            if (s.inbox.empty())
+                continue;
+            if (!best ||
+                s.inbox.front().cycle < best->inbox.front().cycle)
+                best = &s;
+        }
+        if (!best || best->inbox.front().cycle > net_.now())
+            return;
+        core_.release(best->inbox.front());
+        best->inbox.pop_front();
+    }
+}
+
+void
+SimServer::pump()
+{
+    while (!done_ && allSessionsOpen()) {
+        if (net_.now() >= safeHorizon())
+            break; // a record at the current cycle may still arrive
+        if (net_.now() >= deadline_) {
+            hitCycleLimit_ = true;
+            done_ = true;
+            warn("simulation server hit the cycle limit with %llu "
+                 "outstanding",
+                 static_cast<unsigned long long>(stats().outstanding));
+            break;
+        }
+        releaseDue();
+        core_.injectPending();
+        if (allFinished() && core_.quiescent()) {
+            bool empty = true;
+            for (const auto &[id, s] : sessions_)
+                if (!s.inbox.empty())
+                    empty = false;
+            if (empty) {
+                done_ = true;
+                break;
+            }
+        }
+        core_.stepAndHarvest();
+        if (net_.now() >= nextSnapshot_) {
+            if (snapshotHook_)
+                snapshotHook_(net_.now());
+            nextSnapshot_ += opts_.snapshotInterval;
+        }
+    }
+    promoteAcks();
+}
+
+void
+SimServer::promoteAcks()
+{
+    const Cycle horizon = safeHorizon();
+    for (auto &[id, s] : sessions_) {
+        if (s.deferredAcks.empty())
+            continue;
+        // Promote when the inbox drained below the cap -- or when this
+        // session IS the horizon: the simulation needs more of its
+        // records to advance, so withholding its ack would deadlock.
+        // Before every expected session has opened nothing can
+        // advance, so only the cap rule applies (an early client must
+        // not stream its whole trace into memory while waiting).
+        if (s.inbox.size() <= opts_.inboxSoftCap ||
+            (allSessionsOpen() && s.watermark == horizon) || done_) {
+            for (uint64_t seq : s.deferredAcks)
+                readyAcks_.push_back(Ack{id, seq, false});
+            s.deferredAcks.clear();
+        }
+    }
+}
+
+std::vector<SimServer::Ack>
+SimServer::takeReadyAcks()
+{
+    std::vector<Ack> out;
+    out.swap(readyAcks_);
+    return out;
+}
+
+ReplayStats
+SimServer::stats() const
+{
+    ReplayStats s = core_.stats();
+    s.hitCycleLimit = hitCycleLimit_;
+    if (done_ && !hitCycleLimit_) {
+        s.outstanding = 0;
+    } else {
+        for (const auto &[id, sess] : sessions_)
+            s.outstanding += sess.inbox.size();
+    }
+    return s;
+}
+
+uint64_t
+SimServer::acceptedRecords(uint64_t client_id) const
+{
+    const auto it = sessions_.find(client_id);
+    return it == sessions_.end() ? 0 : it->second.accepted;
+}
+
+} // namespace phastlane::sim

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The simulation server core (DESIGN.md §15): multiplexes workload
+ * streams from multiple concurrent clients onto one live network,
+ * deterministically.
+ *
+ * Transport-agnostic: the socket daemon (examples/netsim_serve.cpp)
+ * and tests drive this class directly. Three mechanisms make a served
+ * run byte-identical to an offline replay of the same records, no
+ * matter how client messages interleave in wall-clock time:
+ *
+ *  - **At-most-once injection** via the ReliableNic sequence idiom:
+ *    every submitted chunk carries a per-client sequence number; a
+ *    chunk at or below the last accepted sequence is acknowledged
+ *    again and discarded, so client retransmits (lost acks) never
+ *    double-inject.
+ *
+ *  - **Watermark-gated lockstep**: a client whose last submitted
+ *    record has cycle W implicitly promises every future record has
+ *    cycle >= W, so the simulation may advance through cycle C only
+ *    once min(W) over unfinished clients exceeds C. Arrival timing
+ *    can therefore only delay the simulation, never reorder it.
+ *
+ *  - **Canonical merge order**: records due at the same cycle are
+ *    released ascending by client id, then in per-client submission
+ *    order -- exactly the order `netsim_serve --merge` writes, so the
+ *    offline comparator replays the identical packet sequence.
+ *
+ * Backpressure: released records flow through the same bounded
+ * ReplayCore window as offline replay, and each client's inbox of
+ * not-yet-released records defers its acknowledgements once it grows
+ * past a soft cap -- a stop-and-wait client then stalls until the
+ * simulation catches up, bounding server memory under open-loop load.
+ */
+
+#ifndef PHASTLANE_SIM_SERVER_HPP
+#define PHASTLANE_SIM_SERVER_HPP
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/replay.hpp"
+
+namespace phastlane::sim {
+
+/** Knobs for SimServer. */
+struct ServerOptions {
+    /** Sessions that must open before the simulation starts; the
+     *  watermark of a yet-unconnected client is implicitly 0. */
+    size_t expectedSessions = 1;
+
+    /** Release-window bound shared with ReplayOptions::maxPending;
+     *  must match the offline replay's for byte-identical results. */
+    size_t maxPending = 4096;
+
+    /** Per-session inbox size above which acks are withheld. */
+    size_t inboxSoftCap = 8192;
+
+    /** Drain deadline in cycles (counted from construction). */
+    Cycle maxCycles = 10000000;
+
+    /** Invoke the snapshot hook every this many cycles (0 = never). */
+    Cycle snapshotInterval = 0;
+};
+
+/**
+ * One live network serving chunked record streams from N clients.
+ * Drive with openSession()/submit()/finish(), call pump() after
+ * feeding input, and collect acknowledgements from takeReadyAcks().
+ */
+class SimServer
+{
+  public:
+    SimServer(Network &net, const ServerOptions &opts = {});
+
+    /** An acknowledgement owed to a client. */
+    struct Ack {
+        uint64_t clientId = 0;
+        uint64_t seq = 0;
+        bool duplicate = false; ///< re-ack of an already-seen chunk
+    };
+
+    /**
+     * Open a session for @p client_id (ids must be distinct; they
+     * define the canonical merge order). Returns "" or an error.
+     */
+    std::string openSession(uint64_t client_id);
+
+    /**
+     * Submit chunk @p seq (1-based, consecutive) of cycle-sorted
+     * records. seq <= the last accepted sequence is a duplicate:
+     * discarded but re-acknowledged (at-most-once). A gap or a
+     * cycle regression is an error. Returns "" or an error.
+     */
+    std::string submit(uint64_t client_id, uint64_t seq,
+                       const std::vector<traffic::TraceRecord> &records);
+
+    /** End of stream marker, consuming the next sequence number. */
+    std::string finish(uint64_t client_id, uint64_t seq);
+
+    /**
+     * Advance the simulation as far as watermarks, the release
+     * window, and the cycle budget allow, then promote deferred
+     * acknowledgements. Cheap when nothing can progress.
+     */
+    void pump();
+
+    /** Acknowledgements ready to transmit, in issue order. */
+    std::vector<Ack> takeReadyAcks();
+
+    bool allSessionsOpen() const
+    {
+        return sessions_.size() >= opts_.expectedSessions;
+    }
+    bool allFinished() const;
+
+    /** True once every session finished and the network drained (or
+     *  the cycle budget ran out -- check hitCycleLimit()). */
+    bool done() const { return done_; }
+    bool hitCycleLimit() const { return hitCycleLimit_; }
+
+    /** Replay statistics so far (final once done()). */
+    ReplayStats stats() const;
+
+    /** Records accepted from @p client_id so far. */
+    uint64_t acceptedRecords(uint64_t client_id) const;
+
+    Network &net() { return net_; }
+
+    /** Called every ServerOptions::snapshotInterval cycles (from
+     *  pump) with the current cycle -- the daemon publishes metrics /
+     *  heatmap snapshots from here. */
+    void setSnapshotHook(std::function<void(Cycle)> hook)
+    {
+        snapshotHook_ = std::move(hook);
+    }
+
+  private:
+    struct Session {
+        std::deque<traffic::TraceRecord> inbox;
+        uint64_t lastSeq = 0;
+        uint64_t accepted = 0;
+        Cycle watermark = 0; ///< cycle of the last submitted record
+        bool finished = false;
+        std::vector<uint64_t> deferredAcks;
+    };
+
+    /** Smallest watermark over unfinished sessions (kNeverCycle when
+     *  all finished); cycles strictly below it are fully known. */
+    Cycle safeHorizon() const;
+    void releaseDue();
+    void promoteAcks();
+
+    Network &net_;
+    ServerOptions opts_;
+    ReplayCore core_;
+    std::map<uint64_t, Session> sessions_; ///< keyed by client id
+    std::vector<Ack> readyAcks_;
+    std::function<void(Cycle)> snapshotHook_;
+    Cycle deadline_ = 0;
+    Cycle nextSnapshot_ = 0;
+    bool done_ = false;
+    bool hitCycleLimit_ = false;
+};
+
+} // namespace phastlane::sim
+
+#endif // PHASTLANE_SIM_SERVER_HPP

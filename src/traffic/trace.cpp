@@ -2,12 +2,42 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 
 #include "common/log.hpp"
 #include "common/stats.hpp"
 
 namespace phastlane::traffic {
+
+std::string
+validateTraceRecord(const TraceRecord &r, int node_count)
+{
+    if (r.src < 0)
+        return detail::formatMsg("src %d is not a node", r.src);
+    if (r.dst < kInvalidNode)
+        return detail::formatMsg(
+            "dst %d is neither a node nor the broadcast sentinel %d",
+            r.dst, kInvalidNode);
+    if (node_count > 0) {
+        if (r.src >= node_count)
+            return detail::formatMsg(
+                "src %d outside the %d-node network", r.src,
+                node_count);
+        if (!r.broadcast() && r.dst >= node_count)
+            return detail::formatMsg(
+                "dst %d outside the %d-node network", r.dst,
+                node_count);
+    }
+    if (!r.broadcast() && r.dst == r.src)
+        return detail::formatMsg("unicast from node %d to itself",
+                                 r.src);
+    if (static_cast<unsigned>(r.kind) >
+        static_cast<unsigned>(MessageKind::Synthetic))
+        return detail::formatMsg("unknown message kind %u",
+                                 static_cast<unsigned>(r.kind));
+    return "";
+}
 
 void
 writeTrace(const std::string &path,
@@ -16,38 +46,84 @@ writeTrace(const std::string &path,
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         fatal("cannot open trace file '%s' for writing", path.c_str());
-    std::fprintf(f, "# cycle src dst kind tag\n");
-    for (const auto &r : records) {
-        std::fprintf(f, "%" PRIu64 " %d %d %d %" PRIu64 "\n", r.cycle,
-                     r.src, r.dst, static_cast<int>(r.kind), r.tag);
+    // Every write is checked: a full disk used to produce a silently
+    // truncated trace that later replayed as a shorter workload.
+    if (std::fprintf(f, "# cycle src dst kind tag\n") < 0) {
+        std::fclose(f);
+        fatal("write error on trace file '%s'", path.c_str());
     }
-    std::fclose(f);
+    for (const auto &r : records) {
+        if (std::fprintf(f, "%" PRIu64 " %d %d %d %" PRIu64 "\n",
+                         r.cycle, r.src, r.dst,
+                         static_cast<int>(r.kind), r.tag) < 0) {
+            std::fclose(f);
+            fatal("write error on trace file '%s'", path.c_str());
+        }
+    }
+    if (std::fclose(f) != 0)
+        fatal("close/flush error on trace file '%s' (disk full?)",
+              path.c_str());
 }
 
 std::vector<TraceRecord>
-readTrace(const std::string &path)
+readTrace(const std::string &path, int node_count)
 {
     std::FILE *f = std::fopen(path.c_str(), "r");
     if (!f)
         fatal("cannot open trace file '%s'", path.c_str());
     std::vector<TraceRecord> records;
-    char line[256];
+    std::string line;
+    char buf[256];
     int lineno = 0;
     Cycle last_cycle = 0;
-    while (std::fgets(line, sizeof(line), f)) {
+    bool eof = false;
+    while (!eof) {
+        // Accumulate one full line regardless of length: the fixed
+        // 256-byte fgets buffer used to split over-long lines, letting
+        // the tail fragment parse as a bogus extra record.
+        line.clear();
+        bool have = false;
+        for (;;) {
+            if (!std::fgets(buf, sizeof(buf), f)) {
+                eof = true;
+                break;
+            }
+            have = true;
+            line += buf;
+            if (!line.empty() && line.back() == '\n')
+                break;
+        }
+        if (!have)
+            break;
         ++lineno;
         if (line[0] == '#' || line[0] == '\n')
             continue;
         TraceRecord r;
         int kind = 0;
-        if (std::sscanf(line, "%" SCNu64 " %d %d %d %" SCNu64,
-                        &r.cycle, &r.src, &r.dst, &kind,
-                        &r.tag) != 5) {
+        int consumed = 0;
+        if (std::sscanf(line.c_str(),
+                        "%" SCNu64 " %d %d %d %" SCNu64 " %n",
+                        &r.cycle, &r.src, &r.dst, &kind, &r.tag,
+                        &consumed) != 5) {
             std::fclose(f);
             fatal("malformed trace record at %s:%d", path.c_str(),
                   lineno);
         }
+        // Reject trailing garbage after the five fields.
+        for (const char *p = line.c_str() + consumed; *p; ++p) {
+            if (*p != ' ' && *p != '\t' && *p != '\r' && *p != '\n') {
+                std::fclose(f);
+                fatal("trailing garbage in trace record at %s:%d",
+                      path.c_str(), lineno);
+            }
+        }
         r.kind = static_cast<MessageKind>(kind);
+        const std::string err = validateTraceRecord(r, node_count);
+        if (!err.empty()) {
+            std::fclose(f);
+            fatal("invalid trace record at %s:%d: %s", path.c_str(),
+                  lineno, err.c_str());
+        }
         if (r.cycle < last_cycle) {
             std::fclose(f);
             fatal("trace records out of order at %s:%d", path.c_str(),
@@ -55,6 +131,10 @@ readTrace(const std::string &path)
         }
         last_cycle = r.cycle;
         records.push_back(r);
+    }
+    if (std::ferror(f)) {
+        std::fclose(f);
+        fatal("read error on trace file '%s'", path.c_str());
     }
     std::fclose(f);
     return records;
@@ -64,12 +144,21 @@ TraceReplayResult
 replayTrace(Network &net, const std::vector<TraceRecord> &records,
             Cycle max_cycles)
 {
+    const int node_count = net.nodeCount();
+    for (size_t i = 0; i < records.size(); ++i) {
+        const std::string err =
+            validateTraceRecord(records[i], node_count);
+        if (!err.empty())
+            fatal("invalid trace record %zu: %s", i, err.c_str());
+    }
+
     std::deque<Packet> pending;
     size_t next = 0;
     RunningStat latency;
     uint64_t deliveries = 0;
     uint64_t next_id = 1;
     const Cycle deadline = net.now() + max_cycles;
+    bool done = false;
 
     while (net.now() < deadline) {
         // Release due records into the pending queue.
@@ -92,6 +181,7 @@ replayTrace(Network &net, const std::vector<TraceRecord> &records,
 
         if (next >= records.size() && pending.empty() &&
             net.inFlight() == 0) {
+            done = true;
             break;
         }
         net.step();
@@ -101,15 +191,18 @@ replayTrace(Network &net, const std::vector<TraceRecord> &records,
         }
     }
 
-    if (net.inFlight() != 0)
-        warn("trace replay hit the cycle limit with %llu outstanding",
-             static_cast<unsigned long long>(net.inFlight()));
-
     TraceReplayResult res;
     res.completionCycle = net.now();
     res.messages = records.size();
     res.deliveries = deliveries;
     res.avgLatency = latency.mean();
+    res.hitCycleLimit = !done;
+    if (!done) {
+        res.outstanding = net.inFlight() + pending.size() +
+                          (records.size() - next);
+        warn("trace replay hit the cycle limit with %llu outstanding",
+             static_cast<unsigned long long>(res.outstanding));
+    }
     return res;
 }
 

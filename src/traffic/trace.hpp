@@ -32,29 +32,105 @@ struct TraceRecord {
     bool operator==(const TraceRecord &) const = default;
 };
 
-/** Write @p records to @p path; fatal() on I/O errors. */
+/**
+ * Validate one record: src must be a real node, dst a real node or
+ * the kInvalidNode broadcast sentinel, kind a defined MessageKind.
+ * When @p node_count > 0 src/dst must also lie inside [0, node_count).
+ * Returns an error description, or "" when the record is valid.
+ */
+std::string validateTraceRecord(const TraceRecord &r, int node_count);
+
+/**
+ * Write @p records to @p path; fatal() on I/O errors, including
+ * short writes (full disk) detected via fprintf/fclose returns.
+ */
 void writeTrace(const std::string &path,
                 const std::vector<TraceRecord> &records);
 
-/** Read a trace file; fatal() on parse errors. */
-std::vector<TraceRecord> readTrace(const std::string &path);
+/**
+ * Read a text trace file; fatal() (with the offending line number) on
+ * parse errors, out-of-order cycles, trailing garbage, or records
+ * failing validateTraceRecord() against @p node_count (pass the
+ * target network's nodeCount(); 0 skips the range check but still
+ * rejects structurally invalid ids such as dst < -1). Lines of any
+ * length are handled.
+ */
+std::vector<TraceRecord> readTrace(const std::string &path,
+                                   int node_count = 0);
 
 /** Results of a trace replay. */
 struct TraceReplayResult {
-    Cycle completionCycle = 0; ///< all deliveries done
+    Cycle completionCycle = 0; ///< cycle the replay loop stopped
     uint64_t messages = 0;
     uint64_t deliveries = 0;
     double avgLatency = 0.0; ///< creation -> delivery
+
+    /** True when max_cycles elapsed before the network drained; the
+     *  other fields then describe a truncated run, not a completed
+     *  one. */
+    bool hitCycleLimit = false;
+
+    /** Delivery units still owed plus messages never injected or
+     *  released when the limit was hit (0 on a completed replay). */
+    uint64_t outstanding = 0;
 };
 
 /**
  * Replay a trace against a network: each record is offered at its
  * cycle (or as soon afterwards as the NIC has room) and the run
- * continues until every delivery completes.
+ * continues until every delivery completes or @p max_cycles elapse
+ * (check TraceReplayResult::hitCycleLimit).
+ *
+ * Latency accounting: a packet's createdAt (the latency base) is the
+ * cycle the record was *released* to the NIC queue, which is its trace
+ * cycle unless the NIC back-pressured earlier records past it -- under
+ * saturation avgLatency measures queueing from release, not from the
+ * nominal trace timestamp.
+ *
+ * Records are validated against net.nodeCount() up front; fatal() on
+ * out-of-range src/dst (a negative dst other than kInvalidNode used to
+ * replay as a unicast to a negative node and index out of bounds).
  */
 TraceReplayResult replayTrace(Network &net,
                               const std::vector<TraceRecord> &records,
                               Cycle max_cycles = 10000000);
+
+/**
+ * Pull-based record source consumed by streaming replay
+ * (sim::replayTraceStream) and the simulation server: yields
+ * cycle-sorted records one at a time so arbitrarily long traces never
+ * materialize in memory.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next record into @p out; false at end-of-stream. */
+    virtual bool next(TraceRecord &out) = 0;
+};
+
+/** TraceSource over an in-memory record vector (not owned). */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(const std::vector<TraceRecord> &records)
+        : records_(records)
+    {
+    }
+
+    bool next(TraceRecord &out) override
+    {
+        if (next_ >= records_.size())
+            return false;
+        out = records_[next_++];
+        return true;
+    }
+
+  private:
+    const std::vector<TraceRecord> &records_;
+    size_t next_ = 0;
+};
 
 /**
  * A transparent Network decorator that records every accepted

@@ -1,0 +1,427 @@
+#include "traffic/trace_stream.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace phastlane::traffic {
+
+void
+putVarint(std::string &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+size_t
+getVarint(const uint8_t *p, size_t n, uint64_t &v)
+{
+    v = 0;
+    int shift = 0;
+    for (size_t i = 0; i < n && i < 10; ++i) {
+        const uint64_t byte = p[i];
+        // The 10th byte may only carry the top bit of a 64-bit value.
+        if (i == 9 && (byte & 0xfe) != 0)
+            return 0;
+        v |= (byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return i + 1;
+        shift += 7;
+    }
+    return 0; // mid-varint end of buffer, or > 10 bytes
+}
+
+namespace {
+
+/** dst wire encoding: 0 = broadcast (kInvalidNode), else dst + 1. */
+uint64_t
+encodeDst(NodeId dst)
+{
+    return dst == kInvalidNode ? 0
+                               : static_cast<uint64_t>(dst) + 1;
+}
+
+/** Signed zigzag mapping (bijective on 64 bits, so tag deltas wrap
+ *  safely through unsigned arithmetic). */
+uint64_t
+zigzag(int64_t d)
+{
+    return (static_cast<uint64_t>(d) << 1) ^
+           static_cast<uint64_t>(d >> 63);
+}
+
+int64_t
+unzigzag(uint64_t z)
+{
+    return static_cast<int64_t>((z >> 1) ^ (0 - (z & 1)));
+}
+
+} // namespace
+
+void
+encodeChunkPayload(const TraceRecord *recs, size_t n, std::string &out)
+{
+    PL_ASSERT(n > 0, "empty chunk");
+    Cycle prev = 0;
+    uint64_t prev_tag = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const TraceRecord &r = recs[i];
+        PL_ASSERT(r.cycle >= prev, "chunk records out of order");
+        if (r.cycle > kMaxEncodableCycle)
+            fatal("trace cycle %llu exceeds the encodable maximum",
+                  static_cast<unsigned long long>(r.cycle));
+        PL_ASSERT(static_cast<unsigned>(r.kind) < 8,
+                  "kind does not fit the 3-bit packed field");
+        putVarint(out, ((r.cycle - prev) << 3) |
+                           static_cast<uint64_t>(r.kind));
+        prev = r.cycle;
+        putVarint(out, static_cast<uint64_t>(r.src));
+        putVarint(out, encodeDst(r.dst));
+        putVarint(out, zigzag(static_cast<int64_t>(r.tag - prev_tag)));
+        prev_tag = r.tag;
+    }
+}
+
+std::string
+decodeChunkPayload(const uint8_t *p, size_t n, size_t expect,
+                   int node_count, Cycle &last_cycle,
+                   std::vector<TraceRecord> &out)
+{
+    size_t off = 0;
+    uint64_t v = 0;
+    Cycle cycle = 0;
+    uint64_t prev_tag = 0;
+    for (size_t i = 0; i < expect; ++i) {
+        TraceRecord r;
+        size_t u = getVarint(p + off, n - off, v);
+        if (u == 0)
+            return detail::formatMsg(
+                "truncated delta/kind varint in record %zu", i);
+        off += u;
+        r.kind = static_cast<MessageKind>(v & 7);
+        const Cycle next = cycle + (v >> 3);
+        if (next < cycle || next > kMaxEncodableCycle)
+            return detail::formatMsg("cycle overflow in record %zu",
+                                     i);
+        cycle = next;
+        if (i == 0 && cycle < last_cycle)
+            return detail::formatMsg(
+                "chunk starts at cycle %llu before previous record "
+                "at %llu",
+                static_cast<unsigned long long>(cycle),
+                static_cast<unsigned long long>(last_cycle));
+        r.cycle = cycle;
+        u = getVarint(p + off, n - off, v);
+        if (u == 0 || v > static_cast<uint64_t>(INT32_MAX))
+            return detail::formatMsg("bad src varint in record %zu",
+                                     i);
+        off += u;
+        r.src = static_cast<NodeId>(v);
+        u = getVarint(p + off, n - off, v);
+        if (u == 0 || v > static_cast<uint64_t>(INT32_MAX))
+            return detail::formatMsg("bad dst varint in record %zu",
+                                     i);
+        off += u;
+        r.dst = v == 0 ? kInvalidNode : static_cast<NodeId>(v - 1);
+        u = getVarint(p + off, n - off, v);
+        if (u == 0)
+            return detail::formatMsg("bad tag varint in record %zu",
+                                     i);
+        off += u;
+        r.tag = prev_tag + static_cast<uint64_t>(unzigzag(v));
+        prev_tag = r.tag;
+        const std::string err = validateTraceRecord(r, node_count);
+        if (!err.empty())
+            return detail::formatMsg("record %zu invalid: %s", i,
+                                     err.c_str());
+        out.push_back(r);
+    }
+    if (off != n)
+        return detail::formatMsg(
+            "%zu trailing bytes after %zu records",
+            n - off, expect);
+    last_cycle = cycle;
+    return "";
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+TraceStreamWriter::TraceStreamWriter(const std::string &path,
+                                     const TraceStreamOptions &opts)
+    : path_(path), opts_(opts)
+{
+    if (opts_.chunkRecords == 0 ||
+        opts_.chunkRecords > kMaxChunkRecords)
+        fatal("trace chunkRecords %zu out of range (1..%zu)",
+              opts_.chunkRecords, kMaxChunkRecords);
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        fatal("cannot open trace file '%s' for writing",
+              path.c_str());
+    std::string header(kTraceMagic, sizeof(kTraceMagic));
+    header.push_back(static_cast<char>(kTraceVersion));
+    header.push_back(0); // flags
+    putVarint(header,
+              static_cast<uint64_t>(
+                  opts_.nodeCount > 0 ? opts_.nodeCount : 0));
+    if (std::fwrite(header.data(), 1, header.size(), file_) !=
+        header.size()) {
+        std::fclose(file_);
+        file_ = nullptr;
+        fatal("write error on trace file '%s'", path_.c_str());
+    }
+    buffer_.reserve(opts_.chunkRecords);
+}
+
+TraceStreamWriter::~TraceStreamWriter()
+{
+    close();
+}
+
+void
+TraceStreamWriter::append(const TraceRecord &r)
+{
+    PL_ASSERT(file_, "append on a closed trace writer");
+    const std::string err = validateTraceRecord(r, opts_.nodeCount);
+    if (!err.empty())
+        fatal("invalid trace record %llu: %s",
+              static_cast<unsigned long long>(records_), err.c_str());
+    if (r.cycle < lastCycle_)
+        fatal("trace record %llu out of order (cycle %llu after "
+              "%llu)",
+              static_cast<unsigned long long>(records_),
+              static_cast<unsigned long long>(r.cycle),
+              static_cast<unsigned long long>(lastCycle_));
+    lastCycle_ = r.cycle;
+    buffer_.push_back(r);
+    ++records_;
+    if (buffer_.size() >= opts_.chunkRecords)
+        flushChunk();
+}
+
+void
+TraceStreamWriter::flushChunk()
+{
+    if (buffer_.empty())
+        return;
+    scratch_.clear();
+    encodeChunkPayload(buffer_.data(), buffer_.size(), scratch_);
+    std::string frame;
+    putVarint(frame, scratch_.size());
+    putVarint(frame, buffer_.size());
+    if (std::fwrite(frame.data(), 1, frame.size(), file_) !=
+            frame.size() ||
+        std::fwrite(scratch_.data(), 1, scratch_.size(), file_) !=
+            scratch_.size()) {
+        std::fclose(file_);
+        file_ = nullptr;
+        fatal("write error on trace file '%s'", path_.c_str());
+    }
+    buffer_.clear();
+}
+
+void
+TraceStreamWriter::close()
+{
+    if (!file_)
+        return;
+    flushChunk();
+    const char end[2] = {0, 0}; // payloadBytes = 0, recordCount = 0
+    if (std::fwrite(end, 1, sizeof(end), file_) != sizeof(end)) {
+        std::fclose(file_);
+        file_ = nullptr;
+        fatal("write error on trace file '%s'", path_.c_str());
+    }
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0)
+        fatal("close/flush error on trace file '%s' (disk full?)",
+              path_.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Read one varint from @p f byte-by-byte; false on EOF/overflow. */
+bool
+readVarintFile(std::FILE *f, uint64_t &v)
+{
+    v = 0;
+    int shift = 0;
+    for (int i = 0; i < 10; ++i) {
+        const int c = std::fgetc(f);
+        if (c == EOF)
+            return false;
+        const uint64_t byte = static_cast<uint64_t>(c);
+        if (i == 9 && (byte & 0xfe) != 0)
+            return false;
+        v |= (byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return true;
+        shift += 7;
+    }
+    return false;
+}
+
+} // namespace
+
+TraceStreamReader::TraceStreamReader(const std::string &path,
+                                     int node_count)
+    : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        fatal("cannot open trace file '%s'", path.c_str());
+    char magic[sizeof(kTraceMagic)] = {};
+    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
+        std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0)
+        fatal("'%s' is not a binary trace (bad magic)", path.c_str());
+    const int version = std::fgetc(file_);
+    const int flags = std::fgetc(file_);
+    if (version == EOF || flags == EOF)
+        fatal("truncated trace header in '%s'", path.c_str());
+    if (version != kTraceVersion)
+        fatal("unsupported trace version %d in '%s' (expected %d)",
+              version, path.c_str(), kTraceVersion);
+    if (flags != 0)
+        fatal("unsupported trace flags 0x%02x in '%s'", flags,
+              path.c_str());
+    uint64_t nodes = 0;
+    if (!readVarintFile(file_, nodes) ||
+        nodes > static_cast<uint64_t>(INT32_MAX))
+        fatal("bad node count in trace header of '%s'", path.c_str());
+    headerNodeCount_ = static_cast<int>(nodes);
+    validateNodes_ = node_count > 0 ? node_count : headerNodeCount_;
+    if (node_count > 0 && headerNodeCount_ > 0 &&
+        headerNodeCount_ > node_count)
+        fatal("trace '%s' was recorded for %d nodes but the target "
+              "network has %d",
+              path.c_str(), headerNodeCount_, node_count);
+}
+
+TraceStreamReader::~TraceStreamReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceStreamReader::readChunk()
+{
+    uint64_t nbytes = 0;
+    uint64_t nrecords = 0;
+    if (!readVarintFile(file_, nbytes))
+        fatal("truncated trace '%s': missing chunk header after "
+              "record %llu (no end marker)",
+              path_.c_str(),
+              static_cast<unsigned long long>(records_));
+    if (nbytes == 0) {
+        // End marker: a record count of zero, then EOF.
+        if (!readVarintFile(file_, nrecords) || nrecords != 0)
+            fatal("corrupt end marker in trace '%s'", path_.c_str());
+        if (std::fgetc(file_) != EOF)
+            fatal("trailing bytes after end marker in trace '%s'",
+                  path_.c_str());
+        return false;
+    }
+    if (!readVarintFile(file_, nrecords))
+        fatal("truncated chunk header in trace '%s'", path_.c_str());
+    if (nbytes > kMaxChunkBytes || nrecords == 0 ||
+        nrecords > kMaxChunkRecords)
+        fatal("implausible chunk framing in trace '%s' "
+              "(%llu bytes, %llu records)",
+              path_.c_str(), static_cast<unsigned long long>(nbytes),
+              static_cast<unsigned long long>(nrecords));
+    payload_.resize(nbytes);
+    if (std::fread(payload_.data(), 1, nbytes, file_) != nbytes)
+        fatal("truncated chunk payload in trace '%s' after record "
+              "%llu",
+              path_.c_str(),
+              static_cast<unsigned long long>(records_));
+    chunk_.clear();
+    chunkNext_ = 0;
+    const std::string err =
+        decodeChunkPayload(payload_.data(), nbytes, nrecords,
+                           validateNodes_, lastCycle_, chunk_);
+    if (!err.empty())
+        fatal("corrupt chunk in trace '%s' near record %llu: %s",
+              path_.c_str(),
+              static_cast<unsigned long long>(records_),
+              err.c_str());
+    return true;
+}
+
+bool
+TraceStreamReader::next(TraceRecord &out)
+{
+    while (chunkNext_ >= chunk_.size()) {
+        if (done_)
+            return false;
+        if (!readChunk()) {
+            done_ = true;
+            return false;
+        }
+    }
+    out = chunk_[chunkNext_++];
+    ++records_;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Convenience wrappers
+// ---------------------------------------------------------------------
+
+void
+writeTraceBinary(const std::string &path,
+                 const std::vector<TraceRecord> &records,
+                 int node_count)
+{
+    TraceStreamOptions opts;
+    opts.nodeCount = node_count;
+    TraceStreamWriter w(path, opts);
+    for (const auto &r : records)
+        w.append(r);
+    w.close();
+}
+
+std::vector<TraceRecord>
+readTraceBinary(const std::string &path, int node_count)
+{
+    TraceStreamReader r(path, node_count);
+    std::vector<TraceRecord> records;
+    TraceRecord rec;
+    while (r.next(rec))
+        records.push_back(rec);
+    return records;
+}
+
+bool
+isBinaryTraceFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    char magic[sizeof(kTraceMagic)] = {};
+    const size_t got = std::fread(magic, 1, sizeof(magic), f);
+    std::fclose(f);
+    return got == sizeof(magic) &&
+           std::memcmp(magic, kTraceMagic, sizeof(magic)) == 0;
+}
+
+std::vector<TraceRecord>
+readTraceAuto(const std::string &path, int node_count)
+{
+    if (isBinaryTraceFile(path))
+        return readTraceBinary(path, node_count);
+    return readTrace(path, node_count);
+}
+
+} // namespace phastlane::traffic

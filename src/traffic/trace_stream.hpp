@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Compact binary trace format with streaming access (DESIGN.md §15).
+ *
+ * The text trace format (trace.hpp) loads everything into a vector and
+ * spends ~20-30 bytes per record; this codec stores varint-encoded
+ * delta-cycle records in framed chunks so billions of injections
+ * stream through O(chunk) memory at a fraction of the size.
+ *
+ * Wire format (all integers LEB128 base-128 varints, low 7 bits
+ * first, at most 10 bytes):
+ *
+ *   file   := header chunk* end
+ *   header := magic "PLTR" | version u8 (=1) | flags u8 (=0)
+ *             | varint nodeCount        (0 = unspecified)
+ *   chunk  := varint payloadBytes (>0) | varint recordCount (>0)
+ *             | payload[payloadBytes]
+ *   end    := varint 0 | varint 0
+ *
+ * Each chunk payload is self-contained (usable as a network message
+ * body without file context):
+ *
+ *   payload := record[0..recordCount-1]
+ *   record  := varint (deltaCycle << 3 | kind)
+ *              | varint src | varint dst+1 (0 = broadcast)
+ *              | varint zigzag(tag - previous tag)
+ *
+ * record[0]'s deltaCycle is its absolute cycle and its tag delta is
+ * taken from 0. Packing the 3-bit kind into the (usually zero) cycle
+ * delta and delta-encoding the (usually sequential) tags brings a
+ * typical record to 4 bytes, ~5x smaller than its text form; cycles
+ * above 2^61 - 1 do not fit the packed field and are rejected.
+ *
+ * Cycles must be non-decreasing across the whole stream; readers
+ * validate monotonicity, node ranges (when a node count is known),
+ * message kinds, framing lengths, and the explicit end marker, so a
+ * truncated or corrupted stream fails loudly instead of replaying as
+ * a shorter workload.
+ */
+
+#ifndef PHASTLANE_TRAFFIC_TRACE_STREAM_HPP
+#define PHASTLANE_TRAFFIC_TRACE_STREAM_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "traffic/trace.hpp"
+
+namespace phastlane::traffic {
+
+/** Binary trace file magic ("PLTR") and current version. */
+inline constexpr char kTraceMagic[4] = {'P', 'L', 'T', 'R'};
+inline constexpr uint8_t kTraceVersion = 1;
+
+/** Hard sanity caps on chunk framing (a malformed length must not
+ *  drive a giant allocation). */
+inline constexpr size_t kMaxChunkBytes = size_t{1} << 24;
+inline constexpr size_t kMaxChunkRecords = size_t{1} << 20;
+
+/** Largest cycle the packed deltaCycle|kind field can carry. */
+inline constexpr Cycle kMaxEncodableCycle = (Cycle{1} << 61) - 1;
+
+/** Append @p v to @p out as a LEB128 varint. */
+void putVarint(std::string &out, uint64_t v);
+
+/**
+ * Decode a LEB128 varint from @p p (at most @p n bytes) into @p v.
+ * Returns the bytes consumed, or 0 when the buffer ends mid-varint or
+ * the encoding exceeds 10 bytes / overflows 64 bits.
+ */
+size_t getVarint(const uint8_t *p, size_t n, uint64_t &v);
+
+/**
+ * Encode @p n cycle-sorted records as one self-contained chunk
+ * payload appended to @p out (no framing). @p n must be > 0.
+ */
+void encodeChunkPayload(const TraceRecord *recs, size_t n,
+                        std::string &out);
+
+/**
+ * Decode a self-contained chunk payload of exactly @p expect records,
+ * appending to @p out. Cycles must be non-decreasing and the first
+ * record's cycle must be >= @p last_cycle (updated on success). Node
+ * ids are validated against @p node_count when > 0.
+ * Returns "" on success or an error description.
+ */
+std::string decodeChunkPayload(const uint8_t *p, size_t n,
+                               size_t expect, int node_count,
+                               Cycle &last_cycle,
+                               std::vector<TraceRecord> &out);
+
+/** Knobs for TraceStreamWriter. */
+struct TraceStreamOptions {
+    /** Node count stamped into the header (0 = unspecified); readers
+     *  validate record ids against it. */
+    int nodeCount = 0;
+
+    /** Records buffered per chunk before a flush. */
+    size_t chunkRecords = 4096;
+};
+
+/**
+ * Streaming binary trace writer: append() records in cycle order;
+ * chunks are flushed as they fill, so memory stays O(chunkRecords)
+ * however long the trace grows. Every I/O call is checked; fatal() on
+ * error. close() (or destruction) seals the stream with the end
+ * marker -- a file without it is detectably truncated.
+ */
+class TraceStreamWriter
+{
+  public:
+    explicit TraceStreamWriter(const std::string &path,
+                               const TraceStreamOptions &opts = {});
+    ~TraceStreamWriter();
+
+    TraceStreamWriter(const TraceStreamWriter &) = delete;
+    TraceStreamWriter &operator=(const TraceStreamWriter &) = delete;
+
+    /** Append one record; fatal() on out-of-order cycles or ids
+     *  invalid for the configured node count. */
+    void append(const TraceRecord &r);
+
+    /** Flush pending records, write the end marker and close the
+     *  file; fatal() on I/O errors. Idempotent. */
+    void close();
+
+    uint64_t recordsWritten() const { return records_; }
+
+  private:
+    void flushChunk();
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    TraceStreamOptions opts_;
+    std::vector<TraceRecord> buffer_;
+    std::string scratch_;
+    Cycle lastCycle_ = 0;
+    uint64_t records_ = 0;
+};
+
+/**
+ * Streaming binary trace reader: a TraceSource that decodes one chunk
+ * at a time (O(chunk) memory). fatal() with byte/record context on
+ * malformed input -- bad magic, unsupported version, mid-varint EOF,
+ * bad framing, out-of-order cycles, invalid node ids, or a missing
+ * end marker.
+ */
+class TraceStreamReader : public TraceSource
+{
+  public:
+    /**
+     * @param node_count Validation range for src/dst; when 0 the
+     *        header's nodeCount (if any) is used instead.
+     */
+    explicit TraceStreamReader(const std::string &path,
+                               int node_count = 0);
+    ~TraceStreamReader();
+
+    TraceStreamReader(const TraceStreamReader &) = delete;
+    TraceStreamReader &operator=(const TraceStreamReader &) = delete;
+
+    bool next(TraceRecord &out) override;
+
+    /** Node count recorded in the file header (0 = unspecified). */
+    int headerNodeCount() const { return headerNodeCount_; }
+
+    uint64_t recordsRead() const { return records_; }
+
+  private:
+    bool readChunk(); ///< false at the end marker
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    int headerNodeCount_ = 0;
+    int validateNodes_ = 0;
+    std::vector<uint8_t> payload_;
+    std::vector<TraceRecord> chunk_;
+    size_t chunkNext_ = 0;
+    Cycle lastCycle_ = 0;
+    uint64_t records_ = 0;
+    bool done_ = false;
+};
+
+/** Write @p records as a binary trace; fatal() on errors. */
+void writeTraceBinary(const std::string &path,
+                      const std::vector<TraceRecord> &records,
+                      int node_count = 0);
+
+/** Load a whole binary trace; fatal() on errors. Prefer the streaming
+ *  reader for anything large. */
+std::vector<TraceRecord> readTraceBinary(const std::string &path,
+                                         int node_count = 0);
+
+/** True when @p path starts with the binary trace magic. */
+bool isBinaryTraceFile(const std::string &path);
+
+/** Load a trace in either format (magic-sniffed); fatal() on
+ *  errors. */
+std::vector<TraceRecord> readTraceAuto(const std::string &path,
+                                       int node_count = 0);
+
+} // namespace phastlane::traffic
+
+#endif // PHASTLANE_TRAFFIC_TRACE_STREAM_HPP

@@ -181,6 +181,130 @@ TEST(Trace, RecordedWorkloadReplaysOnTheOtherNetwork)
     std::remove(path.c_str());
 }
 
+TEST(Trace, LongLinesParseAsOneRecord)
+{
+    // A fixed 256-byte fgets buffer used to split over-long lines,
+    // letting the tail fragment parse as a bogus extra record (or
+    // fail). Pad a valid record far past the old buffer size.
+    const std::string path = "/tmp/pl_trace_longline.txt";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "1 2 3 0 9%s\n", std::string(600, ' ').c_str());
+    std::fprintf(f, "#%s\n", std::string(1000, 'x').c_str());
+    std::fprintf(f, "2%s4 5 0 10\n", std::string(400, ' ').c_str());
+    std::fclose(f);
+    const auto loaded = readTrace(path);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].tag, 9u);
+    EXPECT_EQ(loaded[1].cycle, 2u);
+    EXPECT_EQ(loaded[1].src, 4);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ValidateTraceRecordFindsBadNodes)
+{
+    TraceRecord r{0, 0, 5, MessageKind::Request, 1};
+    EXPECT_EQ(validateTraceRecord(r, 64), "");
+    r.dst = -5; // below even the broadcast sentinel
+    EXPECT_NE(validateTraceRecord(r, 64), "");
+    r.dst = kInvalidNode; // broadcast is fine
+    EXPECT_EQ(validateTraceRecord(r, 64), "");
+    r.dst = 64; // one past the last node
+    EXPECT_NE(validateTraceRecord(r, 64), "");
+    r.dst = 5;
+    r.src = -1;
+    EXPECT_NE(validateTraceRecord(r, 64), "");
+    r.src = 64;
+    EXPECT_NE(validateTraceRecord(r, 64), "");
+    r.src = 5; // unicast to self
+    EXPECT_NE(validateTraceRecord(r, 64), "");
+    r.src = 0;
+    r.kind = static_cast<MessageKind>(99);
+    EXPECT_NE(validateTraceRecord(r, 64), "");
+}
+
+using TraceDeathTest = ::testing::Test;
+
+TEST(TraceDeathTest, ReadRejectsOutOfRangeDst)
+{
+    // dst -5 used to replay as a negative unicast and index node
+    // arrays out of bounds.
+    const std::string path = "/tmp/pl_trace_bad_dst.txt";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "0 1 -5 0 1\n");
+    std::fclose(f);
+    EXPECT_DEATH(readTrace(path), "");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeathTest, ReadRejectsNodesOutsideTheNetwork)
+{
+    const std::string path = "/tmp/pl_trace_big_dst.txt";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "0 1 70 0 1\n");
+    std::fclose(f);
+    EXPECT_DEATH(readTrace(path, 64), "");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeathTest, ReadRejectsTrailingGarbage)
+{
+    const std::string path = "/tmp/pl_trace_garbage.txt";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "0 1 2 0 1 oops\n");
+    std::fclose(f);
+    EXPECT_DEATH(readTrace(path), "");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeathTest, ReadRejectsOutOfOrderCycles)
+{
+    const std::string path = "/tmp/pl_trace_order.txt";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "5 1 2 0 1\n3 2 3 0 2\n");
+    std::fclose(f);
+    EXPECT_DEATH(readTrace(path), "");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeathTest, WriteSurfacesFullDisk)
+{
+    // /dev/full accepts the open but fails every flush: the old
+    // unchecked fprintf/fclose path produced a silently truncated
+    // trace here.
+    std::vector<TraceRecord> t;
+    t.push_back({0, 0, 1, MessageKind::Request, 1});
+    EXPECT_DEATH(writeTrace("/dev/full", t), "");
+}
+
+TEST(TraceDeathTest, ReplayRejectsRecordsOutsideTheNetwork)
+{
+    std::vector<TraceRecord> t;
+    t.push_back({0, 0, 500, MessageKind::Request, 1});
+    core::PhastlaneNetwork net(core::PhastlaneParams{});
+    EXPECT_DEATH(replayTrace(net, t), "");
+}
+
+TEST(Trace, ReplaySurfacesCycleLimitExhaustion)
+{
+    // A record scheduled after the budget: the old code returned a
+    // normal-looking result with no indication the replay was cut
+    // short.
+    std::vector<TraceRecord> t;
+    t.push_back({0, 0, 1, MessageKind::Synthetic, 1});
+    t.push_back({5000, 2, 3, MessageKind::Synthetic, 2});
+    core::PhastlaneNetwork net(core::PhastlaneParams{});
+    const TraceReplayResult r = replayTrace(net, t, 100);
+    EXPECT_TRUE(r.hitCycleLimit);
+    EXPECT_EQ(r.outstanding, 1u); // the cycle-5000 record never ran
+    EXPECT_EQ(r.deliveries, 1u);
+
+    core::PhastlaneNetwork net2(core::PhastlaneParams{});
+    const TraceReplayResult ok = replayTrace(net2, t);
+    EXPECT_FALSE(ok.hitCycleLimit);
+    EXPECT_EQ(ok.outstanding, 0u);
+    EXPECT_EQ(ok.deliveries, 2u);
+}
+
 TEST(Trace, LargeGeneratedTraceReplays)
 {
     std::vector<TraceRecord> trace;
