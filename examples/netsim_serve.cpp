@@ -31,11 +31,23 @@
  *   ACK    (4) s->c: varint seq | u8 duplicateFlag
  *   RESULT (5) s->c: canonical replay report text
  *   ERROR  (6) s->c: error text
+ *   BUSY   (7) s->c: keepalive -- an ack is deferred for
+ *              backpressure, not lost; do not retransmit
  *
  * Clients run stop-and-wait with retransmission (the ReliableNic
  * idiom): a SUBMIT is resent until its ACK arrives; the server
  * deduplicates by per-client sequence number, so injection is
- * at-most-once no matter how often a chunk is retried.
+ * at-most-once no matter how often a chunk is retried. A BUSY frame
+ * resets the client's retry budget: over the reliable local stream
+ * the only reason an ack is late is deliberate deferral, so the
+ * client just keeps waiting instead of resending the chunk.
+ *
+ * A connection that errors before a successful HELLO (stray extra
+ * client, duplicate id, malformed frame) is sent an ERROR and
+ * dropped without disturbing the round; a post-HELLO protocol error
+ * still aborts the round (determinism is gone), but the ERROR frame
+ * is drained first. A client that disconnects after its FIN was
+ * accepted simply forfeits its copy of the RESULT.
  */
 
 #include <cerrno>
@@ -75,6 +87,7 @@ constexpr uint8_t kMsgFin = 3;
 constexpr uint8_t kMsgAck = 4;
 constexpr uint8_t kMsgResult = 5;
 constexpr uint8_t kMsgError = 6;
+constexpr uint8_t kMsgBusy = 7;
 constexpr uint32_t kMaxFrameBytes = 1u << 24;
 
 std::string
@@ -94,11 +107,14 @@ frameMsg(uint8_t type, const std::string &payload)
 
 /**
  * Pull complete frames out of @p buf (consumed in place). Returns
- * false when no complete frame is buffered; fatal() on oversized or
- * zero-length frames.
+ * false when no complete frame is buffered. On an oversized or
+ * zero-length frame: sets @p err and returns false when @p err is
+ * given (the server drops just that connection), else fatal() (the
+ * client has no one to keep serving).
  */
 bool
-popFrame(std::string &buf, uint8_t &type, std::string &payload)
+popFrame(std::string &buf, uint8_t &type, std::string &payload,
+         std::string *err = nullptr)
 {
     if (buf.size() < 4)
         return false;
@@ -107,8 +123,13 @@ popFrame(std::string &buf, uint8_t &type, std::string &payload)
                          (static_cast<uint32_t>(b[1]) << 8) |
                          (static_cast<uint32_t>(b[2]) << 16) |
                          (static_cast<uint32_t>(b[3]) << 24);
-    if (len == 0 || len > kMaxFrameBytes)
+    if (len == 0 || len > kMaxFrameBytes) {
+        if (err) {
+            *err = detail::formatMsg("malformed frame length %u", len);
+            return false;
+        }
         fatal("malformed frame length %u", len);
+    }
     if (buf.size() < 4u + len)
         return false;
     type = static_cast<uint8_t>(buf[4]);
@@ -201,10 +222,26 @@ struct ServeConn {
     bool finished = false;
 };
 
+/** Close and mark dead (fd -1). Dead entries stay in the conns
+ *  vector so pollfd indices keep lining up; poll() ignores negative
+ *  fds and every consumer skips them. */
+void
+closeConn(ServeConn &c)
+{
+    if (c.fd >= 0)
+        ::close(c.fd);
+    c.fd = -1;
+    c.in.clear();
+    c.out.clear();
+}
+
+/** Write as much of c.out as the socket accepts right now. A peer
+ *  that is gone (EPIPE/ECONNRESET) just drops that connection -- a
+ *  client bailing out must not kill the round for everyone else. */
 void
 flushConn(ServeConn &c)
 {
-    while (!c.out.empty()) {
+    while (c.fd >= 0 && !c.out.empty()) {
         const ssize_t n = ::write(c.fd, c.out.data(), c.out.size());
         if (n > 0) {
             c.out.erase(0, static_cast<size_t>(n));
@@ -214,9 +251,44 @@ flushConn(ServeConn &c)
             return;
         if (n < 0 && errno == EINTR)
             continue;
+        if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+            warn("client %llu went away mid-write; dropping the "
+                 "connection",
+                 static_cast<unsigned long long>(c.clientId));
+            closeConn(c);
+            return;
+        }
         fatal("write to client %llu failed: %s",
               static_cast<unsigned long long>(c.clientId),
               std::strerror(errno));
+    }
+}
+
+/** Blocking drain of c.out, bounded by @p timeout_ms; drops the
+ *  connection if the peer will not take the bytes in time. Used for
+ *  the final RESULT and for ERROR frames that must reach the peer
+ *  before we close or abort. */
+void
+drainConn(ServeConn &c, int timeout_ms)
+{
+    int waited = 0;
+    for (;;) {
+        flushConn(c);
+        if (c.fd < 0 || c.out.empty())
+            return;
+        if (waited >= timeout_ms) {
+            warn("client %llu did not drain %zu pending bytes; "
+                 "dropping the connection",
+                 static_cast<unsigned long long>(c.clientId),
+                 c.out.size());
+            closeConn(c);
+            return;
+        }
+        pollfd pfd{c.fd, POLLOUT, 0};
+        const int r = ::poll(&pfd, 1, 50);
+        if (r < 0 && errno != EINTR)
+            fatal("poll: %s", std::strerror(errno));
+        waited += 50;
     }
 }
 
@@ -306,6 +378,12 @@ serveMain(const Config &args)
     char buf[1 << 16];
 
     while (!server.done()) {
+        // fds[0] is the listener; fds[i + 1] mirrors conns[i] for the
+        // first npolled connections. Connections accepted below join
+        // the poll set on the next iteration; dead entries (fd -1)
+        // stay in place -- poll() ignores negative fds -- so the
+        // index correspondence never shifts.
+        const size_t npolled = conns.size();
         std::vector<pollfd> fds;
         fds.push_back(pollfd{lfd, POLLIN, 0});
         for (const auto &c : conns) {
@@ -314,7 +392,7 @@ serveMain(const Config &args)
                 ev |= POLLOUT;
             fds.push_back(pollfd{c.fd, ev, 0});
         }
-        if (::poll(fds.data(), fds.size(), 1000) < 0) {
+        if (::poll(fds.data(), fds.size(), 100) < 0) {
             if (errno == EINTR)
                 continue;
             fatal("poll: %s", std::strerror(errno));
@@ -333,10 +411,12 @@ serveMain(const Config &args)
             }
         }
 
-        for (size_t i = 0; i < conns.size(); ++i) {
+        for (size_t i = 0; i < npolled; ++i) {
             ServeConn &c = conns[i];
-            if (!(fds[i + 1].revents & (POLLIN | POLLHUP)))
+            if (c.fd < 0 ||
+                !(fds[i + 1].revents & (POLLIN | POLLHUP)))
                 continue;
+            bool eof = false;
             for (;;) {
                 const ssize_t n = ::read(c.fd, buf, sizeof(buf));
                 if (n > 0) {
@@ -346,12 +426,9 @@ serveMain(const Config &args)
                     continue;
                 }
                 if (n == 0) {
-                    if (!c.finished)
-                        fatal("client %llu disconnected before FIN; "
-                              "the round cannot complete "
-                              "deterministically",
-                              static_cast<unsigned long long>(
-                                  c.clientId));
+                    // Resolved below, after any frames that arrived
+                    // ahead of the close (e.g. the FIN) are handled.
+                    eof = true;
                     break;
                 }
                 if (errno == EAGAIN || errno == EWOULDBLOCK ||
@@ -362,7 +439,9 @@ serveMain(const Config &args)
 
             uint8_t type = 0;
             std::string payload;
-            while (popFrame(c.in, type, payload)) {
+            std::string frame_err;
+            while (c.fd >= 0 &&
+                   popFrame(c.in, type, payload, &frame_err)) {
                 const auto *p =
                     reinterpret_cast<const uint8_t *>(payload.data());
                 const size_t n = payload.size();
@@ -413,12 +492,58 @@ serveMain(const Config &args)
                         "unexpected message type %u", type);
                 }
                 if (!err.empty()) {
+                    // Before a session is established the round is
+                    // untouched: reject just this connection (stray
+                    // extra client, duplicate id, garbage) and keep
+                    // serving. After HELLO the client is part of the
+                    // deterministic round, so a protocol error from
+                    // it aborts the round -- but its ERROR frame is
+                    // drained first so the peer learns why.
+                    const bool established = c.hello;
                     c.out += frameMsg(kMsgError, err);
-                    flushConn(c);
+                    drainConn(c, 2000);
+                    if (!established) {
+                        warn("rejecting connection: %s", err.c_str());
+                        closeConn(c);
+                        break;
+                    }
                     fatal("protocol error from client %llu: %s",
                           static_cast<unsigned long long>(
                               c.clientId),
                           err.c_str());
+                }
+            }
+            if (c.fd >= 0 && !frame_err.empty()) {
+                c.out += frameMsg(kMsgError, frame_err);
+                drainConn(c, 2000);
+                if (!c.hello) {
+                    warn("rejecting connection: %s",
+                         frame_err.c_str());
+                    closeConn(c);
+                } else {
+                    fatal("protocol error from client %llu: %s",
+                          static_cast<unsigned long long>(c.clientId),
+                          frame_err.c_str());
+                }
+            }
+            if (eof && c.fd >= 0) {
+                if (!c.hello) {
+                    warn("dropping a connection that closed before "
+                         "HELLO");
+                    closeConn(c);
+                } else if (c.finished) {
+                    // Post-FIN disconnect: the client forfeits its
+                    // RESULT copy; the round is unaffected. Closing
+                    // here also stops the fd from reporting POLLHUP
+                    // on every poll (a 100% CPU spin) and from
+                    // taking an EPIPE on the final RESULT write.
+                    closeConn(c);
+                } else {
+                    fatal("client %llu disconnected before FIN; "
+                          "the round cannot complete "
+                          "deterministically",
+                          static_cast<unsigned long long>(
+                              c.clientId));
                 }
             }
         }
@@ -427,7 +552,8 @@ serveMain(const Config &args)
 
         for (const auto &ack : server.takeReadyAcks()) {
             for (auto &c : conns) {
-                if (c.hello && c.clientId == ack.clientId) {
+                if (c.fd >= 0 && c.hello &&
+                    c.clientId == ack.clientId) {
                     std::string pl;
                     traffic::putVarint(pl, ack.seq);
                     pl.push_back(ack.duplicate ? 1 : 0);
@@ -435,6 +561,16 @@ serveMain(const Config &args)
                     break;
                 }
             }
+        }
+        // Keepalive: a client whose ack is deliberately withheld
+        // (inbox backpressure, or the round waiting on other
+        // sessions) is told so, so its retry timer never mistakes
+        // the deferral for a lost ack. The 100ms poll timeout bounds
+        // how stale this signal can get.
+        for (auto &c : conns) {
+            if (c.fd >= 0 && c.hello && !c.finished &&
+                server.deferredAckCount(c.clientId) > 0)
+                c.out += frameMsg(kMsgBusy, "");
         }
         for (auto &c : conns)
             flushConn(c);
@@ -444,21 +580,23 @@ serveMain(const Config &args)
     const std::string report =
         sim::formatReplayReport(server.stats(), *net);
     for (auto &c : conns) {
+        if (c.fd < 0)
+            continue; // disconnected after FIN: forfeits the RESULT
         c.out += frameMsg(kMsgResult, report);
-        // Final flush is blocking: clear O_NONBLOCK semantics by
-        // retrying until drained.
-        while (!c.out.empty())
-            flushConn(c);
-        ::close(c.fd);
+        drainConn(c, 10000);
+        closeConn(c);
     }
     ::close(lfd);
     ::unlink(sock_path.c_str());
     std::fputs(report.c_str(), stdout);
-    for (const auto &c : conns)
+    for (const auto &c : conns) {
+        if (!c.hello)
+            continue;
         std::printf("client %llu: accepted %llu records\n",
                     static_cast<unsigned long long>(c.clientId),
                     static_cast<unsigned long long>(
                         server.acceptedRecords(c.clientId)));
+    }
     return server.hitCycleLimit() ? 2 : 0;
 }
 
@@ -500,7 +638,10 @@ struct FrameReader {
     }
 };
 
-void
+/** Write all of @p data; false if the peer vanished mid-send
+ *  (EPIPE/ECONNRESET) so the caller can surface the server's
+ *  parting ERROR frame instead of a bare broken-pipe message. */
+bool
 sendAll(int fd, const std::string &data)
 {
     size_t off = 0;
@@ -510,9 +651,37 @@ sendAll(int fd, const std::string &data)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EPIPE || errno == ECONNRESET)
+                return false;
             fatal("write: %s", std::strerror(errno));
         }
         off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** The server hung up on us mid-send. It drains an ERROR frame
+ *  explaining why before closing (e.g. "client id already
+ *  connected"), so read out the rest of the stream and report that
+ *  reason rather than the broken pipe. */
+[[noreturn]] void
+dieServerClosed(FrameReader &reader)
+{
+    for (;;) {
+        uint8_t type = 0;
+        std::string payload;
+        if (popFrame(reader.buf, type, payload)) {
+            if (type == kMsgError)
+                fatal("server error: %s", payload.c_str());
+            continue; // skip stale acks/keepalives before the ERROR
+        }
+        char tmp[4096];
+        const ssize_t n = ::read(reader.fd, tmp, sizeof(tmp));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            fatal("server closed the connection");
+        reader.buf.append(tmp, static_cast<size_t>(n));
     }
 }
 
@@ -559,23 +728,33 @@ connectMain(const Config &args)
     FrameReader reader{fd, {}};
     std::string hello;
     traffic::putVarint(hello, client_id);
-    sendAll(fd, frameMsg(kMsgHello, hello));
+    if (!sendAll(fd, frameMsg(kMsgHello, hello)))
+        dieServerClosed(reader);
 
     // Stop-and-wait with retransmission: resend until the matching
     // ACK arrives; the server dedups by sequence number, so a chunk
-    // is injected at most once however often it is retried.
+    // is injected at most once however often it is retried. A BUSY
+    // keepalive means the ack is deliberately deferred (backpressure
+    // or the round waiting on other clients), so it suppresses the
+    // resend and resets the retry budget: the retry timer only
+    // counts windows of total server silence.
     uint64_t retransmits = 0;
     auto sendChunkReliably = [&](const std::string &framed,
                                  uint64_t seq) {
-        for (int attempt = 0; attempt <= retries; ++attempt) {
-            sendAll(fd, framed);
-            if (attempt > 0)
-                ++retransmits;
+        if (!sendAll(fd, framed))
+            dieServerClosed(reader);
+        int attempt = 0;
+        for (;;) {
+            bool saw_busy = false;
             uint8_t type = 0;
             std::string payload;
             while (reader.read(ack_timeout_ms, type, payload)) {
                 if (type == kMsgError)
                     fatal("server error: %s", payload.c_str());
+                if (type == kMsgBusy) {
+                    saw_busy = true;
+                    continue;
+                }
                 if (type != kMsgAck)
                     fatal("unexpected message type %u while waiting "
                           "for ack",
@@ -591,9 +770,20 @@ connectMain(const Config &args)
                 // A stale ack (earlier seq, or a duplicate of one we
                 // already consumed) -- keep waiting.
             }
+            // Timed out with no matching ack.
+            if (saw_busy) {
+                attempt = 0; // deferred, not lost: just keep waiting
+                continue;
+            }
+            if (++attempt > retries)
+                fatal("no ack for chunk %llu after %d attempts with "
+                      "a silent server",
+                      static_cast<unsigned long long>(seq),
+                      retries + 1);
+            if (!sendAll(fd, framed))
+                dieServerClosed(reader);
+            ++retransmits;
         }
-        fatal("no ack for chunk %llu after %d attempts",
-              static_cast<unsigned long long>(seq), retries + 1);
     };
 
     uint64_t seq = 0;
@@ -643,8 +833,8 @@ connectMain(const Config &args)
         }
         if (type == kMsgError)
             fatal("server error: %s", payload.c_str());
-        if (type == kMsgAck)
-            continue; // stale duplicate ack
+        if (type == kMsgAck || type == kMsgBusy)
+            continue; // stale duplicate ack / keepalive
         if (type != kMsgResult)
             fatal("unexpected message type %u", type);
         std::fputs(payload.c_str(), stdout);

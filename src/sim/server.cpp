@@ -244,4 +244,12 @@ SimServer::acceptedRecords(uint64_t client_id) const
     return it == sessions_.end() ? 0 : it->second.accepted;
 }
 
+size_t
+SimServer::deferredAckCount(uint64_t client_id) const
+{
+    const auto it = sessions_.find(client_id);
+    return it == sessions_.end() ? 0
+                                 : it->second.deferredAcks.size();
+}
+
 } // namespace phastlane::sim

@@ -127,6 +127,11 @@ class SimServer
     /** Records accepted from @p client_id so far. */
     uint64_t acceptedRecords(uint64_t client_id) const;
 
+    /** Acknowledgements currently withheld from @p client_id for
+     *  backpressure. A transport can tell the client its ack is
+     *  deferred (not lost) so it neither retransmits nor times out. */
+    size_t deferredAckCount(uint64_t client_id) const;
+
     Network &net() { return net_; }
 
     /** Called every ServerOptions::snapshotInterval cycles (from

@@ -298,6 +298,10 @@ TEST(SimServer, BackpressureDefersAcksUntilTheInboxDrains)
     server.pump();
     auto acks = server.takeReadyAcks();
     EXPECT_TRUE(acks.empty()); // withheld: inbox over the soft cap
+    // The withheld ack is visible to the transport so it can tell
+    // the client "deferred, not lost" (the daemon's BUSY keepalive).
+    EXPECT_EQ(server.deferredAckCount(0), 1u);
+    EXPECT_EQ(server.deferredAckCount(99), 0u); // unknown client
     // A retransmit of the unacked chunk must stay silent (re-acking
     // would defeat the backpressure).
     EXPECT_EQ(server.submit(0, 1, flood), "");
@@ -314,6 +318,7 @@ TEST(SimServer, BackpressureDefersAcksUntilTheInboxDrains)
     for (const auto &a : acks)
         acked0 |= a.clientId == 0 && a.seq == 1;
     EXPECT_TRUE(acked0);
+    EXPECT_EQ(server.deferredAckCount(0), 0u);
 }
 
 TEST(SimServer, LaggardClientIsNeverDeadlockedByBackpressure)
